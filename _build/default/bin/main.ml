@@ -1,0 +1,225 @@
+(* bagcqc — command-line interface to the library.
+
+   Subcommands:
+     check    decide Q1 ⊑ Q2 under bag-set semantics
+     classify report Q2's structural class
+     eq8      print the Eq. 8 max-information inequality for a pair
+     iip      decide a (max-)information inequality over Γn / Nn / Mn
+     reduce   run the Section 5 reduction Max-IIP → BagCQC-A
+     homcount count homomorphisms between two queries *)
+
+open Bagcqc_num
+open Bagcqc_entropy
+open Bagcqc_cq
+open Bagcqc_core
+open Cmdliner
+
+let query_conv =
+  let parse s =
+    match Parser.parse_result s with
+    | Ok q -> Ok q
+    | Error msg -> Error (`Msg ("query syntax: " ^ msg))
+  in
+  Arg.conv (parse, fun fmt q -> Query.pp fmt q)
+
+let q1_arg =
+  Arg.(required & pos 0 (some query_conv) None & info [] ~docv:"Q1"
+         ~doc:"Contained query, e.g. 'R(x,y), R(y,z), R(z,x)'.")
+
+let q2_arg =
+  Arg.(required & pos 1 (some query_conv) None & info [] ~docv:"Q2"
+         ~doc:"Containing query, e.g. 'R(x,y), R(x,z)'.")
+
+let max_factors_arg =
+  Arg.(value & opt int 14 & info [ "max-factors" ]
+         ~doc:"Budget for witness search: the candidate witness is a domain \
+               product of at most this many two-row step relations.")
+
+let names_of q i = Query.var_name q i
+
+(* ---------------- check ---------------- *)
+
+let check_cmd =
+  let run q1 q2 max_factors =
+    let verdict =
+      if Query.is_boolean q1 && Query.is_boolean q2 then
+        Containment.decide ~max_factors q1 q2
+      else Containment.decide_with_heads ~max_factors q1 q2
+    in
+    match verdict with
+    | Containment.Contained ->
+      Format.printf "CONTAINED: certified by a Shannon proof of Eq. 8 (Theorem 4.2).@.";
+      0
+    | Containment.Not_contained w ->
+      Format.printf
+        "NOT CONTAINED: witness relation with %d rows; \
+         |hom(Q1,D)| >= %d > %d = |hom(Q2,D)| (Fact 3.2).@."
+        w.Containment.card_p w.Containment.card_p w.Containment.hom2;
+      Format.printf "Witness database:@.%a" Database.pp w.Containment.db;
+      0
+    | Containment.Unknown { reason; _ } ->
+      Format.printf "UNKNOWN: %s@." reason;
+      2
+  in
+  let term = Term.(const run $ q1_arg $ q2_arg $ max_factors_arg) in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Decide Q1 ⊑ Q2 under bag-set semantics (complete when Q2 is \
+             chordal with a simple junction tree, Theorem 3.1).")
+    term
+
+(* ---------------- classify ---------------- *)
+
+let classify_cmd =
+  let run q2 =
+    let cls =
+      match Containment.classify q2 with
+      | Containment.Acyclic_simple ->
+        "acyclic with a simple join tree (containment decidable, Thm 3.1)"
+      | Containment.Chordal_simple ->
+        "chordal with a simple junction tree (containment decidable, Thm 3.1)"
+      | Containment.Acyclic ->
+        "acyclic, junction tree not simple (Eq. 8 exact, validity over Γ* open)"
+      | Containment.Chordal -> "chordal, junction tree not simple"
+      | Containment.General -> "neither acyclic nor chordal"
+    in
+    Format.printf "%s@." cls;
+    let t = Treedec.of_query q2 in
+    Format.printf "decomposition: %a@." Treedec.pp t;
+    Format.printf "E_T = %a@."
+      (Cexpr.pp ~names:(names_of q2) ())
+      (Treedec.et t);
+    0
+  in
+  Cmd.v
+    (Cmd.info "classify" ~doc:"Report the structural class of a query.")
+    Term.(const run $ Arg.(required & pos 0 (some query_conv) None
+                           & info [] ~docv:"Q" ~doc:"The query."))
+
+(* ---------------- eq8 ---------------- *)
+
+let eq8_cmd =
+  let run q1 q2 =
+    let ineq = Containment.eq8 q1 q2 in
+    Format.printf "%a@." (Maxii.pp ~names:(names_of q1) ()) ineq;
+    (match Maxii.decide ineq with
+     | Maxii.Valid -> Format.printf "valid over Γn (hence over Γ*n): Q1 ⊑ Q2@."
+     | Maxii.Invalid h ->
+       Format.printf "refuted by the normal entropic function:@.%a@."
+         (Polymatroid.pp ~names:(names_of q1) ()) h
+     | Maxii.Unknown h ->
+       Format.printf
+         "fails over Γn but holds over Nn; refuting polymatroid (possibly \
+          non-entropic):@.%a@."
+         (Polymatroid.pp ~names:(names_of q1) ()) h);
+    0
+  in
+  Cmd.v
+    (Cmd.info "eq8"
+       ~doc:"Print and decide the Eq. 8 max-information inequality for a pair \
+             of Boolean queries.")
+    Term.(const run $ q1_arg $ q2_arg)
+
+(* ---------------- iip ---------------- *)
+
+let expr_conv =
+  (* Linear expressions as "+2 h(1,2) -1 h(2)" — coefficient then a
+     1-based variable list. *)
+  let parse s =
+    try
+      let toks = String.split_on_char ' ' s |> List.filter (fun t -> t <> "") in
+      let rec go acc = function
+        | [] -> acc
+        | c :: h :: rest ->
+          let coeff = Rat.of_string c in
+          if not (String.length h > 2 && String.sub h 0 2 = "h(") then
+            failwith "expected h(...)"
+          else begin
+            let inner = String.sub h 2 (String.length h - 3) in
+            let vars =
+              String.split_on_char ',' inner
+              |> List.map (fun v -> int_of_string (String.trim v) - 1)
+            in
+            go (Linexpr.add acc (Linexpr.term ~coeff (Varset.of_list vars))) rest
+          end
+        | [ _ ] -> failwith "dangling token"
+      in
+      Ok (go Linexpr.zero toks)
+    with e -> Error (`Msg ("expression syntax: " ^ Printexc.to_string e))
+  in
+  Arg.conv (parse, fun fmt e -> Linexpr.pp () fmt e)
+
+let iip_cmd =
+  let run n sides =
+    let m = Maxii.general ~n sides in
+    Format.printf "%a@." (Maxii.pp ()) m;
+    (match Maxii.decide m with
+     | Maxii.Valid -> Format.printf "VALID over Γ%d (hence over Γ*)@." n; 0
+     | Maxii.Invalid h ->
+       Format.printf "INVALID: refuted by the normal (entropic) function@.%a@."
+         (Polymatroid.pp ()) h;
+       0
+     | Maxii.Unknown h ->
+       Format.printf
+         "NOT SHANNON, no normal refuter: undecided over Γ* \
+          (refuting polymatroid below may not be entropic)@.%a@."
+         (Polymatroid.pp ()) h;
+       2)
+  in
+  let n_arg =
+    Arg.(required & opt (some int) None & info [ "n"; "vars" ] ~doc:"Number of variables.")
+  in
+  let sides_arg =
+    Arg.(non_empty & pos_all expr_conv [] & info [] ~docv:"EXPR"
+           ~doc:"Sides of the max, e.g. '1 h(1,2) -1 h(1)'.")
+  in
+  Cmd.v
+    (Cmd.info "iip"
+       ~doc:"Decide validity of 0 ≤ max(EXPR...) over the entropic cone, via \
+             the Shannon relaxation and normal-cone refutation.")
+    Term.(const run $ n_arg $ sides_arg)
+
+(* ---------------- reduce ---------------- *)
+
+let reduce_cmd =
+  let run n sides =
+    let m = Maxii.general ~n sides in
+    let c = Reduction.reduce m in
+    Format.printf "Q1: %a@.Q2: %a@." Query.pp c.Reduction.q1 Query.pp c.Reduction.q2;
+    Format.printf "Q2 is acyclic: %b@." (Treedec.is_acyclic c.Reduction.q2);
+    Format.printf "Q2 decomposition (29): %a@." Treedec.pp c.Reduction.dec2;
+    0
+  in
+  let n_arg =
+    Arg.(required & opt (some int) None & info [ "n"; "vars" ] ~doc:"Number of variables.")
+  in
+  let sides_arg =
+    Arg.(non_empty & pos_all expr_conv [] & info [] ~docv:"EXPR"
+           ~doc:"Sides of the max.")
+  in
+  Cmd.v
+    (Cmd.info "reduce"
+       ~doc:"Reduce a Max-IIP to a bag-containment instance with acyclic Q2 \
+             (Theorem 5.1).")
+    Term.(const run $ n_arg $ sides_arg)
+
+(* ---------------- homcount ---------------- *)
+
+let homcount_cmd =
+  let run qa qb =
+    Format.printf "%d@." (Hom.count_between qa qb);
+    0
+  in
+  Cmd.v
+    (Cmd.info "homcount"
+       ~doc:"Count homomorphisms from Q1 to Q2 (queries as structures).")
+    Term.(const run $ q1_arg $ q2_arg)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "bagcqc" ~version:"1.0.0"
+       ~doc:"Bag query containment via information inequalities \
+             (Abo Khamis–Kolaitis–Ngo–Suciu, PODS 2020).")
+    [ check_cmd; classify_cmd; eq8_cmd; iip_cmd; reduce_cmd; homcount_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

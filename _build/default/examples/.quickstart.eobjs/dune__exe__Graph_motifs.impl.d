@@ -1,0 +1,1 @@
+examples/graph_motifs.ml: Bagcqc_core Bagcqc_cq Containment Domination Format List Parser

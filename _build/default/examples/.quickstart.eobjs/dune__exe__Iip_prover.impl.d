@@ -1,0 +1,1 @@
+examples/iip_prover.ml: Bagcqc_core Bagcqc_cq Bagcqc_entropy Bagcqc_num Cexpr Cones Containment Format Linexpr List Maxii Normalize Polymatroid Rat Reduction Varset

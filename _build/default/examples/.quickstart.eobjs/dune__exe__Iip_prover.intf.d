@@ -1,0 +1,1 @@
+examples/iip_prover.mli:

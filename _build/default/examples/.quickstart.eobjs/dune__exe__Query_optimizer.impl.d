@@ -1,0 +1,1 @@
+examples/query_optimizer.ml: Bagcqc_core Bagcqc_cq Containment Format List Parser

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bagcqc_core Bagcqc_cq Containment Format Parser Query

@@ -1,0 +1,1 @@
+examples/schema_design.ml: Array Bagcqc_cq Bagcqc_entropy Bagcqc_num Bagcqc_relation Dependencies Format List Relation String Treedec Varset

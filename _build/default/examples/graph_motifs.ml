@@ -1,0 +1,59 @@
+(* Scenario: homomorphism-count inequalities between graph motifs.
+
+   Extremal graph theory asks which inequalities hold between motif
+   counts: is #triangles <= #vees on every graph?  does #paths-of-3
+   dominate #edges^2?  These are exactly domination questions (Section 2.1
+   of the paper, after Kopparty-Rossman), and the library answers them
+   with Shannon proofs or explicit counterexample graphs.
+
+   Run with:  dune exec examples/graph_motifs.exe *)
+
+open Bagcqc_cq
+open Bagcqc_core
+
+let motifs =
+  [ ("edge", "E(x,y)");
+    ("vee", "E(x,y), E(x,z)");           (* out-star with 2 leaves *)
+    ("path2", "E(x,y), E(y,z)");         (* directed 2-path *)
+    ("triangle", "E(x,y), E(y,z), E(z,x)") ]
+
+let query name = Parser.parse (List.assoc name motifs)
+
+let check a b =
+  let qa = query a and qb = query b in
+  let verdict =
+    match Domination.dominates qa qb with
+    | Containment.Contained -> "<=  (always)"
+    | Containment.Not_contained w ->
+      Format.asprintf ">   on a witness graph (%d vs %d)"
+        w.Containment.card_p w.Containment.hom2
+    | Containment.Unknown _ -> "?   (undecided)"
+  in
+  Format.printf "#%-9s vs #%-9s : %s@." a b verdict
+
+let check_power (a, na) (b, nb) =
+  let qa = query a and qb = query b in
+  let verdict =
+    match Domination.exponent_dominates ~num:na ~den:nb qa qb with
+    | Containment.Contained -> "holds on every graph"
+    | Containment.Not_contained _ -> "fails on a witness graph"
+    | Containment.Unknown _ -> "undecided"
+  in
+  Format.printf "#%s^%d <= #%s^%d : %s@." a na b nb verdict
+
+let () =
+  Format.printf "pairwise motif domination:@.";
+  List.iter
+    (fun (a, b) -> check a b)
+    [ ("triangle", "vee"); ("vee", "triangle");
+      ("triangle", "path2"); ("path2", "edge"); ("edge", "path2");
+      ("vee", "edge"); ("path2", "vee"); ("vee", "path2") ];
+  Format.printf "@.exponent domination (Kopparty-Rossman, Problem 2.2):@.";
+  (* #vee <= #edge^2 is Cauchy-Schwarz; #edge^2 <= #vee fails. *)
+  check_power ("vee", 1) ("edge", 2);
+  check_power ("edge", 2) ("vee", 1);
+  (* #path2^2 <= #vee * ... : classic Sidorenko-style check at small scale:
+     #path2 <= #edge^2? *)
+  check_power ("path2", 1) ("edge", 2);
+  (* #triangle^2 <= #vee^3?  (a K-R style fractional exponent: 2/3) *)
+  check_power ("triangle", 2) ("vee", 3)

@@ -1,0 +1,1 @@
+lib/core/containment.mli: Bagcqc_cq Bagcqc_entropy Bagcqc_num Bagcqc_relation Database Maxii Polymatroid Query Rat Relation Treedec Varset

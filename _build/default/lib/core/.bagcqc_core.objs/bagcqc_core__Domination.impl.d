@@ -1,0 +1,1 @@
+lib/core/domination.ml: Bagcqc_cq Containment Query

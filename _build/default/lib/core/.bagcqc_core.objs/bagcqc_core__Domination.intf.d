@@ -1,0 +1,1 @@
+lib/core/domination.mli: Bagcqc_cq Containment Query

@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Array Bagcqc_cq Bagcqc_entropy Bagcqc_num Bigint Cexpr Format Hashtbl Linexpr List Maxii Printf Query Rat Treedec Varset

@@ -1,0 +1,1 @@
+lib/core/reduction.mli: Bagcqc_cq Bagcqc_entropy Maxii Query Varset

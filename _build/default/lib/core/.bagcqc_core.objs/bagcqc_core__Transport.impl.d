@@ -1,0 +1,1 @@
+lib/core/transport.ml: Array Bagcqc_cq Bagcqc_entropy Bagcqc_num Bagcqc_relation Cexpr Dist Linexpr List Logint Option Queue Rat Relation Treedec Value Varset

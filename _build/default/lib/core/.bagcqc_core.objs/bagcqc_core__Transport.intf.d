@@ -1,0 +1,1 @@
+lib/core/transport.mli: Bagcqc_cq Bagcqc_entropy Bagcqc_num Bagcqc_relation Cexpr Dist Linexpr Logint Treedec Varset

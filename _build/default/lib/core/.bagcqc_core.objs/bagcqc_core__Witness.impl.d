@@ -1,0 +1,1 @@
+lib/core/witness.ml: Array Bagcqc_cq Bagcqc_entropy Bagcqc_relation Cones Containment Database Graph Hashtbl Hom List Maxii Polymatroid Query Relation Treedec Value Varset

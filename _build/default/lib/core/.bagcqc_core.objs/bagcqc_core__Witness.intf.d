@@ -1,0 +1,1 @@
+lib/core/witness.mli: Bagcqc_cq Bagcqc_relation Containment Query Relation

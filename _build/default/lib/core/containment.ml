@@ -1,0 +1,180 @@
+open Bagcqc_num
+open Bagcqc_entropy
+open Bagcqc_relation
+open Bagcqc_cq
+
+type witness = {
+  p : Relation.t;
+  db : Database.t;
+  card_p : int;
+  hom2 : int;
+}
+
+type verdict =
+  | Contained
+  | Not_contained of witness
+  | Unknown of { reason : string; refuter : Polymatroid.t option }
+
+type query_class =
+  | Acyclic_simple
+  | Chordal_simple
+  | Acyclic
+  | Chordal
+  | General
+
+let canonical_dec q2 =
+  match Treedec.join_tree q2 with
+  | Some t -> t
+  | None ->
+    (match Treedec.junction_tree (Graph.gaifman q2) with
+     | Some t -> t
+     | None -> Treedec.of_query q2)
+
+let classify q2 =
+  let acyclic = Treedec.is_acyclic q2 in
+  let chordal = Graph.is_chordal (Graph.gaifman q2) in
+  if acyclic || chordal then begin
+    let simple = Treedec.is_simple (canonical_dec q2) in
+    match acyclic, simple with
+    | true, true -> Acyclic_simple
+    | true, false -> Acyclic
+    | false, true -> Chordal_simple
+    | false, false -> Chordal
+  end
+  else General
+
+let require_boolean q =
+  if not (Query.is_boolean q) then
+    invalid_arg "Containment: queries must be Boolean (use decide_with_heads)"
+
+let eq8 ?(dedup = true) ?decs q1 q2 =
+  require_boolean q1;
+  require_boolean q2;
+  let q1 = Query.dedup_atoms q1 and q2 = Query.dedup_atoms q2 in
+  let decs = match decs with Some ds -> ds | None -> [ canonical_dec q2 ] in
+  let homs = Hom.enumerate_between q2 q1 in
+  let sides =
+    List.concat_map
+      (fun t ->
+        let et = Treedec.et t in
+        List.map (fun phi -> Cexpr.rename (fun v -> phi.(v)) et) homs)
+      decs
+  in
+  (* Distinct homomorphisms frequently induce the same expression (e.g.
+     they differ only on isolated components); the max is insensitive to
+     duplicates, and every duplicate side costs an LP row. *)
+  let sides =
+    if not dedup then sides
+    else begin
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun cx ->
+          let key = Linexpr.terms (Cexpr.to_linexpr cx) in
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        sides
+    end
+  in
+  Maxii.conditional ~n:(Query.nvars q1) ~q:Rat.one sides
+
+let scale_steps coeffs =
+  let lcm_den =
+    List.fold_left
+      (fun acc (_, c) ->
+        let d = Rat.den c in
+        Bigint.mul acc (Bigint.div d (Bigint.gcd acc d)))
+      Bigint.one coeffs
+  in
+  List.filter_map
+    (fun (w, c) ->
+      let scaled = Rat.mul c (Rat.of_bigint lcm_den) in
+      assert (Rat.is_integer scaled);
+      match Bigint.to_int_opt (Rat.num scaled) with
+      | Some 0 -> None
+      | Some k when k > 0 -> Some (w, k)
+      | Some _ -> invalid_arg "Containment.scale_steps: negative multiplicity"
+      | None -> invalid_arg "Containment.scale_steps: multiplicity overflow")
+    coeffs
+
+let verify_witness ?(annotate = true) q1 q2 p =
+  if Relation.arity p <> Query.nvars q1 then
+    invalid_arg "Containment.verify_witness: arity mismatch";
+  let db = Database.of_vrelation ~annotate q1 p in
+  let card = Relation.cardinal p in
+  let hom2 = Hom.count ~limit:card q2 db in
+  if hom2 < card then Some (card, hom2) else None
+
+let witness_from_normal ?(max_factors = 14) q1 q2 h =
+  match Polymatroid.normal_decomposition h with
+  | None -> None
+  | Some coeffs ->
+    let base = scale_steps coeffs in
+    let base_factors = List.fold_left (fun acc (_, c) -> acc + c) 0 base in
+    let n = Query.nvars q1 in
+    let rec try_k k =
+      if base_factors * k > max_factors && not (base_factors = 0 && k = 1) then
+        None
+      else begin
+        let p =
+          Relation.of_normal_steps ~n
+            (List.map (fun (w, c) -> (w, c * k)) base)
+        in
+        let db = Database.of_vrelation ~annotate:true q1 p in
+        let card = Relation.cardinal p in
+        let hom2 = Hom.count ~limit:card q2 db in
+        if hom2 < card then Some { p; db; card_p = card; hom2 }
+        else if base_factors = 0 then None
+        else try_k (k + 1)
+      end
+    in
+    try_k 1
+
+let decide ?max_factors q1 q2 =
+  require_boolean q1;
+  require_boolean q2;
+  let q1 = Query.dedup_atoms q1 and q2 = Query.dedup_atoms q2 in
+  let ineq = eq8 q1 q2 in
+  match Maxii.decide ineq with
+  | Maxii.Valid -> Contained
+  | Maxii.Unknown refuter ->
+    Unknown
+      { reason =
+          "Eq. 8 fails over the Shannon cone but holds over the normal cone: \
+           the refuting polymatroid may not be entropic (Q2 is outside the \
+           decidable classes)";
+        refuter = Some refuter }
+  | Maxii.Invalid h_normal ->
+    (match witness_from_normal ?max_factors q1 q2 h_normal with
+     | Some w -> Not_contained w
+     | None ->
+       Unknown
+         { reason =
+             "a normal refuter of Eq. 8 exists but realizing it as a witness \
+              database exceeded the max_factors budget";
+           refuter = Some h_normal })
+
+let decide_with_heads ?max_factors q1 q2 =
+  let b1, b2 = Reductions.booleanize q1 q2 in
+  decide ?max_factors b1 b2
+
+let contained_set q1 q2 =
+  (* Chandra–Merlin: evaluate Q2 on the canonical database of Q1; head
+     variables must be matched identically, which the canonical-database
+     trick encodes by comparing head tuples. *)
+  if List.length (Query.head q1) <> List.length (Query.head q2) then
+    invalid_arg "Containment.contained_set: head arity mismatch";
+  let db = Database.canonical q1 in
+  let head1 =
+    List.map (fun v -> Value.Str (Query.var_name q1 v)) (Query.head q1)
+  in
+  List.exists
+    (fun (key, _) -> key = Array.of_list head1)
+    (Hom.answers q2 db)
+
+let decide_bag_bag ?max_factors q1 q2 =
+  let l1 = Bagdb.lift_query q1 and l2 = Bagdb.lift_query q2 in
+  if Query.is_boolean l1 && Query.is_boolean l2 then decide ?max_factors l1 l2
+  else decide_with_heads ?max_factors l1 l2

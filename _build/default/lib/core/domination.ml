@@ -1,0 +1,7 @@
+open Bagcqc_cq
+
+let dominates ?max_factors a b = Containment.decide ?max_factors a b
+
+let exponent_dominates ?max_factors ~num ~den a b =
+  if num < 1 || den < 1 then invalid_arg "Domination.exponent_dominates";
+  Containment.decide ?max_factors (Query.power num a) (Query.power den b)

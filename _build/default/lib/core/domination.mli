@@ -1,0 +1,20 @@
+open Bagcqc_cq
+
+(** The domination problem (paper Section 2.1).
+
+    [B] {e dominates} [A] when [|hom(A,D)| ≤ |hom(B,D)|] for every
+    database [D] — written [A ⪯ B].  Viewing Boolean conjunctive queries
+    as structures (Section 2.2: "DOM and BagCQC are essentially the same
+    problem"), this is exactly bag containment, and the
+    exponent-domination problem of Kopparty–Rossman (Problem 2.2) reduces
+    to it by taking disjoint copies: [|hom(c·A, D)| = |hom(A,D)|^c]. *)
+
+val dominates : ?max_factors:int -> Query.t -> Query.t -> Containment.verdict
+(** [dominates a b] decides [A ⪯ B] (both queries Boolean). *)
+
+val exponent_dominates :
+  ?max_factors:int -> num:int -> den:int -> Query.t -> Query.t -> Containment.verdict
+(** [exponent_dominates ~num ~den a b] decides
+    [|hom(A,D)|^(num/den) ≤ |hom(B,D)|] for all [D], by the reduction
+    [A^num ⪯ B^den] (Lemma 2.2 of Kopparty–Rossman).
+    @raise Invalid_argument unless [num ≥ 1] and [den ≥ 1]. *)

@@ -1,0 +1,294 @@
+open Bagcqc_num
+open Bagcqc_entropy
+open Bagcqc_cq
+
+type uniform = {
+  n0 : int;
+  n : int;
+  p : int;
+  q : int;
+  chains : (Varset.t * Varset.t) array array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Lemma 5.3: uniformization.                                          *)
+(* ------------------------------------------------------------------ *)
+
+let clear_denominators e =
+  (* Scale a side to integer coefficients (validity is scale-invariant). *)
+  let lcm =
+    List.fold_left
+      (fun acc (_, c) ->
+        let d = Rat.den c in
+        Bigint.mul acc (Bigint.div d (Bigint.gcd acc d)))
+      Bigint.one (Linexpr.terms e)
+  in
+  Linexpr.scale (Rat.of_bigint lcm) e
+
+let expand_terms e =
+  (* Positive / negative multisets of sets, unit multiplicities. *)
+  List.fold_left
+    (fun (pos, neg) (s, c) ->
+      match Bigint.to_int_opt (Rat.num c) with
+      | None -> invalid_arg "Reduction.uniformize: coefficient too large"
+      | Some k ->
+        if k > 0 then (pos @ List.init k (fun _ -> s), neg)
+        else (pos, neg @ List.init (-k) (fun _ -> s)))
+    ([], []) (Linexpr.terms e)
+
+let uniformize maxii =
+  let n0 = Maxii.n_vars maxii in
+  let full = Varset.full n0 in
+  let u = n0 in
+  let uset = Varset.singleton u in
+  let sides = List.map clear_denominators (Maxii.sides maxii) in
+  let expanded = List.map expand_terms sides in
+  let n =
+    List.fold_left (fun acc (_, neg) -> max acc (List.length neg)) 0 expanded
+  in
+  (* Pre-U chain for one side (Eq. 23/24):
+     h(V|∅) · [h(V|Xj)]j · [h(Yi|∅)]i · padding h(V|∅). *)
+  let chains_pre =
+    List.map
+      (fun (pos, neg) ->
+        [ (full, Varset.empty) ]
+        @ List.map (fun x -> (full, x)) neg
+        @ List.map (fun y -> (y, Varset.empty)) pos
+        @ List.init (n - List.length neg) (fun _ -> (full, Varset.empty)))
+      expanded
+  in
+  (* U-ification (Eq. 25): prepend h(U|∅) and adjoin U to every Y and X. *)
+  let chains_u =
+    List.map
+      (fun chain ->
+        (uset, Varset.empty)
+        :: List.map
+             (fun (y, x) ->
+               (Varset.union (Varset.union y x) uset, Varset.union x uset))
+             chain)
+      chains_pre
+  in
+  (* Equalize chain lengths with h(U|U) padding. *)
+  let p = List.fold_left (fun acc c -> max acc (List.length c - 1)) 0 chains_u in
+  let chains =
+    List.map
+      (fun chain ->
+        let pad = p + 1 - List.length chain in
+        Array.of_list (chain @ List.init pad (fun _ -> (uset, uset))))
+      chains_u
+  in
+  { n0; n; p; q = n + 1; chains = Array.of_list chains }
+
+let uniform_maxii u =
+  let nvars = u.n0 + 1 in
+  let uvar = Varset.singleton u.n0 in
+  let sides =
+    Array.to_list
+      (Array.map
+         (fun chain ->
+           Cexpr.add
+             (Cexpr.entropy ~coeff:(Rat.of_int u.n) uvar)
+             (Cexpr.sum
+                (Array.to_list
+                   (Array.map (fun (y, x) -> Cexpr.part y x) chain))))
+         u.chains)
+  in
+  Maxii.conditional ~n:nvars ~q:(Rat.of_int u.q) sides
+
+let check_uniform u =
+  let uvar = u.n0 in
+  let fullu = Varset.full (u.n0 + 1) in
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if u.q <> u.n + 1 then err "q = %d but n + 1 = %d" u.q (u.n + 1)
+  else begin
+    let check_chain i chain =
+      if Array.length chain <> u.p + 1 then
+        err "chain %d has length %d, expected %d" i (Array.length chain) (u.p + 1)
+      else begin
+        let rec go j =
+          if j > u.p then Ok ()
+          else begin
+            let y, x = chain.(j) in
+            if not (Varset.subset x y) then err "chain %d part %d: X ⊄ Y" i j
+            else if not (Varset.subset y fullu) then
+              err "chain %d part %d: Y out of range" i j
+            else if j = 0 && not (Varset.is_empty x) then
+              err "chain %d: X₀ ≠ ∅" i
+            else if j >= 1 && not (Varset.mem uvar x) then
+              err "chain %d part %d: U ∉ X (connectedness)" i j
+            else if
+              j >= 1
+              && not
+                   (Varset.subset x
+                      (Varset.inter (fst chain.(j - 1)) y))
+            then err "chain %d part %d: chain condition X ⊆ Y₋₁ ∩ Y fails" i j
+            else go (j + 1)
+          end
+        in
+        go 0
+      end
+    in
+    let rec all i =
+      if i >= Array.length u.chains then Ok ()
+      else
+        match check_chain i u.chains.(i) with
+        | Ok () -> all (i + 1)
+        | Error _ as e -> e
+    in
+    all 0
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Section 5.3: the query construction.                                *)
+(* ------------------------------------------------------------------ *)
+
+type constructed = {
+  q1 : Query.t;
+  q2 : Query.t;
+  dec2 : Treedec.t;
+}
+
+(* A "slot" is an attribute position carrier: an original variable, or one
+   of the two halves of the split distinguished variable U = U₁U₂. *)
+type slot = Orig of int | U1 | U2
+
+let slots_of_set ~uvar s =
+  List.concat_map
+    (fun v -> if v = uvar then [ U1; U2 ] else [ Orig v ])
+    (Varset.to_list s)
+
+let to_queries u =
+  (match check_uniform u with
+   | Ok () -> ()
+   | Error msg -> invalid_arg ("Reduction.to_queries: " ^ msg));
+  let k = Array.length u.chains in
+  if k = 0 then invalid_arg "Reduction.to_queries: no sides";
+  let uvar = u.n0 in
+  let ylist i j = slots_of_set ~uvar (fst u.chains.(i).(j)) in
+  let xlist i j = slots_of_set ~uvar (snd u.chains.(i).(j)) in
+
+  (* ---------------- Q2 ---------------- *)
+  (* Variable registry for Q2. *)
+  let q2_vars = Hashtbl.create 64 in
+  let q2_names = ref [] in
+  let q2_count = ref 0 in
+  let q2_var key name =
+    match Hashtbl.find_opt q2_vars key with
+    | Some idx -> idx
+    | None ->
+      let idx = !q2_count in
+      incr q2_count;
+      Hashtbl.add q2_vars key idx;
+      q2_names := name :: !q2_names;
+      idx
+  in
+  let slot_name = function
+    | Orig v -> Varset.default_name v
+    | U1 -> "U1"
+    | U2 -> "U2"
+  in
+  let yvar i j slot =
+    q2_var
+      (`Y (i, j, slot))
+      (Printf.sprintf "%s_%d_%d" (slot_name slot) i j)
+  in
+  let zvar i = q2_var (`Z i) (Printf.sprintf "z%d" i) in
+  let uvar2 j b = q2_var (`U (j, b)) (Printf.sprintf "u%d_%d" j b) in
+  let s_rel j = Printf.sprintf "S%d" j in
+  let r_rel j = Printf.sprintf "R%d" j in
+  let s_atoms_q2 =
+    List.init u.n (fun j -> Query.atom (s_rel (j + 1)) [ uvar2 (j + 1) 1; uvar2 (j + 1) 2 ])
+  in
+  let r_atom_q2 j =
+    let xblock =
+      if j = 0 then []
+      else
+        List.concat
+          (List.init k (fun i -> List.map (fun s -> yvar i (j - 1) s) (xlist i j)))
+    in
+    let yblock =
+      List.concat (List.init k (fun i -> List.map (fun s -> yvar i j s) (ylist i j)))
+    in
+    let zblock = List.init k (fun i -> zvar i) in
+    Query.atom (r_rel j) (xblock @ yblock @ zblock)
+  in
+  let r_atoms_q2 = List.init (u.p + 1) r_atom_q2 in
+  let q2_atoms = s_atoms_q2 @ r_atoms_q2 in
+  let q2 =
+    Query.make ~nvars:!q2_count
+      ~names:(Array.of_list (List.rev !q2_names))
+      q2_atoms
+  in
+
+  (* The paper's tree decomposition (29): isolated S bags + the R chain. *)
+  let dec2 =
+    let bags =
+      Array.of_list (List.map Query.atom_vars q2_atoms)
+    in
+    let edges =
+      List.init u.p (fun j -> (u.n + j, u.n + j + 1))
+    in
+    Treedec.make ~bags ~edges
+  in
+
+  (* ---------------- Q1 ---------------- *)
+  let q1_vars = Hashtbl.create 64 in
+  let q1_names = ref [] in
+  let q1_count = ref 0 in
+  let q1_var key name =
+    match Hashtbl.find_opt q1_vars key with
+    | Some idx -> idx
+    | None ->
+      let idx = !q1_count in
+      incr q1_count;
+      Hashtbl.add q1_vars key idx;
+      q1_names := name :: !q1_names;
+      idx
+  in
+  let ovar ell v = q1_var (`O (ell, v)) (Printf.sprintf "%s_%d" (Varset.default_name v) ell) in
+  let u1 ell = q1_var (`U1 ell) (Printf.sprintf "U1_%d" ell) in
+  let u2 ell = q1_var (`U2 ell) (Printf.sprintf "U2_%d" ell) in
+  let slotvar ell = function
+    | Orig v -> ovar ell v
+    | U1 -> u1 ell
+    | U2 -> u2 ell
+  in
+  let q1_atoms =
+    List.concat
+      (List.init u.q (fun ell0 ->
+           let ell = ell0 + 1 in
+           let s_atoms =
+             List.init u.n (fun j -> Query.atom (s_rel (j + 1)) [ u1 ell; u2 ell ])
+           in
+           let sub i =
+             List.init (u.p + 1) (fun j ->
+                 let block get_slots =
+                   List.concat
+                     (List.init k (fun i' ->
+                          List.map
+                            (fun s ->
+                              if i' = i then slotvar ell s else u1 ell)
+                            (get_slots i' j)))
+                 in
+                 let xblock = if j = 0 then [] else block xlist in
+                 let yblock = block ylist in
+                 let zblock =
+                   List.init k (fun i'' -> if i'' = i then u2 ell else u1 ell)
+                 in
+                 Query.atom (r_rel j) (xblock @ yblock @ zblock))
+           in
+           s_atoms @ List.concat (List.init k sub)))
+  in
+  (* Touch every original variable so Q1's variable set is complete even if
+     a variable never occurs in any chain part of some copy: chain part 1
+     always has Y = UV, so all variables do occur; the registry created
+     them in atom order. *)
+  let q1 =
+    Query.dedup_atoms
+      (Query.make ~nvars:!q1_count
+         ~names:(Array.of_list (List.rev !q1_names))
+         q1_atoms)
+  in
+  { q1; q2; dec2 }
+
+let reduce maxii = to_queries (uniformize maxii)

@@ -1,0 +1,57 @@
+(** The many-one reduction [Max-IIP ≤m BagCQC-A] (paper Section 5,
+    Theorem 5.1), together with the uniformization of Lemma 5.3.
+
+    Combined with the converse direction (Eq. 8, implemented by
+    {!Containment.eq8} and justified by Theorems 4.2/4.4), this realizes
+    the paper's first main result, Theorem 2.7:
+    [Max-IIP ≡m BagCQC-A]. *)
+
+open Bagcqc_entropy
+open Bagcqc_cq
+
+(** An [(n,p,q)]-uniform Max-IIP (Section 5.1): every side has the form
+    [E = n·h(U) + Σ_{j=0..p} h(Yⱼ|Xⱼ) − q·h(V)] over the variables
+    [V ∪ {U}], where [U] is the distinguished variable (index [n0]),
+    [X₀ = ∅], the chain condition [Xⱼ ⊆ Yⱼ₋₁ ∩ Yⱼ] holds, and [U ∈ Xⱼ]
+    for [j ≥ 1]. *)
+type uniform = {
+  n0 : int;  (** number of original variables; [U] has index [n0] *)
+  n : int;   (** multiplicity of the [h(U)] term *)
+  p : int;   (** chain length minus one (all chains have [p+1] parts) *)
+  q : int;   (** coefficient of [h(UV)]; equals [n + 1] *)
+  chains : (Varset.t * Varset.t) array array;
+      (** [chains.(i).(j) = (Yᵢⱼ, Xᵢⱼ)] over variables [0..n0] *)
+}
+
+val uniformize : Maxii.t -> uniform
+(** Lemma 5.3: polynomial-time transformation of an arbitrary Max-IIP
+    into an equivalent uniform one (validity is preserved in both
+    directions, over [Γ*] and in fact over every cone closed under the
+    constructions in the proof — tests check equivalence over [Γn]).
+    Rational coefficients are cleared side-by-side first. *)
+
+val uniform_maxii : uniform -> Maxii.t
+(** The uniform instance as a Max-II over [n0 + 1] variables, for
+    validity checks. *)
+
+val check_uniform : uniform -> (unit, string) result
+(** Verify the syntactic invariants (chain condition, connectedness,
+    equal chain lengths, [q = n+1]). *)
+
+type constructed = {
+  q1 : Query.t;
+  q2 : Query.t;
+  dec2 : Bagcqc_cq.Treedec.t;
+      (** the paper's tree decomposition (29) of [Q₂]: the [R₀—...—R_p]
+          chain plus one isolated bag per [Sⱼ] atom *)
+}
+
+val to_queries : uniform -> constructed
+(** The Section 5.3 construction: Boolean queries [(Q₁, Q₂)] with [Q₂]
+    acyclic, such that [Q₁ ⊑ Q₂] iff the uniform Max-IIP is valid.
+    [Q₁] consists of [q] disjoint adorned copies (Lemma 5.4's adornment
+    argument); [Q₂] is a chain [R₀ — ... — R_p] plus [n] isolated binary
+    atoms [S₁..Sₙ]. *)
+
+val reduce : Maxii.t -> constructed
+(** [to_queries ∘ uniformize]. *)

@@ -1,0 +1,120 @@
+open Bagcqc_num
+open Bagcqc_entropy
+open Bagcqc_relation
+open Bagcqc_cq
+
+let apply_phi e phi = Cexpr.rename (fun v -> phi.(v)) e
+
+let eval_logint h e =
+  Linexpr.eval_general ~zero:Logint.zero ~add:Logint.add ~scale:Logint.scale h e
+
+let et_value t h = eval_logint h (Cexpr.to_linexpr (Treedec.et t))
+
+let best_side t ~homs h =
+  let et = Treedec.et t in
+  List.fold_left
+    (fun best phi ->
+      let v = eval_logint h (Cexpr.to_linexpr (apply_phi et phi)) in
+      match best with
+      | None -> Some (phi, v)
+      | Some (_, v0) -> if Logint.compare v v0 > 0 then Some (phi, v) else best)
+    None homs
+
+(* Parent-first node order, as in the E_T orientation. *)
+let parent_order t =
+  let n = Treedec.n_nodes t in
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    (Treedec.tree_edges t);
+  let parent = Array.make n (-1) in
+  let seen = Array.make n false in
+  let order = ref [] in
+  for root = 0 to n - 1 do
+    if not seen.(root) then begin
+      let queue = Queue.create () in
+      Queue.add root queue;
+      seen.(root) <- true;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        order := v :: !order;
+        List.iter
+          (fun u ->
+            if not seen.(u) then begin
+              seen.(u) <- true;
+              parent.(u) <- v;
+              Queue.add u queue
+            end)
+          adj.(v)
+      done
+    end
+  done;
+  (List.rev !order, parent)
+
+let stitched t ~phi p ~nvars2 =
+  let bags = Treedec.bags t in
+  let covered = Array.fold_left Varset.union Varset.empty bags in
+  if not (Varset.equal covered (Varset.full nvars2)) then
+    invalid_arg "Transport.stitched: bags do not cover the variables";
+  let order, parent = parent_order t in
+  (* Partial joint over Q2 variables: (assignment, probability). *)
+  let extend partials node =
+    let bag = bags.(node) in
+    let cols = Varset.to_list bag in
+    let sep =
+      if parent.(node) < 0 then Varset.empty
+      else Varset.inter bag bags.(parent.(node))
+    in
+    (* Pullback of p onto the bag, and its separator marginal. *)
+    let pull = Dist.pullback p (Array.of_list (List.map (fun v -> phi.(v)) cols)) in
+    let sep_positions =
+      (* Positions of the separator variables within [cols]. *)
+      List.mapi (fun i v -> (i, v)) cols
+      |> List.filter (fun (_, v) -> Varset.mem v sep)
+      |> List.map fst
+    in
+    let sep_marginal = Dist.pullback pull (Array.of_list sep_positions) in
+    let support_rows = Relation.to_list (Dist.support pull) in
+    List.concat_map
+      (fun ((assignment : Value.t option array), pr) ->
+        List.filter_map
+          (fun row ->
+            (* Consistency with already-assigned variables (by running
+               intersection these are exactly the separator variables). *)
+            let ok = ref true in
+            let next = Array.copy assignment in
+            List.iteri
+              (fun i v ->
+                match next.(v) with
+                | Some x -> if not (Value.equal x row.(i)) then ok := false
+                | None -> next.(v) <- Some row.(i))
+              cols;
+            if not !ok then None
+            else begin
+              let p_row = Dist.prob pull row in
+              let conditional =
+                if Varset.is_empty sep then p_row
+                else begin
+                  let sep_row =
+                    Array.of_list (List.map (fun i -> row.(i)) sep_positions)
+                  in
+                  Rat.div p_row (Dist.prob sep_marginal sep_row)
+                end
+              in
+              let pr' = Rat.mul pr conditional in
+              if Rat.is_zero pr' then None else Some (next, pr')
+            end)
+          support_rows)
+      partials
+  in
+  let partials =
+    List.fold_left extend
+      [ (Array.make nvars2 None, Rat.one) ]
+      order
+  in
+  Dist.of_weights ~arity:nvars2
+    (List.map
+       (fun (assignment, pr) -> (Array.map Option.get assignment, pr))
+       partials)

@@ -1,0 +1,44 @@
+(** The entropy-transport construction of Appendix D (proof of
+    Theorem 4.2), executable.
+
+    Given a database [D], the uniform distribution [p] on
+    [hom(Q₁, D)], a homomorphism [φ : Q₂ → Q₁] and a tree decomposition
+    [(T, χ)] of [Q₂], the paper stitches together the pullback
+    distributions [Π_{φ|χ(t)}(p)] along the tree — each bag conditionally
+    independent of the past given its separator — into a distribution
+    [p'] on tuples over [vars(Q₂)] satisfying (Eqs. 48–49):
+
+    - [support(p') ⊆ hom(Q₂, D)],
+    - [h'(vars Q₂) = E_T(h') = (E_T ∘ φ)(h)],
+
+    whence [log |hom(Q₂,D)| ≥ (E_T∘φ)(h)].  All probabilities are
+    rational and the entropy equalities are checked {e exactly} in the
+    test suite. *)
+
+open Bagcqc_num
+open Bagcqc_entropy
+open Bagcqc_relation
+open Bagcqc_cq
+
+val stitched : Treedec.t -> phi:int array -> Dist.t -> nvars2:int -> Dist.t
+(** [stitched t ~phi p ~nvars2]: the distribution [p'] over
+    [nvars2]-tuples.  [t] must be a valid decomposition covering
+    [0..nvars2-1]; [phi.(v)] is the [Q₁]-variable that [Q₂]-variable [v]
+    maps to; [p] is a distribution over [Q₁]-variable tuples.
+    @raise Invalid_argument if the bags do not cover [0..nvars2-1]. *)
+
+val best_side :
+  Treedec.t -> homs:int array list -> (Varset.t -> Logint.t) ->
+  (int array * Logint.t) option
+(** The maximizing homomorphism of Eq. 8's right-hand side: the [φ] (and
+    value) maximizing [(E_T ∘ φ)(h)], compared exactly.  [None] if
+    [homs] is empty. *)
+
+val et_value : Treedec.t -> (Varset.t -> Logint.t) -> Logint.t
+(** [E_T(h)] evaluated exactly. *)
+
+val apply_phi : Cexpr.t -> int array -> Cexpr.t
+(** [E ∘ φ] for an explicit variable map. *)
+
+val eval_logint : (Varset.t -> Logint.t) -> Linexpr.t -> Logint.t
+(** Evaluate a linear expression at an exact entropy vector. *)

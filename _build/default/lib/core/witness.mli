@@ -1,0 +1,50 @@
+(** Witness structure theory — Theorem 3.4 of the paper.
+
+    When [Q₁ ⋢ Q₂], Fact 3.2 supplies a witnessing V-relation [P] with
+    [|P| > |hom(Q₂, Π_Q₁(P))|].  Theorem 3.4 pins down how simple the
+    witness can be taken, depending on [Q₂]'s junction tree:
+
+    - totally disconnected junction tree ⇒ a {e product} witness exists
+      (iff non-containment), realizable from a refuter in the modular
+      cone [Mn];
+    - simple junction tree ⇒ a {e normal} witness exists, realizable
+      from a refuter in the normal cone [Nn].
+
+    Example 3.5 separates the two: its non-containment has a normal
+    witness but provably no product witness. *)
+
+open Bagcqc_cq
+open Bagcqc_relation
+
+type kind = Product | Normal
+
+val applicable : Query.t -> kind option
+(** Which witness class Theorem 3.4 guarantees for the containing query:
+    [Some Product] if its junction tree is totally disconnected,
+    [Some Normal] if simple, [None] otherwise. *)
+
+val product_witness :
+  ?max_rows:int -> Query.t -> Query.t -> (Relation.t * int * int) option
+(** Search for a product witness of [q1 ⋢ q2]: refute Eq. 8 over the
+    modular cone, realize the modular refuter as a product relation
+    [∏ᵢ [2^{wᵢ}]] (scaled up as needed, capped at [max_rows] rows,
+    default 4096), and verify by counting.  Returns
+    [(P, |P|, |hom(q2, Π_q1 P)|)].  [None] if no modular refuter exists
+    or the budget runs out. *)
+
+val normal_witness :
+  ?max_factors:int -> Query.t -> Query.t -> Containment.witness option
+(** Search for a normal witness via a normal-cone refuter — the engine
+    behind {!Containment.decide}'s negative answers. *)
+
+val locality_holds : Query.t -> Query.t -> Relation.t -> phi:int array -> bool
+(** The locality property, Eq. (17) in the proof of Theorem 4.4 /
+    Lemma E.1: for every bag [t] of [q2]'s decomposition, every answer of
+    the sub-query [Q_t] on [D = Π_{q1}(P)] (annotated) that decodes to
+    [φ|χ(t)] lies in a single row of [P], i.e. belongs to
+    [Π_{φ|χ(t)}(P)].  Holds when [q2] is acyclic (each bag is one atom)
+    or when [q2] is chordal and [P] is a normal relation (Lemma E.1);
+    Example E.2 shows it {e fails} for the parity relation — that failure
+    is reproduced in the tests.
+    @raise Invalid_argument if [P]'s arity differs from [q1]'s variable
+    count or [phi] has the wrong length. *)

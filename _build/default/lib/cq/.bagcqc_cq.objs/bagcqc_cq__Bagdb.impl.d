@@ -1,0 +1,1 @@
+lib/cq/bagdb.ml: Array Bagcqc_relation Database Hom List Map Printf Query Stdlib String Value

@@ -1,0 +1,1 @@
+lib/cq/bagdb.mli: Bagcqc_relation Database Query Value

@@ -1,0 +1,1 @@
+lib/cq/database.ml: Array Bagcqc_relation Format List Map Query Relation String Value

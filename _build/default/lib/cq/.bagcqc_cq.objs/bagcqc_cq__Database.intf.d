@@ -1,0 +1,1 @@
+lib/cq/database.mli: Bagcqc_relation Format Query Relation Value

@@ -1,0 +1,1 @@
+lib/cq/dependencies.ml: Array Bagcqc_entropy Bagcqc_num Bagcqc_relation Cexpr Linexpr List Logint Option Relation Treedec Value Varset

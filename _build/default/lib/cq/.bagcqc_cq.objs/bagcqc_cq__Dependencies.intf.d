@@ -1,0 +1,1 @@
+lib/cq/dependencies.mli: Bagcqc_entropy Bagcqc_relation Relation Treedec Varset

@@ -1,0 +1,1 @@
+lib/cq/graph.ml: Array Bagcqc_entropy List Query Varset

@@ -1,0 +1,1 @@
+lib/cq/graph.mli: Bagcqc_entropy Query Varset

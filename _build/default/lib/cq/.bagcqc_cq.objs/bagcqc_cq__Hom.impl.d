@@ -1,0 +1,1 @@
+lib/cq/hom.ml: Array Bagcqc_relation Database Hashtbl List Option Query Relation Value

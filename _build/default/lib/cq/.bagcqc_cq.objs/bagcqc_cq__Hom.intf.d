@@ -1,0 +1,1 @@
+lib/cq/hom.mli: Bagcqc_relation Database Query Value

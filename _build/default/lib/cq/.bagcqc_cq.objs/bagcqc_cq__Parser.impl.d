@@ -1,0 +1,1 @@
+lib/cq/parser.ml: Array Hashtbl List Option Printf Query String

@@ -1,0 +1,1 @@
+lib/cq/query.ml: Array Bagcqc_entropy Format Hashtbl List String Varset

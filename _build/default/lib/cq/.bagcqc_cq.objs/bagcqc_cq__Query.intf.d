@@ -1,0 +1,1 @@
+lib/cq/query.mli: Bagcqc_entropy Format Varset

@@ -1,0 +1,1 @@
+lib/cq/reductions.ml: Array Bagcqc_relation Database Fun Hashtbl List Query Relation String

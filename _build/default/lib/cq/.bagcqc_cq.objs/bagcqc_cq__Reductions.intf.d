@@ -1,0 +1,1 @@
+lib/cq/reductions.mli: Database Query

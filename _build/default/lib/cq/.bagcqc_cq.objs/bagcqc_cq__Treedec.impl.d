@@ -1,0 +1,1 @@
+lib/cq/treedec.ml: Array Bagcqc_entropy Bagcqc_num Cexpr Format Fun Graph Hashtbl Linexpr List Query Queue Varset

@@ -1,0 +1,1 @@
+lib/cq/treedec.mli: Bagcqc_entropy Cexpr Format Graph Linexpr Query Varset

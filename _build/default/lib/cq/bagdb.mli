@@ -1,0 +1,45 @@
+(** Bag databases and the bag-bag ⟶ bag-set reduction (paper Section 2.2).
+
+    Under the {e bag-bag} variant of containment the input database may
+    contain duplicates, and a valuation contributes the product of the
+    multiplicities of the tuples its atoms map to; note that repeated
+    atoms then change a query's meaning.  Jayram–Kolaitis–Vee showed the
+    bag-bag variant reduces to the bag-set variant "by adding a new
+    attribute to each relation": give every stored copy of a tuple a
+    distinct id, and give every {e atom occurrence} a fresh existential
+    id variable.  Both halves are implemented here, and the test suite
+    checks the reduction identity
+    [count_bag q db = Hom.count (lift_query q) (to_set_database db)]
+    on random instances. *)
+
+open Bagcqc_relation
+
+type t
+(** A bag database: relation name ↦ tuple ↦ multiplicity. *)
+
+val empty : t
+
+val add_row : ?count:int -> string -> Value.t array -> t -> t
+(** Adds [count] (default 1) copies.
+    @raise Invalid_argument on non-positive [count] or arity mismatch. *)
+
+val of_int_rows : (string * (int list * int) list) list -> t
+(** Rows with multiplicities. *)
+
+val multiplicity : t -> string -> Value.t array -> int
+
+val support : t -> Database.t
+(** The underlying set database (multiplicities dropped). *)
+
+val count_bag : Query.t -> t -> int
+(** The bag-bag value of the (Boolean reading of the) query:
+    [Σ_{f ∈ hom(Q, support)} Π_{A ∈ atoms(Q)} multiplicity(f(A))]. *)
+
+val to_set_database : t -> Database.t
+(** Each copy of a tuple becomes a distinct tuple with an id value
+    appended as a last column. *)
+
+val lift_query : Query.t -> Query.t
+(** Appends a fresh existential id variable to every atom occurrence
+    (so duplicates of an atom become distinct constraints, as bag-bag
+    semantics demands). *)

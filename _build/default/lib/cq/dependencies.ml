@@ -1,0 +1,87 @@
+open Bagcqc_num
+open Bagcqc_entropy
+open Bagcqc_relation
+
+let entropy p = Relation.entropy_logint p
+
+let eval_linexpr p e =
+  Linexpr.eval_general ~zero:Logint.zero ~add:Logint.add ~scale:Logint.scale
+    (entropy p) e
+
+(* ---------------- functional dependencies ---------------- *)
+
+let fd_holds p ~x ~y =
+  match Relation.degree p ~y ~x with
+  | Some d -> d <= 1
+  | None -> false
+
+let fd_holds_entropy p ~x ~y =
+  let h = entropy p in
+  Logint.sign (Logint.sub (h (Varset.union x y)) (h x)) = 0
+
+(* ---------------- joins of projections ---------------- *)
+
+let join_of_projections p bags =
+  let arity = Relation.arity p in
+  let union = List.fold_left Varset.union Varset.empty bags in
+  if not (Varset.equal union (Varset.full arity)) then
+    invalid_arg "Dependencies.join_of_projections: bags do not cover all columns";
+  let extend partials bag =
+    let cols = Varset.to_list bag in
+    let rows = Relation.to_list (Relation.project_set bag p) in
+    List.concat_map
+      (fun (partial : Value.t option array) ->
+        List.filter_map
+          (fun row ->
+            (* row.(i) corresponds to cols_i. *)
+            let ok = ref true in
+            let next = Array.copy partial in
+            List.iteri
+              (fun i c ->
+                match next.(c) with
+                | Some v -> if not (Value.equal v row.(i)) then ok := false
+                | None -> next.(c) <- Some row.(i))
+              cols;
+            if !ok then Some next else None)
+          rows)
+      partials
+  in
+  let partials =
+    List.fold_left extend [ Array.make arity None ] bags
+  in
+  Relation.of_list ~arity
+    (List.map (fun partial -> Array.map Option.get partial) partials)
+
+(* ---------------- multivalued dependencies ---------------- *)
+
+let mvd_holds p ~x ~y =
+  let arity = Relation.arity p in
+  let full = Varset.full arity in
+  let xy = Varset.union x y in
+  let xz = Varset.union x (Varset.diff full y) in
+  if Relation.is_empty p then true
+  else Relation.equal p (join_of_projections p [ xy; xz ])
+
+let mvd_holds_entropy p ~x ~y =
+  let full = Varset.full (Relation.arity p) in
+  let z = Varset.diff full (Varset.union x y) in
+  let h = entropy p in
+  (* I(Y; Z | X) = h(XY) + h(XZ) - h(XYZ) - h(X). *)
+  let v =
+    Logint.sub
+      (Logint.add (h (Varset.union x y)) (h (Varset.union x z)))
+      (Logint.add (h (Varset.union (Varset.union x y) z)) (h x))
+  in
+  Logint.sign v = 0
+
+(* ---------------- lossless joins ---------------- *)
+
+let lossless_join p t =
+  let bags = Array.to_list (Treedec.bags t) in
+  if Relation.is_empty p then true
+  else Relation.equal p (join_of_projections p bags)
+
+let lossless_join_entropy p t =
+  let et = Cexpr.to_linexpr (Treedec.et t) in
+  let h = entropy p in
+  Logint.sign (Logint.sub (eval_linexpr p et) (h (Varset.full (Relation.arity p)))) = 0

@@ -1,0 +1,49 @@
+(** Information-theoretic characterizations of database dependencies
+    (Tony Lee 1987, as retold in Section 6 of the paper).
+
+    For the uniform distribution on a relation [P] with entropy [h]:
+
+    - a functional dependency [X → Y] holds iff [h(Y|X) = 0];
+    - a multivalued dependency [X ↠ Y] holds iff [I(Y; V−XY | X) = 0];
+    - [P] decomposes losslessly along an (acyclic) join tree [T] iff
+      [E_T(h) = h(V)].
+
+    Each dependency is implemented twice — by its relational-algebra
+    definition and by its entropy characterization (decided {e exactly}
+    with {!Bagcqc_num.Logint} arithmetic) — and the test suite checks the
+    two agree on random relations, which is Lee's theorem run as a
+    property test. *)
+
+open Bagcqc_entropy
+open Bagcqc_relation
+
+(** {2 Functional dependencies} *)
+
+val fd_holds : Relation.t -> x:Varset.t -> y:Varset.t -> bool
+(** Relational definition: any two tuples agreeing on [x] agree on [y]. *)
+
+val fd_holds_entropy : Relation.t -> x:Varset.t -> y:Varset.t -> bool
+(** Lee's characterization: [h(Y|X) = 0], decided exactly. *)
+
+(** {2 Multivalued dependencies} *)
+
+val mvd_holds : Relation.t -> x:Varset.t -> y:Varset.t -> bool
+(** Relational definition: [P = Π_{XY}(P) ⋈ Π_{X(V−Y)}(P)]. *)
+
+val mvd_holds_entropy : Relation.t -> x:Varset.t -> y:Varset.t -> bool
+(** Lee's characterization: [I(Y; V−XY | X) = 0], decided exactly. *)
+
+(** {2 Lossless join decompositions} *)
+
+val join_of_projections : Relation.t -> Varset.t list -> Relation.t
+(** [⋈_B Π_B(P)] over the given bags, as a relation over the union of the
+    bags' columns (in increasing column order).
+    @raise Invalid_argument if the bags do not cover all columns. *)
+
+val lossless_join : Relation.t -> Treedec.t -> bool
+(** Relational definition: [P = ⋈_t Π_{χ(t)}(P)] for the decomposition's
+    bags.  (True for any valid tree decomposition iff the decomposition
+    is lossless for [P].) *)
+
+val lossless_join_entropy : Relation.t -> Treedec.t -> bool
+(** Lee's characterization: [E_T(h) = h(V)], decided exactly. *)

@@ -1,0 +1,127 @@
+open Bagcqc_relation
+
+exception Limit_reached
+
+(* Backtracking homomorphism search.  [assignment] maps query variables to
+   values (None = unbound).  At each step pick the atom with the most bound
+   variables (ties: smaller relation), scan its relation for rows
+   consistent with the assignment, bind and recurse. *)
+
+let iter_homs q db yield =
+  let nv = Query.nvars q in
+  let assignment : Value.t option array = Array.make nv None in
+  let atoms =
+    List.map
+      (fun a ->
+        let arity = Array.length a.Query.args in
+        (a, Relation.to_list (Database.relation db a.Query.rel ~arity)))
+      (Query.atoms q)
+  in
+  let bound_count a =
+    Array.fold_left
+      (fun acc v -> if assignment.(v) <> None then acc + 1 else acc)
+      0 a.Query.args
+  in
+  let rec go remaining =
+    match remaining with
+    | [] ->
+      (* Every variable occurs in some atom (all atoms processed), except
+         for queries with variables in no atom — those are rejected at
+         query construction, but guard anyway. *)
+      if Array.for_all Option.is_some assignment then
+        yield (Array.map Option.get assignment)
+    | _ :: _ ->
+      (* Most-constrained atom first. *)
+      let best =
+        List.fold_left
+          (fun best ((a, rows) as cand) ->
+            match best with
+            | None -> Some cand
+            | Some (b, brows) ->
+              let ca = bound_count a and cb = bound_count b in
+              if ca > cb || (ca = cb && List.length rows < List.length brows)
+              then Some cand
+              else best)
+          None remaining
+      in
+      let (atom, rows) = Option.get best in
+      let rest = List.filter (fun (a, _) -> a != atom) remaining in
+      List.iter
+        (fun row ->
+          (* Try to unify the row with the atom under the current
+             assignment; record which variables we newly bind. *)
+          let newly = ref [] in
+          let ok = ref true in
+          Array.iteri
+            (fun pos v ->
+              if !ok then
+                match assignment.(v) with
+                | Some x -> if not (Value.equal x row.(pos)) then ok := false
+                | None ->
+                  assignment.(v) <- Some row.(pos);
+                  newly := v :: !newly)
+            atom.Query.args;
+          if !ok then go rest;
+          List.iter (fun v -> assignment.(v) <- None) !newly)
+        rows
+  in
+  go atoms
+
+let count ?limit q db =
+  let n = ref 0 in
+  (try
+     iter_homs q db (fun _ ->
+         incr n;
+         match limit with
+         | Some l when !n >= l -> raise Limit_reached
+         | _ -> ())
+   with Limit_reached -> ());
+  !n
+
+let exists q db = count ~limit:1 q db > 0
+
+let enumerate q db =
+  let acc = ref [] in
+  iter_homs q db (fun h -> acc := Array.copy h :: !acc);
+  List.rev !acc
+
+let answers q db =
+  let head = Array.of_list (Query.head q) in
+  let tbl = Hashtbl.create 64 in
+  iter_homs q db (fun h ->
+      let key = Array.map (fun v -> h.(v)) head in
+      let prev = try Hashtbl.find tbl key with Not_found -> 0 in
+      Hashtbl.replace tbl key (prev + 1));
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let contained_on q1 q2 db =
+  if List.length (Query.head q1) <> List.length (Query.head q2) then
+    invalid_arg "Hom.contained_on: head arity mismatch";
+  let a2 = answers q2 db in
+  let find key =
+    match List.find_opt (fun (k, _) -> k = key) a2 with
+    | Some (_, c) -> c
+    | None -> 0
+  in
+  List.for_all (fun (key, c1) -> c1 <= find key) (answers q1 db)
+
+(* Queries as structures: the canonical database uses Str values carrying
+   variable names, which we decode back to indices. *)
+
+let boolean q = Query.make ~nvars:(Query.nvars q) ~names:(Query.var_names q) (Query.atoms q)
+
+let enumerate_between qa qb =
+  let db = Database.canonical qb in
+  let name_to_index = Hashtbl.create 16 in
+  Array.iteri
+    (fun i name -> Hashtbl.replace name_to_index name i)
+    (Query.var_names qb);
+  let decode v =
+    match v with
+    | Value.Str s -> Hashtbl.find name_to_index s
+    | Value.Int _ | Value.Pair _ | Value.Tag _ | Value.Tuple _ ->
+      invalid_arg "Hom.enumerate_between: unexpected value"
+  in
+  List.map (Array.map decode) (enumerate (boolean qa) db)
+
+let count_between qa qb = count (boolean qa) (Database.canonical qb)

@@ -1,0 +1,44 @@
+(** Homomorphism enumeration and counting — the semantics side of the
+    paper.
+
+    [hom(Q, D)] is the set of assignments [vars(Q) → dom(D)] mapping every
+    atom into the database; its cardinality is the bag-set answer of the
+    Boolean query (Section 2.2).  [hom(Q₂, Q₁)] between queries (viewed as
+    structures) drives both directions of the paper's main reduction.
+
+    The implementation is a backtracking join that always expands a
+    most-constrained atom next (maximal number of already-bound variables,
+    then smallest relation). *)
+
+open Bagcqc_relation
+
+val count : ?limit:int -> Query.t -> Database.t -> int
+(** Number of homomorphisms from the query's {e body} to the database
+    (head variables are ignored; this is [|hom(Q,D)|] for the Boolean
+    version of [Q]).  With [~limit], stops early and returns [limit] once
+    that many are found — use for existence checks on large instances. *)
+
+val exists : Query.t -> Database.t -> bool
+
+val enumerate : Query.t -> Database.t -> Value.t array list
+(** All homomorphisms, each an array indexed by query variable. *)
+
+val answers : Query.t -> Database.t -> (Value.t array * int) list
+(** Bag-set semantics (Section 2.2): the function [d ↦ |Q(D)[d]|],
+    restricted to its (finite) support, as pairs of head-tuple and
+    multiplicity. *)
+
+val contained_on : Query.t -> Query.t -> Database.t -> bool
+(** [contained_on q1 q2 d]: does [q1(d) ≤ q2(d)] hold pointwise under
+    bag-set semantics on this particular database?  (Used to refute
+    containment with explicit witnesses, and in randomized tests.)
+    @raise Invalid_argument if head lengths differ. *)
+
+val count_between : Query.t -> Query.t -> int
+(** [count_between qa qb] is [|hom(Qa, Qb)|]: homomorphisms from the
+    structure of [qa] to the canonical structure of [qb]
+    (both queries treated as Boolean). *)
+
+val enumerate_between : Query.t -> Query.t -> int array list
+(** The homomorphisms themselves, as variable maps
+    [vars(qa) → vars(qb)]. *)

@@ -1,0 +1,18 @@
+(** Concrete syntax for conjunctive queries.
+
+    Datalog-style:
+    {[
+      Q(x,z) :- R(x,y), S(y,z), T(z,z).
+      Q() :- R(x,y), R(y,x)
+      R(x,y), S(y,z)                      (* headless = Boolean *)
+    ]}
+    Variables are identifiers; their indices are assigned in order of first
+    occurrence (head first).  The trailing period is optional. *)
+
+exception Parse_error of string
+(** Carries a human-readable position + message. *)
+
+val parse : string -> Query.t
+(** @raise Parse_error on malformed input. *)
+
+val parse_result : string -> (Query.t, string) result

@@ -1,0 +1,151 @@
+open Bagcqc_entropy
+
+type atom = { rel : string; args : int array }
+
+type t = {
+  head : int list;
+  nvars : int;
+  names : string array;
+  atoms : atom list;
+}
+
+let atom rel args = { rel; args = Array.of_list args }
+
+let make ?(head = []) ~nvars ?names atoms =
+  if nvars < 0 || nvars > Varset.max_vars then
+    invalid_arg "Query.make: variable count out of range";
+  let names =
+    match names with
+    | None -> Array.init nvars Varset.default_name
+    | Some a ->
+      if Array.length a <> nvars then
+        invalid_arg "Query.make: names length mismatch"
+      else a
+  in
+  List.iter
+    (fun a ->
+      Array.iter
+        (fun v ->
+          if v < 0 || v >= nvars then
+            invalid_arg "Query.make: atom argument out of range")
+        a.args)
+    atoms;
+  List.iter
+    (fun v ->
+      if v < 0 || v >= nvars then
+        invalid_arg "Query.make: head variable out of range")
+    head;
+  (* Every variable must occur in the body (paper Sec. 2.2); otherwise the
+     homomorphism count would depend on the database domain. *)
+  let occurring =
+    List.fold_left
+      (fun acc a ->
+        Array.fold_left (fun acc v -> Varset.add v acc) acc a.args)
+      Varset.empty atoms
+  in
+  if not (Varset.equal occurring (Varset.full nvars)) then
+    invalid_arg "Query.make: every variable must occur in some atom";
+  (* Consistent arities per relation symbol. *)
+  let arities = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      match Hashtbl.find_opt arities a.rel with
+      | None -> Hashtbl.add arities a.rel (Array.length a.args)
+      | Some k ->
+        if k <> Array.length a.args then
+          invalid_arg ("Query.make: inconsistent arity for " ^ a.rel))
+    atoms;
+  { head; nvars; names; atoms }
+
+let nvars q = q.nvars
+let atoms q = q.atoms
+let head q = q.head
+let is_boolean q = q.head = []
+let var_name q i = q.names.(i)
+let var_names q = Array.copy q.names
+
+let vocabulary q =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun a -> Hashtbl.replace tbl a.rel (Array.length a.args)) q.atoms;
+  List.sort compare (Hashtbl.fold (fun r k acc -> (r, k) :: acc) tbl [])
+
+let atom_vars a =
+  Array.fold_left (fun acc v -> Varset.add v acc) Varset.empty a.args
+
+let all_vars q = Varset.full q.nvars
+
+let dedup_atoms q =
+  let seen = Hashtbl.create 16 in
+  let atoms =
+    List.filter
+      (fun a ->
+        let key = (a.rel, Array.to_list a.args) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      q.atoms
+  in
+  { q with atoms }
+
+let connected_components q =
+  (* Union-find over variables, merged within each atom. *)
+  let parent = Array.init q.nvars (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then parent.(ra) <- rb
+  in
+  List.iter
+    (fun a ->
+      match Array.to_list a.args with
+      | [] -> ()
+      | v0 :: rest -> List.iter (union v0) rest)
+    q.atoms;
+  let comps = Hashtbl.create 8 in
+  for i = 0 to q.nvars - 1 do
+    let r = find i in
+    let prev = try Hashtbl.find comps r with Not_found -> Varset.empty in
+    Hashtbl.replace comps r (Varset.add i prev)
+  done;
+  List.sort compare (Hashtbl.fold (fun _ s acc -> s :: acc) comps [])
+
+let shift_atom k a = { a with args = Array.map (fun v -> v + k) a.args }
+
+let disjoint_union q1 q2 =
+  let k = q1.nvars in
+  make
+    ~head:(q1.head @ List.map (fun v -> v + k) q2.head)
+    ~nvars:(q1.nvars + q2.nvars)
+    ~names:
+      (Array.append q1.names
+         (Array.map (fun s -> s ^ "'") q2.names))
+    (q1.atoms @ List.map (shift_atom k) q2.atoms)
+
+let power k q =
+  if k < 1 then invalid_arg "Query.power";
+  let rec go acc i = if i >= k then acc else go (disjoint_union acc q) (i + 1) in
+  go q 1
+
+let equal a b =
+  a.head = b.head && a.nvars = b.nvars
+  && List.length a.atoms = List.length b.atoms
+  && List.for_all2
+       (fun x y -> x.rel = y.rel && x.args = y.args)
+       a.atoms b.atoms
+
+let pp fmt q =
+  Format.fprintf fmt "Q(%s) :- "
+    (String.concat "," (List.map (fun v -> q.names.(v)) q.head));
+  if q.atoms = [] then Format.pp_print_string fmt "true"
+  else
+    List.iteri
+      (fun i a ->
+        if i > 0 then Format.pp_print_string fmt ", ";
+        Format.fprintf fmt "%s(%s)" a.rel
+          (String.concat ","
+             (List.map (fun v -> q.names.(v)) (Array.to_list a.args))))
+      q.atoms
+
+let to_string q = Format.asprintf "%a" pp q

@@ -1,0 +1,64 @@
+(** Conjunctive queries over arbitrary relational vocabularies
+    (paper Section 2.2).
+
+    A query [Q(x) = A₁ ∧ ... ∧ A_k] has variables indexed [0 .. nvars-1];
+    each atom [A_j = R(x_j)] carries a relation name and a function from
+    attribute positions to variables (repeated variables are allowed, as
+    the paper requires — its reduction in Section 5 constructs atoms such
+    as [R₂(X₁,X₂,X₁,X₂,X₃)]).  Head variables are kept so that the
+    Appendix A reduction to Boolean queries can be exercised; the core
+    containment algorithms work on Boolean queries, as in the paper. *)
+
+open Bagcqc_entropy
+
+type atom = {
+  rel : string;          (** relation symbol *)
+  args : int array;      (** position [i] holds variable [args.(i)] *)
+}
+
+type t
+
+val make : ?head:int list -> nvars:int -> ?names:string array -> atom list -> t
+(** @raise Invalid_argument if an argument or head variable is out of
+    range, if [names] has the wrong length, or if two atoms share a
+    relation name with different arities. *)
+
+val atom : string -> int list -> atom
+
+val nvars : t -> int
+val atoms : t -> atom list
+val head : t -> int list
+val is_boolean : t -> bool
+val var_name : t -> int -> string
+val var_names : t -> string array
+
+val vocabulary : t -> (string * int) list
+(** Relation symbols with arities, sorted by name. *)
+
+val atom_vars : atom -> Varset.t
+val all_vars : t -> Varset.t
+(** [full (nvars q)] — every variable must occur in the body. *)
+
+val dedup_atoms : t -> t
+(** Remove duplicate atoms (sound under bag-set semantics, Sec. 2.2). *)
+
+val connected_components : t -> Varset.t list
+(** Variable sets of the connected components of the query's hypergraph
+    (isolated components of the paper's Section 5 construction). *)
+
+val disjoint_union : t -> t -> t
+(** Conjunction with disjoint variables: the paper's [n · A] construction
+    ([Q₁ ∧ Q₂] after shifting [Q₂]'s variables); heads concatenate. *)
+
+val power : int -> t -> t
+(** [power k q]: [k] disjoint copies of [q] (Lemma 2.2 of [21], used to
+    reduce exponent-domination to domination).
+    @raise Invalid_argument if [k < 1]. *)
+
+val equal : t -> t -> bool
+(** Structural equality (same indices, names ignored). *)
+
+val pp : Format.formatter -> t -> unit
+(** Datalog-ish rendering, e.g. [Q(x) :- R(x,y), S(y,y)]. *)
+
+val to_string : t -> string

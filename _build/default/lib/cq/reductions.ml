@@ -1,0 +1,63 @@
+open Bagcqc_relation
+
+let head_rel i = "__head_" ^ string_of_int i
+
+let booleanize q1 q2 =
+  let h1 = Query.head q1 and h2 = Query.head q2 in
+  if List.length h1 <> List.length h2 then
+    invalid_arg "Reductions.booleanize: head arity mismatch";
+  let extend q hd =
+    let extra = List.mapi (fun i v -> Query.atom (head_rel i) [ v ]) hd in
+    Query.make ~nvars:(Query.nvars q) ~names:(Query.var_names q)
+      (Query.atoms q @ extra)
+  in
+  (extend q1 h1, extend q2 h2)
+
+let proj_rel rel positions =
+  rel ^ "__" ^ String.concat "_" (List.map string_of_int positions)
+
+let proper_position_subsets arity =
+  (* Nonempty proper subsets of positions [0..arity-1], as sorted lists. *)
+  let rec subsets = function
+    | [] -> [ [] ]
+    | x :: rest ->
+      let s = subsets rest in
+      s @ List.map (fun l -> x :: l) s
+  in
+  subsets (List.init arity Fun.id)
+  |> List.filter (fun l -> l <> [] && List.length l < arity)
+
+let atom_closure q =
+  let seen = Hashtbl.create 16 in
+  let extra =
+    List.concat_map
+      (fun a ->
+        let arity = Array.length a.Query.args in
+        List.filter_map
+          (fun positions ->
+            let rel = proj_rel a.Query.rel positions in
+            let args = List.map (fun p -> a.Query.args.(p)) positions in
+            let key = (rel, args) in
+            if Hashtbl.mem seen key then None
+            else begin
+              Hashtbl.add seen key ();
+              Some (Query.atom rel args)
+            end)
+          (proper_position_subsets arity))
+      (Query.atoms q)
+  in
+  Query.make ~head:(Query.head q) ~nvars:(Query.nvars q)
+    ~names:(Query.var_names q)
+    (Query.atoms q @ extra)
+
+let close_database q db =
+  List.fold_left
+    (fun db (rel, arity) ->
+      let r = Database.relation db rel ~arity in
+      List.fold_left
+        (fun db positions ->
+          let proj = Relation.project (Array.of_list positions) r in
+          Database.add_relation (proj_rel rel positions) proj db)
+        db
+        (proper_position_subsets arity))
+    db (Query.vocabulary q)

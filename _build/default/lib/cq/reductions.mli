@@ -1,0 +1,26 @@
+(** Query transformations from Appendix A of the paper.
+
+    - {!booleanize}: Lemma A.1 — containment with head variables reduces
+      to Boolean containment by adding fresh unary "head" atoms [Uᵢ(xᵢ)];
+      the reduction preserves acyclicity, chordality and simplicity.
+    - {!atom_closure}: Fact A.3 — adding, for every atom [R(x̄)] and
+      proper subset [S] of its positions, a projection atom [R_S(x̄_S)]
+      under a fresh name, so that every bag of a tree decomposition is
+      covered by atoms ([vars(Q_t) = χ(t)]).  Containment is preserved
+      when both queries are closed over the same vocabulary. *)
+
+val booleanize : Query.t -> Query.t -> Query.t * Query.t
+(** [booleanize q1 q2] implements Lemma A.1.  Head variable lists must
+    have equal length; the [i]-th head variables of both queries get the
+    same fresh unary relation [__head_i].
+    @raise Invalid_argument if head lengths differ. *)
+
+val atom_closure : Query.t -> Query.t
+(** Fact A.3 for one query.  Projection relation names are deterministic
+    ([R__S] with [S] the position list), so closing two queries over a
+    shared vocabulary is consistent. *)
+
+val close_database : Query.t -> Database.t -> Database.t
+(** Extend a database with the projection relations matching
+    {!atom_closure} ([R_S := Π_S(R)]), per the ⇐ direction of the proof
+    of Fact A.3. *)

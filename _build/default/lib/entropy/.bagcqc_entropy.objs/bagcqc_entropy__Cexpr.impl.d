@@ -1,0 +1,1 @@
+lib/entropy/cexpr.ml: Bagcqc_num Format Linexpr List Rat String Varset

@@ -1,0 +1,1 @@
+lib/entropy/cexpr.mli: Bagcqc_num Format Linexpr Rat Varset

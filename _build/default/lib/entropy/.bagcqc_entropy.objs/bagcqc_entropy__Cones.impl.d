@@ -1,0 +1,1 @@
+lib/entropy/cones.ml: Array Bagcqc_lp Bagcqc_num Linexpr List Polymatroid Rat Result Simplex Varset

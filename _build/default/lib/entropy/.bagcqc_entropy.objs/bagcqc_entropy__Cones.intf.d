@@ -1,0 +1,1 @@
+lib/entropy/cones.mli: Bagcqc_num Linexpr Polymatroid

@@ -1,0 +1,1 @@
+lib/entropy/linexpr.ml: Array Bagcqc_num Format Int List Map Rat String Varset

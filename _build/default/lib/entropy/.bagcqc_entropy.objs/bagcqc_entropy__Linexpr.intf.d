@@ -1,0 +1,1 @@
+lib/entropy/linexpr.mli: Bagcqc_num Format Rat Varset

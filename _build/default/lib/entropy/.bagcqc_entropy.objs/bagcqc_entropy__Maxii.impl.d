@@ -1,0 +1,1 @@
+lib/entropy/maxii.ml: Bagcqc_num Cexpr Cones Format Linexpr List Polymatroid Rat String Varset

@@ -1,0 +1,1 @@
+lib/entropy/maxii.mli: Bagcqc_num Cexpr Cones Format Linexpr Polymatroid Rat

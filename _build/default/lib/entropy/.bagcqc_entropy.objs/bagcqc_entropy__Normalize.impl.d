@@ -1,0 +1,1 @@
+lib/entropy/normalize.ml: Array Bagcqc_num Polymatroid Rat Varset

@@ -1,0 +1,1 @@
+lib/entropy/polymatroid.ml: Array Bagcqc_num Cexpr Format Linexpr List Rat String Varset

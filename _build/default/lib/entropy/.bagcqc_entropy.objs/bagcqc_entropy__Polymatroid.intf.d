@@ -1,0 +1,1 @@
+lib/entropy/polymatroid.mli: Bagcqc_num Cexpr Format Linexpr Rat Varset

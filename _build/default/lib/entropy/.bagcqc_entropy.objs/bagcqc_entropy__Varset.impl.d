@@ -1,0 +1,1 @@
+lib/entropy/varset.ml: Format List Stdlib

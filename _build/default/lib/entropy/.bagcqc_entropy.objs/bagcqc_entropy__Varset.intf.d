@@ -1,0 +1,1 @@
+lib/entropy/varset.mli: Format

@@ -1,0 +1,59 @@
+open Bagcqc_num
+
+type part = { y : Varset.t; x : Varset.t; d : Rat.t }
+
+type t = part list
+
+let zero = []
+
+let part ?(coeff = Rat.one) y x =
+  if Rat.sign coeff < 0 then
+    invalid_arg "Cexpr.part: negative coefficient";
+  if Rat.is_zero coeff || Varset.subset y x then []
+  else [ { y = Varset.diff y x; x; d = coeff } ]
+
+let entropy ?coeff y = part ?coeff y Varset.empty
+
+let add a b = a @ b
+let sum = List.concat
+let parts t = t
+
+let is_unconditioned = List.for_all (fun p -> Varset.is_empty p.x)
+let is_simple = List.for_all (fun p -> Varset.cardinal p.x <= 1)
+
+let to_linexpr t =
+  Linexpr.sum (List.map (fun p -> Linexpr.cond ~coeff:p.d p.y p.x) t)
+
+let rename f t =
+  let rename_set s =
+    Varset.fold_elements (fun i acc -> Varset.add (f i) acc) s Varset.empty
+  in
+  List.filter_map
+    (fun p ->
+      let x = rename_set p.x in
+      let y = Varset.diff (rename_set p.y) x in
+      if Varset.is_empty y then None else Some { y; x; d = p.d })
+    t
+
+let max_var t =
+  List.fold_left
+    (fun acc p ->
+      Varset.fold_elements
+        (fun i m -> if i > m then i else m)
+        (Varset.union p.y p.x) acc)
+    (-1) t
+
+let pp ?(names = Varset.default_name) () fmt t =
+  match t with
+  | [] -> Format.pp_print_string fmt "0"
+  | _ ->
+    let first = ref true in
+    List.iter
+      (fun p ->
+        if not !first then Format.pp_print_string fmt " + ";
+        first := false;
+        if not (Rat.equal p.d Rat.one) then Format.fprintf fmt "%a*" Rat.pp p.d;
+        let str s = String.concat "" (List.map names (Varset.to_list s)) in
+        if Varset.is_empty p.x then Format.fprintf fmt "h(%s)" (str p.y)
+        else Format.fprintf fmt "h(%s|%s)" (str p.y) (str p.x))
+      t

@@ -1,0 +1,50 @@
+(** Conditional linear expressions: [E(h) = Σ d·h(Y|X)] with [d ≥ 0].
+
+    Theorem 3.6 of the paper restricts the shape of the right-hand sides of
+    a max-inequality {e syntactically}: each [Eℓ] must be a non-negative
+    combination of conditional entropies, {e unconditioned} ([X = ∅]) for
+    the modular case or {e simple} ([|X| ≤ 1]) for the normal case.  The
+    tree-decomposition expression [E_T] of Eq. (7) is born in this form,
+    so we keep the conditional structure explicit rather than recovering
+    it from a flattened linear expression. *)
+
+open Bagcqc_num
+
+type part = {
+  y : Varset.t;  (** the conditioned set; the term is [h(y ∪ x | x)] *)
+  x : Varset.t;  (** the conditioning set *)
+  d : Rat.t;     (** non-negative coefficient *)
+}
+
+type t
+
+val zero : t
+
+val part : ?coeff:Rat.t -> Varset.t -> Varset.t -> t
+(** [part y x] is the term [coeff · h(y|x)] (the conditioned set first,
+    like [Linexpr.cond]).
+    @raise Invalid_argument on a negative coefficient. *)
+
+val entropy : ?coeff:Rat.t -> Varset.t -> t
+(** [entropy y] is the unconditioned [h(y)]. *)
+
+val add : t -> t -> t
+val sum : t list -> t
+val parts : t -> part list
+
+val is_unconditioned : t -> bool
+(** Every part has [x = ∅] (Theorem 3.6 (i)). *)
+
+val is_simple : t -> bool
+(** Every part has [|x| ≤ 1] (Theorem 3.6 (ii)). *)
+
+val to_linexpr : t -> Linexpr.t
+(** Flatten: [h(y|x) = h(y ∪ x) − h(x)]. *)
+
+val rename : (int -> int) -> t -> t
+(** Apply a variable substitution [φ] to every part (the paper's
+    [E_T ∘ φ]). *)
+
+val max_var : t -> int
+
+val pp : ?names:(int -> string) -> unit -> Format.formatter -> t -> unit

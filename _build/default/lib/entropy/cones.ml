@@ -1,0 +1,191 @@
+open Bagcqc_num
+open Bagcqc_lp
+
+type cone = Gamma | Normal | Modular
+
+let check_range ~n es =
+  List.iter
+    (fun e ->
+      if Linexpr.max_var e >= n then
+        invalid_arg "Cones: expression mentions a variable out of range")
+    es
+
+let elemental ~n =
+  let full = Varset.full n in
+  let mono =
+    List.map
+      (fun i ->
+        Linexpr.sub (Linexpr.term full) (Linexpr.term (Varset.remove i full)))
+      (Varset.to_list full)
+  in
+  let submod = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let rest = Varset.diff full (Varset.of_list [ i; j ]) in
+      Varset.iter_subsets rest (fun w ->
+          submod :=
+            Linexpr.mutual (Varset.singleton i) (Varset.singleton j) w
+            :: !submod)
+    done
+  done;
+  mono @ !submod
+
+(* ------------------------------------------------------------------ *)
+(* Γn: LP variables are h(S) for nonempty S, indexed by [mask - 1].    *)
+(* ------------------------------------------------------------------ *)
+
+let gamma_row ~n e =
+  let dense = Linexpr.to_dense ~n e in
+  Array.sub dense 1 ((1 lsl n) - 1)
+
+(* Farkas certificate search: is some convex combination Σ μℓ·Eℓ a
+   non-negative combination Σ λᵢ·elemᵢ of elemental inequalities?  By LP
+   duality over the polyhedral cone Γn (this is the paper's Theorem 6.1
+   instantiated at Γn), such (λ, μ) exist iff the max-inequality is valid
+   over Γn.  The LP has only 2^n equality rows — far smaller than the
+   primal feasibility system, whose rows are the thousands of elemental
+   inequalities. *)
+let gamma_dual_multipliers ~n es =
+  let elems = elemental ~n in
+  let n_elem = List.length elems in
+  let k = List.length es in
+  let num_vars = n_elem + k in
+  let elem_rows = List.map (gamma_row ~n) elems in
+  let side_rows = List.map (gamma_row ~n) es in
+  let constraints =
+    (* For each nonempty mask S: Σ λᵢ elemᵢ(S) − Σ μℓ Eℓ(S) = 0. *)
+    List.init ((1 lsl n) - 1) (fun s ->
+        let row = Array.make num_vars Rat.zero in
+        List.iteri (fun i r -> row.(i) <- r.(s)) elem_rows;
+        List.iteri (fun l r -> row.(n_elem + l) <- Rat.neg r.(s)) side_rows;
+        Simplex.constr row Simplex.Eq Rat.zero)
+    @ [ (let row = Array.make num_vars Rat.zero in
+         for l = 0 to k - 1 do
+           row.(n_elem + l) <- Rat.one
+         done;
+         Simplex.constr row Simplex.Eq Rat.one) ]
+  in
+  match Simplex.feasible ~num_vars constraints with
+  | None -> None
+  | Some x -> Some (Array.sub x 0 n_elem, Array.sub x n_elem k, elems)
+
+let valid_max_gamma ~n es =
+  match gamma_dual_multipliers ~n es with
+  | Some _ -> Ok ()
+  | None ->
+    (* No certificate ⇒ (duality) the primal violation system is feasible;
+       solve it to hand back an explicit refuting polymatroid. *)
+    let num_vars = (1 lsl n) - 1 in
+    let cone_rows =
+      List.map
+        (fun e -> Simplex.constr (gamma_row ~n e) Simplex.Ge Rat.zero)
+        (elemental ~n)
+    in
+    let target_rows =
+      List.map
+        (fun e -> Simplex.constr (gamma_row ~n e) Simplex.Le Rat.minus_one)
+        es
+    in
+    (match Simplex.feasible ~num_vars (cone_rows @ target_rows) with
+     | None -> assert false (* contradicts Farkas infeasibility above *)
+     | Some x -> Error (Polymatroid.make n (fun s -> x.(s - 1))))
+
+(* ------------------------------------------------------------------ *)
+(* Mn: LP variables are the n per-variable weights.                    *)
+(* ------------------------------------------------------------------ *)
+
+let modular_row ~n e =
+  (* E(h_w) = Σ_S c_S Σ_{i∈S} w_i: the coefficient of w_i is the total
+     weight of terms containing i. *)
+  let row = Array.make n Rat.zero in
+  List.iter
+    (fun (s, c) ->
+      Varset.fold_elements (fun i () -> row.(i) <- Rat.add row.(i) c) s ())
+    (Linexpr.terms e);
+  row
+
+let valid_max_modular ~n es =
+  let target_rows =
+    List.map
+      (fun e -> Simplex.constr (modular_row ~n e) Simplex.Le Rat.minus_one)
+      es
+  in
+  match Simplex.feasible ~num_vars:n target_rows with
+  | None -> Ok ()
+  | Some w -> Error (Polymatroid.modular_of_weights w)
+
+(* ------------------------------------------------------------------ *)
+(* Nn: LP variables are the step coefficients c_W, W ⊊ V, indexed by    *)
+(* the mask W (the full mask is excluded).                              *)
+(* ------------------------------------------------------------------ *)
+
+let normal_row ~n e =
+  (* E(Σ_W c_W h_W) = Σ_W c_W E(h_W) with E(h_W) = Σ_{S ⊄ W} c_S. *)
+  let num_vars = (1 lsl n) - 1 in
+  let row = Array.make num_vars Rat.zero in
+  let terms = Linexpr.terms e in
+  for w = 0 to num_vars - 1 do
+    row.(w) <-
+      List.fold_left
+        (fun acc (s, c) -> if Varset.subset s w then acc else Rat.add acc c)
+        Rat.zero terms
+  done;
+  row
+
+let valid_max_normal ~n es =
+  let num_vars = (1 lsl n) - 1 in
+  let target_rows =
+    List.map
+      (fun e -> Simplex.constr (normal_row ~n e) Simplex.Le Rat.minus_one)
+      es
+  in
+  match Simplex.feasible ~num_vars target_rows with
+  | None -> Ok ()
+  | Some c ->
+    let coeffs = ref [] in
+    Array.iteri
+      (fun w cw -> if Rat.sign cw > 0 then coeffs := (w, cw) :: !coeffs)
+      c;
+    Error (Polymatroid.normal_of_steps n !coeffs)
+
+let valid_max cone ~n es =
+  check_range ~n es;
+  match es with
+  | [] -> Error (Polymatroid.zero n)
+  | _ ->
+    (match cone with
+     | Gamma -> valid_max_gamma ~n es
+     | Normal -> valid_max_normal ~n es
+     | Modular -> valid_max_modular ~n es)
+
+let valid_max_quick cone ~n es =
+  check_range ~n es;
+  match es with
+  | [] -> false
+  | _ ->
+    (match cone with
+     | Gamma -> gamma_dual_multipliers ~n es <> None
+     | Normal -> Result.is_ok (valid_max_normal ~n es)
+     | Modular -> Result.is_ok (valid_max_modular ~n es))
+
+let valid cone ~n e = valid_max cone ~n [ e ]
+
+let valid_shannon ~n e = valid_max_quick Gamma ~n [ e ]
+
+let max_to_convex ~n es =
+  check_range ~n es;
+  match es with
+  | [] -> None
+  | _ ->
+    (match gamma_dual_multipliers ~n es with
+     | None -> None
+     | Some (_, mu, _) -> Some mu)
+
+let shannon_certificate ~n e =
+  check_range ~n [ e ];
+  match gamma_dual_multipliers ~n [ e ] with
+  | None -> None
+  | Some (lambda, _mu, elems) ->
+    (* With k = 1 the convexity row forces μ = 1, so Σ λᵢ·elemᵢ = e. *)
+    let pairs = List.combine elems (Array.to_list lambda) in
+    Some (List.filter (fun (_, l) -> Rat.sign l > 0) pairs)

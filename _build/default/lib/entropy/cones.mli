@@ -1,0 +1,58 @@
+(** Deciding (max-)information inequalities over the polyhedral cones
+    [Γn ⊇ Nn ⊇ Mn] by exact linear programming.
+
+    This is the computational engine behind the paper's decidability
+    results: Theorem 3.6 shows certain max-inequalities are "essentially
+    Shannon" — valid over the entropic cone [Γ*n] iff valid over the
+    Shannon cone [Γn] (or valid over [Nn] / [Mn] iff over [Γn]) — and
+    "any essentially Shannon class is decidable, because [Γn] is
+    polyhedral".
+
+    A max-inequality [0 ≤ max_ℓ Eℓ(h)] is valid over a closed convex cone
+    [K] iff the LP [{h ∈ K, Eℓ(h) ≤ −1 ∀ℓ}] is infeasible (by scale
+    invariance, a point with [max_ℓ Eℓ < 0] can be scaled to gap 1).
+    Failures return the witnessing point of [K]. *)
+
+type cone =
+  | Gamma   (** the Shannon cone [Γn] of all polymatroids *)
+  | Normal  (** [Nn]: non-negative combinations of step functions *)
+  | Modular (** [Mn]: non-negative modular functions *)
+
+val elemental : n:int -> Linexpr.t list
+(** The elemental Shannon inequalities generating [Γn]: monotonicity
+    [h(V) − h(V∖i) ≥ 0] and elemental submodularities
+    [h(iW) + h(jW) − h(ijW) − h(W) ≥ 0].  Every Shannon inequality is a
+    non-negative combination of these. *)
+
+val valid_max : cone -> n:int -> Linexpr.t list -> (unit, Polymatroid.t) result
+(** [valid_max k ~n es] decides [∀h ∈ K. 0 ≤ max_ℓ es_ℓ(h)].
+    [Error h] carries a point of [K] with [es_ℓ(h) < 0] for all [ℓ].
+    The empty max is (vacuously) invalid, witnessed by the zero function.
+    @raise Invalid_argument if an expression mentions a variable [≥ n]. *)
+
+val valid_max_quick : cone -> n:int -> Linexpr.t list -> bool
+(** Like {!valid_max} but boolean only: for [Gamma] this runs just the
+    (much smaller) Farkas-certificate LP and skips extracting an explicit
+    refuting polymatroid when invalid. *)
+
+val valid : cone -> n:int -> Linexpr.t -> (unit, Polymatroid.t) result
+(** Validity of a single linear inequality [0 ≤ E(h)] over the cone. *)
+
+val valid_shannon : n:int -> Linexpr.t -> bool
+(** [valid_shannon ~n e] iff [0 ≤ e(h)] is a Shannon inequality (valid over
+    [Γn]); a sound (and, for non-max linear inequalities with at most
+    3 variables, complete) test of information-inequality validity. *)
+
+val max_to_convex : n:int -> Linexpr.t list -> Bagcqc_num.Rat.t array option
+(** Theorem 6.1 of the paper, instantiated at the Shannon cone: a
+    max-linear inequality [0 ≤ max_ℓ Eℓ] is valid over [Γn] iff there are
+    [λℓ ≥ 0] with [Σλℓ = 1] such that the single {e linear} inequality
+    [0 ≤ Σ λℓ·Eℓ] is valid over [Γn].  Returns those convex weights when
+    they exist, [None] otherwise.  (Over [Γn] the weights are rational —
+    the paper leaves rationality over [Γ*n] open.) *)
+
+val shannon_certificate : n:int -> Linexpr.t -> (Linexpr.t * Bagcqc_num.Rat.t) list option
+(** If [0 ≤ e(h)] is valid over [Γn], a Farkas certificate: pairs of
+    elemental inequalities and non-negative multipliers with
+    [Σ λᵢ·elemᵢ = e] exactly, proving the inequality is Shannon.
+    [None] if the inequality is not Shannon. *)

@@ -1,0 +1,91 @@
+open Bagcqc_num
+
+type form =
+  | General of Linexpr.t list
+  | Conditional of { q : Rat.t; sides : Cexpr.t list }
+
+type t = { n : int; form : form }
+
+let sides_of_form ~n = function
+  | General es -> es
+  | Conditional { q; sides } ->
+    let qhv = Linexpr.term ~coeff:q (Varset.full n) in
+    List.map (fun e -> Linexpr.sub (Cexpr.to_linexpr e) qhv) sides
+
+let make ~n form =
+  (match form with
+   | Conditional { q; _ } when Rat.sign q <= 0 ->
+     invalid_arg "Maxii.make: q must be positive"
+   | Conditional _ | General _ -> ());
+  List.iter
+    (fun e ->
+      if Linexpr.max_var e >= n then
+        invalid_arg "Maxii.make: side mentions a variable out of range")
+    (sides_of_form ~n form);
+  { n; form }
+
+let general ~n es = make ~n (General es)
+let conditional ~n ~q sides = make ~n (Conditional { q; sides })
+
+let n_vars t = t.n
+let form t = t.form
+let sides t = sides_of_form ~n:t.n t.form
+
+let is_iip t = List.length (sides t) = 1
+
+type shape = Unconditioned | Simple | Conditional_general | Unrestricted
+
+let shape t =
+  match t.form with
+  | General _ -> Unrestricted
+  | Conditional { sides; _ } ->
+    if List.for_all Cexpr.is_unconditioned sides then Unconditioned
+    else if List.for_all Cexpr.is_simple sides then Simple
+    else Conditional_general
+
+type verdict =
+  | Valid
+  | Invalid of Polymatroid.t
+  | Unknown of Polymatroid.t
+
+let valid_over cone t = Cones.valid_max cone ~n:t.n (sides t)
+
+let is_valid_over cone t = Cones.valid_max_quick cone ~n:t.n (sides t)
+
+let decide t =
+  (* Cheapest first: the Nn refutation LP is tiny (one row per side), and a
+     normal refuter is entropic, settling the instance outright. *)
+  match valid_over Cones.Normal t with
+  | Error h_normal -> Invalid h_normal
+  | Ok () ->
+    if is_valid_over Cones.Gamma t then Valid
+    else begin
+      (* Refuted over Γn but not over Nn: outside the decidable shapes
+         (Theorem 3.6 rules this out for Unconditioned/Simple forms);
+         extract the polymatroid refuter for diagnostics. *)
+      assert (match shape t with Unconditioned | Simple -> false | _ -> true);
+      match valid_over Cones.Gamma t with
+      | Error h_gamma -> Unknown h_gamma
+      | Ok () -> assert false
+    end
+
+let pp ?(names = Varset.default_name) () fmt t =
+  let pp_sides pp_side sides =
+    Format.pp_print_string fmt "max(";
+    List.iteri
+      (fun i s ->
+        if i > 0 then Format.pp_print_string fmt ", ";
+        pp_side fmt s)
+      sides;
+    Format.pp_print_string fmt ")"
+  in
+  match t.form with
+  | General es ->
+    Format.pp_print_string fmt "0 <= ";
+    pp_sides (fun fmt e -> Linexpr.pp ~names () fmt e) es
+  | Conditional { q; sides } ->
+    let full = Varset.full t.n in
+    if not (Rat.equal q Rat.one) then Format.fprintf fmt "%a*" Rat.pp q;
+    Format.fprintf fmt "h(%s) <= "
+      (String.concat "" (List.map names (Varset.to_list full)));
+    pp_sides (fun fmt e -> Cexpr.pp ~names () fmt e) sides

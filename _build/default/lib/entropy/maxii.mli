@@ -1,0 +1,73 @@
+(** Max-information inequalities (Max-II, paper Eq. 3) and their decision
+    problems (IIP, Max-IIP — Problems 2.4 and 2.5).
+
+    A Max-II over [n] variables is [0 ≤ max_{ℓ∈[k]} Eℓ(h)]; it is valid
+    if it holds for every entropic [h ∈ Γ*n].  Validity over [Γ*n] is not
+    known to be decidable — that is the paper's central open problem — but:
+
+    - validity over the Shannon cone [Γn] implies validity (soundness);
+    - invalidity over the normal cone [Nn] implies invalidity, because
+      every normal function is entropic (refutation soundness);
+    - for the {e conditional} forms of Theorem 3.6
+      ([q·h(V) ≤ max_ℓ Eℓ] with every [Eℓ] unconditioned, resp. simple)
+      the two tests coincide and {!decide} is a decision procedure. *)
+
+open Bagcqc_num
+
+type t
+
+type form =
+  | General of Linexpr.t list
+      (** arbitrary sides [Eℓ]; the inequality is [0 ≤ max_ℓ Eℓ(h)] *)
+  | Conditional of { q : Rat.t; sides : Cexpr.t list }
+      (** the Theorem 3.6 shape [q·h(V) ≤ max_ℓ Eℓ(h)] with conditional
+          linear expressions [Eℓ] *)
+
+val make : n:int -> form -> t
+(** @raise Invalid_argument if a side mentions a variable [≥ n], or if a
+    conditional form has [q ≤ 0]. *)
+
+val general : n:int -> Linexpr.t list -> t
+val conditional : n:int -> q:Rat.t -> Cexpr.t list -> t
+
+val n_vars : t -> int
+val form : t -> form
+
+val sides : t -> Linexpr.t list
+(** The sides as plain linear expressions ([Eℓ − q·h(V)] for the
+    conditional form), so that the inequality is always [0 ≤ max_ℓ sideℓ]. *)
+
+val is_iip : t -> bool
+(** Exactly one side ([k = 1]): an ordinary information inequality. *)
+
+type shape = Unconditioned | Simple | Conditional_general | Unrestricted
+
+val shape : t -> shape
+(** Syntactic classification against Theorem 3.6's hypotheses.  Only
+    [Conditional] forms can be [Unconditioned] or [Simple]. *)
+
+type verdict =
+  | Valid
+      (** valid over [Γn], hence over [Γ*n] *)
+  | Invalid of Polymatroid.t
+      (** refuted by an explicitly {e entropic} function (a point of [Nn]
+          or [Mn]); the attached function is normal *)
+  | Unknown of Polymatroid.t
+      (** refuted over [Γn] but not over [Nn]: the attached polymatroid
+          counterexample may fail to be entropic, and the instance is
+          outside the classes known to be decidable *)
+
+val decide : t -> verdict
+(** Sound decision procedure, complete on the Theorem 3.6 fragments: an
+    [Unknown] verdict is impossible when {!shape} is [Unconditioned] or
+    [Simple] (that is Theorem 3.6), and also whenever the refutation
+    search over [Nn] happens to succeed. *)
+
+val valid_over : Cones.cone -> t -> (unit, Polymatroid.t) result
+(** Validity over a single polyhedral cone. *)
+
+val is_valid_over : Cones.cone -> t -> bool
+(** Boolean-only validity; over [Γn] this avoids the expensive refuter
+    extraction ({!Cones.valid_max_quick}). *)
+
+val pp : ?names:(int -> string) -> unit -> Format.formatter -> t -> unit

@@ -1,0 +1,48 @@
+open Bagcqc_num
+open Rat.Infix
+
+let require_polymatroid h =
+  if not (Polymatroid.is_polymatroid h) then
+    invalid_arg "Normalize: input is not a polymatroid"
+
+let modularize h =
+  require_polymatroid h;
+  let n = Polymatroid.n_vars h in
+  (* h'(X) = Σ_{i∈X} h(i | {0..i−1}): telescoping gives h'(V) = h(V);
+     submodularity gives h(i|[i−1]) ≤ h(i|X∩[i−1]) hence h' ≤ h. *)
+  let weights =
+    Array.init n (fun i ->
+        let prefix = if i = 0 then Varset.empty else Varset.full i in
+        Polymatroid.cond h (Varset.singleton i) prefix)
+  in
+  Polymatroid.modular_of_weights weights
+
+(* Theorem C.3, in its primal form (Eqs. 42–43 of the paper): split on the
+   top variable v, recursively normalize the conditional polymatroid
+   h2(X) = h(X|v), replace the L1 part by the Lemma C.2 max-construction
+   over the mutual informations I(i; v), and recombine. *)
+let rec normalize_rec h =
+  let n = Polymatroid.n_vars h in
+  if n <= 1 then h
+  else begin
+    let v = n - 1 in
+    let vset = Varset.singleton v in
+    let hv = Polymatroid.value h vset in
+    let h2 =
+      Polymatroid.make (n - 1) (fun x ->
+          Polymatroid.cond h x vset)
+    in
+    let h2' = normalize_rec h2 in
+    let mutual_with_v =
+      Array.init (n - 1) (fun i ->
+          Polymatroid.mutual h (Varset.singleton i) vset Varset.empty)
+    in
+    let h1' = Polymatroid.uniform_step_max mutual_with_v in
+    Polymatroid.make n (fun x ->
+        if Varset.mem v x then hv +/ Polymatroid.value h2' (Varset.remove v x)
+        else Polymatroid.value h1' x +/ Polymatroid.value h2' x)
+  end
+
+let normalize h =
+  require_polymatroid h;
+  normalize_rec h

@@ -1,0 +1,25 @@
+(** The approximation constructions of Lemma 3.7 / Theorem C.3.
+
+    Both take an arbitrary polymatroid [h ∈ Γn] and produce a smaller,
+    better-behaved function agreeing with [h] where it matters:
+
+    - {!modularize} (Lemma 3.7 (1), the "modularization lemma" of
+      Abo Khamis–Ngo–Suciu 2017): a modular [h' ≤ h] with
+      [h'(V) = h(V)];
+    - {!normalize} (Lemma 3.7 (2) = Theorem C.3, the novel construction):
+      a {e normal} [h' ≤ h] with [h'(V) = h(V)] and [h'({i}) = h({i})]
+      for every single variable.
+
+    These are exactly what powers Theorem 3.6: a violation of a simple
+    (resp. unconditioned) max-inequality by some polymatroid transfers to
+    a violation by a normal (resp. modular) function, which is entropic —
+    realizable by an actual relation. *)
+
+val modularize : Polymatroid.t -> Polymatroid.t
+(** Chain-rule modularization along the natural variable order:
+    [h'(X) = Σ_{i∈X} h({i} | {0..i−1})].
+    @raise Invalid_argument if the input is not a polymatroid. *)
+
+val normalize : Polymatroid.t -> Polymatroid.t
+(** The recursive lattice-splitting construction of Theorem C.3.
+    @raise Invalid_argument if the input is not a polymatroid. *)

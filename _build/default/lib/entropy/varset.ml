@@ -1,0 +1,74 @@
+type t = int
+
+let max_vars = 62
+
+let empty = 0
+
+let full n =
+  if n < 0 || n > max_vars then invalid_arg "Varset.full: out of range";
+  if n = 0 then 0 else (1 lsl n) - 1
+
+let singleton i = 1 lsl i
+let mem i s = s land (1 lsl i) <> 0
+let add i s = s lor (1 lsl i)
+let remove i s = s land lnot (1 lsl i)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+let subset a b = a land lnot b = 0
+let is_empty s = s = 0
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+
+let cardinal s =
+  let rec loop acc s = if s = 0 then acc else loop (acc + 1) (s land (s - 1)) in
+  loop 0 s
+
+let fold_elements f s init =
+  let rec loop acc s =
+    if s = 0 then acc
+    else
+      let low = s land -s in
+      let i =
+        (* Index of the lowest set bit. *)
+        let rec idx i m = if m = 1 then i else idx (i + 1) (m lsr 1) in
+        idx 0 low
+      in
+      loop (f i acc) (s lxor low)
+  in
+  loop init s
+
+let to_list s = List.rev (fold_elements (fun i acc -> i :: acc) s [])
+let of_list l = List.fold_left (fun acc i -> add i acc) empty l
+
+let iter_subsets s f =
+  (* Standard submask enumeration: descending submasks of s, plus empty. *)
+  let sub = ref s in
+  let continue = ref true in
+  while !continue do
+    f !sub;
+    if !sub = 0 then continue := false else sub := (!sub - 1) land s
+  done
+
+let fold_subsets s f init =
+  let acc = ref init in
+  iter_subsets s (fun sub -> acc := f sub !acc);
+  !acc
+
+let iter_supersets ~n s f =
+  let fullset = full n in
+  let comp = diff fullset s in
+  iter_subsets comp (fun extra -> f (union s extra))
+
+let default_name i = "X" ^ string_of_int (i + 1)
+
+let pp ?(names = default_name) () fmt s =
+  Format.pp_print_char fmt '{';
+  let first = ref true in
+  List.iter
+    (fun i ->
+      if not !first then Format.pp_print_char fmt ',';
+      first := false;
+      Format.pp_print_string fmt (names i))
+    (to_list s);
+  Format.pp_print_char fmt '}'

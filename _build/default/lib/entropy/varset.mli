@@ -1,0 +1,55 @@
+(** Sets of (random / query) variables, represented as bit masks.
+
+    The paper works with a ground set [V = {X1, ..., Xn}] and constantly
+    quantifies over all subsets of [V]; every entropic object in this
+    library is indexed by such subsets.  A set is an [int] bit mask over
+    variable indices [0 .. n-1], which makes subset iteration and lattice
+    operations cheap — the cone LPs already have 2{^n} columns, so [n]
+    never approaches the 62-bit limit. *)
+
+type t = int
+(** Bit mask; bit [i] set iff variable [i] is in the set. *)
+
+val max_vars : int
+(** Hard upper bound on the number of ground variables (62). *)
+
+val empty : t
+val full : int -> t
+(** [full n] is [{0, ..., n-1}].  @raise Invalid_argument if [n] exceeds
+    {!max_vars} or is negative. *)
+
+val singleton : int -> t
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val subset : t -> t -> bool
+(** [subset a b] iff [a ⊆ b]. *)
+
+val is_empty : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val cardinal : t -> int
+
+val to_list : t -> int list
+(** Elements in increasing order. *)
+
+val of_list : int list -> t
+
+val fold_elements : (int -> 'a -> 'a) -> t -> 'a -> 'a
+
+val iter_subsets : t -> (t -> unit) -> unit
+(** All subsets of the given set, including [empty] and the set itself. *)
+
+val fold_subsets : t -> (t -> 'a -> 'a) -> 'a -> 'a
+
+val iter_supersets : n:int -> t -> (t -> unit) -> unit
+(** All supersets within [full n]. *)
+
+val pp : ?names:(int -> string) -> unit -> Format.formatter -> t -> unit
+(** Prints e.g. [{X1,X3}]; default names are [X1 .. Xn] (1-based, matching
+    the paper). *)
+
+val default_name : int -> string

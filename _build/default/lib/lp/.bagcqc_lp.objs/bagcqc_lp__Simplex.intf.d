@@ -1,0 +1,1 @@
+lib/lp/simplex.mli: Bagcqc_num Rat

@@ -1,0 +1,262 @@
+(* Two-phase dense primal simplex over exact rationals.
+
+   Tableau layout: [m] rows of length [ncols + 1]; column [ncols] is the
+   right-hand side.  [basis.(r)] is the column basic in row [r].  Row
+   operations keep the basic columns at identity.  Bland's rule (smallest
+   eligible index for both the entering and the leaving variable) guarantees
+   termination. *)
+
+open Bagcqc_num
+open Rat.Infix
+
+type op = Le | Ge | Eq
+
+type constr = { coeffs : Rat.t array; op : op; rhs : Rat.t }
+
+type problem = {
+  num_vars : int;
+  objective : Rat.t array;
+  constraints : constr list;
+}
+
+type outcome =
+  | Optimal of Rat.t * Rat.t array
+  | Unbounded
+  | Infeasible
+
+let constr coeffs op rhs = { coeffs; op; rhs }
+
+type tableau = {
+  rows : Rat.t array array; (* m rows, each of length ncols + 1 *)
+  mutable obj : Rat.t array; (* reduced-cost row, length ncols + 1 *)
+  basis : int array; (* column basic in each row *)
+  ncols : int;
+}
+
+let rhs_col t = t.ncols
+
+(* Gaussian pivot on (row, col): scale the row so the pivot becomes 1, then
+   eliminate the column from all other rows and from the objective. *)
+let pivot t r c =
+  let row = t.rows.(r) in
+  let p = row.(c) in
+  assert (not (Rat.is_zero p));
+  let inv_p = Rat.inv p in
+  for j = 0 to t.ncols do
+    row.(j) <- row.(j) */ inv_p
+  done;
+  let eliminate target =
+    let f = target.(c) in
+    if not (Rat.is_zero f) then
+      for j = 0 to t.ncols do
+        target.(j) <- target.(j) -/ (f */ row.(j))
+      done
+  in
+  Array.iteri (fun i target -> if i <> r then eliminate target) t.rows;
+  eliminate t.obj;
+  t.basis.(r) <- c
+
+(* One phase of simplex: minimize the current objective row over the columns
+   [allowed].  Returns [`Optimal] or [`Unbounded].
+
+   Pivoting rule: Dantzig (most negative reduced cost) for speed, falling
+   back permanently to Bland's rule (smallest eligible indices) once a long
+   run of degenerate pivots suggests cycling — Bland guarantees
+   termination. *)
+let degenerate_limit = 60
+
+let run_phase t ~allowed =
+  let m = Array.length t.rows in
+  let bland = ref false in
+  let degenerate_run = ref 0 in
+  let rec iterate () =
+    let entering = ref (-1) in
+    if !bland then begin
+      (try
+         for j = 0 to t.ncols - 1 do
+           if allowed j && Rat.sign t.obj.(j) < 0 then begin
+             entering := j;
+             raise Exit
+           end
+         done
+       with Exit -> ())
+    end
+    else begin
+      let best = ref Rat.zero in
+      for j = 0 to t.ncols - 1 do
+        if allowed j && Rat.compare t.obj.(j) !best < 0 then begin
+          best := t.obj.(j);
+          entering := j
+        end
+      done
+    end;
+    if !entering < 0 then `Optimal
+    else begin
+      let c = !entering in
+      (* Leaving: min ratio rhs/coeff over rows with coeff > 0; ties broken
+         by the smallest basis column. *)
+      let best_row = ref (-1) in
+      let best_ratio = ref Rat.zero in
+      for i = 0 to m - 1 do
+        let a = t.rows.(i).(c) in
+        if Rat.sign a > 0 then begin
+          let ratio = t.rows.(i).(rhs_col t) // a in
+          if !best_row < 0
+             || Rat.compare ratio !best_ratio < 0
+             || (Rat.equal ratio !best_ratio && t.basis.(i) < t.basis.(!best_row))
+          then begin
+            best_row := i;
+            best_ratio := ratio
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        if Rat.is_zero !best_ratio then begin
+          incr degenerate_run;
+          if !degenerate_run > degenerate_limit then bland := true
+        end
+        else degenerate_run := 0;
+        pivot t !best_row c;
+        iterate ()
+      end
+    end
+  in
+  iterate ()
+
+let solution_of t ~num_vars =
+  let x = Array.make num_vars Rat.zero in
+  Array.iteri
+    (fun r c -> if c < num_vars then x.(c) <- t.rows.(r).(rhs_col t))
+    t.basis;
+  x
+
+let solve { num_vars; objective; constraints } =
+  if Array.length objective <> num_vars then
+    invalid_arg "Simplex.solve: objective length mismatch";
+  List.iter
+    (fun c ->
+      if Array.length c.coeffs <> num_vars then
+        invalid_arg "Simplex.solve: constraint length mismatch")
+    constraints;
+  let constraints = Array.of_list constraints in
+  let m = Array.length constraints in
+  (* Normalize rows to non-negative rhs. *)
+  let rows_data =
+    Array.map
+      (fun { coeffs; op; rhs } ->
+        if Rat.sign rhs < 0 then
+          ( Array.map Rat.neg coeffs,
+            (match op with Le -> Ge | Ge -> Le | Eq -> Eq),
+            Rat.neg rhs )
+        else (Array.copy coeffs, op, rhs))
+      constraints
+  in
+  (* Column layout: [0, num_vars) structural, then one slack/surplus column
+     per inequality, then one artificial column per Ge/Eq row. *)
+  let num_slack =
+    Array.fold_left
+      (fun acc (_, op, _) -> match op with Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows_data
+  in
+  let num_art =
+    Array.fold_left
+      (fun acc (_, op, _) -> match op with Ge | Eq -> acc + 1 | Le -> acc)
+      0 rows_data
+  in
+  let ncols = num_vars + num_slack + num_art in
+  let art_start = num_vars + num_slack in
+  let rows = Array.init m (fun _ -> Array.make (ncols + 1) Rat.zero) in
+  let basis = Array.make m (-1) in
+  let next_slack = ref num_vars and next_art = ref art_start in
+  Array.iteri
+    (fun i (coeffs, op, rhs) ->
+      Array.blit coeffs 0 rows.(i) 0 num_vars;
+      rows.(i).(ncols) <- rhs;
+      (match op with
+       | Le ->
+         rows.(i).(!next_slack) <- Rat.one;
+         basis.(i) <- !next_slack;
+         incr next_slack
+       | Ge ->
+         rows.(i).(!next_slack) <- Rat.minus_one;
+         incr next_slack;
+         rows.(i).(!next_art) <- Rat.one;
+         basis.(i) <- !next_art;
+         incr next_art
+       | Eq ->
+         rows.(i).(!next_art) <- Rat.one;
+         basis.(i) <- !next_art;
+         incr next_art))
+    rows_data;
+  let t = { rows; obj = Array.make (ncols + 1) Rat.zero; basis; ncols } in
+  (* ---------------- Phase 1: minimize the sum of artificials. ------- *)
+  if num_art > 0 then begin
+    let obj = Array.make (ncols + 1) Rat.zero in
+    for j = art_start to ncols - 1 do
+      obj.(j) <- Rat.one
+    done;
+    t.obj <- obj;
+    (* Price out: artificials are basic, so subtract their rows. *)
+    Array.iteri
+      (fun i c ->
+        if c >= art_start then
+          for j = 0 to ncols do
+            obj.(j) <- obj.(j) -/ t.rows.(i).(j)
+          done)
+      t.basis;
+    (match run_phase t ~allowed:(fun _ -> true) with
+     | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+     | `Optimal -> ());
+    (* obj.(ncols) holds -(phase-1 value). *)
+    if Rat.sign t.obj.(ncols) < 0 then raise Exit
+  end;
+  (* Drive remaining artificials out of the basis where possible; rows where
+     it is impossible are redundant (all-zero) and harmless. *)
+  Array.iteri
+    (fun r c ->
+      if c >= art_start then begin
+        let found = ref (-1) in
+        (try
+           for j = 0 to art_start - 1 do
+             if not (Rat.is_zero t.rows.(r).(j)) then begin
+               found := j;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        if !found >= 0 then pivot t r !found
+      end)
+    t.basis;
+  (* ---------------- Phase 2: the real objective. --------------------- *)
+  let obj = Array.make (ncols + 1) Rat.zero in
+  Array.blit objective 0 obj 0 num_vars;
+  t.obj <- obj;
+  Array.iteri
+    (fun i c ->
+      if c < ncols && not (Rat.is_zero obj.(c)) then begin
+        let f = obj.(c) in
+        for j = 0 to ncols do
+          obj.(j) <- obj.(j) -/ (f */ t.rows.(i).(j))
+        done
+      end)
+    t.basis;
+  let allowed j = j < art_start in
+  match run_phase t ~allowed with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+    (* obj.(ncols) = -(objective value). *)
+    Optimal (Rat.neg t.obj.(ncols), solution_of t ~num_vars)
+
+let solve p = try solve p with Exit -> Infeasible
+
+let feasible ~num_vars constraints =
+  match solve { num_vars; objective = Array.make num_vars Rat.zero; constraints } with
+  | Optimal (_, x) -> Some x
+  | Infeasible -> None
+  | Unbounded -> assert false (* constant objective cannot be unbounded *)
+
+let maximize p =
+  match solve { p with objective = Array.map Rat.neg p.objective } with
+  | Optimal (v, x) -> Optimal (Rat.neg v, x)
+  | (Unbounded | Infeasible) as o -> o

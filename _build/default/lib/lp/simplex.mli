@@ -1,0 +1,47 @@
+(** Exact linear programming over rationals.
+
+    A dense two-phase primal simplex with Bland's anti-cycling rule,
+    computing over {!Bagcqc_num.Rat} so every answer is exact — the
+    decidability results of the paper (Theorem 3.1, Theorem 3.6) reduce
+    validity of (max-)information inequalities to LPs over the polyhedral
+    cones Γn, Nn, Mn, and a floating-point solver could misclassify
+    inequalities that hold with slack 0 (most interesting ones do).
+
+    All variables are implicitly constrained to be non-negative; callers
+    model free variables by splitting into differences (none of the cones
+    used in this project need that). *)
+
+open Bagcqc_num
+
+type op = Le | Ge | Eq
+
+type constr = {
+  coeffs : Rat.t array; (** dense row, length [num_vars] *)
+  op : op;
+  rhs : Rat.t;
+}
+
+type problem = {
+  num_vars : int;
+  (** Objective to {b minimize}. *)
+  objective : Rat.t array;
+  constraints : constr list;
+}
+
+type outcome =
+  | Optimal of Rat.t * Rat.t array  (** optimal value and a primal solution *)
+  | Unbounded
+  | Infeasible
+
+val constr : Rat.t array -> op -> Rat.t -> constr
+
+val solve : problem -> outcome
+(** @raise Invalid_argument if a row length differs from [num_vars]. *)
+
+val feasible : num_vars:int -> constr list -> Rat.t array option
+(** [feasible ~num_vars cs] is a point of the polyhedron
+    [{x >= 0 | cs}] if one exists. *)
+
+val maximize : problem -> outcome
+(** Same problem record, but the objective is maximized.  The reported
+    optimal value is the maximum. *)

@@ -1,0 +1,1 @@
+lib/num_exact/bigint.ml: Array Buffer Char Format List Printf String

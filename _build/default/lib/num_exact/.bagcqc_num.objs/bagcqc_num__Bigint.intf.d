@@ -1,0 +1,1 @@
+lib/num_exact/bigint.mli: Format

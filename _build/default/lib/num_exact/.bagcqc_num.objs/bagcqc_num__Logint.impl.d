@@ -1,0 +1,1 @@
+lib/num_exact/logint.ml: Bigint Float Format Map Rat

@@ -1,0 +1,1 @@
+lib/num_exact/logint.mli: Bigint Format Rat

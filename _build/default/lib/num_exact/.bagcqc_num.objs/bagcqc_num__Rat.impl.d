@@ -1,0 +1,1 @@
+lib/num_exact/rat.ml: Bigint Format String

@@ -1,0 +1,1 @@
+lib/num_exact/rat.mli: Bigint Format

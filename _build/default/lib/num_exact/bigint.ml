@@ -1,0 +1,374 @@
+(* Sign-magnitude bignums over base-2^30 limbs, little-endian.
+
+   Invariants: [mag] has no most-significant zero limb; [sign = 0] iff [mag]
+   is empty; every limb is in [0, base).  Division follows Knuth's
+   Algorithm D; with 63-bit native ints and 30-bit limbs every intermediate
+   product (at most 61 bits) fits without overflow. *)
+
+type t = { sign : int; mag : int array }
+
+let base_bits = 30
+let base = 1 lsl base_bits
+let limb_mask = base - 1
+
+let zero = { sign = 0; mag = [||] }
+
+(* ------------------------------------------------------------------ *)
+(* Magnitude (unsigned little-endian int array) primitives.            *)
+(* ------------------------------------------------------------------ *)
+
+let mag_norm a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do decr n done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let mag_of_int n =
+  (* n >= 0; [min_int] is handled by the caller. *)
+  if n = 0 then [||]
+  else if n < base then [| n |]
+  else if n lsr base_bits < base then [| n land limb_mask; n lsr base_bits |]
+  else
+    [| n land limb_mask;
+       (n lsr base_bits) land limb_mask;
+       n lsr (2 * base_bits) |]
+
+let mag_cmp a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then compare la lb
+  else
+    let rec loop i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then compare a.(i) b.(i)
+      else loop (i - 1)
+    in
+    loop (la - 1)
+
+let mag_add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lr = (if la > lb then la else lb) + 1 in
+  let r = Array.make lr 0 in
+  let carry = ref 0 in
+  for i = 0 to lr - 2 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr base_bits
+  done;
+  r.(lr - 1) <- !carry;
+  mag_norm r
+
+(* Precondition: a >= b. *)
+let mag_sub a b =
+  let la = Array.length a and lb = Array.length b in
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin r.(i) <- d + base; borrow := 1 end
+    else begin r.(i) <- d; borrow := 0 end
+  done;
+  assert (!borrow = 0);
+  mag_norm r
+
+let mag_mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then [||]
+  else begin
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let p = (ai * b.(j)) + r.(i + j) + !carry in
+        r.(i + j) <- p land limb_mask;
+        carry := p lsr base_bits
+      done;
+      (* Propagate the final carry (it can exceed one limb only by 0). *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let p = r.(!k) + !carry in
+        r.(!k) <- p land limb_mask;
+        carry := p lsr base_bits;
+        incr k
+      done
+    done;
+    mag_norm r
+  end
+
+let mag_shift_left a bits =
+  if Array.length a = 0 || bits = 0 then a
+  else begin
+    let limbs = bits / base_bits and rest = bits mod base_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl rest in
+      r.(i + limbs) <- r.(i + limbs) lor (v land limb_mask);
+      r.(i + limbs + 1) <- v lsr base_bits
+    done;
+    mag_norm r
+  end
+
+let mag_shift_right a bits =
+  let limbs = bits / base_bits and rest = bits mod base_bits in
+  let la = Array.length a in
+  if limbs >= la then [||]
+  else begin
+    let lr = la - limbs in
+    let r = Array.make lr 0 in
+    for i = 0 to lr - 1 do
+      let lo = a.(i + limbs) lsr rest in
+      let hi = if i + limbs + 1 < la && rest > 0 then a.(i + limbs + 1) lsl (base_bits - rest) else 0 in
+      r.(i) <- (lo lor hi) land limb_mask
+    done;
+    mag_norm r
+  end
+
+let limb_leading_zeros v =
+  (* Zeros within the 30-bit limb width; v in (0, base). *)
+  let rec loop n m = if m land (base lsr 1) <> 0 then n else loop (n + 1) (m lsl 1) in
+  loop 0 v
+
+(* Division of magnitudes by a single limb d > 0: returns (quotient, rem). *)
+let mag_divmod_limb a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (mag_norm q, !r)
+
+(* Knuth Algorithm D.  Precondition: Array.length v >= 2, u >= v. *)
+let mag_divmod_knuth u v =
+  let n = Array.length v in
+  let shift = limb_leading_zeros v.(n - 1) in
+  let vn = mag_shift_left v shift in
+  let un0 = mag_shift_left u shift in
+  let m = Array.length un0 - n in
+  (* Working copy with one guaranteed extra high limb. *)
+  let un = Array.make (Array.length un0 + 1) 0 in
+  Array.blit un0 0 un 0 (Array.length un0);
+  let m = if m < 0 then 0 else m in
+  let q = Array.make (m + 1) 0 in
+  let v_hi = vn.(n - 1) and v_lo = if n >= 2 then vn.(n - 2) else 0 in
+  for j = m downto 0 do
+    let num = (un.(j + n) lsl base_bits) lor un.(j + n - 1) in
+    let qhat = ref (num / v_hi) and rhat = ref (num mod v_hi) in
+    let continue_adjust = ref true in
+    while !continue_adjust do
+      if !qhat >= base || !qhat * v_lo > (!rhat lsl base_bits) lor un.(j + n - 2) then begin
+        decr qhat;
+        rhat := !rhat + v_hi;
+        if !rhat >= base then continue_adjust := false
+      end
+      else continue_adjust := false
+    done;
+    (* Multiply and subtract qhat * vn from un[j .. j+n]. *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = !qhat * vn.(i) + !carry in
+      carry := p lsr base_bits;
+      let d = un.(i + j) - (p land limb_mask) - !borrow in
+      if d < 0 then begin un.(i + j) <- d + base; borrow := 1 end
+      else begin un.(i + j) <- d; borrow := 0 end
+    done;
+    let d = un.(j + n) - !carry - !borrow in
+    if d < 0 then begin
+      (* qhat was one too large: add vn back. *)
+      un.(j + n) <- d + base;
+      decr qhat;
+      let c = ref 0 in
+      for i = 0 to n - 1 do
+        let s = un.(i + j) + vn.(i) + !c in
+        un.(i + j) <- s land limb_mask;
+        c := s lsr base_bits
+      done;
+      un.(j + n) <- (un.(j + n) + !c) land limb_mask
+    end
+    else un.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  let r = mag_shift_right (mag_norm (Array.sub un 0 n)) shift in
+  (mag_norm q, r)
+
+let mag_divmod u v =
+  match Array.length v with
+  | 0 -> raise Division_by_zero
+  | _ when mag_cmp u v < 0 -> ([||], u)
+  | 1 ->
+    let q, r = mag_divmod_limb u v.(0) in
+    (q, if r = 0 then [||] else [| r |])
+  | _ -> mag_divmod_knuth u v
+
+(* ------------------------------------------------------------------ *)
+(* Signed interface.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let make sign mag =
+  let mag = mag_norm mag in
+  if Array.length mag = 0 then zero else { sign; mag }
+
+let of_int n =
+  if n = 0 then zero
+  else if n = min_int then
+    (* |min_int| overflows; build it as -(2^62). *)
+    make (-1) (mag_shift_left [| 1 |] 62)
+  else if n > 0 then { sign = 1; mag = mag_of_int n }
+  else { sign = -1; mag = mag_of_int (-n) }
+
+let one = of_int 1
+let two = of_int 2
+let minus_one = of_int (-1)
+
+let sign x = x.sign
+let is_zero x = x.sign = 0
+let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
+let abs x = if x.sign < 0 then neg x else x
+
+let compare a b =
+  if a.sign <> b.sign then compare a.sign b.sign
+  else if a.sign >= 0 then mag_cmp a.mag b.mag
+  else mag_cmp b.mag a.mag
+
+let equal a b = compare a b = 0
+
+let hash x =
+  Array.fold_left (fun acc limb -> (acc * 1000003) lxor limb) (x.sign + 1) x.mag
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (mag_add a.mag b.mag)
+  else
+    let c = mag_cmp a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (mag_sub a.mag b.mag)
+    else make b.sign (mag_sub b.mag a.mag)
+
+let sub a b = add a (neg b)
+let succ a = add a one
+let pred a = sub a one
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero
+  else make (a.sign * b.sign) (mag_mul a.mag b.mag)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero
+  else if a.sign = 0 then (zero, zero)
+  else
+    let qm, rm = mag_divmod a.mag b.mag in
+    (make (a.sign * b.sign) qm, make a.sign rm)
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let shift_left x bits =
+  if bits = 0 || x.sign = 0 then x
+  else make x.sign (mag_shift_left x.mag bits)
+
+let num_bits x =
+  let n = Array.length x.mag in
+  if n = 0 then 0
+  else (n - 1) * base_bits + (base_bits - limb_leading_zeros x.mag.(n - 1))
+
+let is_even x = x.sign = 0 || x.mag.(0) land 1 = 0
+
+(* Binary GCD: avoids the cost of full divisions on large operands. *)
+let gcd a b =
+  let rec twos x n = if x.sign <> 0 && is_even x then twos (make 1 (mag_shift_right x.mag 1)) (n + 1) else (x, n) in
+  let a = abs a and b = abs b in
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else begin
+    let a, ka = twos a 0 in
+    let b, kb = twos b 0 in
+    let k = if ka < kb then ka else kb in
+    let rec loop a b =
+      (* Both odd. *)
+      if equal a b then a
+      else
+        let big, small = if compare a b > 0 then (a, b) else (b, a) in
+        let d, _ = twos (sub big small) 0 in
+        loop d small
+    in
+    shift_left (loop a b) k
+  end
+
+let pow x k =
+  if k < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b k =
+    if k = 0 then acc
+    else if k land 1 = 1 then go (mul acc b) (mul b b) (k lsr 1)
+    else go acc (mul b b) (k lsr 1)
+  in
+  go one x k
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let to_int_opt x =
+  (* Fast path: at most three limbs can fit in 62 bits. *)
+  let n = Array.length x.mag in
+  if n = 0 then Some 0
+  else if num_bits x > 62 then None
+  else begin
+    let v = ref 0 in
+    for i = n - 1 downto 0 do
+      v := (!v lsl base_bits) lor x.mag.(i)
+    done;
+    Some (x.sign * !v)
+  end
+
+let to_float x =
+  let m = Array.length x.mag in
+  let v = ref 0.0 in
+  for i = m - 1 downto 0 do
+    v := (!v *. float_of_int base) +. float_of_int x.mag.(i)
+  done;
+  float_of_int x.sign *. !v
+
+let ten = of_int 10
+
+let to_string x =
+  if x.sign = 0 then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    (* Extract base-10^9 digits, least significant first. *)
+    let rec chunks acc m =
+      if Array.length m = 0 then acc
+      else
+        let q, r = mag_divmod_limb m 1_000_000_000 in
+        chunks (r :: acc) q
+    in
+    (match chunks [] x.mag with
+     | [] -> assert false
+     | d :: rest ->
+       if x.sign < 0 then Buffer.add_char buf '-';
+       Buffer.add_string buf (string_of_int d);
+       List.iter (fun d -> Buffer.add_string buf (Printf.sprintf "%09d" d)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let len = String.length s in
+  if len = 0 then invalid_arg "Bigint.of_string: empty string";
+  let neg_sign, start =
+    match s.[0] with
+    | '-' -> (true, 1)
+    | '+' -> (false, 1)
+    | _ -> (false, 0)
+  in
+  if start >= len then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  for i = start to len - 1 do
+    match s.[i] with
+    | '0' .. '9' as c ->
+      acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0'))
+    | _ -> invalid_arg "Bigint.of_string: invalid character"
+  done;
+  if neg_sign then neg !acc else !acc
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)

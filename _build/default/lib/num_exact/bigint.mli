@@ -1,0 +1,70 @@
+(** Arbitrary-precision signed integers.
+
+    Implemented from scratch (the environment provides no [zarith]) as
+    sign-magnitude numbers over base-2{^30} limbs.  All operations are purely
+    functional.  This is the numeric bedrock for the exact rational
+    arithmetic ({!Rat}) used by the simplex solver and for the exact
+    log-integer comparisons ({!Logint}) used when comparing entropies of
+    uniform relations. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_float : t -> float
+(** Nearest-float approximation; may overflow to [infinity]. *)
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val succ : t -> t
+val pred : t -> t
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(q, r)] with [a = q*b + r], [r] having the sign of [a]
+    (truncation toward zero) and [|r| < |b|].
+    @raise Division_by_zero if [b] is zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val gcd : t -> t -> t
+(** Non-negative greatest common divisor; [gcd zero zero = zero]. *)
+
+val pow : t -> int -> t
+(** [pow x k] for [k >= 0].  @raise Invalid_argument on negative [k]. *)
+
+val shift_left : t -> int -> t
+(** Multiplication by 2{^k}. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val num_bits : t -> int
+(** Number of bits of the magnitude; [num_bits zero = 0]. *)
+
+val of_string : string -> t
+(** Decimal, with optional leading [-] or [+].
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+(* Formal sums of logarithms with rational coefficients, compared exactly by
+   exponentiating back to integers. *)
+
+module BMap = Map.Make (struct
+  type t = Bigint.t
+  let compare = Bigint.compare
+end)
+
+type t = Rat.t BMap.t
+(* Invariant: keys > 1, values nonzero. *)
+
+let zero = BMap.empty
+
+let log a =
+  if Bigint.sign a <= 0 then invalid_arg "Logint.log: non-positive argument";
+  if Bigint.equal a Bigint.one then BMap.empty else BMap.singleton a Rat.one
+
+let log_int n = log (Bigint.of_int n)
+
+let add_term base coeff m =
+  if Bigint.equal base Bigint.one || Rat.is_zero coeff then m
+  else
+    BMap.update base
+      (function
+        | None -> Some coeff
+        | Some c ->
+          let c' = Rat.add c coeff in
+          if Rat.is_zero c' then None else Some c')
+      m
+
+let add a b = BMap.fold add_term b a
+let neg a = BMap.map Rat.neg a
+let sub a b = add a (neg b)
+
+let scale c a = if Rat.is_zero c then zero else BMap.map (Rat.mul c) a
+
+let sign t =
+  if BMap.is_empty t then 0
+  else begin
+    (* Common denominator D of all coefficients, then compare
+       Π base^(num·D/den)  over positive vs. negative exponents. *)
+    let d =
+      BMap.fold
+        (fun _ c acc ->
+          let g = Bigint.gcd acc (Rat.den c) in
+          Bigint.mul acc (Bigint.div (Rat.den c) g))
+        t Bigint.one
+    in
+    let pos = ref Bigint.one and neg_acc = ref Bigint.one in
+    BMap.iter
+      (fun base c ->
+        let e = Bigint.mul (Rat.num c) (Bigint.div d (Rat.den c)) in
+        match Bigint.to_int_opt (Bigint.abs e) with
+        | None -> failwith "Logint.sign: exponent too large"
+        | Some k ->
+          let p = Bigint.pow base k in
+          if Bigint.sign e > 0 then pos := Bigint.mul !pos p
+          else neg_acc := Bigint.mul !neg_acc p)
+      t;
+    Bigint.compare !pos !neg_acc
+  end
+
+let compare a b = sign (sub a b)
+let equal a b = compare a b = 0
+
+let to_float t =
+  BMap.fold
+    (fun base c acc -> acc +. (Rat.to_float c *. (Float.log (Bigint.to_float base) /. Float.log 2.0)))
+    t 0.0
+
+let terms t = BMap.bindings t
+
+let pp fmt t =
+  if BMap.is_empty t then Format.pp_print_string fmt "0"
+  else begin
+    let first = ref true in
+    BMap.iter
+      (fun base c ->
+        if not !first then Format.pp_print_string fmt " + ";
+        first := false;
+        Format.fprintf fmt "%a*log(%a)" Rat.pp c Bigint.pp base)
+      t
+  end

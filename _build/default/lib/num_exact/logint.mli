@@ -1,0 +1,38 @@
+(** Exact arithmetic on formal sums [Σ cᵢ · log₂ aᵢ].
+
+    Entropies of (totally) uniform relations are logarithms of positive
+    integers, and the expressions the paper compares — [log |P|] against
+    [(E_T ∘ φ)(h)] in Theorem 4.4, the Vee example 4.3, witness
+    verification — are rational combinations of such logarithms.  This
+    module decides their sign {i exactly}: [Σ cᵢ log aᵢ ≥ 0] iff
+    [Π aᵢ^{cᵢ·D} ≥ 1] for a common denominator [D], which is an integer
+    comparison. *)
+
+type t
+
+val zero : t
+
+val log : Bigint.t -> t
+(** [log a] is the formal [log₂ a].  @raise Invalid_argument if [a <= 0]. *)
+
+val log_int : int -> t
+
+val scale : Rat.t -> t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+
+val sign : t -> int
+(** Exact sign of the real number denoted: [-1], [0] or [1]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val to_float : t -> float
+(** Floating-point approximation (for display only). *)
+
+val terms : t -> (Bigint.t * Rat.t) list
+(** The normalized term list [(base, coefficient)], bases distinct, > 1,
+    coefficients nonzero, sorted by base. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,118 @@
+(* Rationals in lowest terms with positive denominator. *)
+
+type t = { n : Bigint.t; d : Bigint.t }
+
+let make num den =
+  let s = Bigint.sign den in
+  if s = 0 then raise Division_by_zero
+  else begin
+    let num, den = if s < 0 then (Bigint.neg num, Bigint.neg den) else (num, den) in
+    if Bigint.is_zero num then { n = Bigint.zero; d = Bigint.one }
+    else
+      let g = Bigint.gcd num den in
+      { n = Bigint.div num g; d = Bigint.div den g }
+  end
+
+let of_bigint n = { n; d = Bigint.one }
+let of_int n = of_bigint (Bigint.of_int n)
+let of_ints a b = make (Bigint.of_int a) (Bigint.of_int b)
+
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let two = of_int 2
+let half = of_ints 1 2
+
+let num x = x.n
+let den x = x.d
+let sign x = Bigint.sign x.n
+let is_zero x = Bigint.is_zero x.n
+let is_integer x = Bigint.equal x.d Bigint.one
+
+let equal a b = Bigint.equal a.n b.n && Bigint.equal a.d b.d
+
+let compare a b =
+  (* a.n/a.d ? b.n/b.d  <=>  a.n*b.d ? b.n*a.d  (denominators positive). *)
+  Bigint.compare (Bigint.mul a.n b.d) (Bigint.mul b.n a.d)
+
+let hash x = (Bigint.hash x.n * 65599) lxor Bigint.hash x.d
+
+let neg x = { x with n = Bigint.neg x.n }
+let abs x = { x with n = Bigint.abs x.n }
+
+let inv x =
+  if is_zero x then raise Division_by_zero
+  else if Bigint.sign x.n > 0 then { n = x.d; d = x.n }
+  else { n = Bigint.neg x.d; d = Bigint.neg x.n }
+
+let add a b =
+  (* gcd of denominators keeps intermediates small. *)
+  let g = Bigint.gcd a.d b.d in
+  let da = Bigint.div a.d g and db = Bigint.div b.d g in
+  make (Bigint.add (Bigint.mul a.n db) (Bigint.mul b.n da)) (Bigint.mul a.d db)
+
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* Cross-cancel before multiplying. *)
+  let g1 = Bigint.gcd (Bigint.abs a.n) b.d in
+  let g2 = Bigint.gcd (Bigint.abs b.n) a.d in
+  { n = Bigint.mul (Bigint.div a.n g1) (Bigint.div b.n g2);
+    d = Bigint.mul (Bigint.div a.d g2) (Bigint.div b.d g1) }
+
+let div a b = mul a (inv b)
+
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+
+let floor x =
+  let q, r = Bigint.divmod x.n x.d in
+  if Bigint.sign r < 0 then Bigint.pred q else q
+
+let ceil x =
+  let q, r = Bigint.divmod x.n x.d in
+  if Bigint.sign r > 0 then Bigint.succ q else q
+
+let to_float x = Bigint.to_float x.n /. Bigint.to_float x.d
+
+let of_string s =
+  match String.index_opt s '/' with
+  | Some i ->
+    make
+      (Bigint.of_string (String.sub s 0 i))
+      (Bigint.of_string (String.sub s (i + 1) (String.length s - i - 1)))
+  | None ->
+    (match String.index_opt s '.' with
+     | None -> of_bigint (Bigint.of_string s)
+     | Some i ->
+       let int_part = String.sub s 0 i in
+       let frac = String.sub s (i + 1) (String.length s - i - 1) in
+       if frac = "" then of_bigint (Bigint.of_string int_part)
+       else begin
+         let scale = Bigint.pow (Bigint.of_int 10) (String.length frac) in
+         let whole = Bigint.of_string (if int_part = "" || int_part = "-" || int_part = "+" then int_part ^ "0" else int_part) in
+         let fpart = Bigint.of_string frac in
+         let neg_sign = String.length s > 0 && s.[0] = '-' in
+         let total =
+           Bigint.add (Bigint.mul (Bigint.abs whole) scale) fpart
+         in
+         make (if neg_sign then Bigint.neg total else total) scale
+       end)
+
+let to_string x =
+  if is_integer x then Bigint.to_string x.n
+  else Bigint.to_string x.n ^ "/" ^ Bigint.to_string x.d
+
+let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+module Infix = struct
+  let ( +/ ) = add
+  let ( -/ ) = sub
+  let ( */ ) = mul
+  let ( // ) = div
+  let ( =/ ) = equal
+  let ( </ ) a b = compare a b < 0
+  let ( <=/ ) a b = compare a b <= 0
+  let ( >/ ) a b = compare a b > 0
+  let ( >=/ ) a b = compare a b >= 0
+end

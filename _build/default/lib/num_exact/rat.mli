@@ -1,0 +1,72 @@
+(** Exact rational numbers over {!Bigint}.
+
+    Values are kept in lowest terms with a positive denominator, so
+    structural equality coincides with numeric equality.  These are the
+    scalars of the simplex solver and of all polymatroid computations. *)
+
+type t
+
+val zero : t
+val one : t
+val minus_one : t
+val two : t
+val half : t
+
+val make : Bigint.t -> Bigint.t -> t
+(** [make num den] normalizes the fraction [num/den].
+    @raise Division_by_zero if [den] is zero. *)
+
+val of_bigint : Bigint.t -> t
+val of_int : int -> t
+val of_ints : int -> int -> t
+(** [of_ints a b] is the rational [a/b]. *)
+
+val num : t -> Bigint.t
+val den : t -> Bigint.t
+
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+(** @raise Division_by_zero on zero. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val floor : t -> Bigint.t
+val ceil : t -> Bigint.t
+
+val to_float : t -> float
+
+val of_string : string -> t
+(** Accepts ["a"], ["a/b"] and decimal ["a.b"] forms.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Infix operators, for arithmetic-heavy call sites (LP pivoting). *)
+module Infix : sig
+  val ( +/ ) : t -> t -> t
+  val ( -/ ) : t -> t -> t
+  val ( */ ) : t -> t -> t
+  val ( // ) : t -> t -> t
+  val ( =/ ) : t -> t -> bool
+  val ( </ ) : t -> t -> bool
+  val ( <=/ ) : t -> t -> bool
+  val ( >/ ) : t -> t -> bool
+  val ( >=/ ) : t -> t -> bool
+end

@@ -1,0 +1,1 @@
+lib/relation/dist.ml: Array Bagcqc_entropy Bagcqc_num Format Hashtbl List Logint Map Rat Relation Stdlib Value Varset

@@ -1,0 +1,1 @@
+lib/relation/dist.mli: Bagcqc_entropy Bagcqc_num Format Logint Rat Relation Value Varset

@@ -1,0 +1,1 @@
+lib/relation/group.ml: Array Bagcqc_entropy Bagcqc_num Bigint Fun List Logint Queue Relation Set Stdlib Value Varset

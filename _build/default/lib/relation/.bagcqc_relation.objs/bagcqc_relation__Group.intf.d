@@ -1,0 +1,1 @@
+lib/relation/group.mli: Bagcqc_entropy Bagcqc_num Logint Relation Varset

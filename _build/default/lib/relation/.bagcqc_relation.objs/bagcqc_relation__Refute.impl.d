@@ -1,0 +1,1 @@
+lib/relation/refute.ml: Array Bagcqc_entropy Bagcqc_num Fun Linexpr List Logint Maxii Relation Value

@@ -1,0 +1,1 @@
+lib/relation/refute.mli: Bagcqc_entropy Bagcqc_num Linexpr Logint Maxii Relation Varset

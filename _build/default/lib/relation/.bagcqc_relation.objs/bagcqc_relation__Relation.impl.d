@@ -1,0 +1,1 @@
+lib/relation/relation.ml: Array Bagcqc_entropy Bagcqc_num Bigint Float Format Hashtbl List Logint Rat Set Stdlib Value Varset

@@ -1,0 +1,1 @@
+lib/relation/relation.mli: Bagcqc_entropy Bagcqc_num Format Logint Value Varset

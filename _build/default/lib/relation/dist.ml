@@ -1,0 +1,124 @@
+open Bagcqc_num
+open Bagcqc_entropy
+
+module Row = struct
+  type t = Value.t array
+
+  let compare (a : t) (b : t) =
+    let la = Array.length a and lb = Array.length b in
+    if la <> lb then Stdlib.compare la lb
+    else
+      let rec loop i =
+        if i >= la then 0
+        else
+          let c = Value.compare a.(i) b.(i) in
+          if c <> 0 then c else loop (i + 1)
+      in
+      loop 0
+end
+
+module RMap = Map.Make (Row)
+
+type t = { arity : int; probs : Rat.t RMap.t }
+(* Invariant: probabilities positive, summing to one. *)
+
+let arity d = d.arity
+
+let of_weights ~arity weights =
+  let merged =
+    List.fold_left
+      (fun acc (row, w) ->
+        if Array.length row <> arity then
+          invalid_arg "Dist.of_weights: row arity mismatch";
+        if Rat.sign w < 0 then invalid_arg "Dist.of_weights: negative weight";
+        if Rat.is_zero w then acc
+        else
+          RMap.update row
+            (function None -> Some w | Some w0 -> Some (Rat.add w0 w))
+            acc)
+      RMap.empty weights
+  in
+  let total = RMap.fold (fun _ w acc -> Rat.add acc w) merged Rat.zero in
+  if Rat.sign total <= 0 then invalid_arg "Dist.of_weights: zero total mass";
+  { arity; probs = RMap.map (fun w -> Rat.div w total) merged }
+
+let uniform r =
+  if Relation.is_empty r then invalid_arg "Dist.uniform: empty relation";
+  of_weights ~arity:(Relation.arity r)
+    (List.map (fun row -> (row, Rat.one)) (Relation.to_list r))
+
+let support d =
+  Relation.of_list ~arity:d.arity
+    (List.map fst (RMap.bindings d.probs))
+
+let prob d row =
+  match RMap.find_opt row d.probs with Some p -> p | None -> Rat.zero
+
+let total d = RMap.fold (fun _ p acc -> Rat.add acc p) d.probs Rat.zero
+
+let push d phi =
+  (* Distribution of row ↦ (row.(phi.(0)), ...). *)
+  let probs =
+    RMap.fold
+      (fun row p acc ->
+        let image = Array.map (fun i -> row.(i)) phi in
+        RMap.update image
+          (function None -> Some p | Some p0 -> Some (Rat.add p0 p))
+          acc)
+      d.probs RMap.empty
+  in
+  { arity = Array.length phi; probs }
+
+let marginal d x = push d (Array.of_list (Varset.to_list x))
+
+let pullback d phi =
+  Array.iter
+    (fun i ->
+      if i < 0 || i >= d.arity then invalid_arg "Dist.pullback: index out of range")
+    phi;
+  push d phi
+
+let entropy d x =
+  if Varset.is_empty x then Logint.zero
+  else begin
+    let m = marginal d x in
+    (* H = Σ p log(1/p) with p rational: log(1/p) = log den − log num. *)
+    RMap.fold
+      (fun _ p acc ->
+        let term =
+          Logint.sub (Logint.log (Rat.den p)) (Logint.log (Rat.num p))
+        in
+        Logint.add acc (Logint.scale p term))
+      m.probs Logint.zero
+  end
+
+let entropy_all d =
+  let cache = Hashtbl.create 16 in
+  fun x ->
+    match Hashtbl.find_opt cache x with
+    | Some e -> e
+    | None ->
+      let e = entropy d x in
+      Hashtbl.add cache x e;
+      e
+
+let is_distribution d =
+  RMap.for_all (fun _ p -> Rat.sign p > 0) d.probs
+  && Rat.equal (total d) Rat.one
+
+let pp fmt d =
+  Format.pp_print_char fmt '{';
+  let first = ref true in
+  RMap.iter
+    (fun row p ->
+      if not !first then Format.pp_print_string fmt "; ";
+      first := false;
+      Format.pp_print_char fmt '(';
+      Array.iteri
+        (fun i v ->
+          if i > 0 then Format.pp_print_char fmt ',';
+          Value.pp fmt v)
+        row;
+      Format.fprintf fmt ")↦%a" Rat.pp p)
+    d.probs;
+  Format.pp_print_char fmt '}'

@@ -1,0 +1,55 @@
+(** Finite probability distributions with exact rational probabilities.
+
+    The proofs of Theorems 4.2 and 4.4 manipulate distributions on
+    homomorphism sets: uniform distributions, marginals, pullbacks along
+    substitutions, and joints stitched from conditionals along a tree
+    decomposition (Appendix D).  This module provides those operations
+    with rational probabilities and {e exact} entropies — the entropy of
+    a rational distribution is a formal sum [Σ pᵢ·log(1/pᵢ)] of
+    logarithms of rationals, decided exactly by {!Bagcqc_num.Logint} —
+    so Appendix D's equalities (48)–(49) can be machine-checked rather
+    than approximated. *)
+
+open Bagcqc_num
+open Bagcqc_entropy
+
+type t
+(** A distribution over tuples of a fixed arity. *)
+
+val arity : t -> int
+
+val of_weights : arity:int -> (Value.t array * Rat.t) list -> t
+(** Normalizes the non-negative weights to total mass 1, merging duplicate
+    tuples.
+    @raise Invalid_argument on negative weights, zero total mass, or rows
+    of the wrong length. *)
+
+val uniform : Relation.t -> t
+(** The uniform distribution on the support of a relation (the paper's
+    "entropy of a relation" construction, Sec. 3.1).
+    @raise Invalid_argument on an empty relation. *)
+
+val support : t -> Relation.t
+val prob : t -> Value.t array -> Rat.t
+val total : t -> Rat.t
+(** Always 1 (exposed for tests). *)
+
+val marginal : t -> Varset.t -> t
+(** Marginal on the given columns; the result's columns are re-indexed in
+    increasing order of the originals. *)
+
+val pullback : t -> int array -> t
+(** [pullback p phi] is the [φ]-pullback [Π_φ(p)] of Section 4: the
+    distribution of the tuple [(f(φ(0)), ..., f(φ(k-1)))] when [f ~ p].
+    (Example 4.1.) *)
+
+val entropy : t -> Varset.t -> Logint.t
+(** Exact marginal entropy [H(X)] in bits. *)
+
+val entropy_all : t -> (Varset.t -> Logint.t)
+(** The full entropy vector (memoized per call site). *)
+
+val is_distribution : t -> bool
+(** Invariant check: non-negative, sums to one (exposed for tests). *)
+
+val pp : Format.formatter -> t -> unit

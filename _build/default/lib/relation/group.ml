@@ -1,0 +1,152 @@
+open Bagcqc_num
+open Bagcqc_entropy
+
+module Perm = struct
+  type t = int array
+
+  let identity m = Array.init m Fun.id
+
+  let compose p q =
+    if Array.length p <> Array.length q then
+      invalid_arg "Perm.compose: degree mismatch";
+    Array.map (fun i -> p.(i)) q
+
+  let is_permutation p =
+    let m = Array.length p in
+    let seen = Array.make m false in
+    Array.for_all
+      (fun i ->
+        if i < 0 || i >= m || seen.(i) then false
+        else begin
+          seen.(i) <- true;
+          true
+        end)
+      p
+
+  let inverse p =
+    let inv = Array.make (Array.length p) 0 in
+    Array.iteri (fun i j -> inv.(j) <- i) p;
+    inv
+
+  let compare (a : t) (b : t) = Stdlib.compare a b
+
+  let of_cycles m cycles =
+    let p = identity m in
+    List.iter
+      (fun cycle ->
+        match cycle with
+        | [] -> ()
+        | first :: _ ->
+          let rec go = function
+            | [ last ] ->
+              if last < 0 || last >= m then invalid_arg "Perm.of_cycles: point out of range";
+              p.(last) <- first
+            | a :: (b :: _ as rest) ->
+              if a < 0 || a >= m then invalid_arg "Perm.of_cycles: point out of range";
+              p.(a) <- b;
+              go rest
+            | [] -> ()
+          in
+          go cycle)
+      cycles;
+    if not (is_permutation p) then invalid_arg "Perm.of_cycles: cycles not disjoint";
+    p
+end
+
+module PSet = Set.Make (struct
+  type t = Perm.t
+  let compare = Perm.compare
+end)
+
+type group = { deg : int; elems : PSet.t }
+
+let max_order = 10_000
+
+let generate deg gens =
+  List.iter
+    (fun g ->
+      if Array.length g <> deg || not (Perm.is_permutation g) then
+        invalid_arg "Group.generate: invalid generator")
+    gens;
+  let seen = ref (PSet.singleton (Perm.identity deg)) in
+  let queue = Queue.create () in
+  Queue.add (Perm.identity deg) queue;
+  while not (Queue.is_empty queue) do
+    let a = Queue.pop queue in
+    List.iter
+      (fun g ->
+        let b = Perm.compose g a in
+        if not (PSet.mem b !seen) then begin
+          if PSet.cardinal !seen >= max_order then
+            invalid_arg "Group.generate: group too large";
+          seen := PSet.add b !seen;
+          Queue.add b queue
+        end)
+      gens
+  done;
+  { deg; elems = !seen }
+
+let order g = PSet.cardinal g.elems
+let degree g = g.deg
+let elements g = PSet.elements g.elems
+let mem g p = PSet.mem p g.elems
+let is_subgroup_of ~sub g = sub.deg = g.deg && PSet.subset sub.elems g.elems
+
+let subgroup g gens =
+  List.iter
+    (fun p ->
+      if not (mem g p) then invalid_arg "Group.subgroup: generator not in group")
+    gens;
+  generate g.deg gens
+
+let value_of_perm p =
+  Value.Tuple (Array.to_list (Array.map (fun i -> Value.Int i) p))
+
+let coset_value a sub =
+  (* Left coset aG_i as a canonical (sorted) tuple of its elements. *)
+  let members =
+    PSet.fold (fun g acc -> Perm.compose a g :: acc) sub.elems []
+  in
+  let sorted = List.sort Perm.compare members in
+  Value.Tuple (List.map value_of_perm sorted)
+
+let coset_relation g subs =
+  List.iter
+    (fun s ->
+      if not (is_subgroup_of ~sub:s g) then
+        invalid_arg "Group.coset_relation: not a subgroup")
+    subs;
+  let subs = Array.of_list subs in
+  let rows =
+    PSet.fold
+      (fun a acc -> Array.map (fun s -> coset_value a s) subs :: acc)
+      g.elems []
+  in
+  Relation.of_list ~arity:(Array.length subs) rows
+
+let entropy g subs x =
+  let subs = Array.of_list subs in
+  Array.iter
+    (fun s ->
+      if not (is_subgroup_of ~sub:s g) then
+        invalid_arg "Group.entropy: not a subgroup")
+    subs;
+  if Varset.is_empty x then Logint.zero
+  else begin
+    let inter =
+      Varset.fold_elements
+        (fun i acc -> PSet.inter acc subs.(i).elems)
+        x g.elems
+    in
+    Logint.sub
+      (Logint.log (Bigint.of_int (order g)))
+      (Logint.log (Bigint.of_int (PSet.cardinal inter)))
+  end
+
+let klein_parity =
+  (* Z2 × Z2 acting regularly on 4 points: a = (01)(23), b = (02)(13). *)
+  let a = Perm.of_cycles 4 [ [ 0; 1 ]; [ 2; 3 ] ] in
+  let b = Perm.of_cycles 4 [ [ 0; 2 ]; [ 1; 3 ] ] in
+  let ab = Perm.compose a b in
+  let g = generate 4 [ a; b ] in
+  (g, [ subgroup g [ a ]; subgroup g [ b ]; subgroup g [ ab ] ])

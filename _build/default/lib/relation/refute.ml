@@ -1,0 +1,63 @@
+open Bagcqc_num
+open Bagcqc_entropy
+
+let entropy_of = Relation.entropy_logint
+
+let eval p e =
+  Linexpr.eval_general ~zero:Logint.zero ~add:Logint.add ~scale:Logint.scale
+    (Relation.entropy_logint p) e
+
+let refutes p sides =
+  (not (Relation.is_empty p))
+  && sides <> []
+  && List.for_all (fun e -> Logint.sign (eval p e) < 0) sides
+
+(* Enumerate subsets of [domain]^n by bit masks over the tuple space,
+   smallest supports first so that reported witnesses are minimal-ish. *)
+let search ?(domain = 2) ?max_rows ~n sides =
+  if n < 1 then invalid_arg "Refute.search: n must be positive";
+  let space = int_of_float (float_of_int domain ** float_of_int n) in
+  if space > 16 then invalid_arg "Refute.search: tuple space too large";
+  let max_rows = match max_rows with Some m -> m | None -> space in
+  let pow b e =
+    let rec go acc e = if e = 0 then acc else go (acc * b) (e - 1) in
+    go 1 e
+  in
+  let tuple_of_index idx =
+    Array.init n (fun pos -> Value.Int (idx / pow domain pos mod domain))
+  in
+  let tuples = Array.init space tuple_of_index in
+  let result = ref None in
+  (* Enumerate by popcount layer to prefer small witnesses. *)
+  let masks = List.init (1 lsl space) Fun.id in
+  let sorted =
+    List.sort
+      (fun a b ->
+        let pop m =
+          let rec go acc m = if m = 0 then acc else go (acc + 1) (m land (m - 1)) in
+          go 0 m
+        in
+        compare (pop a) (pop b))
+      masks
+  in
+  (try
+     List.iter
+       (fun mask ->
+         let rows = ref [] in
+         for b = 0 to space - 1 do
+           if mask land (1 lsl b) <> 0 then rows := tuples.(b) :: !rows
+         done;
+         let rows = !rows in
+         if rows <> [] && List.length rows <= max_rows then begin
+           let p = Relation.of_list ~arity:n rows in
+           if refutes p sides then begin
+             result := Some p;
+             raise Exit
+           end
+         end)
+       sorted
+   with Exit -> ());
+  !result
+
+let search_maxii ?domain ?max_rows m =
+  search ?domain ?max_rows ~n:(Maxii.n_vars m) (Maxii.sides m)

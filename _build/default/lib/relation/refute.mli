@@ -1,0 +1,44 @@
+(** Counterexample search for max-information inequalities over finite
+    relations — a bounded form of the semi-decision procedure of
+    Lemma B.9.
+
+    The paper proves Max-IIP is co-recursively enumerable: enumerate
+    finite probability distributions with rational probabilities and test
+    the inequality exactly on each.  This module implements the search
+    restricted to {e uniform} distributions on relations over small
+    domains; entropies of such distributions are formal sums
+    [Σ c·log a] decided exactly by {!Bagcqc_num.Logint}, so every
+    reported refutation is certified, never a rounding artifact.
+
+    Uniform distributions already witness the failure of every inequality
+    refutable by step-function combinations (the normal cone), the parity
+    function, and more generally every group-characterizable entropy —
+    the class that is dense in [Γ*n] (Chan–Yeung, used in the paper's
+    Lemma 4.8). *)
+
+open Bagcqc_num
+open Bagcqc_entropy
+
+val entropy_of : Relation.t -> Varset.t -> Logint.t
+(** Alias of {!Relation.entropy_logint}: the exact entropy vector used by
+    the search. *)
+
+val eval : Relation.t -> Linexpr.t -> Logint.t
+(** Exact value [E(h_P)] of a linear expression at the entropy of the
+    uniform distribution on [P]. *)
+
+val refutes : Relation.t -> Linexpr.t list -> bool
+(** Does the relation's entropy make {e every} side negative
+    ([max_ℓ Eℓ(h_P) < 0])?  Exact. *)
+
+val search :
+  ?domain:int -> ?max_rows:int -> n:int -> Linexpr.t list -> Relation.t option
+(** [search ~n sides] enumerates relations [P ⊆ [domain]^n] (default
+    domain size 2) with at most [max_rows] rows (default [domain^n]) and
+    returns the first certified refutation of [0 ≤ max_ℓ sides_ℓ(h)].
+    Exhaustive over the stated space, exponential in it; meant for small
+    [n].  [None] means no refutation in the space — the inequality may
+    still be invalid over [Γ*n]. *)
+
+val search_maxii : ?domain:int -> ?max_rows:int -> Maxii.t -> Relation.t option
+(** {!search} applied to the sides of a {!Maxii.t}. *)

@@ -1,0 +1,60 @@
+type t =
+  | Int of int
+  | Str of string
+  | Pair of t * t
+  | Tag of string * t
+  | Tuple of t list
+
+let rec compare a b =
+  match a, b with
+  | Int x, Int y -> Stdlib.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Str x, Str y -> Stdlib.compare x y
+  | Str _, _ -> -1
+  | _, Str _ -> 1
+  | Pair (x1, y1), Pair (x2, y2) ->
+    let c = compare x1 x2 in
+    if c <> 0 then c else compare y1 y2
+  | Pair _, _ -> -1
+  | _, Pair _ -> 1
+  | Tag (s1, v1), Tag (s2, v2) ->
+    let c = Stdlib.compare s1 s2 in
+    if c <> 0 then c else compare v1 v2
+  | Tag _, _ -> -1
+  | _, Tag _ -> 1
+  | Tuple l1, Tuple l2 -> compare_list l1 l2
+
+and compare_list l1 l2 =
+  match l1, l2 with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: r1, y :: r2 ->
+    let c = compare x y in
+    if c <> 0 then c else compare_list r1 r2
+
+let equal a b = compare a b = 0
+
+let rec hash = function
+  | Int x -> x * 1000003
+  | Str s -> Hashtbl.hash s
+  | Pair (a, b) -> (hash a * 65599) + hash b + 1
+  | Tag (s, v) -> (Hashtbl.hash s * 65599) + hash v + 2
+  | Tuple l -> List.fold_left (fun acc v -> (acc * 65599) + hash v) 3 l
+
+let rec pp fmt = function
+  | Int x -> Format.pp_print_int fmt x
+  | Str s -> Format.pp_print_string fmt s
+  | Pair (a, b) -> Format.fprintf fmt "(%a,%a)" pp a pp b
+  | Tag (s, v) -> Format.fprintf fmt "%s:%a" s pp v
+  | Tuple l ->
+    Format.pp_print_char fmt '<';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Format.pp_print_char fmt ',';
+        pp fmt v)
+      l;
+    Format.pp_print_char fmt '>'
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,21 @@
+(** Domain values for relations and databases.
+
+    The paper's constructions manufacture structured constants:
+    annotated values [("X", c)] in the proof of Theorem 4.4, concatenated
+    values [uv] in normal relations (Definition 3.3), and pairs in the
+    domain product [P₁ ⊗ P₂] (Definition B.1).  A small recursive value
+    type covers them all with a total order, so relations can be stored in
+    balanced trees. *)
+
+type t =
+  | Int of int
+  | Str of string
+  | Pair of t * t        (** domain product [f ⊗ g] *)
+  | Tag of string * t    (** annotation [("X", c)] from Theorem 4.4 *)
+  | Tuple of t list      (** concatenation [ψ·f] from Definition 3.3 *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+test/test_bagdb.ml: Alcotest Bagcqc_core Bagcqc_cq Bagcqc_relation Bagdb Containment Hom List Parser Printf QCheck QCheck_alcotest Query String Value

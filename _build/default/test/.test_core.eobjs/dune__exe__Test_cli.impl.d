@@ -1,0 +1,1 @@
+test/test_cli.ml: Alcotest Buffer Filename List String Unix

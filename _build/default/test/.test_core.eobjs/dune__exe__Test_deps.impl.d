@@ -1,0 +1,1 @@
+test/test_deps.ml: Alcotest Bagcqc_cq Bagcqc_entropy Bagcqc_relation Dependencies Format Fun Linexpr List Option Parser Printf QCheck QCheck_alcotest Query Relation Treedec Varset

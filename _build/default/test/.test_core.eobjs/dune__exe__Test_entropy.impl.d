@@ -1,0 +1,1 @@
+test/test_entropy.ml: Alcotest Array Bagcqc_entropy Bagcqc_num Cexpr Cones Format Hashtbl Linexpr List Maxii Normalize Polymatroid QCheck QCheck_alcotest Rat Result String Varset

@@ -1,0 +1,1 @@
+test/test_group.ml: Alcotest Bagcqc_entropy Bagcqc_num Bagcqc_relation Format Group List Logint QCheck QCheck_alcotest Rat Relation String Varset

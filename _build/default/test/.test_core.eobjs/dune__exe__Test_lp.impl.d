@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Bagcqc_lp Bagcqc_num List Printf QCheck QCheck_alcotest Rat Simplex String

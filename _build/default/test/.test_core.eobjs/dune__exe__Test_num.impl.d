@@ -1,0 +1,1 @@
+test/test_num.ml: Alcotest Bagcqc_num Bigint Float List Logint QCheck QCheck_alcotest Rat

@@ -1,0 +1,1 @@
+test/test_reduction.ml: Alcotest Bagcqc_core Bagcqc_cq Bagcqc_entropy Bagcqc_num Cones Containment Format Hom Linexpr List Maxii Parser QCheck QCheck_alcotest Query Rat Reduction Treedec Varset

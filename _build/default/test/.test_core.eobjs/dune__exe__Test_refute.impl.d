@@ -1,0 +1,1 @@
+test/test_refute.ml: Alcotest Array Bagcqc_entropy Bagcqc_num Bagcqc_relation Cexpr Cones Float Format Linexpr List Logint Maxii QCheck QCheck_alcotest Rat Refute Relation Result String Varset

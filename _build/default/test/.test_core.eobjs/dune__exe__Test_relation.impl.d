@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Bagcqc_entropy Bagcqc_num Bagcqc_relation Format List Logint Option Polymatroid Printf QCheck QCheck_alcotest Rat Relation String Value Varset

@@ -1,0 +1,113 @@
+(* Tests for bag databases and the bag-bag -> bag-set reduction
+   (paper Section 2.2). *)
+
+open Bagcqc_relation
+open Bagcqc_cq
+open Bagcqc_core
+
+let vi i = Value.Int i
+
+let test_multiplicity () =
+  let db =
+    Bagdb.of_int_rows [ ("R", [ ([ 0; 1 ], 3); ([ 1; 2 ], 1); ([ 0; 1 ], 2) ]) ]
+  in
+  Alcotest.(check int) "accumulated" 5 (Bagdb.multiplicity db "R" [| vi 0; vi 1 |]);
+  Alcotest.(check int) "single" 1 (Bagdb.multiplicity db "R" [| vi 1; vi 2 |]);
+  Alcotest.(check int) "absent" 0 (Bagdb.multiplicity db "R" [| vi 9; vi 9 |]);
+  Alcotest.check_raises "bad count"
+    (Invalid_argument "Bagdb.add_row: count must be positive") (fun () ->
+      ignore (Bagdb.add_row ~count:0 "R" [| vi 0 |] db))
+
+let test_count_bag () =
+  let db = Bagdb.of_int_rows [ ("R", [ ([ 0; 1 ], 3); ([ 1; 2 ], 2) ]) ] in
+  (* Single atom: sum of multiplicities. *)
+  Alcotest.(check int) "edge count" 5 (Bagdb.count_bag (Parser.parse "R(x,y)") db);
+  (* Path: product along the join: 3*2. *)
+  Alcotest.(check int) "path count" 6
+    (Bagdb.count_bag (Parser.parse "R(x,y), R(y,z)") db);
+  (* Repeated atom SQUARES the multiplicity: 3² + 2². *)
+  Alcotest.(check int) "repeated atom" 13
+    (Bagdb.count_bag (Parser.parse "R(x,y), R(x,y)") db)
+
+let test_reduction_identity () =
+  let db = Bagdb.of_int_rows [ ("R", [ ([ 0; 1 ], 3); ([ 1; 1 ], 2) ]) ] in
+  let check q =
+    let q = Parser.parse q in
+    Alcotest.(check int)
+      (Query.to_string q)
+      (Bagdb.count_bag q db)
+      (Hom.count (Bagdb.lift_query q) (Bagdb.to_set_database db))
+  in
+  check "R(x,y)";
+  check "R(x,y), R(y,z)";
+  check "R(x,y), R(x,y)";
+  check "R(x,x)"
+
+let test_lift_query () =
+  let q = Parser.parse "Q(x) :- R(x,y), R(x,y)" in
+  let l = Bagdb.lift_query q in
+  Alcotest.(check int) "two fresh vars" (Query.nvars q + 2) (Query.nvars l);
+  Alcotest.(check (list int)) "head preserved" (Query.head q) (Query.head l);
+  (* The two atom occurrences are now distinct. *)
+  Alcotest.(check int) "atoms distinct" 2
+    (List.length (Query.atoms (Query.dedup_atoms l)))
+
+let test_bag_bag_containment () =
+  (* Under bag-set semantics R(x,y),R(x,y) ≡ R(x,y); under bag-bag
+     semantics the duplicate atom squares multiplicities, so containment
+     holds one way only. *)
+  let dup = Parser.parse "R(x,y), R(x,y)" in
+  let single = Parser.parse "R(x,y)" in
+  (match Containment.decide (Query.dedup_atoms dup) single with
+   | Containment.Contained -> ()
+   | _ -> Alcotest.fail "bag-set: dup ≡ single");
+  (match Containment.decide_bag_bag single dup with
+   | Containment.Contained -> ()
+   | _ -> Alcotest.fail "bag-bag: m <= m^2");
+  (match Containment.decide_bag_bag dup single with
+   | Containment.Not_contained w ->
+     Alcotest.(check bool) "verified" true (w.Containment.hom2 < w.Containment.card_p)
+   | Containment.Contained -> Alcotest.fail "bag-bag: m^2 is not <= m"
+   | Containment.Unknown { reason; _ } -> Alcotest.failf "Unknown: %s" reason)
+
+(* Property: the reduction identity on random bag databases and queries. *)
+let prop_reduction_identity =
+  let gen =
+    QCheck.Gen.(
+      let* rows =
+        list_size (int_range 1 5)
+          (pair (list_repeat 2 (int_range 0 2)) (int_range 1 3))
+      in
+      let* q =
+        oneofl
+          [ "R(x,y)"; "R(x,y), R(y,z)"; "R(x,y), R(x,y)"; "R(x,x)";
+            "R(x,y), R(y,x)"; "R(x,y), R(y,z), R(z,x)" ]
+      in
+      return (rows, q))
+  in
+  QCheck.Test.make ~name:"bag-bag reduction: count_bag = lifted bag-set count"
+    ~count:200
+    (QCheck.make
+       ~print:(fun (rows, q) ->
+         q ^ " on "
+         ^ String.concat ";"
+             (List.map
+                (fun (r, c) ->
+                  Printf.sprintf "(%s)x%d" (String.concat "," (List.map string_of_int r)) c)
+                rows))
+       gen)
+    (fun (rows, qs) ->
+      let db = Bagdb.of_int_rows [ ("R", rows) ] in
+      let q = Parser.parse qs in
+      Bagdb.count_bag q db
+      = Hom.count (Bagdb.lift_query q) (Bagdb.to_set_database db))
+
+let qtests = List.map QCheck_alcotest.to_alcotest [ prop_reduction_identity ]
+
+let suite =
+  [ ("multiplicity", `Quick, test_multiplicity);
+    ("count_bag", `Quick, test_count_bag);
+    ("reduction identity", `Quick, test_reduction_identity);
+    ("lift_query", `Quick, test_lift_query);
+    ("bag-bag containment", `Quick, test_bag_bag_containment) ]
+  @ qtests

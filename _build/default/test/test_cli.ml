@@ -1,0 +1,104 @@
+(* Integration tests for the bagcqc CLI: run the built executable and
+   check its output and exit codes.  The test runner executes in
+   _build/default/test, so the binary lives at ../bin/main.exe (declared
+   as a dune dependency). *)
+
+let binary = Filename.concat Filename.parent_dir_name "bin/main.exe"
+
+let run args =
+  let cmd =
+    String.concat " " (binary :: List.map Filename.quote args) ^ " 2>/dev/null"
+  in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 256 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED c -> c | Unix.WSIGNALED _ | Unix.WSTOPPED _ -> -1 in
+  (code, Buffer.contents buf)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let check_output msg args expected_code expected_substrings =
+  let code, out = run args in
+  Alcotest.(check int) (msg ^ ": exit code") expected_code code;
+  List.iter
+    (fun s ->
+      if not (contains out s) then
+        Alcotest.failf "%s: output %S does not contain %S" msg out s)
+    expected_substrings
+
+let test_check_contained () =
+  check_output "triangle in vee"
+    [ "check"; "R(x,y), R(y,z), R(z,x)"; "R(u,v), R(u,w)" ]
+    0 [ "CONTAINED" ]
+
+let test_check_not_contained () =
+  check_output "path not in edge"
+    [ "check"; "R(x,y), S(y,z)"; "R(x,y)" ]
+    0 [ "NOT CONTAINED"; "Fact 3.2" ]
+
+let test_check_heads () =
+  check_output "head variables"
+    [ "check"; "Q(x) :- R(x,y)"; "Q(x) :- R(x,y), R(x,z)" ]
+    0 [ "CONTAINED" ]
+
+let test_classify () =
+  check_output "classify acyclic simple"
+    [ "classify"; "A(y1,y2), B(y1,y3), C(y4,y2)" ]
+    0 [ "acyclic with a simple join tree"; "E_T" ]
+
+let test_iip_valid () =
+  check_output "submodularity"
+    [ "iip"; "-n"; "2"; "1 h(1) 1 h(2) -1 h(1,2)" ]
+    0 [ "VALID" ]
+
+let test_iip_invalid () =
+  check_output "false inequality"
+    [ "iip"; "-n"; "2"; "1 h(1) -1 h(1,2)" ]
+    0 [ "INVALID"; "refuted" ]
+
+let test_iip_unknown () =
+  (* Ingleton in raw coefficients: not Shannon, no normal refuter. *)
+  check_output "Ingleton"
+    [ "iip"; "-n"; "4"; "--";
+      "-1 h(1) -1 h(2) 1 h(1,2) 1 h(1,3) 1 h(2,3) -1 h(1,2,3) 1 h(1,4) 1 h(2,4) -1 h(1,2,4) -1 h(3,4)" ]
+    2 [ "NOT SHANNON" ]
+
+let test_reduce () =
+  check_output "reduce"
+    [ "reduce"; "-n"; "1"; "--"; "-1 h(1)" ]
+    0 [ "Q1:"; "Q2:"; "Q2 is acyclic: true" ]
+
+let test_homcount () =
+  check_output "homcount vee triangle"
+    [ "homcount"; "R(y1,y2), R(y1,y3)"; "R(x,y), R(y,z), R(z,x)" ]
+    0 [ "3" ]
+
+let test_eq8 () =
+  check_output "eq8 vee"
+    [ "eq8"; "R(x,y), R(y,z), R(z,x)"; "R(u,v), R(u,w)" ]
+    0 [ "h(xyz) <= max("; "valid over" ]
+
+let test_bad_query () =
+  let code, _ = run [ "check"; "R(x,"; "R(x,y)" ] in
+  Alcotest.(check bool) "syntax error is a CLI error" true (code <> 0)
+
+let suite =
+  [ ("check contained", `Quick, test_check_contained);
+    ("check not contained", `Quick, test_check_not_contained);
+    ("check with heads", `Quick, test_check_heads);
+    ("classify", `Quick, test_classify);
+    ("iip valid", `Quick, test_iip_valid);
+    ("iip invalid", `Quick, test_iip_invalid);
+    ("iip unknown (Ingleton)", `Quick, test_iip_unknown);
+    ("reduce", `Quick, test_reduce);
+    ("homcount", `Quick, test_homcount);
+    ("eq8", `Quick, test_eq8);
+    ("bad query", `Quick, test_bad_query) ]

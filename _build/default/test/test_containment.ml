@@ -1,0 +1,333 @@
+(* End-to-end tests of the core containment procedure: the paper's
+   Examples 3.5 and 4.3, class detection, witness machinery, domination,
+   and a randomized soundness property. *)
+
+open Bagcqc_num
+open Bagcqc_entropy
+open Bagcqc_relation
+open Bagcqc_cq
+open Bagcqc_core
+
+let triangle = Parser.parse "R(x,y), R(y,z), R(z,x)"
+let vee = Parser.parse "R(y1,y2), R(y1,y3)"
+
+let test_classify () =
+  let check msg q expected =
+    Alcotest.(check bool) msg true (Containment.classify q = expected)
+  in
+  check "vee acyclic simple" vee Containment.Acyclic_simple;
+  check "triangle chordal simple" triangle Containment.Chordal_simple;
+  check "C4 general" (Parser.parse "R(w,x), S(x,y), T(y,z), U(z,w)")
+    Containment.General;
+  (* Acyclic but with a 2-variable separator: R(x,y,z), S(y,z,w). *)
+  check "acyclic non-simple" (Parser.parse "R(x,y,z), S(y,z,w)") Containment.Acyclic;
+  (* Chordal, not acyclic, not simple: K4 minus an edge as binary atoms,
+     separator {y,z} has two variables. *)
+  check "chordal non-simple"
+    (Parser.parse "R(x,y), R(x,z), R(y,z), R(y,w), R(z,w)")
+    Containment.Chordal
+
+let test_example_4_3_vee () =
+  (* Example 4.3 (Eric Vee): triangle ⊑ vee. *)
+  (match Containment.decide triangle vee with
+   | Containment.Contained -> ()
+   | _ -> Alcotest.fail "triangle must be contained in vee");
+  (* The reverse fails: no homomorphism vee <- ... triangle has no hom into
+     vee, so already hom(Q2,Q1) = ∅. *)
+  (match Containment.decide vee triangle with
+   | Containment.Not_contained w ->
+     Alcotest.(check bool) "witness verified" true (w.Containment.hom2 < w.Containment.card_p)
+   | _ -> Alcotest.fail "vee must not be contained in triangle")
+
+let ex35_q1 =
+  Parser.parse
+    "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')"
+
+let ex35_q2 = Parser.parse "A(y1,y2), B(y1,y3), C(y4,y2)"
+
+let test_example_3_5 () =
+  (* Example 3.5: Q1 ⋢ Q2, with a normal witness but no product witness. *)
+  (match Containment.decide ex35_q1 ex35_q2 with
+   | Containment.Not_contained w ->
+     Alcotest.(check bool) "|P| > hom2" true (w.Containment.hom2 < w.Containment.card_p);
+     (* The database also carries at least |P| homomorphisms of Q1. *)
+     let hom1 = Hom.count ~limit:w.Containment.card_p ex35_q1 w.Containment.db in
+     Alcotest.(check bool) "hom1 >= |P|" true (hom1 >= w.Containment.card_p)
+   | Containment.Contained -> Alcotest.fail "Example 3.5 is a non-containment"
+   | Containment.Unknown { reason; _ } -> Alcotest.failf "unexpected Unknown: %s" reason);
+  (* The paper's hand witness P = {(u,u,v,v) | u,v ∈ [n]} for n = 3:
+     |P| = 9 > n = hom(Q2, Π_Q1(P)). *)
+  let p =
+    Relation.of_int_rows ~arity:4
+      (List.concat_map (fun u -> List.map (fun v -> [ u; u; v; v ]) [ 0; 1; 2 ]) [ 0; 1; 2 ])
+  in
+  (match Containment.verify_witness ex35_q1 ex35_q2 p with
+   | Some (card, hom2) ->
+     Alcotest.(check int) "|P| = 9" 9 card;
+     Alcotest.(check bool) "hom2 < 9" true (hom2 < 9)
+   | None -> Alcotest.fail "paper witness must verify");
+  (* No product witness: over the modular cone the inequality is valid
+     (Theorem 3.4(i) machinery; Q2's junction tree is simple but not
+     totally disconnected). *)
+  let ineq = Containment.eq8 ex35_q1 ex35_q2 in
+  Alcotest.(check bool) "valid over Mn (no product witness)" true
+    (Result.is_ok (Maxii.valid_over Cones.Modular ineq));
+  Alcotest.(check bool) "invalid over Nn (normal witness exists)" true
+    (Result.is_error (Maxii.valid_over Cones.Normal ineq))
+
+let test_reflexive_and_trivial () =
+  (match Containment.decide triangle triangle with
+   | Containment.Contained -> ()
+   | _ -> Alcotest.fail "Q ⊑ Q must hold");
+  (* Dropping an atom breaks containment in general: R(x,y),S(y,z) vs
+     R(x,y): S can multiply counts. *)
+  let q1 = Parser.parse "R(x,y), S(y,z)" in
+  let q2 = Parser.parse "R(x,y)" in
+  (match Containment.decide q1 q2 with
+   | Containment.Not_contained w ->
+     Alcotest.(check bool) "verified" true (w.Containment.hom2 < w.Containment.card_p)
+   | _ -> Alcotest.fail "R,S ⋢ R");
+  (* And adding an atom also breaks it (extra atom may be empty). *)
+  (match Containment.decide q2 q1 with
+   | Containment.Not_contained _ -> ()
+   | _ -> Alcotest.fail "R ⋢ R,S")
+
+let test_contained_with_extra_join () =
+  (* Q1 = R(x,y) ⊑ Q2 = R(x,y),R(x,z): counts are deg vs Σ deg², and
+     pointwise hom(Q1) = Σ_x deg(x) ≤ Σ_x deg(x)² = hom(Q2). *)
+  let q1 = Parser.parse "R(x,y)" in
+  let q2 = Parser.parse "R(x,y), R(x,z)" in
+  (match Containment.decide q1 q2 with
+   | Containment.Contained -> ()
+   | _ -> Alcotest.fail "deg ≤ deg² containment must be proved");
+  (match Containment.decide q2 q1 with
+   | Containment.Not_contained _ -> ()
+   | _ -> Alcotest.fail "deg² ⋢ deg")
+
+let test_decide_with_heads () =
+  let q1 = Parser.parse "Q(x) :- R(x,y)" in
+  let q2 = Parser.parse "Q(x) :- R(x,y), R(x,z)" in
+  (match Containment.decide_with_heads q1 q2 with
+   | Containment.Contained -> ()
+   | _ -> Alcotest.fail "head version: deg ≤ deg²");
+  (match Containment.decide_with_heads q2 q1 with
+   | Containment.Not_contained _ -> ()
+   | _ -> Alcotest.fail "head version: deg² ⋢ deg");
+  Alcotest.check_raises "head mismatch"
+    (Invalid_argument "Reductions.booleanize: head arity mismatch") (fun () ->
+      ignore
+        (Containment.decide_with_heads (Parser.parse "Q(x) :- R(x,y)")
+           (Parser.parse "Q() :- R(x,y)")))
+
+let test_eq8_requires_boolean () =
+  Alcotest.check_raises "boolean required"
+    (Invalid_argument "Containment: queries must be Boolean (use decide_with_heads)")
+    (fun () -> ignore (Containment.eq8 (Parser.parse "Q(x) :- R(x,y)") vee))
+
+let test_scale_steps () =
+  let vs = Varset.of_list in
+  let scaled =
+    Containment.scale_steps
+      [ (vs [ 0 ], Rat.of_ints 1 2); (vs [ 1 ], Rat.of_ints 2 3); (vs [], Rat.zero) ]
+  in
+  Alcotest.(check (list (pair int int))) "lcm scaling"
+    [ (vs [ 0 ], 3); (vs [ 1 ], 4) ]
+    scaled
+
+let test_witness_from_normal_direct () =
+  (* Feed the paper's Example 3.5 refuter shape by hand: the normal
+     function h = h_W1 + h_W2 with W1 = {x1,x2}, W2 = {x1',x2'}
+     (independent pairs, each pair perfectly correlated). *)
+  let vs = Varset.of_list in
+  let h =
+    Polymatroid.normal_of_steps 4 [ (vs [ 0; 1 ], Rat.one); (vs [ 2; 3 ], Rat.one) ]
+  in
+  (* This h refutes Eq. 8 for Example 3.5 (it is the entropy, in bits, of
+     P = {(u,u,v,v)}). *)
+  let sides = Maxii.sides (Containment.eq8 ex35_q1 ex35_q2) in
+  Alcotest.(check bool) "h refutes all sides" true
+    (List.for_all (fun e -> Rat.sign (Polymatroid.eval h e) < 0) sides);
+  match Containment.witness_from_normal ex35_q1 ex35_q2 h with
+  | Some w ->
+    Alcotest.(check bool) "witness verified" true (w.Containment.hom2 < w.Containment.card_p)
+  | None -> Alcotest.fail "witness construction must succeed"
+
+let test_witness_theorem_3_4 () =
+  (* applicable: which witness class Theorem 3.4 guarantees. *)
+  Alcotest.(check bool) "loop atom: product" true
+    (Witness.applicable (Parser.parse "R(u,u)") = Some Witness.Product);
+  Alcotest.(check bool) "two unary atoms: product" true
+    (Witness.applicable (Parser.parse "A(y1), B(y2)") = Some Witness.Product);
+  Alcotest.(check bool) "vee: normal" true
+    (Witness.applicable vee = Some Witness.Normal);
+  Alcotest.(check bool) "Ex 3.5 Q2: normal" true
+    (Witness.applicable ex35_q2 = Some Witness.Normal);
+  Alcotest.(check bool) "C4: none" true
+    (Witness.applicable (Parser.parse "R(w,x), S(x,y), T(y,z), U(z,w)") = None);
+  (* R(x,y) ⋢ R(u,u): witnessed by a PRODUCT relation (Thm 3.4(i)). *)
+  let q1 = Parser.parse "R(x,y)" and q2 = Parser.parse "R(u,u)" in
+  (match Witness.product_witness q1 q2 with
+   | Some (p, card, hom2) ->
+     Alcotest.(check bool) "product verifies" true (hom2 < card);
+     Alcotest.(check bool) "really is a product" true
+       (Relation.cardinal p = card)
+   | None -> Alcotest.fail "product witness must exist");
+  (* Example 3.5 has a normal witness but NO product witness. *)
+  Alcotest.(check bool) "Ex 3.5: no product witness" true
+    (Witness.product_witness ex35_q1 ex35_q2 = None);
+  (match Witness.normal_witness ex35_q1 ex35_q2 with
+   | Some w -> Alcotest.(check bool) "normal verifies" true
+                 (w.Containment.hom2 < w.Containment.card_p)
+   | None -> Alcotest.fail "Ex 3.5 normal witness must exist");
+  (* Contained pairs admit no witness of either kind. *)
+  Alcotest.(check bool) "no witness when contained" true
+    (Witness.normal_witness triangle vee = None
+     && Witness.product_witness triangle vee = None)
+
+let test_set_semantics_contrast () =
+  (* R(x,y) and R(x,y),R(x,z) are set-equivalent but bag-incomparable one
+     way: exactly the Chaudhuri-Vardi phenomenon. *)
+  let q1 = Parser.parse "R(x,y)" in
+  let q2 = Parser.parse "R(x,y), R(x,z)" in
+  Alcotest.(check bool) "set: q1 in q2" true (Containment.contained_set q1 q2);
+  Alcotest.(check bool) "set: q2 in q1" true (Containment.contained_set q2 q1);
+  (match Containment.decide q2 q1 with
+   | Containment.Not_contained _ -> ()
+   | _ -> Alcotest.fail "bag: q2 not in q1");
+  (* Triangle vs vee: no hom triangle <- vee ... vee -> triangle exists, so
+     set-containment triangle in vee holds; and no hom triangle -> vee. *)
+  Alcotest.(check bool) "set: triangle in vee" true
+    (Containment.contained_set triangle vee);
+  Alcotest.(check bool) "set: vee not in triangle" false
+    (Containment.contained_set vee triangle);
+  (* With heads. *)
+  Alcotest.(check bool) "set with heads" true
+    (Containment.contained_set
+       (Parser.parse "Q(x) :- R(x,y)")
+       (Parser.parse "Q(u) :- R(u,v)"))
+
+let test_locality_property () =
+  (* Example E.2: the parity relation violates locality for the triangle
+     query (Q1 = Q2, phi = identity). *)
+  let q = Parser.parse "R(x1,x2), S(x2,x3), T(x3,x1)" in
+  let parity =
+    Relation.of_int_rows ~arity:3
+      [ [ 0; 0; 0 ]; [ 0; 1; 1 ]; [ 1; 0; 1 ]; [ 1; 1; 0 ] ]
+  in
+  Alcotest.(check bool) "parity breaks locality (Ex E.2)" false
+    (Witness.locality_holds q q parity ~phi:[| 0; 1; 2 |]);
+  (* Lemma E.1: normal relations satisfy locality for chordal Q2. *)
+  let vsl = Varset.of_list in
+  let normal = Relation.of_normal_steps ~n:3 [ (vsl [ 0 ], 1); (vsl [ 1; 2 ], 1) ] in
+  Alcotest.(check bool) "normal relation satisfies locality" true
+    (Witness.locality_holds q q normal ~phi:[| 0; 1; 2 |]);
+  (* Acyclic Q2: locality holds for ANY relation (each bag = one atom) —
+     the proof of Theorem 4.4. *)
+  let q2 = Parser.parse "R(y1,y2), S(y2,y3)" in
+  let q1 = Parser.parse "R(x1,x2), S(x2,x3)" in
+  Alcotest.(check bool) "acyclic: locality for parity too" true
+    (Witness.locality_holds q1 q2 parity ~phi:[| 0; 1; 2 |])
+
+(* Lemma E.1's locality property as a qcheck property: random normal
+   relations vs the chordal triangle query. *)
+let prop_locality_normal =
+  let gen =
+    QCheck.Gen.(list_size (int_range 1 3) (int_range 0 6))
+  in
+  QCheck.Test.make ~name:"Lemma E.1: normal relations satisfy locality" ~count:60
+    (QCheck.make ~print:(fun l -> String.concat "," (List.map string_of_int l)) gen)
+    (fun ws ->
+      let q = Parser.parse "R(x1,x2), S(x2,x3), T(x3,x1)" in
+      let steps = List.sort_uniq compare (List.map (fun w -> (w land 6, 1)) ws) in
+      let p = Relation.of_normal_steps ~n:3 steps in
+      Witness.locality_holds q q p ~phi:[| 0; 1; 2 |])
+
+let test_domination () =
+  (* DOM: triangle ⪯ vee (Example 4.3 again through the DOM lens). *)
+  (match Domination.dominates triangle vee with
+   | Containment.Contained -> ()
+   | _ -> Alcotest.fail "triangle ⪯ vee");
+  (* Exponent domination: hom(vee) ≤ hom(edge)²  (Cauchy–Schwarz-ish). *)
+  let edge = Parser.parse "R(x,y)" in
+  (match Domination.exponent_dominates ~num:1 ~den:2 vee edge with
+   | Containment.Contained -> ()
+   | _ -> Alcotest.fail "hom(vee) ≤ hom(edge)^2");
+  (* But hom(edge)² ≤ hom(vee) fails. *)
+  (match Domination.exponent_dominates ~num:2 ~den:1 edge vee with
+   | Containment.Not_contained _ -> ()
+   | _ -> Alcotest.fail "hom(edge)^2 ≰ hom(vee)");
+  Alcotest.check_raises "bad exponent" (Invalid_argument "Domination.exponent_dominates")
+    (fun () -> ignore (Domination.exponent_dominates ~num:0 ~den:1 edge vee))
+
+(* Randomized soundness: whatever `decide` answers definitively must agree
+   with brute-force bag-set evaluation on random small databases /
+   explicit witnesses. *)
+let arb_pair =
+  let gen =
+    QCheck.Gen.(
+      let* nv = int_range 1 3 in
+      let gen_query =
+        let* natoms = int_range 1 3 in
+        let* atoms =
+          list_repeat natoms
+            (let* rel = int_range 0 1 in
+             let* a = int_range 0 (nv - 1) in
+             let* b = int_range 0 (nv - 1) in
+             return (Query.atom (if rel = 0 then "R" else "S") [ a; b ]))
+        in
+        (* Ensure all variables occur. *)
+        let chain = List.init nv (fun v -> Query.atom "R" [ v; (v + 1) mod nv ]) in
+        return (Query.dedup_atoms (Query.make ~nvars:nv (atoms @ chain)))
+      in
+      pair gen_query gen_query)
+  in
+  QCheck.make
+    ~print:(fun (a, b) -> Query.to_string a ^ "  vs  " ^ Query.to_string b)
+    gen
+
+let random_db seed =
+  let st = Random.State.make [| seed |] in
+  List.fold_left
+    (fun db rel ->
+      List.fold_left
+        (fun db _ ->
+          let a = Random.State.int st 3 and b = Random.State.int st 3 in
+          Database.add_row rel [| Value.Int a; Value.Int b |] db)
+        db
+        (List.init (1 + Random.State.int st 5) Fun.id))
+    Database.empty [ "R"; "S" ]
+
+let prop_decide_sound =
+  QCheck.Test.make ~name:"decide is sound vs brute-force evaluation" ~count:40
+    (QCheck.pair arb_pair QCheck.small_int)
+    (fun ((q1, q2), seed) ->
+      match Containment.decide ~max_factors:10 q1 q2 with
+      | Containment.Contained ->
+        (* Spot-check on several random databases. *)
+        List.for_all
+          (fun i ->
+            let db = random_db (seed + i) in
+            Hom.count q1 db <= Hom.count q2 db)
+          [ 0; 1; 2; 3; 4 ]
+      | Containment.Not_contained w ->
+        Hom.count ~limit:w.Containment.card_p q2 w.Containment.db
+        = w.Containment.hom2
+        && w.Containment.hom2 < w.Containment.card_p
+        && Hom.count ~limit:w.Containment.card_p q1 w.Containment.db
+           >= w.Containment.card_p
+      | Containment.Unknown _ -> true)
+
+let qtests = List.map QCheck_alcotest.to_alcotest [ prop_decide_sound; prop_locality_normal ]
+
+let suite =
+  [ ("classify", `Quick, test_classify);
+    ("Example 4.3 (vee)", `Quick, test_example_4_3_vee);
+    ("Example 3.5 (normal witness)", `Quick, test_example_3_5);
+    ("reflexive and trivial", `Quick, test_reflexive_and_trivial);
+    ("contained with extra join", `Quick, test_contained_with_extra_join);
+    ("decide with heads", `Quick, test_decide_with_heads);
+    ("eq8 requires boolean", `Quick, test_eq8_requires_boolean);
+    ("scale_steps", `Quick, test_scale_steps);
+    ("witness from normal (Ex 3.5)", `Quick, test_witness_from_normal_direct);
+    ("domination", `Quick, test_domination); ("witness theory (Thm 3.4)", `Quick, test_witness_theorem_3_4); ("set semantics contrast", `Quick, test_set_semantics_contrast); ("locality (Ex E.2, Lemma E.1)", `Quick, test_locality_property) ]
+  @ qtests

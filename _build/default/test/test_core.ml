@@ -1,0 +1,5 @@
+(* Test-suite entry point: registers one Alcotest group per module family. *)
+
+let () =
+  Alcotest.run "bagcqc"
+    [ ("num", Test_num.suite); ("lp", Test_lp.suite); ("entropy", Test_entropy.suite); ("relation", Test_relation.suite); ("cq", Test_cq.suite); ("containment", Test_containment.suite); ("reduction", Test_reduction.suite); ("refute", Test_refute.suite); ("dependencies", Test_deps.suite); ("group", Test_group.suite); ("bagdb", Test_bagdb.suite); ("cli", Test_cli.suite); ("transport", Test_transport.suite); ("misc", Test_misc.suite) ]

@@ -1,0 +1,186 @@
+(* Tests for the Section 6 material: Lee's information-theoretic
+   characterizations of FDs, MVDs and lossless joins, and the
+   inclusion-exclusion form of E_T (Eq. 32).  The headline property tests
+   run Lee's theorems as executable statements: the relational definition
+   and the entropy characterization must coincide on random relations. *)
+
+open Bagcqc_entropy
+open Bagcqc_cq
+open Bagcqc_relation
+
+let vs = Varset.of_list
+
+let parity_rel =
+  Relation.of_int_rows ~arity:3
+    [ [ 0; 0; 0 ]; [ 0; 1; 1 ]; [ 1; 0; 1 ]; [ 1; 1; 0 ] ]
+
+(* ------------------------------------------------------------------ *)
+(* FDs                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_fd () =
+  (* In parity, any two columns determine the third. *)
+  Alcotest.(check bool) "XY -> Z" true
+    (Dependencies.fd_holds parity_rel ~x:(vs [ 0; 1 ]) ~y:(vs [ 2 ]));
+  Alcotest.(check bool) "X -/-> Z" false
+    (Dependencies.fd_holds parity_rel ~x:(vs [ 0 ]) ~y:(vs [ 2 ]));
+  (* The entropy characterization agrees (Lee Part I). *)
+  Alcotest.(check bool) "entropy: XY -> Z" true
+    (Dependencies.fd_holds_entropy parity_rel ~x:(vs [ 0; 1 ]) ~y:(vs [ 2 ]));
+  Alcotest.(check bool) "entropy: X -/-> Z" false
+    (Dependencies.fd_holds_entropy parity_rel ~x:(vs [ 0 ]) ~y:(vs [ 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* MVDs                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_mvd () =
+  (* The classic course ↠ teacher | book relation: teachers and books of
+     a course vary independently. *)
+  let p =
+    Relation.of_int_rows ~arity:3
+      [ (* course 0: teachers {0,1} x books {0,1} *)
+        [ 0; 0; 0 ]; [ 0; 0; 1 ]; [ 0; 1; 0 ]; [ 0; 1; 1 ];
+        (* course 1: teacher {2} x books {0} *)
+        [ 1; 2; 0 ] ]
+  in
+  Alcotest.(check bool) "course ->> teacher" true
+    (Dependencies.mvd_holds p ~x:(vs [ 0 ]) ~y:(vs [ 1 ]));
+  Alcotest.(check bool) "entropy agrees" true
+    (Dependencies.mvd_holds_entropy p ~x:(vs [ 0 ]) ~y:(vs [ 1 ]));
+  (* Remove one tuple: the MVD breaks. *)
+  let p' =
+    Relation.of_int_rows ~arity:3
+      [ [ 0; 0; 0 ]; [ 0; 0; 1 ]; [ 0; 1; 0 ]; [ 1; 2; 0 ] ]
+  in
+  Alcotest.(check bool) "broken MVD" false
+    (Dependencies.mvd_holds p' ~x:(vs [ 0 ]) ~y:(vs [ 1 ]));
+  Alcotest.(check bool) "entropy agrees on broken" false
+    (Dependencies.mvd_holds_entropy p' ~x:(vs [ 0 ]) ~y:(vs [ 1 ]));
+  (* FDs are MVDs. *)
+  Alcotest.(check bool) "FD implies MVD" true
+    (Dependencies.mvd_holds parity_rel ~x:(vs [ 0; 1 ]) ~y:(vs [ 2 ]))
+
+(* ------------------------------------------------------------------ *)
+(* Lossless joins                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let path_dec =
+  Treedec.make ~bags:[| vs [ 0; 1 ]; vs [ 1; 2 ] |] ~edges:[ (0, 1) ]
+
+let test_lossless_join () =
+  (* Parity does NOT decompose along {01}-{12}: E_T(h) = 3 > 2 = h(V). *)
+  Alcotest.(check bool) "parity not lossless" false
+    (Dependencies.lossless_join parity_rel path_dec);
+  Alcotest.(check bool) "entropy agrees" false
+    (Dependencies.lossless_join_entropy parity_rel path_dec);
+  (* A relation built as a join IS lossless. *)
+  let p =
+    Dependencies.join_of_projections
+      (Relation.of_int_rows ~arity:3 [ [ 0; 0; 0 ]; [ 1; 0; 1 ]; [ 0; 1; 1 ] ])
+      [ vs [ 0; 1 ]; vs [ 1; 2 ] ]
+  in
+  Alcotest.(check bool) "join is lossless" true
+    (Dependencies.lossless_join p path_dec);
+  Alcotest.(check bool) "entropy agrees on lossless" true
+    (Dependencies.lossless_join_entropy p path_dec);
+  Alcotest.check_raises "bags must cover"
+    (Invalid_argument "Dependencies.join_of_projections: bags do not cover all columns")
+    (fun () -> ignore (Dependencies.join_of_projections parity_rel [ vs [ 0; 1 ] ]))
+
+(* ------------------------------------------------------------------ *)
+(* Property tests: Lee's theorems                                      *)
+(* ------------------------------------------------------------------ *)
+
+let arb_relation =
+  let gen =
+    QCheck.Gen.(
+      let* rows = list_size (int_range 1 8) (list_repeat 3 (int_range 0 2)) in
+      return (Relation.of_int_rows ~arity:3 rows))
+  in
+  QCheck.make ~print:(Format.asprintf "%a" Relation.pp) gen
+
+let arb_xy =
+  QCheck.make
+    QCheck.Gen.(
+      let* x = int_range 0 7 in
+      let* y = int_range 1 7 in
+      return (x, y))
+
+let prop_fd_lee =
+  QCheck.Test.make ~name:"Lee: FD X->Y iff h(Y|X)=0" ~count:300
+    (QCheck.pair arb_relation arb_xy)
+    (fun (p, (x, y)) ->
+      Dependencies.fd_holds p ~x ~y = Dependencies.fd_holds_entropy p ~x ~y)
+
+let prop_mvd_lee =
+  QCheck.Test.make ~name:"Lee: MVD X->>Y iff I(Y;Z|X)=0" ~count:300
+    (QCheck.pair arb_relation arb_xy)
+    (fun (p, (x, y)) ->
+      Dependencies.mvd_holds p ~x ~y = Dependencies.mvd_holds_entropy p ~x ~y)
+
+let prop_lossless_lee =
+  QCheck.Test.make ~name:"Lee: lossless along T iff E_T(h)=h(V)" ~count:300
+    arb_relation
+    (fun p ->
+      Dependencies.lossless_join p path_dec
+      = Dependencies.lossless_join_entropy p path_dec)
+
+let prop_fd_implies_mvd =
+  QCheck.Test.make ~name:"FD implies MVD" ~count:200
+    (QCheck.pair arb_relation arb_xy)
+    (fun (p, (x, y)) ->
+      (not (Dependencies.fd_holds p ~x ~y)) || Dependencies.mvd_holds p ~x ~y)
+
+(* ------------------------------------------------------------------ *)
+(* Eq. 32                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_eq32_examples () =
+  (* Vee: E_T = h(Y1Y2) + h(Y1Y3) - h(Y1). *)
+  let vee = Parser.parse "R(y1,y2), R(y1,y3)" in
+  let t = Option.get (Treedec.join_tree vee) in
+  Alcotest.(check bool) "vee" true
+    (Linexpr.equal (Treedec.et_inclusion_exclusion t) (Treedec.et_via_separators t));
+  (* Star with three leaves around a shared variable. *)
+  let star =
+    Treedec.make
+      ~bags:[| vs [ 0 ]; vs [ 0; 1 ]; vs [ 0; 2 ]; vs [ 0; 3 ] |]
+      ~edges:[ (0, 1); (0, 2); (0, 3) ]
+  in
+  Alcotest.(check bool) "star" true
+    (Linexpr.equal (Treedec.et_inclusion_exclusion star) (Treedec.et_via_separators star))
+
+let arb_small_query =
+  let gen =
+    QCheck.Gen.(
+      let* nv = int_range 1 4 in
+      let* natoms = int_range 1 3 in
+      let* atoms =
+        list_repeat natoms
+          (let* arity = int_range 1 3 in
+           let* args = list_repeat arity (int_range 0 (nv - 1)) in
+           return (Query.atom (Printf.sprintf "P%d" arity) args))
+      in
+      let cover = Query.atom "COV" (List.init nv Fun.id) in
+      return (Query.make ~nvars:nv (cover :: atoms)))
+  in
+  QCheck.make ~print:Query.to_string gen
+
+let prop_eq32 =
+  QCheck.Test.make ~name:"Eq. 32 equals Eq. 7 on tree decompositions" ~count:200
+    arb_small_query
+    (fun q ->
+      let t = Treedec.of_query q in
+      Linexpr.equal (Treedec.et_inclusion_exclusion t) (Treedec.et_via_separators t))
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_fd_lee; prop_mvd_lee; prop_lossless_lee; prop_fd_implies_mvd; prop_eq32 ]
+
+let suite =
+  [ ("FD (Lee Part I)", `Quick, test_fd);
+    ("MVD", `Quick, test_mvd);
+    ("lossless join", `Quick, test_lossless_join);
+    ("Eq. 32 examples", `Quick, test_eq32_examples) ]
+  @ qtests

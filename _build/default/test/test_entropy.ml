@@ -1,0 +1,482 @@
+(* Tests for the entropy substrate: Varset, Linexpr, Cexpr, Polymatroid,
+   Cones, Normalize, Maxii.  Includes the paper's Examples 3.8, B.4, C.4
+   (Figure 1) and a property-test of Theorem 3.6 itself. *)
+
+open Bagcqc_num
+open Bagcqc_entropy
+
+let q = Rat.of_int
+let qf = Rat.of_ints
+let rt = Alcotest.testable Rat.pp Rat.equal
+let vs = Varset.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Varset                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_varset_basic () =
+  Alcotest.(check int) "cardinal full 5" 5 (Varset.cardinal (Varset.full 5));
+  Alcotest.(check int) "cardinal empty" 0 (Varset.cardinal Varset.empty);
+  Alcotest.(check (list int)) "to_list" [ 0; 2; 4 ] (Varset.to_list (vs [ 4; 0; 2 ]));
+  Alcotest.(check bool) "subset yes" true (Varset.subset (vs [ 1 ]) (vs [ 0; 1 ]));
+  Alcotest.(check bool) "subset no" false (Varset.subset (vs [ 2 ]) (vs [ 0; 1 ]));
+  Alcotest.(check bool) "mem" true (Varset.mem 3 (vs [ 3 ]));
+  Alcotest.(check int) "union" 7 (Varset.union (vs [ 0; 1 ]) (vs [ 2 ]));
+  Alcotest.(check int) "inter" 2 (Varset.inter (vs [ 0; 1 ]) (vs [ 1; 2 ]));
+  Alcotest.(check int) "diff" 1 (Varset.diff (vs [ 0; 1 ]) (vs [ 1; 2 ]))
+
+let test_varset_subsets () =
+  let count = ref 0 in
+  Varset.iter_subsets (vs [ 0; 2; 5 ]) (fun _ -> incr count);
+  Alcotest.(check int) "8 subsets of a 3-set" 8 !count;
+  let supers = ref [] in
+  Varset.iter_supersets ~n:3 (vs [ 0 ]) (fun s -> supers := s :: !supers);
+  Alcotest.(check int) "4 supersets of {0} in [3]" 4 (List.length !supers);
+  List.iter
+    (fun s -> Alcotest.(check bool) "superset contains 0" true (Varset.mem 0 s))
+    !supers
+
+let prop_subset_enum_complete =
+  QCheck.Test.make ~name:"varset: subset enumeration is exhaustive" ~count:200
+    (QCheck.int_range 0 1023)
+    (fun mask ->
+      let seen = Hashtbl.create 16 in
+      Varset.iter_subsets mask (fun s ->
+          if Hashtbl.mem seen s then failwith "duplicate";
+          Hashtbl.add seen s ());
+      Hashtbl.length seen = 1 lsl Varset.cardinal mask
+      && Hashtbl.fold (fun s () acc -> acc && Varset.subset s mask) seen true)
+
+(* ------------------------------------------------------------------ *)
+(* Linexpr / Cexpr                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_linexpr_algebra () =
+  let e1 = Linexpr.term (vs [ 0; 1 ]) in
+  let e2 = Linexpr.term ~coeff:(q 2) (vs [ 1 ]) in
+  let s = Linexpr.add e1 e2 in
+  Alcotest.check rt "coeff 01" Rat.one (Linexpr.coeff s (vs [ 0; 1 ]));
+  Alcotest.check rt "coeff 1" (q 2) (Linexpr.coeff s (vs [ 1 ]));
+  Alcotest.check rt "coeff absent" Rat.zero (Linexpr.coeff s (vs [ 0 ]));
+  Alcotest.(check bool) "cancellation" true
+    (Linexpr.is_zero (Linexpr.sub s s));
+  (* cond: h(Y|X) = h(YX) - h(X) *)
+  let c = Linexpr.cond (vs [ 1 ]) (vs [ 0 ]) in
+  Alcotest.check rt "cond +" Rat.one (Linexpr.coeff c (vs [ 0; 1 ]));
+  Alcotest.check rt "cond -" Rat.minus_one (Linexpr.coeff c (vs [ 0 ]));
+  (* h(∅) is never stored *)
+  let m = Linexpr.mutual (vs [ 0 ]) (vs [ 1 ]) Varset.empty in
+  Alcotest.(check int) "mutual support size" 3 (List.length (Linexpr.support m))
+
+let test_linexpr_eval_rename () =
+  let h x = q (Varset.cardinal x) in
+  (* |X| is (the rank function of the free matroid) a modular h. *)
+  let e =
+    Linexpr.sum
+      [ Linexpr.term ~coeff:(q 3) (vs [ 0 ]);
+        Linexpr.term ~coeff:(q 4) (vs [ 1; 2 ]);
+        Linexpr.term ~coeff:(q (-6)) (vs [ 2 ]) ]
+  in
+  Alcotest.check rt "eval" (q 5) (Linexpr.eval h e);
+  (* Example 4.1: rename Y1↦X1, Y2,Y3↦X2 on 3h(Y1)+4h(Y2Y3)-6h(Y3)
+     gives 3h(X1)+4h(X2)-6h(X2) = 3h(X1)-2h(X2). *)
+  let e' = Linexpr.rename (fun i -> if i = 0 then 0 else 1) e in
+  Alcotest.check rt "rename merge +" (q 3) (Linexpr.coeff e' (vs [ 0 ]));
+  Alcotest.check rt "rename merge -" (q (-2)) (Linexpr.coeff e' (vs [ 1 ]))
+
+let test_cexpr () =
+  let e =
+    Cexpr.sum
+      [ Cexpr.entropy (vs [ 0; 1 ]);
+        Cexpr.part (vs [ 1 ]) (vs [ 0 ]) ]
+  in
+  Alcotest.(check bool) "simple" true (Cexpr.is_simple e);
+  Alcotest.(check bool) "not unconditioned" false (Cexpr.is_unconditioned e);
+  let flat = Cexpr.to_linexpr e in
+  (* h(X1X2) + h(X2|X1) = 2h(X1X2) - h(X1) *)
+  Alcotest.check rt "flat 01" (q 2) (Linexpr.coeff flat (vs [ 0; 1 ]));
+  Alcotest.check rt "flat 0" Rat.minus_one (Linexpr.coeff flat (vs [ 0 ]));
+  (* |x| = 2 conditioning is neither simple nor unconditioned *)
+  let e2 = Cexpr.part (vs [ 2 ]) (vs [ 0; 1 ]) in
+  Alcotest.(check bool) "not simple" false (Cexpr.is_simple e2);
+  Alcotest.check_raises "negative coeff"
+    (Invalid_argument "Cexpr.part: negative coefficient") (fun () ->
+      ignore (Cexpr.part ~coeff:Rat.minus_one (vs [ 0 ]) Varset.empty))
+
+(* ------------------------------------------------------------------ *)
+(* Polymatroid                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_step_function () =
+  (* Paper Sec. 3.2: h_W(X) = 0 if X ⊆ W else 1. *)
+  let h = Polymatroid.step 3 (vs [ 0 ]) in
+  Alcotest.check rt "inside W" Rat.zero (Polymatroid.value h (vs [ 0 ]));
+  Alcotest.check rt "outside W" Rat.one (Polymatroid.value h (vs [ 1 ]));
+  Alcotest.check rt "mixed" Rat.one (Polymatroid.value h (vs [ 0; 1 ]));
+  Alcotest.(check bool) "step is polymatroid" true (Polymatroid.is_polymatroid h);
+  Alcotest.(check bool) "step is normal" true (Polymatroid.is_normal h);
+  Alcotest.check_raises "full W rejected"
+    (Invalid_argument "Polymatroid.step: W must be proper") (fun () ->
+      ignore (Polymatroid.step 2 (Varset.full 2)))
+
+let test_parity_example_b4 () =
+  (* Example B.4: h(X)=h(Y)=h(Z)=1, all pairs and triple = 2. *)
+  let h = Polymatroid.parity in
+  Alcotest.check rt "h(X)" Rat.one (Polymatroid.value h (vs [ 0 ]));
+  Alcotest.check rt "h(XY)" (q 2) (Polymatroid.value h (vs [ 0; 1 ]));
+  Alcotest.check rt "h(XYZ)" (q 2) (Polymatroid.value h (Varset.full 3));
+  Alcotest.(check bool) "parity is polymatroid" true (Polymatroid.is_polymatroid h);
+  (* Corollary B.8: parity is not normal. *)
+  Alcotest.(check bool) "parity not normal" false (Polymatroid.is_normal h);
+  Alcotest.(check bool) "no decomposition" true
+    (Polymatroid.normal_decomposition h = None);
+  (* Möbius inverse table from Appendix B:
+     g(∅)=+1 g(X)=g(Y)=g(Z)=-1 g(pairs)=0 g(XYZ)=+2. *)
+  Alcotest.check rt "g(empty)" Rat.one (Polymatroid.mobius h Varset.empty);
+  Alcotest.check rt "g(X)" Rat.minus_one (Polymatroid.mobius h (vs [ 0 ]));
+  Alcotest.check rt "g(XY)" Rat.zero (Polymatroid.mobius h (vs [ 0; 1 ]));
+  Alcotest.check rt "g(XYZ)" (q 2) (Polymatroid.mobius h (Varset.full 3))
+
+let test_modular () =
+  let h = Polymatroid.modular_of_weights [| q 1; q 2; q 3 |] in
+  Alcotest.check rt "h(02)" (q 4) (Polymatroid.value h (vs [ 0; 2 ]));
+  Alcotest.(check bool) "modular" true (Polymatroid.is_modular h);
+  Alcotest.(check bool) "modular is normal" true (Polymatroid.is_normal h);
+  Alcotest.(check bool) "modular is polymatroid" true (Polymatroid.is_polymatroid h);
+  Alcotest.(check bool) "parity not modular" false
+    (Polymatroid.is_modular Polymatroid.parity)
+
+let test_mobius_roundtrip () =
+  let h = Polymatroid.parity in
+  let h' = Polymatroid.of_mobius 3 (Polymatroid.mobius h) in
+  Alcotest.(check bool) "mobius roundtrip" true (Polymatroid.equal h h')
+
+let test_normal_decomposition () =
+  let coeffs = [ (vs [ 0 ], qf 3 2); (vs [ 1; 2 ], q 2); (Varset.empty, Rat.one) ] in
+  let h = Polymatroid.normal_of_steps 3 coeffs in
+  Alcotest.(check bool) "normal" true (Polymatroid.is_normal h);
+  (match Polymatroid.normal_decomposition h with
+   | None -> Alcotest.fail "expected decomposition"
+   | Some d ->
+     let h' = Polymatroid.normal_of_steps 3 d in
+     Alcotest.(check bool) "decomposition reconstructs" true (Polymatroid.equal h h'))
+
+let test_cond_mutual () =
+  let h = Polymatroid.parity in
+  (* Functional dependency XY -> Z: h(Z|XY) = 0. *)
+  Alcotest.check rt "h(Z|XY)=0" Rat.zero (Polymatroid.cond h (vs [ 2 ]) (vs [ 0; 1 ]));
+  (* Pairwise independence: I(X;Y) = 0. *)
+  Alcotest.check rt "I(X;Y)=0" Rat.zero
+    (Polymatroid.mutual h (vs [ 0 ]) (vs [ 1 ]) Varset.empty);
+  (* But I(X;Y|Z) = 1. *)
+  Alcotest.check rt "I(X;Y|Z)=1" Rat.one
+    (Polymatroid.mutual h (vs [ 0 ]) (vs [ 1 ]) (vs [ 2 ]))
+
+(* Sums of truncated modular functions: a rich polymatroid generator
+   (includes parity = trunc(2, 1+1+1)). *)
+let arb_polymatroid n =
+  let gen =
+    QCheck.Gen.(
+      let* pieces =
+        list_size (int_range 1 3)
+          (pair (int_range 1 6) (list_repeat n (int_range 0 4)))
+      in
+      let trunc (cap, ws) =
+        let ws = Array.of_list (List.map q ws) in
+        Polymatroid.make n (fun x ->
+            let s =
+              Varset.fold_elements (fun i acc -> Rat.add acc ws.(i)) x Rat.zero
+            in
+            Rat.min (q cap) s)
+      in
+      return (List.fold_left (fun acc p -> Polymatroid.add acc (trunc p)) (Polymatroid.zero n) pieces))
+  in
+  QCheck.make ~print:(Format.asprintf "%a" (Polymatroid.pp ())) gen
+
+let prop_truncated_modular_is_polymatroid =
+  QCheck.Test.make ~name:"sum of truncated modulars is a polymatroid" ~count:100
+    (arb_polymatroid 4) Polymatroid.is_polymatroid
+
+(* ------------------------------------------------------------------ *)
+(* Cones: Shannon validity                                             *)
+(* ------------------------------------------------------------------ *)
+
+let i_pair a b x = Linexpr.mutual (vs [ a ]) (vs [ b ]) (vs x)
+
+let test_shannon_basic () =
+  (* Submodularity h(1)+h(2) >= h(12) is Shannon. *)
+  let e =
+    Linexpr.sub
+      (Linexpr.add (Linexpr.term (vs [ 0 ])) (Linexpr.term (vs [ 1 ])))
+      (Linexpr.term (vs [ 0; 1 ]))
+  in
+  Alcotest.(check bool) "submodularity" true (Cones.valid_shannon ~n:2 e);
+  (* Monotonicity composite h(123) >= h(1). *)
+  let e2 = Linexpr.sub (Linexpr.term (Varset.full 3)) (Linexpr.term (vs [ 0 ])) in
+  Alcotest.(check bool) "monotonicity" true (Cones.valid_shannon ~n:3 e2);
+  (* h(2) - h(1) >= 0 is false. *)
+  let e3 = Linexpr.sub (Linexpr.term (vs [ 1 ])) (Linexpr.term (vs [ 0 ])) in
+  Alcotest.(check bool) "false inequality" false (Cones.valid_shannon ~n:2 e3)
+
+let test_shannon_certificate () =
+  let e =
+    Linexpr.sub
+      (Linexpr.add (Linexpr.term (vs [ 0 ])) (Linexpr.term (vs [ 1 ])))
+      (Linexpr.term (vs [ 0; 1 ]))
+  in
+  (match Cones.shannon_certificate ~n:2 e with
+   | None -> Alcotest.fail "expected certificate"
+   | Some cert ->
+     let recombined =
+       Linexpr.sum (List.map (fun (el, l) -> Linexpr.scale l el) cert)
+     in
+     Alcotest.(check bool) "certificate recombines exactly" true
+       (Linexpr.equal recombined e));
+  let bad = Linexpr.sub (Linexpr.term (vs [ 1 ])) (Linexpr.term (vs [ 0 ])) in
+  Alcotest.(check bool) "no certificate for invalid" true
+    (Cones.shannon_certificate ~n:2 bad = None)
+
+let test_zhang_yeung_not_shannon () =
+  (* Zhang-Yeung 1998: 2I(C;D) <= I(A;B) + I(A;CD) + 3I(C;D|A) + I(C;D|B)
+     is valid over Γ*4 but NOT a Shannon inequality; the Γ4 test must
+     refute it, and the refuting polymatroid must not be normal
+     (it is not entropic). Variables: A=0 B=1 C=2 D=3. *)
+  let lhs = Linexpr.scale (q 2) (i_pair 2 3 []) in
+  let rhs =
+    Linexpr.sum
+      [ i_pair 0 1 [];
+        Linexpr.mutual (vs [ 0 ]) (vs [ 2; 3 ]) Varset.empty;
+        Linexpr.scale (q 3) (i_pair 2 3 [ 0 ]);
+        i_pair 2 3 [ 1 ] ]
+  in
+  let e = Linexpr.sub rhs lhs in
+  (match Cones.valid Cones.Gamma ~n:4 e with
+   | Ok () -> Alcotest.fail "Zhang-Yeung must not be Shannon"
+   | Error h ->
+     Alcotest.(check bool) "witness is a polymatroid" true
+       (Polymatroid.is_polymatroid h);
+     Alcotest.(check bool) "witness violates" true
+       (Rat.sign (Polymatroid.eval h e) < 0));
+  (* But it does hold over the normal cone (normal functions are entropic). *)
+  Alcotest.(check bool) "valid over Nn" true
+    (Result.is_ok (Cones.valid Cones.Normal ~n:4 e))
+
+let test_ingleton_unknown_path () =
+  (* Ingleton: I(A;B) <= I(A;B|C) + I(A;B|D) + I(C;D): fails over Γ*4 and
+     over Γ4, but holds over Nn — exercising Maxii's Unknown verdict. *)
+  let e =
+    Linexpr.sub
+      (Linexpr.sum [ i_pair 0 1 [ 2 ]; i_pair 0 1 [ 3 ]; i_pair 2 3 [] ])
+      (i_pair 0 1 [])
+  in
+  let t = Maxii.general ~n:4 [ e ] in
+  (match Maxii.decide t with
+   | Maxii.Unknown h ->
+     Alcotest.(check bool) "refuter is polymatroid" true (Polymatroid.is_polymatroid h);
+     Alcotest.(check bool) "refuter not normal" false (Polymatroid.is_normal h)
+   | Maxii.Valid -> Alcotest.fail "Ingleton is not valid over Γ4"
+   | Maxii.Invalid _ -> Alcotest.fail "Ingleton holds over N4, cannot be Invalid")
+
+let test_example_3_8 () =
+  (* Example 3.8: h(X1X2X3) <= max(E1, E2, E3) with
+     E1 = h(X1X2)+h(X2|X1), E2 = h(X2X3)+h(X3|X2), E3 = h(X1X3)+h(X1|X3). *)
+  let e1 = Cexpr.add (Cexpr.entropy (vs [ 0; 1 ])) (Cexpr.part (vs [ 1 ]) (vs [ 0 ])) in
+  let e2 = Cexpr.add (Cexpr.entropy (vs [ 1; 2 ])) (Cexpr.part (vs [ 2 ]) (vs [ 1 ])) in
+  let e3 = Cexpr.add (Cexpr.entropy (vs [ 0; 2 ])) (Cexpr.part (vs [ 0 ]) (vs [ 2 ])) in
+  let t = Maxii.conditional ~n:3 ~q:Rat.one [ e1; e2; e3 ] in
+  Alcotest.(check bool) "simple shape" true (Maxii.shape t = Maxii.Simple);
+  (match Maxii.decide t with
+   | Maxii.Valid -> ()
+   | _ -> Alcotest.fail "Example 3.8 inequality must be valid");
+  (* Any single side alone is NOT sufficient: h(X1X2X3) <= E1 fails. *)
+  let t1 = Maxii.conditional ~n:3 ~q:Rat.one [ e1 ] in
+  (match Maxii.decide t1 with
+   | Maxii.Invalid h ->
+     Alcotest.(check bool) "normal refuter" true (Polymatroid.is_normal h);
+     let side = List.hd (Maxii.sides t1) in
+     Alcotest.(check bool) "refutes" true (Rat.sign (Polymatroid.eval h side) < 0)
+   | _ -> Alcotest.fail "single side must be refuted with a normal witness")
+
+let test_max_needs_all_sides () =
+  (* 0 <= max(h(1)-h(2), h(2)-h(1)) is valid over every cone, while each
+     side alone is invalid: the genuinely "max" part of Max-IIP. *)
+  let d12 = Linexpr.sub (Linexpr.term (vs [ 0 ])) (Linexpr.term (vs [ 1 ])) in
+  let t = Maxii.general ~n:2 [ d12; Linexpr.neg d12 ] in
+  (match Maxii.decide t with
+   | Maxii.Valid -> ()
+   | _ -> Alcotest.fail "max of opposite differences is valid");
+  (match Maxii.decide (Maxii.general ~n:2 [ d12 ]) with
+   | Maxii.Invalid _ -> ()
+   | _ -> Alcotest.fail "one side alone is invalid")
+
+(* Theorem 3.6 (ii) as a property: for random SIMPLE conditional
+   max-inequalities, validity over Nn coincides with validity over Γn. *)
+let prop_theorem_3_6 =
+  let n = 3 in
+  let gen_cexpr =
+    QCheck.Gen.(
+      let gen_part =
+        let* y = int_range 1 ((1 lsl n) - 1) in
+        let* x = oneof [ return Varset.empty; map Varset.singleton (int_range 0 (n - 1)) ] in
+        return (Cexpr.part (Varset.diff y x) x)
+      in
+      let* parts = list_size (int_range 1 3) gen_part in
+      return (Cexpr.sum parts))
+  in
+  let gen =
+    QCheck.Gen.(
+      let* k = int_range 1 3 in
+      let* sides = list_repeat k gen_cexpr in
+      let* qv = int_range 1 2 in
+      return (Maxii.conditional ~n ~q:(q qv) sides))
+  in
+  QCheck.Test.make
+    ~name:"Theorem 3.6(ii): simple max-inequalities are essentially Shannon"
+    ~count:150
+    (QCheck.make ~print:(Format.asprintf "%a" (Maxii.pp ())) gen)
+    (fun t ->
+      QCheck.assume (Maxii.shape t = Maxii.Simple || Maxii.shape t = Maxii.Unconditioned);
+      Result.is_ok (Maxii.valid_over Cones.Normal t)
+      = Result.is_ok (Maxii.valid_over Cones.Gamma t))
+
+(* Soundness of counterexamples: whenever a cone check fails, the witness
+   really is in the cone and really violates all sides. *)
+let prop_counterexample_sound =
+  let n = 3 in
+  let gen_expr =
+    QCheck.Gen.(
+      let* terms =
+        list_size (int_range 1 4)
+          (pair (int_range 1 ((1 lsl n) - 1)) (int_range (-3) 3))
+      in
+      return
+        (Linexpr.sum
+           (List.map (fun (m, c) -> Linexpr.term ~coeff:(q c) m) terms)))
+  in
+  let gen = QCheck.Gen.(list_size (int_range 1 2) gen_expr) in
+  QCheck.Test.make ~name:"cone counterexamples are sound" ~count:100
+    (QCheck.make
+       ~print:(fun es -> String.concat " | " (List.map (Format.asprintf "%a" (Linexpr.pp ())) es))
+       gen)
+    (fun es ->
+      List.for_all
+        (fun cone ->
+          match Cones.valid_max cone ~n es with
+          | Ok () -> true
+          | Error h ->
+            Polymatroid.is_polymatroid h
+            && (match cone with
+                | Cones.Gamma -> true
+                | Cones.Normal -> Polymatroid.is_normal h
+                | Cones.Modular -> Polymatroid.is_modular h)
+            && List.for_all (fun e -> Rat.sign (Polymatroid.eval h e) < 0) es)
+        [ Cones.Gamma; Cones.Normal; Cones.Modular ])
+
+(* Cone containment Mn ⊆ Nn ⊆ Γn at the level of validity:
+   valid over Γn ⇒ valid over Nn ⇒ valid over Mn. *)
+let prop_cone_chain =
+  let n = 3 in
+  let gen_expr =
+    QCheck.Gen.(
+      let* terms =
+        list_size (int_range 1 4)
+          (pair (int_range 1 ((1 lsl n) - 1)) (int_range (-3) 3))
+      in
+      return
+        (Linexpr.sum
+           (List.map (fun (m, c) -> Linexpr.term ~coeff:(q c) m) terms)))
+  in
+  QCheck.Test.make ~name:"validity is monotone along Mn ⊆ Nn ⊆ Γn" ~count:100
+    (QCheck.make ~print:(Format.asprintf "%a" (Linexpr.pp ())) gen_expr)
+    (fun e ->
+      let v cone = Result.is_ok (Cones.valid cone ~n e) in
+      (not (v Cones.Gamma) || v Cones.Normal)
+      && (not (v Cones.Normal) || v Cones.Modular))
+
+(* ------------------------------------------------------------------ *)
+(* Normalize: Lemma 3.7 / Theorem C.3 / Figure 1                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_figure_1 () =
+  (* Example C.4 / Figure 1: normalizing the parity function gives
+     h'(1)=h'(2)=h'(3)=1, h'(12)=1, h'(13)=h'(23)=2, h'(123)=2. *)
+  let h' = Normalize.normalize Polymatroid.parity in
+  let v l = Polymatroid.value h' (vs l) in
+  Alcotest.check rt "h'(1)" Rat.one (v [ 0 ]);
+  Alcotest.check rt "h'(2)" Rat.one (v [ 1 ]);
+  Alcotest.check rt "h'(3)" Rat.one (v [ 2 ]);
+  Alcotest.check rt "h'(12)" Rat.one (v [ 0; 1 ]);
+  Alcotest.check rt "h'(13)" (q 2) (v [ 0; 2 ]);
+  Alcotest.check rt "h'(23)" (q 2) (v [ 1; 2 ]);
+  Alcotest.check rt "h'(123)" (q 2) (v [ 0; 1; 2 ]);
+  Alcotest.(check bool) "h' is normal" true (Polymatroid.is_normal h');
+  (* Möbius inverse of h' per Figure 1 (bottom-left): g'(3) = -1,
+     g'(12) = -1, g'(123) = +2, rest 0. *)
+  Alcotest.check rt "g'(3)" Rat.minus_one (Polymatroid.mobius h' (vs [ 2 ]));
+  Alcotest.check rt "g'(12)" Rat.minus_one (Polymatroid.mobius h' (vs [ 0; 1 ]));
+  Alcotest.check rt "g'(123)" (q 2) (Polymatroid.mobius h' (Varset.full 3));
+  Alcotest.check rt "g'(1)" Rat.zero (Polymatroid.mobius h' (vs [ 0 ]))
+
+let test_modularize_basic () =
+  let h = Polymatroid.parity in
+  let h' = Normalize.modularize h in
+  Alcotest.(check bool) "modular" true (Polymatroid.is_modular h');
+  Alcotest.(check bool) "dominated" true (Polymatroid.dominates h h');
+  Alcotest.check rt "top preserved"
+    (Polymatroid.value h (Varset.full 3))
+    (Polymatroid.value h' (Varset.full 3))
+
+let prop_normalize_lemma_3_7 =
+  QCheck.Test.make ~name:"Lemma 3.7(2): normalize gives normal h' ≤ h, same top & singletons"
+    ~count:60 (arb_polymatroid 4)
+    (fun h ->
+      let h' = Normalize.normalize h in
+      let n = Polymatroid.n_vars h in
+      Polymatroid.is_polymatroid h'
+      && Polymatroid.is_normal h'
+      && Polymatroid.dominates h h'
+      && Rat.equal (Polymatroid.value h (Varset.full n)) (Polymatroid.value h' (Varset.full n))
+      && List.for_all
+           (fun i ->
+             Rat.equal
+               (Polymatroid.value h (Varset.singleton i))
+               (Polymatroid.value h' (Varset.singleton i)))
+           (Varset.to_list (Varset.full n)))
+
+let prop_modularize_lemma_3_7 =
+  QCheck.Test.make ~name:"Lemma 3.7(1): modularize gives modular h' ≤ h, same top"
+    ~count:60 (arb_polymatroid 4)
+    (fun h ->
+      let h' = Normalize.modularize h in
+      let n = Polymatroid.n_vars h in
+      Polymatroid.is_modular h'
+      && Polymatroid.dominates h h'
+      && Rat.equal (Polymatroid.value h (Varset.full n)) (Polymatroid.value h' (Varset.full n)))
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_subset_enum_complete; prop_truncated_modular_is_polymatroid;
+      prop_theorem_3_6; prop_counterexample_sound; prop_cone_chain;
+      prop_normalize_lemma_3_7; prop_modularize_lemma_3_7 ]
+
+let suite =
+  [ ("varset basic", `Quick, test_varset_basic);
+    ("varset subsets", `Quick, test_varset_subsets);
+    ("linexpr algebra", `Quick, test_linexpr_algebra);
+    ("linexpr eval/rename (Ex 4.1)", `Quick, test_linexpr_eval_rename);
+    ("cexpr", `Quick, test_cexpr);
+    ("step function", `Quick, test_step_function);
+    ("parity (Ex B.4)", `Quick, test_parity_example_b4);
+    ("modular", `Quick, test_modular);
+    ("mobius roundtrip", `Quick, test_mobius_roundtrip);
+    ("normal decomposition", `Quick, test_normal_decomposition);
+    ("cond/mutual on parity", `Quick, test_cond_mutual);
+    ("shannon basic", `Quick, test_shannon_basic);
+    ("shannon certificate", `Quick, test_shannon_certificate);
+    ("Zhang-Yeung not Shannon", `Quick, test_zhang_yeung_not_shannon);
+    ("Ingleton: Unknown path", `Quick, test_ingleton_unknown_path);
+    ("Example 3.8", `Quick, test_example_3_8);
+    ("max needs all sides", `Quick, test_max_needs_all_sides);
+    ("Figure 1 (Ex C.4)", `Quick, test_figure_1);
+    ("modularize basic", `Quick, test_modularize_basic) ]
+  @ qtests

@@ -1,0 +1,144 @@
+(* Tests for group-characterizable relations (Chan-Yeung / Lemma 4.8). *)
+
+open Bagcqc_num
+open Bagcqc_entropy
+open Bagcqc_relation
+
+let vs = Varset.of_list
+
+let test_perm () =
+  let p = Group.Perm.of_cycles 3 [ [ 0; 1 ] ] in
+  Alcotest.(check bool) "transposition" true (p = [| 1; 0; 2 |]);
+  let q = Group.Perm.of_cycles 3 [ [ 0; 1; 2 ] ] in
+  Alcotest.(check bool) "3-cycle" true (q = [| 1; 2; 0 |]);
+  (* compose p q applies q first. *)
+  Alcotest.(check bool) "composition" true
+    (Group.Perm.compose p q = [| 0; 2; 1 |]);
+  Alcotest.(check bool) "inverse" true
+    (Group.Perm.compose q (Group.Perm.inverse q) = Group.Perm.identity 3);
+  Alcotest.check_raises "overlapping cycles"
+    (Invalid_argument "Perm.of_cycles: cycles not disjoint") (fun () ->
+      ignore (Group.Perm.of_cycles 3 [ [ 0; 1 ]; [ 1; 2 ] ]))
+
+let s3 = Group.generate 3 [ Group.Perm.of_cycles 3 [ [ 0; 1 ] ];
+                            Group.Perm.of_cycles 3 [ [ 0; 1; 2 ] ] ]
+
+let test_generate () =
+  Alcotest.(check int) "S3 order" 6 (Group.order s3);
+  let z3 = Group.generate 3 [ Group.Perm.of_cycles 3 [ [ 0; 1; 2 ] ] ] in
+  Alcotest.(check int) "Z3 order" 3 (Group.order z3);
+  Alcotest.(check bool) "Z3 <= S3" true (Group.is_subgroup_of ~sub:z3 s3);
+  Alcotest.check_raises "foreign generator"
+    (Invalid_argument "Group.subgroup: generator not in group") (fun () ->
+      ignore (Group.subgroup z3 [ Group.Perm.of_cycles 3 [ [ 0; 1 ] ] ]))
+
+let test_klein_parity () =
+  (* The Klein four-group with its three order-2 subgroups characterizes
+     the parity function of Example B.4. *)
+  let g, subs = Group.klein_parity in
+  Alcotest.(check int) "order 4" 4 (Group.order g);
+  List.iter
+    (fun s -> Alcotest.(check int) "subgroup order 2" 2 (Group.order s))
+    subs;
+  let one_bit k = Logint.scale (Rat.of_int k) (Logint.log_int 2) in
+  let check_h x bits =
+    Alcotest.(check bool)
+      (Format.asprintf "h%a = %d bits" (Varset.pp ()) x bits)
+      true
+      (Logint.equal (Group.entropy g subs x) (one_bit bits))
+  in
+  check_h (vs [ 0 ]) 1;
+  check_h (vs [ 1 ]) 1;
+  check_h (vs [ 0; 1 ]) 2;
+  check_h (vs [ 0; 2 ]) 2;
+  check_h (Varset.full 3) 2;
+  (* And the induced coset relation realizes exactly these entropies. *)
+  let p = Group.coset_relation g subs in
+  Alcotest.(check int) "4 rows" 4 (Relation.cardinal p);
+  Alcotest.(check bool) "totally uniform" true (Relation.is_totally_uniform p);
+  Varset.iter_subsets (Varset.full 3) (fun x ->
+      Alcotest.(check bool) "relation entropy = closed form" true
+        (Logint.equal (Relation.entropy_logint p x) (Group.entropy g subs x)))
+
+let test_s3_stabilizers () =
+  (* S3 with the three point stabilizers: h(i) = log 3, h(ij) = log 6. *)
+  let stab i =
+    let others = List.filter (fun j -> j <> i) [ 0; 1; 2 ] in
+    Group.subgroup s3 [ Group.Perm.of_cycles 3 [ others ] ]
+  in
+  let subs = [ stab 0; stab 1; stab 2 ] in
+  Alcotest.(check bool) "h(1) = log 3" true
+    (Logint.equal (Group.entropy s3 subs (vs [ 0 ])) (Logint.log_int 3));
+  Alcotest.(check bool) "h(12) = log 6" true
+    (Logint.equal (Group.entropy s3 subs (vs [ 0; 1 ])) (Logint.log_int 6));
+  let p = Group.coset_relation s3 subs in
+  Alcotest.(check int) "6 rows" 6 (Relation.cardinal p);
+  Alcotest.(check bool) "totally uniform" true (Relation.is_totally_uniform p)
+
+(* Property: random subgroup tuples of S3 give totally uniform relations
+   whose entropies match the closed form - Lemma 4.8's key step. *)
+let prop_group_relations_uniform =
+  let gens =
+    [ Group.Perm.of_cycles 3 [ [ 0; 1 ] ];
+      Group.Perm.of_cycles 3 [ [ 0; 2 ] ];
+      Group.Perm.of_cycles 3 [ [ 1; 2 ] ];
+      Group.Perm.of_cycles 3 [ [ 0; 1; 2 ] ];
+      Group.Perm.identity 3 ]
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun picks -> String.concat ";" (List.map string_of_int picks))
+      QCheck.Gen.(list_size (int_range 1 3) (int_range 0 4))
+  in
+  QCheck.Test.make ~name:"group relations are totally uniform with closed-form entropy"
+    ~count:60 arb
+    (fun picks ->
+      let subs = List.map (fun i -> Group.subgroup s3 [ List.nth gens i ]) picks in
+      let p = Group.coset_relation s3 subs in
+      let n = List.length subs in
+      Relation.is_totally_uniform p
+      && Varset.fold_subsets (Varset.full n)
+           (fun x acc ->
+             acc
+             && Logint.equal (Relation.entropy_logint p x) (Group.entropy s3 subs x))
+           true)
+
+(* Group entropies are polymatroids (they are entropic): check Shannon
+   inequalities via exact Logint arithmetic on the relation. *)
+let prop_group_entropy_submodular =
+  let arb = QCheck.make QCheck.Gen.(list_repeat 3 (int_range 0 2)) in
+  QCheck.Test.make ~name:"group entropies satisfy submodularity" ~count:30 arb
+    (fun picks ->
+      let cycles = [ [ [ 0; 1 ] ]; [ [ 0; 2 ] ]; [ [ 0; 1; 2 ] ] ] in
+      let subs =
+        List.map
+          (fun i -> Group.subgroup s3 [ Group.Perm.of_cycles 3 (List.nth cycles i) ])
+          picks
+      in
+      let p = Group.coset_relation s3 subs in
+      let h x = Relation.entropy_logint p x in
+      let full = Varset.full 3 in
+      Varset.fold_subsets full
+        (fun a acc ->
+          acc
+          && Varset.fold_subsets full
+               (fun b acc ->
+                 acc
+                 && Logint.sign
+                      (Logint.sub
+                         (Logint.add (h a) (h b))
+                         (Logint.add (h (Varset.union a b)) (h (Varset.inter a b))))
+                    >= 0)
+               true)
+        true)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_group_relations_uniform; prop_group_entropy_submodular ]
+
+let suite =
+  [ ("permutations", `Quick, test_perm);
+    ("generate", `Quick, test_generate);
+    ("Klein four-group = parity (Ex B.4)", `Quick, test_klein_parity);
+    ("S3 stabilizers", `Quick, test_s3_stabilizers) ]
+  @ qtests

@@ -1,0 +1,225 @@
+(* Tests for the exact simplex solver. *)
+
+open Bagcqc_num
+open Bagcqc_lp
+
+let q = Rat.of_int
+let qa l = Array.of_list (List.map q l)
+let qf a b = Rat.of_ints a b
+
+let rt = Alcotest.testable Rat.pp Rat.equal
+
+let check_optimal msg expected = function
+  | Simplex.Optimal (v, _) -> Alcotest.check rt msg expected v
+  | Simplex.Unbounded -> Alcotest.failf "%s: unexpected Unbounded" msg
+  | Simplex.Infeasible -> Alcotest.failf "%s: unexpected Infeasible" msg
+
+let test_basic_min () =
+  (* min x + y  s.t. x + 2y >= 4, 3x + y >= 6, x,y >= 0.
+     Optimum at intersection: x = 8/5, y = 6/5, value = 14/5. *)
+  let p =
+    Simplex.{
+      num_vars = 2;
+      objective = qa [1; 1];
+      constraints =
+        [ constr (qa [1; 2]) Ge (q 4);
+          constr (qa [3; 1]) Ge (q 6) ];
+    }
+  in
+  check_optimal "min value" (qf 14 5) (Simplex.solve p);
+  (match Simplex.solve p with
+   | Simplex.Optimal (_, x) ->
+     Alcotest.check rt "x" (qf 8 5) x.(0);
+     Alcotest.check rt "y" (qf 6 5) x.(1)
+   | _ -> Alcotest.fail "expected optimal")
+
+let test_basic_max () =
+  (* max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18: classic, opt 36. *)
+  let p =
+    Simplex.{
+      num_vars = 2;
+      objective = qa [3; 5];
+      constraints =
+        [ constr (qa [1; 0]) Le (q 4);
+          constr (qa [0; 2]) Le (q 12);
+          constr (qa [3; 2]) Le (q 18) ];
+    }
+  in
+  check_optimal "max value" (q 36) (Simplex.maximize p)
+
+let test_infeasible () =
+  let p =
+    Simplex.{
+      num_vars = 1;
+      objective = qa [1];
+      constraints =
+        [ constr (qa [1]) Ge (q 3);
+          constr (qa [1]) Le (q 2) ];
+    }
+  in
+  (match Simplex.solve p with
+   | Simplex.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible")
+
+let test_unbounded () =
+  (* min -x s.t. x >= 1: unbounded below. *)
+  let p =
+    Simplex.{
+      num_vars = 1;
+      objective = qa [-1];
+      constraints = [ constr (qa [1]) Ge (q 1) ];
+    }
+  in
+  (match Simplex.solve p with
+   | Simplex.Unbounded -> ()
+   | _ -> Alcotest.fail "expected unbounded")
+
+let test_equality () =
+  (* min x + 2y s.t. x + y = 10, x - y = 2  =>  x = 6, y = 4, value 14. *)
+  let p =
+    Simplex.{
+      num_vars = 2;
+      objective = qa [1; 2];
+      constraints =
+        [ constr (qa [1; 1]) Eq (q 10);
+          constr (qa [1; -1]) Eq (q 2) ];
+    }
+  in
+  (match Simplex.solve p with
+   | Simplex.Optimal (v, x) ->
+     Alcotest.check rt "value" (q 14) v;
+     Alcotest.check rt "x" (q 6) x.(0);
+     Alcotest.check rt "y" (q 4) x.(1)
+   | _ -> Alcotest.fail "expected optimal")
+
+let test_degenerate_cycling () =
+  (* Beale's classic cycling example: Dantzig's rule cycles on it; Bland's
+     rule must terminate.  min -3/4 x4 + 150 x5 - 1/50 x6 + 6 x7 s.t. ... *)
+  let p =
+    Simplex.{
+      num_vars = 4;
+      objective = [| qf (-3) 4; q 150; qf (-1) 50; q 6 |];
+      constraints =
+        [ constr [| qf 1 4; q (-60); qf (-1) 25; q 9 |] Le Rat.zero;
+          constr [| qf 1 2; q (-90); qf (-1) 50; q 3 |] Le Rat.zero;
+          constr [| Rat.zero; Rat.zero; Rat.one; Rat.zero |] Le Rat.one ];
+    }
+  in
+  check_optimal "beale optimum" (qf (-1) 20) (Simplex.solve p)
+
+let test_negative_rhs () =
+  (* Constraint given with negative rhs must be normalized correctly:
+     -x <= -3  <=>  x >= 3. *)
+  let p =
+    Simplex.{
+      num_vars = 1;
+      objective = qa [1];
+      constraints = [ constr (qa [-1]) Le (q (-3)) ];
+    }
+  in
+  check_optimal "value" (q 3) (Simplex.solve p)
+
+let test_zero_objective_feasibility () =
+  (match Simplex.feasible ~num_vars:2
+           [ Simplex.constr (qa [1; 1]) Simplex.Ge (q 2);
+             Simplex.constr (qa [1; -1]) Simplex.Eq (q 0) ]
+   with
+   | Some x ->
+     Alcotest.check rt "x = y" x.(0) x.(1);
+     Alcotest.(check bool) "x + y >= 2" true
+       Rat.(compare (add x.(0) x.(1)) (q 2) >= 0)
+   | None -> Alcotest.fail "expected feasible");
+  (match Simplex.feasible ~num_vars:1
+           [ Simplex.constr (qa [1]) Simplex.Le (q (-1)) ]
+   with
+   | None -> ()
+   | Some _ -> Alcotest.fail "expected infeasible (x >= 0 and x <= -1)")
+
+let test_redundant_equalities () =
+  (* Duplicate equality rows leave a zero artificial in the basis; the
+     solver must cope. *)
+  let p =
+    Simplex.{
+      num_vars = 2;
+      objective = qa [1; 1];
+      constraints =
+        [ constr (qa [1; 1]) Eq (q 4);
+          constr (qa [2; 2]) Eq (q 8);
+          constr (qa [1; 0]) Ge (q 1) ];
+    }
+  in
+  check_optimal "value" (q 4) (Simplex.solve p)
+
+let test_dimension_mismatch () =
+  let p =
+    Simplex.{
+      num_vars = 2;
+      objective = qa [1];
+      constraints = [];
+    }
+  in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Simplex.solve: objective length mismatch")
+    (fun () -> ignore (Simplex.solve p))
+
+(* Property: on random bounded LPs, the reported solution is feasible and
+   attains the reported value; and it is no worse than a sample of random
+   feasible points obtained by rounding. *)
+let prop_solution_feasible =
+  let gen =
+    QCheck.Gen.(
+      let* nv = int_range 1 4 in
+      let* nc = int_range 1 5 in
+      let* obj = list_repeat nv (int_range 0 9) in
+      let* rows = list_repeat nc (list_repeat nv (int_range 0 5)) in
+      let* rhss = list_repeat nc (int_range 1 20) in
+      return (nv, obj, rows, rhss))
+  in
+  let print (nv, obj, rows, rhss) =
+    Printf.sprintf "nv=%d obj=[%s] rows=%s rhs=[%s]" nv
+      (String.concat ";" (List.map string_of_int obj))
+      (String.concat "|"
+         (List.map (fun r -> String.concat ";" (List.map string_of_int r)) rows))
+      (String.concat ";" (List.map string_of_int rhss))
+  in
+  QCheck.Test.make ~name:"simplex solution is feasible and attains value" ~count:200
+    (QCheck.make ~print gen)
+    (fun (nv, obj, rows, rhss) ->
+      (* min (non-negative objective) s.t. row·x >= rhs: feasible (large x)
+         and bounded (objective >= 0 on x >= 0) unless some row is all
+         zeros with positive rhs — then infeasible, also fine. *)
+      let constraints =
+        List.map2
+          (fun row rhs -> Simplex.constr (qa row) Simplex.Ge (q rhs))
+          rows rhss
+      in
+      let p = Simplex.{ num_vars = nv; objective = qa obj; constraints } in
+      match Simplex.solve p with
+      | Simplex.Unbounded -> false
+      | Simplex.Infeasible ->
+        (* Only possible when some all-zero row has rhs > 0. *)
+        List.exists (fun row -> List.for_all (( = ) 0) row) rows
+      | Simplex.Optimal (v, x) ->
+        let dot r = Array.fold_left Rat.add Rat.zero (Array.mapi (fun i c -> Rat.mul c x.(i)) r) in
+        let feas =
+          List.for_all2
+            (fun row rhs -> Rat.compare (dot (qa row)) (q rhs) >= 0)
+            rows rhss
+          && Array.for_all (fun xi -> Rat.sign xi >= 0) x
+        in
+        feas && Rat.equal v (dot (qa obj)))
+
+let qtests = List.map QCheck_alcotest.to_alcotest [ prop_solution_feasible ]
+
+let suite =
+  [ ("basic min", `Quick, test_basic_min);
+    ("basic max", `Quick, test_basic_max);
+    ("infeasible", `Quick, test_infeasible);
+    ("unbounded", `Quick, test_unbounded);
+    ("equality", `Quick, test_equality);
+    ("beale cycling", `Quick, test_degenerate_cycling);
+    ("negative rhs", `Quick, test_negative_rhs);
+    ("feasibility", `Quick, test_zero_objective_feasibility);
+    ("redundant equalities", `Quick, test_redundant_equalities);
+    ("dimension mismatch", `Quick, test_dimension_mismatch) ]
+  @ qtests

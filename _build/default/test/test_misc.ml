@@ -1,0 +1,185 @@
+(* Coverage for API surface not exercised elsewhere: pretty-printers,
+   small accessors, and edge cases across the libraries. *)
+
+open Bagcqc_num
+open Bagcqc_entropy
+open Bagcqc_relation
+open Bagcqc_cq
+
+let vs = Varset.of_list
+let q = Rat.of_int
+
+let test_bigint_misc () =
+  let a = Bigint.of_int 7 and b = Bigint.of_int (-3) in
+  Alcotest.(check string) "min" "-3" (Bigint.to_string (Bigint.min a b));
+  Alcotest.(check string) "max" "7" (Bigint.to_string (Bigint.max a b));
+  Alcotest.(check string) "succ" "8" (Bigint.to_string (Bigint.succ a));
+  Alcotest.(check string) "pred" "-4" (Bigint.to_string (Bigint.pred b));
+  Alcotest.(check bool) "hash distinguishes" true
+    (Bigint.hash a <> Bigint.hash b);
+  Alcotest.(check (float 1e-9)) "to_float" 7.0 (Bigint.to_float a);
+  (* to_float on a large number. *)
+  let big = Bigint.pow (Bigint.of_int 2) 100 in
+  Alcotest.(check bool) "to_float large" true
+    (Float.abs (Bigint.to_float big -. Float.pow 2.0 100.0) < 1e85);
+  Alcotest.(check string) "of_string plus" "42" (Bigint.to_string (Bigint.of_string "+42"))
+
+let test_rat_misc () =
+  Alcotest.(check bool) "min" true
+    (Rat.equal (Rat.min (Rat.of_ints 1 3) Rat.half) (Rat.of_ints 1 3));
+  Alcotest.(check bool) "max" true
+    (Rat.equal (Rat.max (Rat.of_ints 1 3) Rat.half) Rat.half);
+  Alcotest.(check bool) "hash distinguishes" true
+    (Rat.hash Rat.half <> Rat.hash Rat.one);
+  let open Rat.Infix in
+  Alcotest.(check bool) "infix" true
+    (Rat.one +/ Rat.one =/ Rat.two
+     && Rat.one -/ Rat.half =/ Rat.half
+     && Rat.half */ Rat.two =/ Rat.one
+     && Rat.one // Rat.two =/ Rat.half
+     && Rat.half </ Rat.one && Rat.half <=/ Rat.half
+     && Rat.one >/ Rat.half && Rat.one >=/ Rat.one);
+  Alcotest.check_raises "of_string garbage"
+    (Invalid_argument "Bigint.of_string: invalid character") (fun () ->
+      ignore (Rat.of_string "x/y"))
+
+let test_logint_misc () =
+  let t = Logint.add (Logint.log_int 6) (Logint.scale Rat.minus_one (Logint.log_int 2)) in
+  (* log 6 - log 2 = log 3: terms list normalizes to {2:? ...}; value-level
+     equality with log 3 holds even though term lists differ. *)
+  Alcotest.(check bool) "value equality across bases" true
+    (Logint.equal t (Logint.log_int 3));
+  Alcotest.(check int) "terms nonempty" 2 (List.length (Logint.terms t));
+  Alcotest.(check string) "pp zero" "0" (Format.asprintf "%a" Logint.pp Logint.zero);
+  Alcotest.(check bool) "pp nonzero mentions log" true
+    (String.length (Format.asprintf "%a" Logint.pp t) > 3)
+
+let test_varset_pp () =
+  Alcotest.(check string) "default names" "{X1,X3}"
+    (Format.asprintf "%a" (Varset.pp ()) (vs [ 0; 2 ]));
+  Alcotest.(check string) "custom names" "{a,c}"
+    (Format.asprintf "%a" (Varset.pp ~names:(fun i -> String.make 1 (Char.chr (97 + i))) ())
+       (vs [ 0; 2 ]));
+  Alcotest.check_raises "full out of range" (Invalid_argument "Varset.full: out of range")
+    (fun () -> ignore (Varset.full 100))
+
+let test_printers () =
+  let e =
+    Linexpr.sum
+      [ Linexpr.term (vs [ 0; 1 ]); Linexpr.term ~coeff:(q (-2)) (vs [ 1 ]) ]
+  in
+  Alcotest.(check string) "linexpr pp" "-2*h(X2) + h(X1X2)"
+    (Format.asprintf "%a" (Linexpr.pp ()) e);
+  Alcotest.(check string) "linexpr pp zero" "0"
+    (Format.asprintf "%a" (Linexpr.pp ()) Linexpr.zero);
+  let cx = Cexpr.add (Cexpr.entropy (vs [ 0 ])) (Cexpr.part (vs [ 1 ]) (vs [ 0 ])) in
+  Alcotest.(check string) "cexpr pp" "h(X1) + h(X2|X1)"
+    (Format.asprintf "%a" (Cexpr.pp ()) cx);
+  let m = Maxii.conditional ~n:2 ~q:Rat.one [ cx ] in
+  Alcotest.(check string) "maxii pp" "h(X1X2) <= max(h(X1) + h(X2|X1))"
+    (Format.asprintf "%a" (Maxii.pp ()) m);
+  (* Relation / Value / Database printers don't crash and mention content. *)
+  let r = Relation.of_int_rows ~arity:2 [ [ 1; 2 ] ] in
+  Alcotest.(check string) "relation pp" "{(1,2)}" (Format.asprintf "%a" Relation.pp r);
+  Alcotest.(check string) "value pp" "X:(1,<2,3>)"
+    (Value.to_string (Value.Tag ("X", Value.Pair (Value.Int 1, Value.Tuple [ Value.Int 2; Value.Int 3 ]))));
+  let db = Database.add_relation "R" r Database.empty in
+  Alcotest.(check int) "total rows" 1 (Database.total_rows db);
+  Alcotest.(check bool) "db pp mentions R" true
+    (String.length (Format.asprintf "%a" Database.pp db) > 3)
+
+let test_polymatroid_misc () =
+  let h = Polymatroid.uniform_step_max [| q 1; q 3; q 2 |] in
+  Alcotest.(check bool) "max-construction value" true
+    (Rat.equal (Polymatroid.value h (vs [ 0; 2 ])) (q 2));
+  Alcotest.(check bool) "max-construction normal (Lemma C.2)" true
+    (Polymatroid.is_normal h);
+  Alcotest.(check bool) "is_entropic_known on normal" true
+    (Polymatroid.is_entropic_known h);
+  Alcotest.(check bool) "is_entropic_known is incomplete on parity" false
+    (Polymatroid.is_entropic_known Polymatroid.parity);
+  Alcotest.(check bool) "dominates reflexive" true (Polymatroid.dominates h h);
+  Alcotest.(check bool) "scale" true
+    (Rat.equal (Polymatroid.value (Polymatroid.scale Rat.two h) (vs [ 1 ])) (q 6));
+  Alcotest.check_raises "add arity mismatch"
+    (Invalid_argument "Polymatroid.add: arity mismatch") (fun () ->
+      ignore (Polymatroid.add (Polymatroid.zero 2) Polymatroid.parity))
+
+let test_elemental_count () =
+  (* n + C(n,2)·2^(n−2) elemental inequalities. *)
+  let count n = List.length (Cones.elemental ~n) in
+  Alcotest.(check int) "n=2" 3 (count 2);
+  Alcotest.(check int) "n=3" 9 (count 3);
+  Alcotest.(check int) "n=4" 28 (count 4);
+  Alcotest.(check int) "n=5" 85 (count 5)
+
+let test_query_misc () =
+  let a = Parser.parse "R(x,y)" and b = Parser.parse "S(u,v,w)" in
+  let u = Query.disjoint_union a b in
+  Alcotest.(check int) "disjoint union vars" 5 (Query.nvars u);
+  Alcotest.(check int) "disjoint union atoms" 2 (List.length (Query.atoms u));
+  Alcotest.check_raises "power 0" (Invalid_argument "Query.power") (fun () ->
+      ignore (Query.power 0 a));
+  Alcotest.(check string) "query to_string" "Q() :- R(x,y)" (Query.to_string a)
+
+let test_graph_misc () =
+  let g = Graph.make 5 [ (0, 1); (1, 2); (3, 4) ] in
+  Alcotest.(check int) "components" 2 (List.length (Graph.connected_components g));
+  Alcotest.(check bool) "neighbours" true (Varset.equal (Graph.neighbours g 1) (vs [ 0; 2 ]));
+  Alcotest.(check (list (pair int int))) "edges" [ (0, 1); (1, 2); (3, 4) ] (Graph.edges g);
+  Alcotest.check_raises "bad vertex" (Invalid_argument "Graph.make: vertex out of range")
+    (fun () -> ignore (Graph.make 2 [ (0, 5) ]))
+
+let test_treedec_misc () =
+  let t = Treedec.make ~bags:[| vs [ 0; 1; 2 ]; vs [ 2; 3 ] |] ~edges:[ (0, 1) ] in
+  Alcotest.(check int) "width" 2 (Treedec.width t);
+  Alcotest.(check bool) "pp mentions bags" true
+    (String.length (Format.asprintf "%a" Treedec.pp t) > 5)
+
+let test_hom_multi_head () =
+  let qq = Parser.parse "Q(x,y) :- R(x,y), R(y,x)" in
+  let db = Database.of_int_rows [ ("R", [ [ 0; 1 ]; [ 1; 0 ]; [ 0; 2 ] ]) ] in
+  let ans = Hom.answers qq db in
+  Alcotest.(check int) "two symmetric answers" 2 (List.length ans);
+  List.iter (fun (_, c) -> Alcotest.(check int) "multiplicity 1" 1 c) ans
+
+let test_bagdb_support () =
+  let db = Bagdb.of_int_rows [ ("R", [ ([ 0; 1 ], 5) ]) ] in
+  let s = Bagdb.support db in
+  Alcotest.(check int) "support drops multiplicity" 1 (Database.total_rows s)
+
+let test_dist_misc () =
+  let d = Dist.uniform (Relation.of_int_rows ~arity:1 [ [ 0 ]; [ 1 ]; [ 2 ] ]) in
+  Alcotest.(check bool) "total is 1" true (Rat.equal (Dist.total d) Rat.one);
+  Alcotest.(check int) "support" 3 (Relation.cardinal (Dist.support d));
+  Alcotest.(check bool) "pp" true (String.length (Format.asprintf "%a" Dist.pp d) > 3);
+  Alcotest.check_raises "empty uniform" (Invalid_argument "Dist.uniform: empty relation")
+    (fun () -> ignore (Dist.uniform (Relation.of_list ~arity:1 [])))
+
+let test_group_misc () =
+  let g, subs = Group.klein_parity in
+  Alcotest.(check int) "degree" 4 (Group.degree g);
+  Alcotest.(check int) "elements" 4 (List.length (Group.elements g));
+  Alcotest.(check bool) "mem identity" true (Group.mem g (Group.Perm.identity 4));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "subgroup of g" true (Group.is_subgroup_of ~sub:s g))
+    subs;
+  Alcotest.(check bool) "entropy of empty set" true
+    (Logint.equal (Group.entropy g subs Varset.empty) Logint.zero)
+
+let suite =
+  [ ("bigint misc", `Quick, test_bigint_misc);
+    ("rat misc", `Quick, test_rat_misc);
+    ("logint misc", `Quick, test_logint_misc);
+    ("varset pp", `Quick, test_varset_pp);
+    ("printers", `Quick, test_printers);
+    ("polymatroid misc", `Quick, test_polymatroid_misc);
+    ("elemental count", `Quick, test_elemental_count);
+    ("query misc", `Quick, test_query_misc);
+    ("graph misc", `Quick, test_graph_misc);
+    ("treedec misc", `Quick, test_treedec_misc);
+    ("hom multi head", `Quick, test_hom_multi_head);
+    ("bagdb support", `Quick, test_bagdb_support);
+    ("dist misc", `Quick, test_dist_misc);
+    ("group misc", `Quick, test_group_misc) ]

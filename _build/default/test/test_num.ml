@@ -1,0 +1,278 @@
+(* Unit and property tests for the exact-arithmetic substrate:
+   Bigint, Rat, Logint. *)
+
+open Bagcqc_num
+
+let bi = Bigint.of_int
+let bi_s = Bigint.of_string
+
+let check_bi msg expected actual =
+  Alcotest.(check string) msg expected (Bigint.to_string actual)
+
+(* ------------------------------------------------------------------ *)
+(* Bigint unit tests                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_bigint_basic () =
+  check_bi "zero" "0" Bigint.zero;
+  check_bi "of_int" "42" (bi 42);
+  check_bi "neg" "-42" (bi (-42));
+  check_bi "add" "100" (Bigint.add (bi 58) (bi 42));
+  check_bi "add neg" "-16" (Bigint.add (bi (-58)) (bi 42));
+  check_bi "sub" "16" (Bigint.sub (bi 58) (bi 42));
+  check_bi "mul" "2436" (Bigint.mul (bi 58) (bi 42));
+  check_bi "mul sign" "-2436" (Bigint.mul (bi (-58)) (bi 42));
+  Alcotest.(check int) "sign pos" 1 (Bigint.sign (bi 5));
+  Alcotest.(check int) "sign neg" (-1) (Bigint.sign (bi (-5)));
+  Alcotest.(check int) "sign zero" 0 (Bigint.sign Bigint.zero)
+
+let test_bigint_large () =
+  let a = bi_s "123456789012345678901234567890" in
+  let b = bi_s "987654321098765432109876543210" in
+  check_bi "large add" "1111111110111111111011111111100" (Bigint.add a b);
+  check_bi "large mul"
+    "121932631137021795226185032733622923332237463801111263526900"
+    (Bigint.mul a b);
+  check_bi "large sub" "864197532086419753208641975320" (Bigint.sub b a);
+  let q, r = Bigint.divmod b a in
+  check_bi "large div" "8" q;
+  check_bi "large rem" "9000000000900000000090" r;
+  (* a = q*b + r reconstruction *)
+  check_bi "reconstruct" (Bigint.to_string b) (Bigint.add (Bigint.mul q a) r)
+
+let test_bigint_divmod_signs () =
+  (* Truncation toward zero; remainder has the sign of the dividend. *)
+  let dm a b =
+    let q, r = Bigint.divmod (bi a) (bi b) in
+    (Bigint.to_string q, Bigint.to_string r)
+  in
+  Alcotest.(check (pair string string)) "7/2" ("3", "1") (dm 7 2);
+  Alcotest.(check (pair string string)) "-7/2" ("-3", "-1") (dm (-7) 2);
+  Alcotest.(check (pair string string)) "7/-2" ("-3", "1") (dm 7 (-2));
+  Alcotest.(check (pair string string)) "-7/-2" ("3", "-1") (dm (-7) (-2));
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Bigint.divmod (bi 1) Bigint.zero))
+
+let test_bigint_pow_gcd () =
+  check_bi "2^100" "1267650600228229401496703205376" (Bigint.pow (bi 2) 100);
+  check_bi "pow 0" "1" (Bigint.pow (bi 7) 0);
+  check_bi "gcd" "6" (Bigint.gcd (bi 54) (bi 24));
+  check_bi "gcd neg" "6" (Bigint.gcd (bi (-54)) (bi 24));
+  check_bi "gcd zero" "24" (Bigint.gcd Bigint.zero (bi 24));
+  check_bi "gcd big"
+    "6"
+    (Bigint.gcd (bi_s "123456789123456789123456786") (bi_s "18"));
+  Alcotest.check_raises "pow neg" (Invalid_argument "Bigint.pow: negative exponent")
+    (fun () -> ignore (Bigint.pow (bi 2) (-1)))
+
+let test_bigint_string_roundtrip () =
+  let cases = ["0"; "1"; "-1"; "1073741824"; "-1073741823";
+               "999999999999999999999999999999999999"; "-123456789012345678901234567890"] in
+  List.iter (fun s -> check_bi s s (bi_s s)) cases;
+  Alcotest.check_raises "empty" (Invalid_argument "Bigint.of_string: empty string")
+    (fun () -> ignore (bi_s ""))
+
+let test_bigint_to_int () =
+  Alcotest.(check (option int)) "small" (Some 42) (Bigint.to_int_opt (bi 42));
+  Alcotest.(check (option int)) "neg" (Some (-42)) (Bigint.to_int_opt (bi (-42)));
+  Alcotest.(check (option int)) "big" None
+    (Bigint.to_int_opt (bi_s "99999999999999999999999"));
+  Alcotest.(check (option int)) "max_int" (Some max_int)
+    (Bigint.to_int_opt (bi max_int))
+
+let test_bigint_bits () =
+  Alcotest.(check int) "bits 0" 0 (Bigint.num_bits Bigint.zero);
+  Alcotest.(check int) "bits 1" 1 (Bigint.num_bits Bigint.one);
+  Alcotest.(check int) "bits 255" 8 (Bigint.num_bits (bi 255));
+  Alcotest.(check int) "bits 256" 9 (Bigint.num_bits (bi 256));
+  Alcotest.(check int) "bits 2^100" 101 (Bigint.num_bits (Bigint.pow (bi 2) 100));
+  check_bi "shift" "1024" (Bigint.shift_left Bigint.one 10)
+
+(* ------------------------------------------------------------------ *)
+(* Bigint properties                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let arb_bigint =
+  (* Random bigints built from several machine-int factors, so they span
+     many limb counts. *)
+  let gen =
+    QCheck.Gen.(
+      let* parts = list_size (int_range 1 4) (int_range (-1_000_000_000) 1_000_000_000) in
+      return (List.fold_left (fun acc p -> Bigint.add (Bigint.mul acc (Bigint.of_int 1_000_003)) (Bigint.of_int p)) Bigint.one parts))
+  in
+  QCheck.make ~print:Bigint.to_string gen
+
+let prop_add_commutes =
+  QCheck.Test.make ~name:"bigint add commutes" ~count:500
+    (QCheck.pair arb_bigint arb_bigint)
+    (fun (a, b) -> Bigint.equal (Bigint.add a b) (Bigint.add b a))
+
+let prop_mul_distributes =
+  QCheck.Test.make ~name:"bigint mul distributes over add" ~count:300
+    (QCheck.triple arb_bigint arb_bigint arb_bigint)
+    (fun (a, b, c) ->
+      Bigint.equal
+        (Bigint.mul a (Bigint.add b c))
+        (Bigint.add (Bigint.mul a b) (Bigint.mul a c)))
+
+let prop_divmod_roundtrip =
+  QCheck.Test.make ~name:"bigint divmod: a = q*b + r, |r|<|b|" ~count:500
+    (QCheck.pair arb_bigint arb_bigint)
+    (fun (a, b) ->
+      QCheck.assume (not (Bigint.is_zero b));
+      let q, r = Bigint.divmod a b in
+      Bigint.equal a (Bigint.add (Bigint.mul q b) r)
+      && Bigint.compare (Bigint.abs r) (Bigint.abs b) < 0
+      && (Bigint.is_zero r || Bigint.sign r = Bigint.sign a))
+
+let prop_small_agree =
+  QCheck.Test.make ~name:"bigint agrees with int on small values" ~count:1000
+    (QCheck.pair (QCheck.int_range (-10000) 10000) (QCheck.int_range (-10000) 10000))
+    (fun (a, b) ->
+      let ba = bi a and bb = bi b in
+      Bigint.to_int_opt (Bigint.add ba bb) = Some (a + b)
+      && Bigint.to_int_opt (Bigint.mul ba bb) = Some (a * b)
+      && Bigint.to_int_opt (Bigint.sub ba bb) = Some (a - b)
+      && Bigint.compare ba bb = compare a b)
+
+let prop_gcd_divides =
+  QCheck.Test.make ~name:"bigint gcd divides both" ~count:300
+    (QCheck.pair arb_bigint arb_bigint)
+    (fun (a, b) ->
+      QCheck.assume (not (Bigint.is_zero a) || not (Bigint.is_zero b));
+      let g = Bigint.gcd a b in
+      Bigint.is_zero (Bigint.rem a g) && Bigint.is_zero (Bigint.rem b g))
+
+let prop_string_roundtrip =
+  QCheck.Test.make ~name:"bigint to_string/of_string roundtrip" ~count:300
+    arb_bigint
+    (fun a -> Bigint.equal a (Bigint.of_string (Bigint.to_string a)))
+
+(* ------------------------------------------------------------------ *)
+(* Rat tests                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let rt = Alcotest.testable Rat.pp Rat.equal
+
+let test_rat_basic () =
+  Alcotest.check rt "normalization" (Rat.of_ints 1 2) (Rat.of_ints 17 34);
+  Alcotest.check rt "neg den" (Rat.of_ints (-1) 2) (Rat.of_ints 3 (-6));
+  Alcotest.check rt "add" (Rat.of_ints 5 6) (Rat.add (Rat.of_ints 1 2) (Rat.of_ints 1 3));
+  Alcotest.check rt "sub" (Rat.of_ints 1 6) (Rat.sub (Rat.of_ints 1 2) (Rat.of_ints 1 3));
+  Alcotest.check rt "mul" (Rat.of_ints 1 6) (Rat.mul (Rat.of_ints 1 2) (Rat.of_ints 1 3));
+  Alcotest.check rt "div" (Rat.of_ints 3 2) (Rat.div (Rat.of_ints 1 2) (Rat.of_ints 1 3));
+  Alcotest.check rt "inv" (Rat.of_ints (-3) 2) (Rat.inv (Rat.of_ints (-2) 3));
+  Alcotest.(check int) "compare" (-1) (Rat.compare (Rat.of_ints 1 3) (Rat.of_ints 1 2));
+  Alcotest.(check bool) "is_integer" true (Rat.is_integer (Rat.of_ints 4 2));
+  Alcotest.check_raises "zero den" Division_by_zero (fun () ->
+      ignore (Rat.make Bigint.one Bigint.zero))
+
+let test_rat_floor_ceil () =
+  let check_fc name x f c =
+    check_bi (name ^ " floor") f (Rat.floor x);
+    check_bi (name ^ " ceil") c (Rat.ceil x)
+  in
+  check_fc "7/2" (Rat.of_ints 7 2) "3" "4";
+  check_fc "-7/2" (Rat.of_ints (-7) 2) "-4" "-3";
+  check_fc "4" (Rat.of_int 4) "4" "4"
+
+let test_rat_of_string () =
+  Alcotest.check rt "frac" (Rat.of_ints 3 4) (Rat.of_string "3/4");
+  Alcotest.check rt "int" (Rat.of_int (-5)) (Rat.of_string "-5");
+  Alcotest.check rt "decimal" (Rat.of_ints 5 4) (Rat.of_string "1.25");
+  Alcotest.check rt "neg decimal" (Rat.of_ints (-5) 4) (Rat.of_string "-1.25")
+
+let arb_rat =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range (-100000) 100000 in
+      let* d = int_range 1 100000 in
+      return (Rat.of_ints n d))
+  in
+  QCheck.make ~print:Rat.to_string gen
+
+let prop_rat_field =
+  QCheck.Test.make ~name:"rat field laws" ~count:500
+    (QCheck.triple arb_rat arb_rat arb_rat)
+    (fun (a, b, c) ->
+      Rat.equal (Rat.add a (Rat.add b c)) (Rat.add (Rat.add a b) c)
+      && Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c))
+      && Rat.equal (Rat.sub (Rat.add a b) b) a
+      && (Rat.is_zero b || Rat.equal (Rat.mul (Rat.div a b) b) a))
+
+let prop_rat_compare_antisym =
+  QCheck.Test.make ~name:"rat compare antisymmetric, float-consistent" ~count:500
+    (QCheck.pair arb_rat arb_rat)
+    (fun (a, b) ->
+      let c = Rat.compare a b in
+      c = -Rat.compare b a
+      && (c = 0 || Float.compare (Rat.to_float a) (Rat.to_float b) = c))
+
+(* ------------------------------------------------------------------ *)
+(* Logint tests                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_logint_basic () =
+  Alcotest.(check int) "log 1 = 0" 0 (Logint.sign (Logint.log Bigint.one));
+  Alcotest.(check int) "log 2 > 0" 1 (Logint.sign (Logint.log_int 2));
+  Alcotest.(check int) "-log 2 < 0" (-1) (Logint.sign (Logint.neg (Logint.log_int 2)));
+  (* log 8 = 3 log 2 *)
+  Alcotest.(check bool) "log 8 = 3 log 2" true
+    (Logint.equal (Logint.log_int 8) (Logint.scale (Rat.of_int 3) (Logint.log_int 2)));
+  (* log 6 = log 2 + log 3 — distinct bases, still equal as reals *)
+  Alcotest.(check bool) "log 6 = log 2 + log 3" true
+    (Logint.equal (Logint.log_int 6) (Logint.add (Logint.log_int 2) (Logint.log_int 3)));
+  (* 2 log 3 > 3 log 2  (9 > 8) *)
+  Alcotest.(check int) "2 log 3 vs 3 log 2" 1
+    (Logint.compare
+       (Logint.scale Rat.two (Logint.log_int 3))
+       (Logint.scale (Rat.of_int 3) (Logint.log_int 2)));
+  (* (1/2) log 9 = log 3 *)
+  Alcotest.(check bool) "half log 9 = log 3" true
+    (Logint.equal (Logint.scale Rat.half (Logint.log_int 9)) (Logint.log_int 3));
+  Alcotest.check_raises "log 0" (Invalid_argument "Logint.log: non-positive argument")
+    (fun () -> ignore (Logint.log Bigint.zero))
+
+let prop_logint_sign_matches_float =
+  QCheck.Test.make ~name:"logint sign matches float approximation" ~count:300
+    (QCheck.pair
+       (QCheck.pair (QCheck.int_range 2 60) (QCheck.int_range (-6) 6))
+       (QCheck.pair (QCheck.int_range 2 60) (QCheck.int_range (-6) 6)))
+    (fun ((a, ca), (b, cb)) ->
+      let t =
+        Logint.add
+          (Logint.scale (Rat.of_int ca) (Logint.log_int a))
+          (Logint.scale (Rat.of_int cb) (Logint.log_int b))
+      in
+      let f = Logint.to_float t in
+      if Float.abs f > 1e-9 then Logint.sign t = Float.compare f 0.0
+      else true)
+
+let prop_logint_additive =
+  QCheck.Test.make ~name:"logint log(a*b) = log a + log b" ~count:300
+    (QCheck.pair (QCheck.int_range 1 10000) (QCheck.int_range 1 10000))
+    (fun (a, b) ->
+      Logint.equal
+        (Logint.log (Bigint.mul (Bigint.of_int a) (Bigint.of_int b)))
+        (Logint.add (Logint.log_int a) (Logint.log_int b)))
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_add_commutes; prop_mul_distributes; prop_divmod_roundtrip;
+      prop_small_agree; prop_gcd_divides; prop_string_roundtrip;
+      prop_rat_field; prop_rat_compare_antisym;
+      prop_logint_sign_matches_float; prop_logint_additive ]
+
+let suite =
+  [ ("bigint basic", `Quick, test_bigint_basic);
+    ("bigint large", `Quick, test_bigint_large);
+    ("bigint divmod signs", `Quick, test_bigint_divmod_signs);
+    ("bigint pow/gcd", `Quick, test_bigint_pow_gcd);
+    ("bigint string roundtrip", `Quick, test_bigint_string_roundtrip);
+    ("bigint to_int", `Quick, test_bigint_to_int);
+    ("bigint bits/shift", `Quick, test_bigint_bits);
+    ("rat basic", `Quick, test_rat_basic);
+    ("rat floor/ceil", `Quick, test_rat_floor_ceil);
+    ("rat of_string", `Quick, test_rat_of_string);
+    ("logint basic", `Quick, test_logint_basic) ]
+  @ qtests

@@ -1,0 +1,201 @@
+(* Tests for Section 5: uniformization (Lemma 5.3), the query construction
+   (Section 5.3), and the round-trip equivalence of Theorem 2.7 checked
+   over the Shannon cone. *)
+
+open Bagcqc_num
+open Bagcqc_entropy
+open Bagcqc_cq
+open Bagcqc_core
+
+let vs = Varset.of_list
+let q = Rat.of_int
+
+let term ?coeff m = Linexpr.term ?coeff m
+
+let test_uniformize_shape () =
+  (* Example 5.2's IIP: 0 ≤ h(X1) + 2h(X2) + h(X3) − h(X1X2) − h(X2X3). *)
+  let e =
+    Linexpr.sum
+      [ term (vs [ 0 ]); term ~coeff:(q 2) (vs [ 1 ]); term (vs [ 2 ]);
+        term ~coeff:(q (-1)) (vs [ 0; 1 ]); term ~coeff:(q (-1)) (vs [ 1; 2 ]) ]
+  in
+  let u = Reduction.uniformize (Maxii.general ~n:3 [ e ]) in
+  Alcotest.(check int) "n0" 3 u.Reduction.n0;
+  Alcotest.(check int) "n = max #negatives" 2 u.Reduction.n;
+  Alcotest.(check int) "q = n+1" 3 u.Reduction.q;
+  (match Reduction.check_uniform u with
+   | Ok () -> ()
+   | Error msg -> Alcotest.failf "invariants: %s" msg);
+  (* Chain: (U|∅) + (V|X0) + 2 negatives + 4 positives = 8 parts. *)
+  Alcotest.(check int) "p" 7 u.Reduction.p;
+  (* Uniformization preserves Γ-validity (Lemma 5.3): this IIP is valid. *)
+  Alcotest.(check bool) "original valid over Γ3" true
+    (Maxii.is_valid_over Cones.Gamma (Maxii.general ~n:3 [ e ]));
+  Alcotest.(check bool) "uniform valid over Γ4" true
+    (Maxii.is_valid_over Cones.Gamma (Reduction.uniform_maxii u))
+
+let test_uniformize_preserves_invalidity () =
+  (* 0 ≤ h(X1) − h(X1X2) is false. *)
+  let e = Linexpr.sub (term (vs [ 0 ])) (term (vs [ 0; 1 ])) in
+  let m = Maxii.general ~n:2 [ e ] in
+  Alcotest.(check bool) "original invalid" true
+    (not (Maxii.is_valid_over Cones.Gamma m));
+  let u = Reduction.uniformize m in
+  Alcotest.(check bool) "uniform invalid" true
+    (not (Maxii.is_valid_over Cones.Gamma (Reduction.uniform_maxii u)))
+
+let test_construction_shape_ex_5_2 () =
+  (* The general construction on Example 5.2's inequality.  The paper's
+     hand-built queries are a simplified variant; here we check the
+     structural claims that carry over: Q2 is acyclic, the decomposition
+     is the chain of (29), and |hom(Q2,Q1)| = q^n · (q·k). *)
+  let e =
+    Linexpr.sum
+      [ term (vs [ 0 ]); term ~coeff:(q 2) (vs [ 1 ]); term (vs [ 2 ]);
+        term ~coeff:(q (-1)) (vs [ 0; 1 ]); term ~coeff:(q (-1)) (vs [ 1; 2 ]) ]
+  in
+  let { Reduction.q1; q2; dec2 } = Reduction.reduce (Maxii.general ~n:3 [ e ]) in
+  Alcotest.(check bool) "Q2 acyclic" true (Treedec.is_acyclic q2);
+  Alcotest.(check bool) "dec2 valid" true (Treedec.is_valid_for q2 dec2);
+  (* q = 3 adorned copies of the original 3+2 variables. *)
+  Alcotest.(check int) "Q1 variables" 15 (Query.nvars q1);
+  (* n=2, q=3, k=1: 3² · 3 = 27 homomorphisms. *)
+  Alcotest.(check int) "hom(Q2,Q1) = q^n·qk" 27 (Hom.count_between q2 q1);
+  (* Relation symbols: S1..S2 binary + R0..R_p. *)
+  let voc = Query.vocabulary q2 in
+  Alcotest.(check bool) "S1 present" true (List.mem_assoc "S1" voc);
+  Alcotest.(check bool) "same vocabulary" true (voc = Query.vocabulary q1)
+
+(* The paper's own hand-built Example 5.2 queries, verbatim, to check the
+   claims made in the example text itself. *)
+let test_example_5_2_verbatim () =
+  let q1 =
+    Parser.parse
+      "S1(x1a), S2(x2a), S3(x2a), S4(x3a), R1(x1a,x2a,x3a), \
+       R2(x1a,x2a,x1a,x2a,x3a), R3(x2a,x3a,x1a,x2a,x3a), \
+       S1(x1b), S2(x2b), S3(x2b), S4(x3b), R1(x1b,x2b,x3b), \
+       R2(x1b,x2b,x1b,x2b,x3b), R3(x2b,x3b,x1b,x2b,x3b), \
+       S1(x1c), S2(x2c), S3(x2c), S4(x3c), R1(x1c,x2c,x3c), \
+       R2(x1c,x2c,x1c,x2c,x3c), R3(x2c,x3c,x1c,x2c,x3c)"
+  in
+  let q2 =
+    Parser.parse
+      "S1(u1), S2(u2), S3(u3), S4(u4), R1(y01,y02,y03), \
+       R2(y01,y02,y11,y12,y13), R3(y12,y13,y21,y22,y23)"
+  in
+  Alcotest.(check int) "Q1 has 9 variables" 9 (Query.nvars q1);
+  Alcotest.(check int) "Q2 has 13 variables" 13 (Query.nvars q2);
+  Alcotest.(check bool) "Q2 acyclic" true (Treedec.is_acyclic q2);
+  (* "Q1 has 3 connected components, and Q2 has 5, therefore there are 3^5
+     homomorphisms Q2 → Q1." *)
+  Alcotest.(check int) "Q1 components" 3
+    (List.length (Query.connected_components q1));
+  Alcotest.(check int) "Q2 components" 5
+    (List.length (Query.connected_components q2));
+  Alcotest.(check int) "3^5 homomorphisms" 243 (Hom.count_between q2 q1)
+
+(* Round trip over the Shannon cone: Max-II valid over Γ ⟺ Eq. 8 of the
+   constructed queries valid over Γ (using the paper's decomposition 29).
+   Kept tiny: Γ-LPs over Q1's variables are exponential. *)
+let roundtrip maxii =
+  let c = Reduction.reduce maxii in
+  let ineq = Containment.eq8 ~decs:[ c.Reduction.dec2 ] c.Reduction.q1 c.Reduction.q2 in
+  ( Maxii.is_valid_over Cones.Gamma maxii,
+    Maxii.is_valid_over Cones.Gamma ineq )
+
+let test_roundtrip_valid_iip () =
+  (* 0 ≤ h(X1): trivially valid; n = 0, q = 1. *)
+  let m = Maxii.general ~n:1 [ term (vs [ 0 ]) ] in
+  let a, b = roundtrip m in
+  Alcotest.(check bool) "original valid" true a;
+  Alcotest.(check bool) "eq8 valid" true b
+
+let test_roundtrip_invalid_iip () =
+  (* 0 ≤ −h(X1): invalid; n = 1, q = 2. *)
+  let m = Maxii.general ~n:1 [ Linexpr.neg (term (vs [ 0 ])) ] in
+  let a, b = roundtrip m in
+  Alcotest.(check bool) "original invalid" false a;
+  Alcotest.(check bool) "eq8 invalid" false b
+
+let test_roundtrip_valid_max () =
+  (* 0 ≤ max(h(X1) − h(X1), h(X1)): valid via the second side; k = 2. *)
+  let m =
+    Maxii.general ~n:1
+      [ Linexpr.sub (term (vs [ 0 ])) (term (vs [ 0 ])); term (vs [ 0 ]) ]
+  in
+  let a, b = roundtrip m in
+  Alcotest.(check bool) "original valid" true a;
+  Alcotest.(check bool) "eq8 valid" true b
+
+let test_roundtrip_max_genuine () =
+  (* 0 ≤ max(h(X1) − 2h(X1), 2h(X1) − h(X1)) = max(−h, h): valid, and
+     genuinely needs the max. *)
+  let m =
+    Maxii.general ~n:1
+      [ Linexpr.sub (term (vs [ 0 ])) (term ~coeff:(q 2) (vs [ 0 ]));
+        Linexpr.sub (term ~coeff:(q 2) (vs [ 0 ])) (term (vs [ 0 ])) ]
+  in
+  let a, b = roundtrip m in
+  Alcotest.(check bool) "original valid" true a;
+  Alcotest.(check bool) "eq8 valid" true b;
+  (* Dropping the saving side gives an invalid instance. *)
+  let m' = Maxii.general ~n:1 [ Linexpr.sub (term (vs [ 0 ])) (term ~coeff:(q 2) (vs [ 0 ])) ] in
+  let a', b' = roundtrip m' in
+  Alcotest.(check bool) "one-sided invalid" false a';
+  Alcotest.(check bool) "eq8 one-sided invalid" false b'
+
+let test_full_circle_decide () =
+  (* End to end: reduce an (in)valid IIP and run the containment decision
+     procedure on the constructed queries. *)
+  let m_valid = Maxii.general ~n:1 [ term (vs [ 0 ]) ] in
+  let c = Reduction.reduce m_valid in
+  (match Containment.decide c.Reduction.q1 c.Reduction.q2 with
+   | Containment.Contained -> ()
+   | _ -> Alcotest.fail "valid IIP must yield containment");
+  let m_invalid = Maxii.general ~n:1 [ Linexpr.neg (term (vs [ 0 ])) ] in
+  let c = Reduction.reduce m_invalid in
+  (match Containment.decide ~max_factors:16 c.Reduction.q1 c.Reduction.q2 with
+   | Containment.Not_contained w ->
+     Alcotest.(check bool) "verified witness" true
+       (w.Containment.hom2 < w.Containment.card_p)
+   | Containment.Contained -> Alcotest.fail "invalid IIP must yield non-containment"
+   | Containment.Unknown { reason; _ } -> Alcotest.failf "Unknown: %s" reason)
+
+(* Property: Lemma 5.3 preserves Γ-validity on random small Max-IIs. *)
+let prop_uniformize_preserves_validity =
+  let n0 = 2 in
+  let gen =
+    QCheck.Gen.(
+      let gen_side =
+        let* terms =
+          list_size (int_range 1 3)
+            (pair (int_range 1 3) (int_range (-2) 2))
+        in
+        return
+          (Linexpr.sum (List.map (fun (m, c) -> term ~coeff:(q c) m) terms))
+      in
+      let* k = int_range 1 2 in
+      let* sides = list_repeat k gen_side in
+      return (Maxii.general ~n:n0 sides))
+  in
+  QCheck.Test.make ~name:"Lemma 5.3 preserves Γ-validity" ~count:40
+    (QCheck.make ~print:(Format.asprintf "%a" (Maxii.pp ())) gen)
+    (fun m ->
+      let u = Reduction.uniformize m in
+      Reduction.check_uniform u = Ok ()
+      && Maxii.is_valid_over Cones.Gamma m
+         = Maxii.is_valid_over Cones.Gamma (Reduction.uniform_maxii u))
+
+let qtests = List.map QCheck_alcotest.to_alcotest [ prop_uniformize_preserves_validity ]
+
+let suite =
+  [ ("uniformize shape (Ex 5.2)", `Quick, test_uniformize_shape);
+    ("uniformize preserves invalidity", `Quick, test_uniformize_preserves_invalidity);
+    ("construction shape (Ex 5.2)", `Quick, test_construction_shape_ex_5_2);
+    ("Example 5.2 verbatim", `Quick, test_example_5_2_verbatim);
+    ("roundtrip valid IIP", `Quick, test_roundtrip_valid_iip);
+    ("roundtrip invalid IIP", `Quick, test_roundtrip_invalid_iip);
+    ("roundtrip valid max", `Quick, test_roundtrip_valid_max);
+    ("roundtrip genuine max", `Quick, test_roundtrip_max_genuine);
+    ("full circle: reduce + decide", `Quick, test_full_circle_decide) ]
+  @ qtests

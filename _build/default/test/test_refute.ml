@@ -1,0 +1,189 @@
+(* Tests for the Lemma B.9 counterexample search (Refute), exact
+   general-relation entropies, and the Theorem 6.1 convex-combination
+   interface. *)
+
+open Bagcqc_num
+open Bagcqc_entropy
+open Bagcqc_relation
+
+let vs = Varset.of_list
+let q = Rat.of_int
+
+let parity_rel =
+  Relation.of_int_rows ~arity:3
+    [ [ 0; 0; 0 ]; [ 0; 1; 1 ]; [ 1; 0; 1 ]; [ 1; 1; 0 ] ]
+
+let test_entropy_logint () =
+  (* Agrees with entropy_exact on uniform marginals. *)
+  Varset.iter_subsets (Varset.full 3) (fun x ->
+      match Relation.entropy_exact parity_rel x with
+      | Some e ->
+        Alcotest.(check bool) "agrees with exact" true
+          (Logint.equal e (Relation.entropy_logint parity_rel x))
+      | None -> Alcotest.fail "parity is totally uniform");
+  (* Non-uniform case: H(2/3, 1/3) = log 3 - 2/3 log 2. *)
+  let p = Relation.of_int_rows ~arity:2 [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ] ] in
+  let h = Relation.entropy_logint p (vs [ 0 ]) in
+  let expected =
+    Logint.sub (Logint.log_int 3) (Logint.scale (Rat.of_ints 2 3) (Logint.log_int 2))
+  in
+  Alcotest.(check bool) "skewed marginal exact" true (Logint.equal h expected);
+  (* Exact value is consistent with the float evaluation. *)
+  Alcotest.(check bool) "consistent with float" true
+    (Float.abs (Logint.to_float h -. Relation.entropy_float p (vs [ 0 ])) < 1e-9)
+
+(* The g-empty functional: E = sum over nonempty Y of (-1)^(|Y|+1) h(Y);
+   it is
+   non-negative on every normal function (it equals the step coefficient
+   c_∅) but equals −1 on the parity function. *)
+let g_empty_functional =
+  Linexpr.sum
+    (List.filter_map
+       (fun y ->
+         if Varset.is_empty y then None
+         else
+           Some
+             (Linexpr.term
+                ~coeff:(q (if Varset.cardinal y land 1 = 1 then 1 else -1))
+                y))
+       (Varset.fold_subsets (Varset.full 3) (fun s acc -> s :: acc) []))
+
+let test_parity_gap () =
+  (* Valid over the normal cone... *)
+  Alcotest.(check bool) "valid over Nn" true
+    (Result.is_ok (Cones.valid Cones.Normal ~n:3 g_empty_functional));
+  (* ...but the parity relation refutes it exactly. *)
+  Alcotest.(check bool) "parity refutes" true
+    (Refute.refutes parity_rel [ g_empty_functional ]);
+  let v = Refute.eval parity_rel g_empty_functional in
+  Alcotest.(check int) "value is -1" 0
+    (Logint.compare v (Logint.scale Rat.minus_one (Logint.log_int 2)));
+  (* And the search finds some certified uniform-relation refuter. *)
+  (match Refute.search ~n:3 [ g_empty_functional ] with
+   | Some p -> Alcotest.(check bool) "found refuter verifies" true
+                 (Refute.refutes p [ g_empty_functional ])
+   | None -> Alcotest.fail "search must find a refuter (parity qualifies)")
+
+let test_search_basic () =
+  (* 0 ≤ −h(X1): the two-row unary relation refutes it. *)
+  (match Refute.search ~n:1 [ Linexpr.term ~coeff:Rat.minus_one (vs [ 0 ]) ] with
+   | Some p ->
+     Alcotest.(check int) "two rows suffice" 2 (Relation.cardinal p)
+   | None -> Alcotest.fail "must find");
+  (* Submodularity is valid: no refutation exists anywhere. *)
+  let submod =
+    Linexpr.sum
+      [ Linexpr.term (vs [ 0 ]); Linexpr.term (vs [ 1 ]);
+        Linexpr.term ~coeff:Rat.minus_one (vs [ 0; 1 ]) ]
+  in
+  Alcotest.(check bool) "no refuter for submodularity" true
+    (Refute.search ~n:2 [ submod ] = None);
+  (* Max semantics: refuter must defeat BOTH sides. *)
+  let h1 = Linexpr.term (vs [ 0 ]) in
+  (match Refute.search ~n:1 [ Linexpr.neg h1; h1 ] with
+   | None -> ()
+   | Some _ -> Alcotest.fail "max(−h,h) ≥ 0 has no refuter")
+
+let test_search_maxii () =
+  (* Example 3.8 single-sided version is invalid; search certifies it. *)
+  let e1 =
+    Cexpr.add (Cexpr.entropy (vs [ 0; 1 ])) (Cexpr.part (vs [ 1 ]) (vs [ 0 ]))
+  in
+  let m = Maxii.conditional ~n:3 ~q:Rat.one [ e1 ] in
+  (match Refute.search_maxii m with
+   | Some p -> Alcotest.(check bool) "refutes" true (Refute.refutes p (Maxii.sides m))
+   | None -> Alcotest.fail "expected a refuter");
+  (* The full three-sided Example 3.8 is valid: no refuter. *)
+  let e2 = Cexpr.add (Cexpr.entropy (vs [ 1; 2 ])) (Cexpr.part (vs [ 2 ]) (vs [ 1 ])) in
+  let e3 = Cexpr.add (Cexpr.entropy (vs [ 0; 2 ])) (Cexpr.part (vs [ 0 ]) (vs [ 2 ])) in
+  Alcotest.(check bool) "Example 3.8 has no refuter" true
+    (Refute.search_maxii (Maxii.conditional ~n:3 ~q:Rat.one [ e1; e2; e3 ]) = None)
+
+let test_search_guards () =
+  Alcotest.check_raises "space too large"
+    (Invalid_argument "Refute.search: tuple space too large") (fun () ->
+      ignore (Refute.search ~domain:3 ~n:3 [ Linexpr.term (vs [ 0 ]) ]));
+  Alcotest.check_raises "bad n" (Invalid_argument "Refute.search: n must be positive")
+    (fun () -> ignore (Refute.search ~n:0 []))
+
+(* Agreement between the refutation search and the cone machinery: if the
+   search finds a refuter, the inequality must fail over Γn (since actual
+   entropies are polymatroids). *)
+let prop_search_consistent_with_gamma =
+  let n = 2 in
+  let gen =
+    QCheck.Gen.(
+      let* terms =
+        list_size (int_range 1 3)
+          (pair (int_range 1 3) (int_range (-2) 2))
+      in
+      return
+        (Linexpr.sum (List.map (fun (m, c) -> Linexpr.term ~coeff:(q c) m) terms)))
+  in
+  QCheck.Test.make ~name:"refuter found ⇒ not valid over Γn" ~count:80
+    (QCheck.make ~print:(Format.asprintf "%a" (Linexpr.pp ())) gen)
+    (fun e ->
+      match Refute.search ~n [ e ] with
+      | None -> true
+      | Some p ->
+        Refute.refutes p [ e ] && not (Cones.valid_max_quick Cones.Gamma ~n [ e ]))
+
+(* Theorem 6.1: max valid over Γn iff a convex combination is valid. *)
+let test_max_to_convex () =
+  let e1 = Linexpr.sub (Linexpr.term (vs [ 0 ])) (Linexpr.term (vs [ 1 ])) in
+  let sides = [ e1; Linexpr.neg e1 ] in
+  (match Cones.max_to_convex ~n:2 sides with
+   | None -> Alcotest.fail "valid max must have convex weights"
+   | Some mu ->
+     let total = Array.fold_left Rat.add Rat.zero mu in
+     Alcotest.(check bool) "weights sum to 1" true (Rat.equal total Rat.one);
+     let combined =
+       Linexpr.sum (List.mapi (fun i e -> Linexpr.scale mu.(i) e) sides)
+     in
+     Alcotest.(check bool) "combination is Shannon" true
+       (Cones.valid_shannon ~n:2 combined));
+  (* An invalid max has no convex certificate. *)
+  Alcotest.(check bool) "invalid max: none" true
+    (Cones.max_to_convex ~n:2 [ e1 ] = None
+     || Cones.valid_shannon ~n:2 e1)
+
+let prop_max_to_convex_iff_valid =
+  let n = 2 in
+  let gen =
+    QCheck.Gen.(
+      let gen_e =
+        let* terms =
+          list_size (int_range 1 3) (pair (int_range 1 3) (int_range (-2) 2))
+        in
+        return
+          (Linexpr.sum (List.map (fun (m, c) -> Linexpr.term ~coeff:(q c) m) terms))
+      in
+      list_size (int_range 1 3) gen_e)
+  in
+  QCheck.Test.make ~name:"Theorem 6.1 over Γn: convex weights iff valid" ~count:80
+    (QCheck.make
+       ~print:(fun es -> String.concat " | " (List.map (Format.asprintf "%a" (Linexpr.pp ())) es))
+       gen)
+    (fun es ->
+      let valid = Cones.valid_max_quick Cones.Gamma ~n es in
+      match Cones.max_to_convex ~n es with
+      | None -> not valid
+      | Some mu ->
+        valid
+        && Rat.equal (Array.fold_left Rat.add Rat.zero mu) Rat.one
+        && Array.for_all (fun m -> Rat.sign m >= 0) mu
+        && Cones.valid_shannon ~n
+             (Linexpr.sum (List.mapi (fun i e -> Linexpr.scale mu.(i) e) es)))
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_search_consistent_with_gamma; prop_max_to_convex_iff_valid ]
+
+let suite =
+  [ ("entropy_logint", `Quick, test_entropy_logint);
+    ("parity gap (Nn vs Γ*)", `Quick, test_parity_gap);
+    ("search basic", `Quick, test_search_basic);
+    ("search on Maxii (Ex 3.8)", `Quick, test_search_maxii);
+    ("search guards", `Quick, test_search_guards);
+    ("Theorem 6.1 interface", `Quick, test_max_to_convex) ]
+  @ qtests
