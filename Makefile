@@ -1,0 +1,36 @@
+.PHONY: all build test check bench bench-json compare clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Tier-1 gate plus a smoke run of the JSON bench harness: builds, runs the
+# full test suite, and verifies `--json` still emits a file the comparator
+# can parse (smoke sizes, so this stays fast).
+check: build
+	dune runtest
+	dune exec bench/main.exe -- --json /tmp/bagcqc-bench-smoke.json --smoke
+	dune exec bench/compare.exe -- /tmp/bagcqc-bench-smoke.json /tmp/bagcqc-bench-smoke.json
+
+# Full experiment harness (tables + bechamel timings).
+bench: build
+	dune exec bench/main.exe
+
+# Regenerate the checked-in bench baselines.
+bench-json: build
+	dune exec bench/main.exe -- --json BENCH_lp.json --only lp
+	dune exec bench/main.exe -- --json BENCH_hom.json --only hom
+
+# Compare a fresh run against the checked-in baselines.
+compare: build
+	dune exec bench/main.exe -- --json /tmp/bagcqc-bench-new-lp.json --only lp
+	dune exec bench/compare.exe -- BENCH_lp.json /tmp/bagcqc-bench-new-lp.json
+	dune exec bench/main.exe -- --json /tmp/bagcqc-bench-new-hom.json --only hom
+	dune exec bench/compare.exe -- BENCH_hom.json /tmp/bagcqc-bench-new-hom.json
+
+clean:
+	dune clean

@@ -1,0 +1,176 @@
+(* Timing suites behind `main.exe --json FILE`: wall-clock medians for the
+   scaling experiments, written as JSON so `compare.exe` can diff two runs
+   and flag regressions.  The JSON is emitted by hand (no JSON library in
+   the build environment); the schema is flat on purpose:
+
+     { "schema": "bagcqc-bench/1",
+       "suites": [
+         { "suite": "lp",
+           "experiments": [
+             { "id": "e11_gamma_sparse",
+               "sizes": [ { "size": 4, "reps": 15,
+                            "median_s": 2.1e-4, "min_s": 1.9e-4 } ] } ] } ] }
+
+   Experiment constructions are frozen (fixed PRNG seeds, fixed sizes) so
+   medians from different commits are comparable. *)
+
+open Bagcqc_lp
+open Bagcqc_entropy
+open Bagcqc_relation
+open Bagcqc_cq
+
+let vs = Varset.of_list
+
+(* ---------------- timing ---------------- *)
+
+let median samples =
+  let a = List.sort compare samples in
+  List.nth a (List.length a / 2)
+
+(* Median for human-facing scaling numbers, minimum for the regression
+   gate: on a shared machine the whole process drifts 30-60% with CPU
+   contention, and the min of many reps is by far the most reproducible
+   statistic for CPU-bound code. *)
+let time_samples ~reps f =
+  ignore (f ());
+  (* warm-up *)
+  let samples =
+    List.init reps (fun _ ->
+        let t0 = Unix.gettimeofday () in
+        ignore (f ());
+        Unix.gettimeofday () -. t0)
+  in
+  (median samples, List.fold_left Float.min Float.infinity samples)
+
+(* One measured point: experiment id, size parameter, reps, median/min. *)
+type point = { size : int; reps : int; median_s : float; min_s : float }
+type experiment = { id : string; points : point list }
+
+let run_points ~reps sizes f =
+  List.map
+    (fun size ->
+      let median_s, min_s = time_samples ~reps (f size) in
+      { size; reps; median_s; min_s })
+    sizes
+
+(* ---------------- LP suite ---------------- *)
+
+let shannon_target n =
+  Linexpr.sub (Linexpr.term (Varset.full n)) (Linexpr.term (vs [ 0 ]))
+
+let with_engine engine f =
+  let saved = !Simplex.default_engine in
+  Simplex.default_engine := engine;
+  Fun.protect ~finally:(fun () -> Simplex.default_engine := saved) f
+
+let ingleton =
+  let i_pair a b x = Linexpr.mutual (vs [ a ]) (vs [ b ]) (vs x) in
+  Linexpr.sub
+    (Linexpr.sum [ i_pair 0 1 [ 2 ]; i_pair 0 1 [ 3 ]; i_pair 2 3 [] ])
+    (i_pair 0 1 [])
+
+let lp_suite ~smoke =
+  let ns = if smoke then [ 2; 3 ] else [ 2; 3; 4; 5 ] in
+  let reps = if smoke then 2 else 15 in
+  [ { id = "e11_gamma_sparse";
+      points =
+        run_points ~reps ns (fun n () ->
+            with_engine Simplex.Sparse (fun () ->
+                Cones.valid_shannon ~n (shannon_target n))) };
+    { id = "e11_gamma_dense";
+      points =
+        run_points ~reps ns (fun n () ->
+            with_engine Simplex.Dense (fun () ->
+                Cones.valid_shannon ~n (shannon_target n))) };
+    (* Invalid inequality: exercises both the failed certificate LP and the
+       primal refuter LP (size is fixed at n = 4). *)
+    { id = "ingleton_gamma_full";
+      points =
+        run_points ~reps:(if smoke then 2 else 15) [ 4 ] (fun n () ->
+            Cones.valid Cones.Gamma ~n ingleton) } ]
+
+(* ---------------- hom suite ---------------- *)
+
+let random_digraph ~seed ~nodes ~edges =
+  let st = Random.State.make [| seed |] in
+  let db = ref Database.empty in
+  for _ = 1 to edges do
+    db :=
+      Database.add_row "R"
+        [| Value.Int (Random.State.int st nodes);
+           Value.Int (Random.State.int st nodes) |]
+        !db
+  done;
+  !db
+
+let hom_suite ~smoke =
+  let reps = if smoke then 2 else 15 in
+  let tri_sizes = if smoke then [ 10; 20 ] else [ 10; 20; 40; 80 ] in
+  let con_sizes = if smoke then [ 20 ] else [ 20; 60; 120 ] in
+  let tri = Parser.parse "R(x,y), R(y,z), R(z,x)" in
+  let q1 = Parser.parse "Q(x) :- R(x,y)" in
+  let q2 = Parser.parse "Q(x) :- R(x,y), R(x,z)" in
+  [ { id = "hom_triangle_count";
+      points =
+        run_points ~reps tri_sizes (fun sz ->
+            let db = random_digraph ~seed:42 ~nodes:sz ~edges:(sz * 4) in
+            fun () -> Hom.count tri db) };
+    { id = "hom_contained_on";
+      points =
+        run_points ~reps con_sizes (fun sz ->
+            let db = random_digraph ~seed:7 ~nodes:sz ~edges:(sz * 3) in
+            fun () -> Hom.contained_on q1 q2 db) } ]
+
+(* ---------------- JSON emission ---------------- *)
+
+let emit buf suites =
+  let pf fmt = Printf.bprintf buf fmt in
+  pf "{\n  \"schema\": \"bagcqc-bench/1\",\n  \"suites\": [";
+  List.iteri
+    (fun i (name, experiments) ->
+      pf "%s\n    { \"suite\": %S,\n      \"experiments\": ["
+        (if i = 0 then "" else ",")
+        name;
+      List.iteri
+        (fun j e ->
+          pf "%s\n        { \"id\": %S,\n          \"sizes\": ["
+            (if j = 0 then "" else ",")
+            e.id;
+          List.iteri
+            (fun k p ->
+              pf
+                "%s\n            { \"size\": %d, \"reps\": %d, \"median_s\": \
+                 %.9g, \"min_s\": %.9g }"
+                (if k = 0 then "" else ",")
+                p.size p.reps p.median_s p.min_s)
+            e.points;
+          pf " ] }")
+        experiments;
+      pf " ] }")
+    suites;
+  pf " ]\n}\n"
+
+type only = All | Lp | Hom
+
+let run ~path ~only ~smoke =
+  let suites =
+    (match only with All | Lp -> [ ("lp", lp_suite ~smoke) ] | Hom -> [])
+    @ (match only with All | Hom -> [ ("hom", hom_suite ~smoke) ] | Lp -> [])
+  in
+  List.iter
+    (fun (name, experiments) ->
+      List.iter
+        (fun e ->
+          List.iter
+            (fun p ->
+              Format.printf "%s/%s size=%d median=%.6fs (%d reps)@." name e.id
+                p.size p.median_s p.reps)
+            e.points)
+        experiments)
+    suites;
+  let buf = Buffer.create 2048 in
+  emit buf suites;
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "wrote %s@." path

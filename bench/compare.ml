@@ -1,0 +1,234 @@
+(* Bench-regression comparator: `compare.exe OLD.json NEW.json` diffs two
+   files produced by `main.exe --json` and exits nonzero if any (suite,
+   experiment, size) point slowed down by more than the threshold
+   (default 20%, override with `--threshold 0.3`).  Points also need to
+   slow down by at least `--min-delta` seconds (default 50us) to count:
+   sub-millisecond medians jitter by tens of percent run to run, and a
+   gate that cries wolf on machine noise protects nothing.
+
+   The build environment has no JSON library, so this includes a small
+   recursive-descent parser for the subset of JSON the harness emits
+   (objects, arrays, numbers, and strings with the basic escapes). *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then s.[!pos] else '\000' in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    if peek () = c then advance () else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal word value =
+    String.iter expect word;
+    value
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance (); Buffer.contents buf
+      | '\\' ->
+        advance ();
+        (match peek () with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 't' -> Buffer.add_char buf '\t'
+         | _ -> fail "unsupported escape");
+        advance ();
+        go ()
+      | '\000' -> fail "unterminated string"
+      | c -> Buffer.add_char buf c; advance (); go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while number_char (peek ()) do advance () done;
+    let text = String.sub s start (!pos - start) in
+    match float_of_string_opt text with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = '}' then (advance (); Obj [])
+      else
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); members ((key, v) :: acc)
+          | '}' -> advance (); Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected , or } in object"
+        in
+        members []
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then (advance (); Arr [])
+      else
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); elements (v :: acc)
+          | ']' -> advance (); Arr (List.rev (v :: acc))
+          | _ -> fail "expected , or ] in array"
+        in
+        elements []
+    | '"' -> Str (parse_string ())
+    | 't' -> literal "true" (Bool true)
+    | 'f' -> literal "false" (Bool false)
+    | 'n' -> literal "null" Null
+    | c when c = '-' || (c >= '0' && c <= '9') -> parse_number ()
+    | _ -> fail "unexpected character"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ---------------- extraction ---------------- *)
+
+let member key = function
+  | Obj fields ->
+    (try List.assoc key fields
+     with Not_found -> raise (Parse_error ("missing field " ^ key)))
+  | _ -> raise (Parse_error ("not an object looking for " ^ key))
+
+let as_arr = function Arr l -> l | _ -> raise (Parse_error "expected array")
+let as_str = function Str s -> s | _ -> raise (Parse_error "expected string")
+let as_num = function Num f -> f | _ -> raise (Parse_error "expected number")
+
+(* (suite, experiment id, size) -> gate seconds.  Prefers the min-of-reps
+   statistic (stable under machine-load drift) and falls back to the
+   median for files written before min_s existed. *)
+let points_of_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  let root = parse_json text in
+  (match member "schema" root with
+   | Str "bagcqc-bench/1" -> ()
+   | _ -> raise (Parse_error (path ^ ": unknown schema")));
+  List.concat_map
+    (fun suite ->
+      let sname = as_str (member "suite" suite) in
+      List.concat_map
+        (fun e ->
+          let id = as_str (member "id" e) in
+          List.map
+            (fun p ->
+              let gate =
+                match p with
+                | Obj fields when List.mem_assoc "min_s" fields ->
+                  as_num (member "min_s" p)
+                | _ -> as_num (member "median_s" p)
+              in
+              ((sname, id, int_of_float (as_num (member "size" p))), gate))
+            (as_arr (member "sizes" e)))
+        (as_arr (member "experiments" suite)))
+    (as_arr (member "suites" root))
+
+(* ---------------- diff ---------------- *)
+
+let () =
+  let threshold = ref 0.20 in
+  let min_delta = ref 5e-5 in
+  let files = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some f when f > 0.0 -> threshold := f
+       | _ -> prerr_endline "compare: bad --threshold"; exit 2);
+      parse_args rest
+    | "--min-delta" :: v :: rest ->
+      (match float_of_string_opt v with
+       | Some f when f >= 0.0 -> min_delta := f
+       | _ -> prerr_endline "compare: bad --min-delta"; exit 2);
+      parse_args rest
+    | arg :: rest -> files := arg :: !files; parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ old_file; new_file ] ->
+    let old_points, new_points =
+      try (points_of_file old_file, points_of_file new_file)
+      with
+      | Parse_error msg -> Printf.eprintf "compare: %s\n" msg; exit 2
+      | Sys_error msg -> Printf.eprintf "compare: %s\n" msg; exit 2
+    in
+    let regressions = ref 0 in
+    Printf.printf "%-40s %12s %12s %8s\n" "suite/experiment/size" "old (s)"
+      "new (s)" "ratio";
+    List.iter
+      (fun ((suite, id, size) as key, t_new) ->
+        match List.assoc_opt key old_points with
+        | None ->
+          Printf.printf "%-40s %12s %12.6f %8s\n"
+            (Printf.sprintf "%s/%s/%d" suite id size)
+            "-" t_new "new"
+        | Some t_old ->
+          let ratio = if t_old > 0.0 then t_new /. t_old else infinity in
+          let flag =
+            if ratio > 1.0 +. !threshold && t_new -. t_old > !min_delta
+            then begin
+              incr regressions;
+              "  REGRESSION"
+            end
+            else if ratio < 1.0 -. !threshold then "  improved"
+            else ""
+          in
+          Printf.printf "%-40s %12.6f %12.6f %8.2f%s\n"
+            (Printf.sprintf "%s/%s/%d" suite id size)
+            t_old t_new ratio flag)
+      new_points;
+    List.iter
+      (fun ((suite, id, size), _) ->
+        if not (List.mem_assoc (suite, id, size) new_points) then
+          Printf.printf "%-40s (dropped from new run)\n"
+            (Printf.sprintf "%s/%s/%d" suite id size))
+      old_points;
+    if !regressions > 0 then begin
+      Printf.printf "%d regression(s) beyond %.0f%%\n" !regressions
+        (100.0 *. !threshold);
+      exit 1
+    end
+    else Printf.printf "no regressions beyond %.0f%%\n" (100.0 *. !threshold)
+  | _ ->
+    prerr_endline
+      "usage: compare.exe [--threshold F] [--min-delta SECONDS] OLD.json NEW.json";
+    exit 2

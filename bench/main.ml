@@ -668,7 +668,34 @@ let bechamel_suite () =
         analyzed)
     tests
 
+(* `--json FILE [--only lp|hom] [--smoke]`: skip the experiment tables and
+   write wall-clock medians for the scaling suites to FILE (see
+   Bench_json); `compare.exe` diffs two such files. *)
+let json_mode () =
+  let usage () =
+    prerr_endline "usage: main.exe [--json FILE [--only lp|hom] [--smoke]]";
+    exit 2
+  in
+  let path = ref None
+  and only = ref Bench_json.All
+  and smoke = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--json" :: file :: rest -> path := Some file; parse rest
+    | "--only" :: "lp" :: rest -> only := Bench_json.Lp; parse rest
+    | "--only" :: "hom" :: rest -> only := Bench_json.Hom; parse rest
+    | "--smoke" :: rest -> smoke := true; parse rest
+    | _ -> usage ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match !path with
+  | Some path ->
+    Bench_json.run ~path ~only:!only ~smoke:!smoke;
+    true
+  | None -> if !only <> Bench_json.All || !smoke then usage () else false
+
 let () =
+  if json_mode () then exit 0;
   Format.printf "bagcqc experiment harness (see DESIGN.md / EXPERIMENTS.md)@.";
   e1 ();
   e2 ();

@@ -2,28 +2,99 @@ open Bagcqc_relation
 
 exception Limit_reached
 
+(* Tuples hash/compare element-wise through Value so hash tables never fall
+   back on polymorphic comparison (which walks arbitrary Value structure). *)
+module RowTbl = Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i < 0 || (Value.equal a.(i) b.(i) && go (i - 1)) in
+    go (Array.length a - 1)
+
+  let hash a =
+    Array.fold_left (fun acc v -> (acc * 65599) + Value.hash v) (Array.length a) a
+end)
+
 (* Backtracking homomorphism search.  [assignment] maps query variables to
    values (None = unbound).  At each step pick the atom with the most bound
-   variables (ties: smaller relation), scan its relation for rows
-   consistent with the assignment, bind and recurse. *)
+   argument positions (ties: smaller relation) and extend the assignment
+   with each consistent row of its relation.
+
+   Consistent rows are found through lazy hash indexes: for an atom and a
+   bitmask of currently-bound argument positions, an index maps the values
+   at those positions to the matching rows (kept in relation order, so the
+   enumeration order is the same as a plain filtering scan).  The search
+   binds variables in a data-dependent order, so only the handful of masks
+   that actually occur get an index — built once on first use, then every
+   later visit of that atom at the same mask is a single lookup instead of
+   a scan of the whole relation. *)
 
 let iter_homs q db yield =
   let nv = Query.nvars q in
   let assignment : Value.t option array = Array.make nv None in
-  let atoms =
-    List.map
+  let atoms = Array.of_list (Query.atoms q) in
+  let natoms = Array.length atoms in
+  let rows =
+    Array.map
       (fun a ->
         let arity = Array.length a.Query.args in
-        (a, Relation.to_list (Database.relation db a.Query.rel ~arity)))
-      (Query.atoms q)
+        Array.of_list (Relation.to_list (Database.relation db a.Query.rel ~arity)))
+      atoms
   in
-  let bound_count a =
-    Array.fold_left
-      (fun acc v -> if assignment.(v) <> None then acc + 1 else acc)
-      0 a.Query.args
+  let rec lsb_pos m i = if m land 1 = 1 then i else lsb_pos (m lsr 1) (i + 1) in
+  (* [selected mask npos fetch] = values of [fetch] at the set positions of
+     [mask], lowest position first; [npos] is the popcount of [mask] ≥ 1. *)
+  let selected mask npos fetch =
+    let key = Array.make npos (fetch (lsb_pos mask 0)) in
+    let k = ref 0 and pos = ref 0 and m = ref mask in
+    while !m <> 0 do
+      if !m land 1 = 1 then begin
+        key.(!k) <- fetch !pos;
+        incr k
+      end;
+      incr pos;
+      m := !m lsr 1
+    done;
+    key
   in
-  let rec go remaining =
-    match remaining with
+  let index_cache : (int, Value.t array list RowTbl.t) Hashtbl.t array =
+    Array.init natoms (fun _ -> Hashtbl.create 4)
+  in
+  let index ai mask npos =
+    match Hashtbl.find_opt index_cache.(ai) mask with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = RowTbl.create (2 * Array.length rows.(ai)) in
+      Array.iter
+        (fun (row : Value.t array) ->
+          let key = selected mask npos (Array.get row) in
+          RowTbl.replace tbl key
+            (row :: (try RowTbl.find tbl key with Not_found -> [])))
+        rows.(ai);
+      (* Buckets were built by consing; flip them back to relation order. *)
+      RowTbl.filter_map_inplace (fun _ bucket -> Some (List.rev bucket)) tbl;
+      Hashtbl.add index_cache.(ai) mask tbl;
+      tbl
+  in
+  (* Bitmask of argument positions whose variable is bound, plus its
+     popcount (the seed's bound-variable count, per position). *)
+  let bound_info ai =
+    let mask = ref 0 and cnt = ref 0 in
+    Array.iteri
+      (fun pos v ->
+        if assignment.(v) <> None then begin
+          mask := !mask lor (1 lsl pos);
+          incr cnt
+        end)
+      atoms.(ai).Query.args;
+    (!mask, !cnt)
+  in
+  (* [pending] carries each atom's row count so the selection heuristic
+     never recounts a relation. *)
+  let rec go pending =
+    match pending with
     | [] ->
       (* Every variable occurs in some atom (all atoms processed), except
          for queries with variables in no atom — those are rejected at
@@ -31,41 +102,55 @@ let iter_homs q db yield =
       if Array.for_all Option.is_some assignment then
         yield (Array.map Option.get assignment)
     | _ :: _ ->
-      (* Most-constrained atom first. *)
-      let best =
-        List.fold_left
-          (fun best ((a, rows) as cand) ->
-            match best with
-            | None -> Some cand
-            | Some (b, brows) ->
-              let ca = bound_count a and cb = bound_count b in
-              if ca > cb || (ca = cb && List.length rows < List.length brows)
-              then Some cand
-              else best)
-          None remaining
-      in
-      let (atom, rows) = Option.get best in
-      let rest = List.filter (fun (a, _) -> a != atom) remaining in
+      (* Most-constrained atom first; first maximum wins, as in a fold. *)
+      let best_i = ref (-1)
+      and best_cnt = ref (-1)
+      and best_size = ref 0
+      and best_mask = ref 0 in
       List.iter
-        (fun row ->
-          (* Try to unify the row with the atom under the current
-             assignment; record which variables we newly bind. *)
-          let newly = ref [] in
-          let ok = ref true in
-          Array.iteri
-            (fun pos v ->
-              if !ok then
-                match assignment.(v) with
-                | Some x -> if not (Value.equal x row.(pos)) then ok := false
-                | None ->
-                  assignment.(v) <- Some row.(pos);
-                  newly := v :: !newly)
-            atom.Query.args;
-          if !ok then go rest;
-          List.iter (fun v -> assignment.(v) <- None) !newly)
-        rows
+        (fun (i, size) ->
+          let mask, cnt = bound_info i in
+          if cnt > !best_cnt || (cnt = !best_cnt && size < !best_size) then begin
+            best_i := i;
+            best_cnt := cnt;
+            best_size := size;
+            best_mask := mask
+          end)
+        pending;
+      let ai = !best_i in
+      let rest = List.filter (fun (i, _) -> i <> ai) pending in
+      let args = atoms.(ai).Query.args in
+      let try_row (row : Value.t array) =
+        (* Unify the row with the atom under the current assignment,
+           recording newly-bound variables.  Index candidates already agree
+           on the bound positions, but the loop re-checks them to handle
+           repeated variables (one occurrence bound, another not). *)
+        let newly = ref [] in
+        let ok = ref true in
+        Array.iteri
+          (fun pos v ->
+            if !ok then
+              match assignment.(v) with
+              | Some x -> if not (Value.equal x row.(pos)) then ok := false
+              | None ->
+                assignment.(v) <- Some row.(pos);
+                newly := v :: !newly)
+          args;
+        if !ok then go rest;
+        List.iter (fun v -> assignment.(v) <- None) !newly
+      in
+      if !best_mask = 0 then Array.iter try_row rows.(ai)
+      else begin
+        let key =
+          selected !best_mask !best_cnt (fun pos ->
+              Option.get assignment.(args.(pos)))
+        in
+        match RowTbl.find_opt (index ai !best_mask !best_cnt) key with
+        | None -> ()
+        | Some bucket -> List.iter try_row bucket
+      end
   in
-  go atoms
+  go (List.init natoms (fun i -> (i, Array.length rows.(i))))
 
 let count ?limit q db =
   let n = ref 0 in
@@ -87,23 +172,22 @@ let enumerate q db =
 
 let answers q db =
   let head = Array.of_list (Query.head q) in
-  let tbl = Hashtbl.create 64 in
+  let tbl = RowTbl.create 64 in
   iter_homs q db (fun h ->
       let key = Array.map (fun v -> h.(v)) head in
-      let prev = try Hashtbl.find tbl key with Not_found -> 0 in
-      Hashtbl.replace tbl key (prev + 1));
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+      let prev = try RowTbl.find tbl key with Not_found -> 0 in
+      RowTbl.replace tbl key (prev + 1));
+  RowTbl.fold (fun k v acc -> (k, v) :: acc) tbl []
 
 let contained_on q1 q2 db =
   if List.length (Query.head q1) <> List.length (Query.head q2) then
     invalid_arg "Hom.contained_on: head arity mismatch";
-  let a2 = answers q2 db in
-  let find key =
-    match List.find_opt (fun (k, _) -> k = key) a2 with
-    | Some (_, c) -> c
-    | None -> 0
-  in
-  List.for_all (fun (key, c1) -> c1 <= find key) (answers q1 db)
+  let a2 = RowTbl.create 64 in
+  List.iter (fun (key, c) -> RowTbl.replace a2 key c) (answers q2 db);
+  List.for_all
+    (fun (key, c1) ->
+      c1 <= (match RowTbl.find_opt a2 key with Some c -> c | None -> 0))
+    (answers q1 db)
 
 (* Queries as structures: the canonical database uses Str values carrying
    variable names, which we decode back to indices. *)

@@ -34,9 +34,12 @@ let elemental ~n =
 (* Γn: LP variables are h(S) for nonempty S, indexed by [mask - 1].    *)
 (* ------------------------------------------------------------------ *)
 
-let gamma_row ~n e =
-  let dense = Linexpr.to_dense ~n e in
-  Array.sub dense 1 ((1 lsl n) - 1)
+(* LP variables for Γn are h(S) for nonempty S, indexed by [mask − 1];
+   expressions translate to sparse rows directly off their term lists
+   (elemental inequalities have at most 4 nonzero terms, so the LPs below
+   never materialize the 2^n − 1 mostly-zero coefficients). *)
+let gamma_sparse e =
+  List.map (fun (s, c) -> (s - 1, c)) (Linexpr.terms e)
 
 (* Farkas certificate search: is some convex combination Σ μℓ·Eℓ a
    non-negative combination Σ λᵢ·elemᵢ of elemental inequalities?  By LP
@@ -50,20 +53,25 @@ let gamma_dual_multipliers ~n es =
   let n_elem = List.length elems in
   let k = List.length es in
   let num_vars = n_elem + k in
-  let elem_rows = List.map (gamma_row ~n) elems in
-  let side_rows = List.map (gamma_row ~n) es in
+  (* Transpose the sparse columns (one per multiplier) into sparse rows
+     (one per nonempty mask S): Σ λᵢ elemᵢ(S) − Σ μℓ Eℓ(S) = 0. *)
+  let buckets = Array.make ((1 lsl n) - 1) [] in
+  List.iteri
+    (fun i e ->
+      List.iter (fun (s, c) -> buckets.(s) <- (i, c) :: buckets.(s)) (gamma_sparse e))
+    elems;
+  List.iteri
+    (fun l e ->
+      List.iter
+        (fun (s, c) -> buckets.(s) <- (n_elem + l, Rat.neg c) :: buckets.(s))
+        (gamma_sparse e))
+    es;
   let constraints =
-    (* For each nonempty mask S: Σ λᵢ elemᵢ(S) − Σ μℓ Eℓ(S) = 0. *)
     List.init ((1 lsl n) - 1) (fun s ->
-        let row = Array.make num_vars Rat.zero in
-        List.iteri (fun i r -> row.(i) <- r.(s)) elem_rows;
-        List.iteri (fun l r -> row.(n_elem + l) <- Rat.neg r.(s)) side_rows;
-        Simplex.constr row Simplex.Eq Rat.zero)
-    @ [ (let row = Array.make num_vars Rat.zero in
-         for l = 0 to k - 1 do
-           row.(n_elem + l) <- Rat.one
-         done;
-         Simplex.constr row Simplex.Eq Rat.one) ]
+        Simplex.sparse_constr buckets.(s) Simplex.Eq Rat.zero)
+    @ [ Simplex.sparse_constr
+          (List.init k (fun l -> (n_elem + l, Rat.one)))
+          Simplex.Eq Rat.one ]
   in
   match Simplex.feasible ~num_vars constraints with
   | None -> None
@@ -78,12 +86,12 @@ let valid_max_gamma ~n es =
     let num_vars = (1 lsl n) - 1 in
     let cone_rows =
       List.map
-        (fun e -> Simplex.constr (gamma_row ~n e) Simplex.Ge Rat.zero)
+        (fun e -> Simplex.sparse_constr (gamma_sparse e) Simplex.Ge Rat.zero)
         (elemental ~n)
     in
     let target_rows =
       List.map
-        (fun e -> Simplex.constr (gamma_row ~n e) Simplex.Le Rat.minus_one)
+        (fun e -> Simplex.sparse_constr (gamma_sparse e) Simplex.Le Rat.minus_one)
         es
     in
     (match Simplex.feasible ~num_vars (cone_rows @ target_rows) with

@@ -1,11 +1,19 @@
 (** Exact linear programming over rationals.
 
-    A dense two-phase primal simplex with Bland's anti-cycling rule,
-    computing over {!Bagcqc_num.Rat} so every answer is exact — the
-    decidability results of the paper (Theorem 3.1, Theorem 3.6) reduce
-    validity of (max-)information inequalities to LPs over the polyhedral
-    cones Γn, Nn, Mn, and a floating-point solver could misclassify
-    inequalities that hold with slack 0 (most interesting ones do).
+    Two-phase primal simplex with Bland's anti-cycling fallback, computing
+    over {!Bagcqc_num.Rat} so every answer is exact — the decidability
+    results of the paper (Theorem 3.1, Theorem 3.6) reduce validity of
+    (max-)information inequalities to LPs over the polyhedral cones Γn,
+    Nn, Mn, and a floating-point solver could misclassify inequalities
+    that hold with slack 0 (most interesting ones do).
+
+    Two interchangeable engines are provided.  {!Sparse} (the default)
+    ingests constraints as [(column, coefficient)] pairs, pivots only over
+    the nonzero columns of the pivot row, and finds entering columns by
+    block partial pricing — built for the entropic LPs of this project,
+    whose elemental rows have at most 4 nonzeros.  {!Dense} is the
+    original straightforward tableau implementation, kept as a reference
+    oracle; the test suite checks the two agree on randomized problems.
 
     All variables are implicitly constrained to be non-negative; callers
     model free variables by splitting into differences (none of the cones
@@ -15,11 +23,9 @@ open Bagcqc_num
 
 type op = Le | Ge | Eq
 
-type constr = {
-  coeffs : Rat.t array; (** dense row, length [num_vars] *)
-  op : op;
-  rhs : Rat.t;
-}
+type constr
+(** One linear constraint [row · x op rhs].  Stored sparsely regardless of
+    how it was built. *)
 
 type problem = {
   num_vars : int;
@@ -34,9 +40,26 @@ type outcome =
   | Infeasible
 
 val constr : Rat.t array -> op -> Rat.t -> constr
+(** Dense row of length [num_vars]; zero coefficients are dropped on
+    ingestion. *)
+
+val sparse_constr : (int * Rat.t) list -> op -> Rat.t -> constr
+(** Sparse row as [(column, coefficient)] pairs in any order; columns not
+    mentioned are zero.
+    @raise Invalid_argument on a negative or duplicated column. *)
+
+type engine = Dense | Sparse
+
+val default_engine : engine ref
+(** Engine used by {!solve}, {!feasible} and {!maximize}.  Defaults to
+    [Sparse]; benchmarks and cross-checks flip it to compare the two. *)
 
 val solve : problem -> outcome
-(** @raise Invalid_argument if a row length differs from [num_vars]. *)
+(** @raise Invalid_argument if a dense row length differs from [num_vars]
+    or a sparse row mentions a column [>= num_vars]. *)
+
+val solve_with : engine -> problem -> outcome
+(** {!solve} with an explicit engine, ignoring {!default_engine}. *)
 
 val feasible : num_vars:int -> constr list -> Rat.t array option
 (** [feasible ~num_vars cs] is a point of the polyhedron

@@ -1,17 +1,42 @@
-(* Sign-magnitude bignums over base-2^30 limbs, little-endian.
+(* Arbitrary-precision signed integers with a small-integer fast path.
 
-   Invariants: [mag] has no most-significant zero limb; [sign = 0] iff [mag]
-   is empty; every limb is in [0, base).  Division follows Knuth's
-   Algorithm D; with 63-bit native ints and 30-bit limbs every intermediate
-   product (at most 61 bits) fits without overflow. *)
+   Representation (see DESIGN.md, "Small/Big bignums"):
 
-type t = { sign : int; mag : int array }
+     type t = Small of int | Big of { sign; mag }
+
+   [Small n] holds any native int except [min_int]; [Big] is sign-magnitude
+   over base-2^30 limbs, little-endian, and is only used for values whose
+   magnitude needs more than 62 bits (i.e. |v| > max_int, plus the single
+   value [min_int] whose magnitude is not a valid [Small]).  The
+   representation is canonical: every value has exactly one encoding, so
+   structural equality coincides with numeric equality and [compare] can
+   dispatch on the constructor.
+
+   All the hot operations (add/sub/mul/compare/gcd/divmod) take an
+   allocation-free native-int path when both operands are [Small] and the
+   result provably fits, detecting overflow exactly (sign-algebra checks
+   for add/sub, a division check for mul) and falling back to the magnitude
+   arrays otherwise.  The entropic LPs solved by {!Bagcqc_lp.Simplex} have
+   coefficients that are almost all ±1/±2, so in practice the fallback is
+   cold.
+
+   Magnitude invariants: [mag] has no most-significant zero limb;
+   [sign = 0] iff [mag] is empty; every limb is in [0, base).  Division
+   follows Knuth's Algorithm D; with 63-bit native ints and 30-bit limbs
+   every intermediate product (at most 61 bits) fits without overflow. *)
+
+type t =
+  | Small of int                          (* any int except min_int *)
+  | Big of { sign : int; mag : int array } (* canonical: |v| > max_int *)
 
 let base_bits = 30
 let base = 1 lsl base_bits
 let limb_mask = base - 1
 
-let zero = { sign = 0; mag = [||] }
+let zero = Small 0
+let one = Small 1
+let two = Small 2
+let minus_one = Small (-1)
 
 (* ------------------------------------------------------------------ *)
 (* Magnitude (unsigned little-endian int array) primitives.            *)
@@ -128,6 +153,11 @@ let limb_leading_zeros v =
   let rec loop n m = if m land (base lsr 1) <> 0 then n else loop (n + 1) (m lsl 1) in
   loop 0 v
 
+let mag_bits a =
+  let n = Array.length a in
+  if n = 0 then 0
+  else (n - 1) * base_bits + (base_bits - limb_leading_zeros a.(n - 1))
+
 (* Division of magnitudes by a single limb d > 0: returns (quotient, rem). *)
 let mag_divmod_limb a d =
   let la = Array.length a in
@@ -203,99 +233,202 @@ let mag_divmod u v =
   | _ -> mag_divmod_knuth u v
 
 (* ------------------------------------------------------------------ *)
-(* Signed interface.                                                   *)
+(* Canonicalization between the two representations.                   *)
 (* ------------------------------------------------------------------ *)
 
+(* [make sign mag] builds the canonical value [sign * mag]: [Small]
+   whenever the magnitude fits in 62 bits (|v| <= max_int), [Big]
+   otherwise. *)
 let make sign mag =
   let mag = mag_norm mag in
-  if Array.length mag = 0 then zero else { sign; mag }
+  let n = Array.length mag in
+  if n = 0 then zero
+  else if mag_bits mag <= 62 then begin
+    let v = ref 0 in
+    for i = n - 1 downto 0 do
+      v := (!v lsl base_bits) lor mag.(i)
+    done;
+    Small (sign * !v)
+  end
+  else Big { sign; mag }
+
+(* Decompose into (sign, magnitude) for the slow paths.  Safe for any
+   [Small] because [min_int] is never stored as [Small]. *)
+let parts = function
+  | Small n ->
+    if n = 0 then (0, [||])
+    else if n > 0 then (1, mag_of_int n)
+    else (-1, mag_of_int (-n))
+  | Big { sign; mag } -> (sign, mag)
+
+(* Identity on canonical values (everything arithmetic builds), so the
+   operand-passthrough shortcuts below can return an operand without
+   leaking a non-canonical representation — [Testing.force_big] builds
+   such operands on purpose to exercise the slow paths. *)
+let canon = function
+  | Small _ as x -> x
+  | Big { sign; mag } -> make sign mag
 
 let of_int n =
-  if n = 0 then zero
-  else if n = min_int then
-    (* |min_int| overflows; build it as -(2^62). *)
-    make (-1) (mag_shift_left [| 1 |] 62)
-  else if n > 0 then { sign = 1; mag = mag_of_int n }
-  else { sign = -1; mag = mag_of_int (-n) }
+  if n = min_int then
+    (* |min_int| = 2^62 needs 63 bits of magnitude. *)
+    Big { sign = -1; mag = [| 0; 0; 4 |] }
+  else Small n
 
-let one = of_int 1
-let two = of_int 2
-let minus_one = of_int (-1)
+let sign = function Small n -> compare n 0 | Big b -> b.sign
+let is_zero = function Small 0 -> true | _ -> false
 
-let sign x = x.sign
-let is_zero x = x.sign = 0
-let neg x = if x.sign = 0 then x else { x with sign = -x.sign }
-let abs x = if x.sign < 0 then neg x else x
+let neg = function
+  | Small n -> Small (-n) (* n <> min_int *)
+  | Big b -> Big { b with sign = -b.sign }
+
+let abs x = if sign x < 0 then neg x else x
 
 let compare a b =
-  if a.sign <> b.sign then compare a.sign b.sign
-  else if a.sign >= 0 then mag_cmp a.mag b.mag
-  else mag_cmp b.mag a.mag
+  match a, b with
+  | Small a, Small b -> Stdlib.compare a b
+  | Big x, Big y ->
+    if x.sign <> y.sign then Stdlib.compare x.sign y.sign
+    else if x.sign >= 0 then mag_cmp x.mag y.mag
+    else mag_cmp y.mag x.mag
+  (* |Big| > max_int >= any Small, so only the Big's sign matters. *)
+  | Small _, Big y -> -y.sign
+  | Big x, Small _ -> x.sign
 
-let equal a b = compare a b = 0
+let equal a b =
+  match a, b with
+  | Small a, Small b -> a = b
+  | Big x, Big y -> x.sign = y.sign && mag_cmp x.mag y.mag = 0
+  | Small _, Big _ | Big _, Small _ -> false
 
-let hash x =
-  Array.fold_left (fun acc limb -> (acc * 1000003) lxor limb) (x.sign + 1) x.mag
+let hash = function
+  | Small n -> n * 1000003
+  | Big { sign; mag } ->
+    Array.fold_left (fun acc limb -> (acc * 1000003) lxor limb) (sign + 1) mag
+
+(* Slow path over magnitudes, shared by add and sub. *)
+let add_parts (sa, ma) (sb, mb) =
+  if sa = 0 then make sb mb
+  else if sb = 0 then make sa ma
+  else if sa = sb then make sa (mag_add ma mb)
+  else
+    let c = mag_cmp ma mb in
+    if c = 0 then zero
+    else if c > 0 then make sa (mag_sub ma mb)
+    else make sb (mag_sub mb ma)
 
 let add a b =
-  if a.sign = 0 then b
-  else if b.sign = 0 then a
-  else if a.sign = b.sign then make a.sign (mag_add a.mag b.mag)
-  else
-    let c = mag_cmp a.mag b.mag in
-    if c = 0 then zero
-    else if c > 0 then make a.sign (mag_sub a.mag b.mag)
-    else make b.sign (mag_sub b.mag a.mag)
+  match a, b with
+  | Small a, Small b ->
+    let s = a + b in
+    (* Overflow iff both operands have the sign bit opposite to the sum's;
+       also shunt [min_int] to the canonical Big form. *)
+    if (a lxor s) land (b lxor s) < 0 || s = min_int then
+      add_parts (parts (Small a)) (parts (Small b))
+    else Small s
+  | _ -> add_parts (parts a) (parts b)
 
-let sub a b = add a (neg b)
+let sub a b =
+  match a, b with
+  | Small a, Small b ->
+    let s = a - b in
+    if (a lxor b) land (a lxor s) < 0 || s = min_int then
+      add_parts (parts (Small a)) (parts (neg (Small b)))
+    else Small s
+  | _ -> add_parts (parts a) (parts (neg b))
+
 let succ a = add a one
 let pred a = sub a one
 
 let mul a b =
-  if a.sign = 0 || b.sign = 0 then zero
-  else make (a.sign * b.sign) (mag_mul a.mag b.mag)
+  match a, b with
+  | Small 0, _ | _, Small 0 -> zero
+  | Small 1, b -> canon b
+  | a, Small 1 -> canon a
+  | Small (-1), b -> neg (canon b)
+  | a, Small (-1) -> neg (canon a)
+  | Small a, Small b ->
+    let p = a * b in
+    (* Division-based exact overflow check: operands exclude min_int and
+       ±1/0 are handled above, so [p / b] cannot itself overflow, and a
+       wrapped product is always at least 1 off after dividing back. *)
+    if p <> min_int && p / b = a then Small p
+    else
+      let sa, ma = parts (Small a) and sb, mb = parts (Small b) in
+      make (sa * sb) (mag_mul ma mb)
+  | _ ->
+    let sa, ma = parts a and sb, mb = parts b in
+    if sa = 0 || sb = 0 then zero else make (sa * sb) (mag_mul ma mb)
 
 let divmod a b =
-  if b.sign = 0 then raise Division_by_zero
-  else if a.sign = 0 then (zero, zero)
-  else
-    let qm, rm = mag_divmod a.mag b.mag in
-    (make (a.sign * b.sign) qm, make a.sign rm)
+  match a, b with
+  | _, Small 0 -> raise Division_by_zero
+  | Small 0, _ -> (zero, zero)
+  | Small a, Small b ->
+    (* min_int / -1 is impossible: min_int is never Small. *)
+    (Small (a / b), Small (a mod b))
+  | _ ->
+    let sa, ma = parts a and sb, mb = parts b in
+    if sb = 0 then raise Division_by_zero
+    else if sa = 0 then (zero, zero)
+    else
+      let qm, rm = mag_divmod ma mb in
+      (make (sa * sb) qm, make sa rm)
 
 let div a b = fst (divmod a b)
 let rem a b = snd (divmod a b)
 
 let shift_left x bits =
-  if bits = 0 || x.sign = 0 then x
-  else make x.sign (mag_shift_left x.mag bits)
+  if bits = 0 || is_zero x then x
+  else
+    match x with
+    | Small n when bits < 62 ->
+      let m = if n > 0 then n else -n in
+      (* Shift stays in native range iff the top bit stays below bit 62. *)
+      if mag_bits (mag_of_int m) + bits <= 62 then Small (n lsl bits)
+      else
+        let s, mag = parts x in
+        make s (mag_shift_left mag bits)
+    | _ ->
+      let s, mag = parts x in
+      make s (mag_shift_left mag bits)
 
 let num_bits x =
-  let n = Array.length x.mag in
-  if n = 0 then 0
-  else (n - 1) * base_bits + (base_bits - limb_leading_zeros x.mag.(n - 1))
+  match x with
+  | Small 0 -> 0
+  | Small n -> mag_bits (mag_of_int (if n > 0 then n else -n))
+  | Big b -> mag_bits b.mag
 
-let is_even x = x.sign = 0 || x.mag.(0) land 1 = 0
-
-(* Binary GCD: avoids the cost of full divisions on large operands. *)
 let gcd a b =
-  let rec twos x n = if x.sign <> 0 && is_even x then twos (make 1 (mag_shift_right x.mag 1)) (n + 1) else (x, n) in
-  let a = abs a and b = abs b in
-  if a.sign = 0 then b
-  else if b.sign = 0 then a
-  else begin
-    let a, ka = twos a 0 in
-    let b, kb = twos b 0 in
+  match abs a, abs b with
+  | Small 0, y -> canon y
+  | x, Small 0 -> canon x
+  | Small a, Small b ->
+    (* Euclid on non-negative native ints; the result divides both
+       operands, so it always fits. *)
+    let rec go a b = if b = 0 then a else go b (a mod b) in
+    Small (go a b)
+  | a, b ->
+    (* Binary GCD: avoids full divisions on large operands. *)
+    let sm = mag_shift_right and cmp = mag_cmp in
+    let rec twos m n = if Array.length m > 0 && m.(0) land 1 = 0 then twos (sm m 1) (n + 1) else (m, n) in
+    let ma = snd (parts a) and mb = snd (parts b) in
+    if Array.length ma = 0 then make 1 mb
+    else if Array.length mb = 0 then make 1 ma
+    else
+    let ma, ka = twos ma 0 in
+    let mb, kb = twos mb 0 in
     let k = if ka < kb then ka else kb in
     let rec loop a b =
       (* Both odd. *)
-      if equal a b then a
+      let c = cmp a b in
+      if c = 0 then a
       else
-        let big, small = if compare a b > 0 then (a, b) else (b, a) in
-        let d, _ = twos (sub big small) 0 in
+        let big, small = if c > 0 then (a, b) else (b, a) in
+        let d, _ = twos (mag_sub big small) 0 in
         loop d small
     in
-    shift_left (loop a b) k
-  end
+    make 1 (mag_shift_left (loop ma mb) k)
 
 let pow x k =
   if k < 0 then invalid_arg "Bigint.pow: negative exponent";
@@ -309,32 +442,25 @@ let pow x k =
 let min a b = if compare a b <= 0 then a else b
 let max a b = if compare a b >= 0 then a else b
 
-let to_int_opt x =
-  (* Fast path: at most three limbs can fit in 62 bits. *)
-  let n = Array.length x.mag in
-  if n = 0 then Some 0
-  else if num_bits x > 62 then None
-  else begin
-    let v = ref 0 in
-    for i = n - 1 downto 0 do
-      v := (!v lsl base_bits) lor x.mag.(i)
+let to_int_opt = function
+  | Small n -> Some n
+  | Big _ -> None (* canonical Big never fits (min_int excluded for history) *)
+
+let to_float = function
+  | Small n -> float_of_int n
+  | Big { sign; mag } ->
+    let m = Array.length mag in
+    let v = ref 0.0 in
+    for i = m - 1 downto 0 do
+      v := (!v *. float_of_int base) +. float_of_int mag.(i)
     done;
-    Some (x.sign * !v)
-  end
+    float_of_int sign *. !v
 
-let to_float x =
-  let m = Array.length x.mag in
-  let v = ref 0.0 in
-  for i = m - 1 downto 0 do
-    v := (!v *. float_of_int base) +. float_of_int x.mag.(i)
-  done;
-  float_of_int x.sign *. !v
+let ten = Small 10
 
-let ten = of_int 10
-
-let to_string x =
-  if x.sign = 0 then "0"
-  else begin
+let to_string = function
+  | Small n -> string_of_int n
+  | Big { sign; mag } ->
     let buf = Buffer.create 32 in
     (* Extract base-10^9 digits, least significant first. *)
     let rec chunks acc m =
@@ -343,14 +469,13 @@ let to_string x =
         let q, r = mag_divmod_limb m 1_000_000_000 in
         chunks (r :: acc) q
     in
-    (match chunks [] x.mag with
+    (match chunks [] mag with
      | [] -> assert false
      | d :: rest ->
-       if x.sign < 0 then Buffer.add_char buf '-';
+       if sign < 0 then Buffer.add_char buf '-';
        Buffer.add_string buf (string_of_int d);
        List.iter (fun d -> Buffer.add_string buf (Printf.sprintf "%09d" d)) rest);
     Buffer.contents buf
-  end
 
 let of_string s =
   let len = String.length s in
@@ -372,3 +497,19 @@ let of_string s =
   if neg_sign then neg !acc else !acc
 
 let pp fmt x = Format.pp_print_string fmt (to_string x)
+
+module Testing = struct
+  let is_small = function Small _ -> true | Big _ -> false
+
+  let force_big x =
+    (* Deliberately non-canonical: a value that fits [Small] re-encoded as
+       [Big], so property tests can drive the magnitude-array slow paths
+       on the same operands the fast paths see.  Only valid as an operand
+       to arithmetic (results are re-canonicalized by [make]); never
+       compare a forced value structurally. *)
+    match x with
+    | Big _ -> x
+    | Small _ ->
+      let s, mag = parts x in
+      Big { sign = s; mag }
+end

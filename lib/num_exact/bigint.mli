@@ -1,11 +1,14 @@
 (** Arbitrary-precision signed integers.
 
-    Implemented from scratch (the environment provides no [zarith]) as
-    sign-magnitude numbers over base-2{^30} limbs.  All operations are purely
-    functional.  This is the numeric bedrock for the exact rational
-    arithmetic ({!Rat}) used by the simplex solver and for the exact
-    log-integer comparisons ({!Logint}) used when comparing entropies of
-    uniform relations. *)
+    Implemented from scratch (the environment provides no [zarith]) as a
+    two-level representation: machine-word values are stored unboxed
+    ([Small of int]) with overflow-checked native fast paths for
+    add/sub/mul/compare/gcd/divmod, falling back to sign-magnitude numbers
+    over base-2{^30} limbs only when a value exceeds 62 bits.  All
+    operations are purely functional.  This is the numeric bedrock for the
+    exact rational arithmetic ({!Rat}) used by the simplex solver and for
+    the exact log-integer comparisons ({!Logint}) used when comparing
+    entropies of uniform relations. *)
 
 type t
 
@@ -68,3 +71,17 @@ val of_string : string -> t
 val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit
+
+(**/**)
+
+(** Test-only access to the dual representation: lets property tests run
+    the magnitude-array slow paths on operands that would normally take
+    the native fast path, and observe which representation a value uses.
+    [force_big] produces a deliberately {e non-canonical} value — use it
+    only as an operand to arithmetic, never compare it structurally. *)
+module Testing : sig
+  val is_small : t -> bool
+  val force_big : t -> t
+end
+
+(**/**)

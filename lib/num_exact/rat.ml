@@ -46,19 +46,37 @@ let inv x =
   else { n = Bigint.neg x.d; d = Bigint.neg x.n }
 
 let add a b =
-  (* gcd of denominators keeps intermediates small. *)
-  let g = Bigint.gcd a.d b.d in
-  let da = Bigint.div a.d g and db = Bigint.div b.d g in
-  make (Bigint.add (Bigint.mul a.n db) (Bigint.mul b.n da)) (Bigint.mul a.d db)
+  (* Zero shortcuts: additions against 0 dominate sparse pivoting. *)
+  if Bigint.is_zero a.n then b
+  else if Bigint.is_zero b.n then a
+  else if Bigint.equal a.d b.d then
+    (* Common denominator (always true for integers): one gcd in [make]. *)
+    make (Bigint.add a.n b.n) a.d
+  else
+    (* gcd of denominators keeps intermediates small. *)
+    let g = Bigint.gcd a.d b.d in
+    let da = Bigint.div a.d g and db = Bigint.div b.d g in
+    make (Bigint.add (Bigint.mul a.n db) (Bigint.mul b.n da)) (Bigint.mul a.d db)
 
 let sub a b = add a (neg b)
 
+let is_one x = Bigint.equal x.n Bigint.one && Bigint.equal x.d Bigint.one
+let is_minus_one x = Bigint.equal x.n Bigint.minus_one && Bigint.equal x.d Bigint.one
+
 let mul a b =
-  (* Cross-cancel before multiplying. *)
-  let g1 = Bigint.gcd (Bigint.abs a.n) b.d in
-  let g2 = Bigint.gcd (Bigint.abs b.n) a.d in
-  { n = Bigint.mul (Bigint.div a.n g1) (Bigint.div b.n g2);
-    d = Bigint.mul (Bigint.div a.d g2) (Bigint.div b.d g1) }
+  (* ±1/0 shortcuts: simplex pivots scale rows by 1 and eliminate with ±1
+     coefficients far more often than with anything else. *)
+  if Bigint.is_zero a.n || Bigint.is_zero b.n then zero
+  else if is_one a then b
+  else if is_one b then a
+  else if is_minus_one a then neg b
+  else if is_minus_one b then neg a
+  else
+    (* Cross-cancel before multiplying. *)
+    let g1 = Bigint.gcd (Bigint.abs a.n) b.d in
+    let g2 = Bigint.gcd (Bigint.abs b.n) a.d in
+    { n = Bigint.mul (Bigint.div a.n g1) (Bigint.div b.n g2);
+      d = Bigint.mul (Bigint.div a.d g2) (Bigint.div b.d g1) }
 
 let div a b = mul a (inv b)
 

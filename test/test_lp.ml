@@ -209,7 +209,98 @@ let prop_solution_feasible =
         in
         feas && Rat.equal v (dot (qa obj)))
 
-let qtests = List.map QCheck_alcotest.to_alcotest [ prop_solution_feasible ]
+(* Property: the sparse engine is a drop-in replacement for the dense
+   reference implementation — same verdict and same optimal value on random
+   LPs mixing Le/Ge/Eq rows with signed coefficients and right-hand sides
+   (the mix produces feasible, infeasible, unbounded, and degenerate
+   instances; optimal *points* may legitimately differ when the optimum
+   face is not a vertex, so only values are compared). *)
+let outcomes_agree a b =
+  match a, b with
+  | Simplex.Optimal (va, _), Simplex.Optimal (vb, _) -> Rat.equal va vb
+  | Simplex.Unbounded, Simplex.Unbounded -> true
+  | Simplex.Infeasible, Simplex.Infeasible -> true
+  | _ -> false
+
+let random_problem st =
+  let rand_rat () =
+    Rat.of_ints (Random.State.int st 21 - 10) (1 + Random.State.int st 4)
+  in
+  let nv = 1 + Random.State.int st 4 in
+  let nc = 1 + Random.State.int st 6 in
+  let constraints =
+    List.init nc (fun _ ->
+        let row = Array.init nv (fun _ -> rand_rat ()) in
+        let op =
+          match Random.State.int st 3 with
+          | 0 -> Simplex.Le
+          | 1 -> Simplex.Ge
+          | _ -> Simplex.Eq
+        in
+        Simplex.constr row op (rand_rat ()))
+  in
+  Simplex.{ num_vars = nv;
+            objective = Array.init nv (fun _ -> rand_rat ());
+            constraints }
+
+let prop_engines_agree =
+  QCheck.Test.make ~name:"sparse and dense engines agree" ~count:300
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let p = random_problem (Random.State.make [| seed |]) in
+      outcomes_agree
+        (Simplex.solve_with Simplex.Dense p)
+        (Simplex.solve_with Simplex.Sparse p))
+
+(* Same LP given densely and as reversed (column, coefficient) pairs must
+   solve identically under either engine. *)
+let prop_sparse_ingestion =
+  QCheck.Test.make ~name:"sparse_constr matches constr" ~count:200
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed + 17 |] in
+      let rand_rat () =
+        Rat.of_ints (Random.State.int st 21 - 10) (1 + Random.State.int st 4)
+      in
+      let nv = 1 + Random.State.int st 4 in
+      let nc = 1 + Random.State.int st 6 in
+      let dense_rows, sparse_rows =
+        List.split
+          (List.init nc (fun _ ->
+               let row = Array.init nv (fun _ -> rand_rat ()) in
+               let op =
+                 match Random.State.int st 3 with
+                 | 0 -> Simplex.Le
+                 | 1 -> Simplex.Ge
+                 | _ -> Simplex.Eq
+               in
+               let rhs = rand_rat () in
+               let pairs =
+                 (* Reversed order: ingestion must not care about order. *)
+                 List.rev (Array.to_list (Array.mapi (fun i c -> (i, c)) row))
+               in
+               (Simplex.constr row op rhs, Simplex.sparse_constr pairs op rhs)))
+      in
+      let objective = Array.init nv (fun _ -> rand_rat ()) in
+      let pd = Simplex.{ num_vars = nv; objective; constraints = dense_rows } in
+      let ps = Simplex.{ num_vars = nv; objective; constraints = sparse_rows } in
+      outcomes_agree (Simplex.solve pd) (Simplex.solve ps)
+      && outcomes_agree
+           (Simplex.solve_with Simplex.Dense pd)
+           (Simplex.solve_with Simplex.Sparse ps))
+
+let test_sparse_constr_validation () =
+  Alcotest.check_raises "negative column"
+    (Invalid_argument "Simplex.sparse_constr: negative column")
+    (fun () -> ignore (Simplex.sparse_constr [ (-1, q 1) ] Simplex.Le (q 0)));
+  Alcotest.check_raises "duplicate column"
+    (Invalid_argument "Simplex.sparse_constr: duplicate column")
+    (fun () ->
+      ignore (Simplex.sparse_constr [ (0, q 1); (0, q 2) ] Simplex.Le (q 0)))
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_solution_feasible; prop_engines_agree; prop_sparse_ingestion ]
 
 let suite =
   [ ("basic min", `Quick, test_basic_min);
@@ -221,5 +312,6 @@ let suite =
     ("negative rhs", `Quick, test_negative_rhs);
     ("feasibility", `Quick, test_zero_objective_feasibility);
     ("redundant equalities", `Quick, test_redundant_equalities);
-    ("dimension mismatch", `Quick, test_dimension_mismatch) ]
+    ("dimension mismatch", `Quick, test_dimension_mismatch);
+    ("sparse_constr validation", `Quick, test_sparse_constr_validation) ]
   @ qtests

@@ -256,10 +256,104 @@ let prop_logint_additive =
         (Logint.log (Bigint.mul (Bigint.of_int a) (Bigint.of_int b)))
         (Logint.add (Logint.log_int a) (Logint.log_int b)))
 
+(* ------------------------------------------------------------------ *)
+(* Fast-path vs slow-path cross-checks.  [Bigint.Testing.force_big]     *)
+(* re-encodes a [Small] value as a (non-canonical) magnitude array, so   *)
+(* the same operands can be pushed through both the native-int fast     *)
+(* paths and the limb-array slow paths; results must agree.  Operands   *)
+(* cluster around the overflow boundaries where the fast paths bail     *)
+(* out: max_int/min_int (62-bit boundary) and the 2^30/2^31 limb edges. *)
+(* ------------------------------------------------------------------ *)
+
+let boundary_int =
+  let boundaries =
+    [ 0; 1; -1; 7; -7; 1000003;
+      max_int; max_int - 1; min_int; min_int + 1; max_int / 3;
+      1 lsl 30; (1 lsl 30) - 1; -(1 lsl 30);
+      1 lsl 31; (1 lsl 31) - 1; -(1 lsl 31);
+      1 lsl 60; -(1 lsl 60); 1 lsl 61; -(1 lsl 61) ]
+  in
+  (* Offsets may wrap around min_int/max_int; any resulting int is a valid
+     operand, so that is fine. *)
+  QCheck.(
+    map ~rev:(fun n -> (n, 0))
+      (fun (b, o) -> b + o)
+      (pair (oneofl boundaries) (int_range (-3) 3)))
+
+let force = Bigint.Testing.force_big
+
+(* Both results are produced by canonicalizing constructors, so they must
+   agree in value (to_string) and representation (is_small) even though
+   one computation ran entirely on magnitude arrays. *)
+let cross_check f a b =
+  let fast = f (bi a) (bi b) in
+  let slow = f (force (bi a)) (force (bi b)) in
+  let mixed = f (bi a) (force (bi b)) in
+  Bigint.to_string fast = Bigint.to_string slow
+  && Bigint.to_string fast = Bigint.to_string mixed
+  && Bigint.Testing.is_small fast = Bigint.Testing.is_small slow
+
+let prop_fast_slow op_name f =
+  QCheck.Test.make
+    ~name:("bigint fast vs slow: " ^ op_name)
+    ~count:1000
+    (QCheck.pair boundary_int boundary_int)
+    (fun (a, b) -> cross_check f a b)
+
+let prop_fast_slow_add = prop_fast_slow "add" Bigint.add
+let prop_fast_slow_sub = prop_fast_slow "sub" Bigint.sub
+let prop_fast_slow_mul = prop_fast_slow "mul" Bigint.mul
+let prop_fast_slow_gcd = prop_fast_slow "gcd" Bigint.gcd
+
+let prop_fast_slow_compare =
+  QCheck.Test.make ~name:"bigint fast vs slow: compare" ~count:1000
+    (QCheck.pair boundary_int boundary_int)
+    (fun (a, b) ->
+      (* Mixed Small/Big comparisons assume canonical values, so only the
+         all-forced form is meaningful here. *)
+      let sgn n = Stdlib.compare n 0 in
+      sgn (Bigint.compare (bi a) (bi b))
+      = sgn (Bigint.compare (force (bi a)) (force (bi b)))
+      && sgn (Bigint.compare (bi a) (bi b)) = sgn (Stdlib.compare a b))
+
+let prop_fast_slow_divmod =
+  QCheck.Test.make ~name:"bigint fast vs slow: divmod" ~count:1000
+    (QCheck.pair boundary_int boundary_int)
+    (fun (a, b) ->
+      b = 0
+      ||
+      let qf, rf = Bigint.divmod (bi a) (bi b) in
+      let qs, rs = Bigint.divmod (force (bi a)) (force (bi b)) in
+      Bigint.to_string qf = Bigint.to_string qs
+      && Bigint.to_string rf = Bigint.to_string rs)
+
+let test_small_boundary () =
+  (* min_int does not fit the 62-bit Small range; max_int does. *)
+  Alcotest.(check bool) "max_int is Small" true
+    (Bigint.Testing.is_small (bi max_int));
+  Alcotest.(check bool) "min_int is Big" false
+    (Bigint.Testing.is_small (bi min_int));
+  Alcotest.(check bool) "min_int+1 is Small" true
+    (Bigint.Testing.is_small (bi (min_int + 1)));
+  check_bi "min_int value" (string_of_int min_int) (bi min_int);
+  check_bi "neg min_int" "4611686018427387904" (Bigint.neg (bi min_int));
+  (* Crossing the boundary in both directions re-canonicalizes. *)
+  Alcotest.(check bool) "max_int+1 is Big" false
+    (Bigint.Testing.is_small (Bigint.succ (bi max_int)));
+  Alcotest.(check bool) "(max_int+1)-1 is Small" true
+    (Bigint.Testing.is_small (Bigint.pred (Bigint.succ (bi max_int))));
+  check_bi "max_int+1" "4611686018427387904" (Bigint.succ (bi max_int));
+  (* Products that overflow native ints land in Big with exact values. *)
+  check_bi "overflowing square"
+    "5316911983139663496226914259548766209"
+    (Bigint.mul (bi ((1 lsl 61) + 1)) (bi ((1 lsl 61) + 1)))
+
 let qtests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_add_commutes; prop_mul_distributes; prop_divmod_roundtrip;
       prop_small_agree; prop_gcd_divides; prop_string_roundtrip;
+      prop_fast_slow_add; prop_fast_slow_sub; prop_fast_slow_mul;
+      prop_fast_slow_gcd; prop_fast_slow_compare; prop_fast_slow_divmod;
       prop_rat_field; prop_rat_compare_antisym;
       prop_logint_sign_matches_float; prop_logint_additive ]
 
@@ -271,6 +365,7 @@ let suite =
     ("bigint string roundtrip", `Quick, test_bigint_string_roundtrip);
     ("bigint to_int", `Quick, test_bigint_to_int);
     ("bigint bits/shift", `Quick, test_bigint_bits);
+    ("bigint small boundary", `Quick, test_small_boundary);
     ("rat basic", `Quick, test_rat_basic);
     ("rat floor/ceil", `Quick, test_rat_floor_ceil);
     ("rat of_string", `Quick, test_rat_of_string);
