@@ -16,9 +16,18 @@ check: build
 	dune exec bench/main.exe -- --json /tmp/bagcqc-bench-smoke.json --smoke
 	dune exec bench/compare.exe -- /tmp/bagcqc-bench-smoke.json /tmp/bagcqc-bench-smoke.json
 
-# Full experiment harness (tables + bechamel timings).
+# Full experiment harness (tables + bechamel timings).  With JSON=1 it
+# instead runs the JSON timing suites and gates them against the
+# checked-in baselines (what CI runs).
 bench: build
+ifeq ($(JSON),1)
+	dune exec bench/main.exe -- --json /tmp/bagcqc-bench-new-lp.json --only lp
+	dune exec bench/compare.exe -- BENCH_lp.json /tmp/bagcqc-bench-new-lp.json
+	dune exec bench/main.exe -- --json /tmp/bagcqc-bench-new-hom.json --only hom
+	dune exec bench/compare.exe -- BENCH_hom.json /tmp/bagcqc-bench-new-hom.json
+else
 	dune exec bench/main.exe
+endif
 
 # Regenerate the checked-in bench baselines.
 bench-json: build

@@ -15,9 +15,11 @@
    medians from different commits are comparable. *)
 
 open Bagcqc_lp
+open Bagcqc_engine
 open Bagcqc_entropy
 open Bagcqc_relation
 open Bagcqc_cq
+open Bagcqc_core
 
 let vs = Varset.of_list
 
@@ -63,31 +65,68 @@ let with_engine engine f =
   Simplex.default_engine := engine;
   Fun.protect ~finally:(fun () -> Simplex.default_engine := saved) f
 
+(* LP timing must bypass the engine's solve cache: with it on, every rep
+   after the first is a table lookup and the baselines stop measuring the
+   simplex at all (and dense-vs-sparse points would alias to whichever
+   engine populated the cache first). *)
+let without_cache f =
+  let saved = !Solver.caching in
+  Solver.caching := false;
+  Solver.clear ();
+  Fun.protect ~finally:(fun () -> Solver.caching := saved) f
+
 let ingleton =
   let i_pair a b x = Linexpr.mutual (vs [ a ]) (vs [ b ]) (vs x) in
   Linexpr.sub
     (Linexpr.sum [ i_pair 0 1 [ 2 ]; i_pair 0 1 [ 3 ]; i_pair 2 3 [] ])
     (i_pair 0 1 [])
 
+let path k =
+  (* R(x1,x2), ..., k atoms: the E8/E11 path family of the harness. *)
+  Query.make ~nvars:(k + 1)
+    (List.init k (fun i -> Query.atom "R" [ i; i + 1 ]))
+
 let lp_suite ~smoke =
   let ns = if smoke then [ 2; 3 ] else [ 2; 3; 4; 5 ] in
   let reps = if smoke then 2 else 15 in
-  [ { id = "e11_gamma_sparse";
-      points =
-        run_points ~reps ns (fun n () ->
-            with_engine Simplex.Sparse (fun () ->
-                Cones.valid_shannon ~n (shannon_target n))) };
-    { id = "e11_gamma_dense";
-      points =
-        run_points ~reps ns (fun n () ->
-            with_engine Simplex.Dense (fun () ->
-                Cones.valid_shannon ~n (shannon_target n))) };
-    (* Invalid inequality: exercises both the failed certificate LP and the
-       primal refuter LP (size is fixed at n = 4). *)
-    { id = "ingleton_gamma_full";
-      points =
-        run_points ~reps:(if smoke then 2 else 15) [ 4 ] (fun n () ->
-            Cones.valid Cones.Gamma ~n ingleton) } ]
+  let raw_solver =
+    without_cache @@ fun () ->
+    [ { id = "e11_gamma_sparse";
+        points =
+          run_points ~reps ns (fun n () ->
+              with_engine Simplex.Sparse (fun () ->
+                  Cones.valid_shannon ~n (shannon_target n))) };
+      { id = "e11_gamma_dense";
+        points =
+          run_points ~reps ns (fun n () ->
+              with_engine Simplex.Dense (fun () ->
+                  Cones.valid_shannon ~n (shannon_target n))) };
+      (* Invalid inequality: exercises both the failed certificate LP and
+         the primal refuter LP (size is fixed at n = 4). *)
+      { id = "ingleton_gamma_full";
+        points =
+          run_points ~reps:(if smoke then 2 else 15) [ 4 ] (fun n () ->
+              Cones.valid Cones.Gamma ~n ingleton) } ]
+  in
+  (* Repeated full decide on the same pair, with and without the engine's
+     LP cache: the cached variant is warmed by time_samples' warm-up call,
+     so every measured rep answers its solves from the cache. *)
+  let decide_sizes = if smoke then [ 3 ] else [ 3; 4; 5 ] in
+  let cache_pair =
+    [ { id = "decide_path_repeat_uncached";
+        points =
+          run_points ~reps decide_sizes (fun n ->
+              let p = path (n - 1) in
+              fun () ->
+                without_cache (fun () -> ignore (Containment.decide p p))) };
+      { id = "decide_path_repeat_cached";
+        points =
+          run_points ~reps decide_sizes (fun n ->
+              let p = path (n - 1) in
+              Solver.clear ();
+              fun () -> ignore (Containment.decide p p)) } ]
+  in
+  raw_solver @ cache_pair
 
 (* ---------------- hom suite ---------------- *)
 
@@ -123,7 +162,36 @@ let hom_suite ~smoke =
 
 (* ---------------- JSON emission ---------------- *)
 
-let emit buf suites =
+(* Engine counters for a fixed representative workload (three repeated
+   triangle/vee decides plus two repeated path decides, cache on).  The
+   "stats" key is additive — compare.exe reads only "schema" and
+   "suites", so older baselines and newer runs stay diffable. *)
+let stats_workload () =
+  Stats.reset ();
+  Solver.clear ();
+  let tri = Parser.parse "R(x,y), R(y,z), R(z,x)" in
+  let vee = Parser.parse "R(x,y), R(x,z)" in
+  for _ = 1 to 3 do
+    ignore (Containment.decide tri vee)
+  done;
+  for _ = 1 to 2 do
+    ignore (Containment.decide (path 3) (path 3))
+  done;
+  Stats.snapshot ()
+
+let emit_stats buf (s : Stats.snapshot) =
+  let pf fmt = Printf.bprintf buf fmt in
+  pf
+    ",\n  \"stats\": { \"lp_solves\": %d, \"lp_pivots\": %d, \
+     \"cache_hits\": %d, \"cache_misses\": %d, \"cache_hit_rate\": %.4f, \
+     \"elemental_hits\": %d, \"elemental_misses\": %d, \
+     \"hom_enumerations\": %d }"
+    s.Stats.lp_solves s.Stats.lp_pivots s.Stats.cache_hits
+    s.Stats.cache_misses
+    (Stats.cache_hit_rate s)
+    s.Stats.elemental_hits s.Stats.elemental_misses s.Stats.hom_enumerations
+
+let emit buf suites stats =
   let pf fmt = Printf.bprintf buf fmt in
   pf "{\n  \"schema\": \"bagcqc-bench/1\",\n  \"suites\": [";
   List.iteri
@@ -148,7 +216,9 @@ let emit buf suites =
         experiments;
       pf " ] }")
     suites;
-  pf " ]\n}\n"
+  pf " ]";
+  Option.iter (emit_stats buf) stats;
+  pf "\n}\n"
 
 type only = All | Lp | Hom
 
@@ -168,8 +238,18 @@ let run ~path ~only ~smoke =
             e.points)
         experiments)
     suites;
+  let stats =
+    match only with All | Lp -> Some (stats_workload ()) | Hom -> None
+  in
+  (match stats with
+   | Some s ->
+     Format.printf "engine cache hit rate on the stats workload: %.0f%% (%d/%d)@."
+       (100. *. Stats.cache_hit_rate s)
+       s.Stats.cache_hits
+       (s.Stats.cache_hits + s.Stats.cache_misses)
+   | None -> ());
   let buf = Buffer.create 2048 in
-  emit buf suites;
+  emit buf suites stats;
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;

@@ -49,7 +49,7 @@ let e1 () =
   section "E1: Example 4.3 — #triangles <= #vees";
   let verdict =
     match Containment.decide triangle vee with
-    | Containment.Contained -> "CONTAINED"
+    | Containment.Contained _ -> "CONTAINED"
     | Containment.Not_contained _ -> "NOT CONTAINED"
     | Containment.Unknown _ -> "UNKNOWN"
   in
@@ -323,7 +323,7 @@ let e10 () =
     total !agree total;
   Format.printf "decide_with_heads(Q1,Q2): %s (expected CONTAINED)@."
     (match Containment.decide_with_heads q1 q2 with
-     | Containment.Contained -> "CONTAINED"
+     | Containment.Contained _ -> "CONTAINED"
      | Containment.Not_contained _ -> "NOT CONTAINED"
      | Containment.Unknown _ -> "UNKNOWN")
 
@@ -350,7 +350,7 @@ let e8 () =
       let v, dt = time_it (fun () -> Containment.decide p p) in
       Format.printf "%3d | %-9s | %.3f@." n
         (match v with
-         | Containment.Contained -> "contained"
+         | Containment.Contained _ -> "contained"
          | Containment.Not_contained _ -> "not-cont"
          | Containment.Unknown _ -> "unknown")
         dt)
@@ -478,7 +478,7 @@ let e15 () =
   let single = Parser.parse "R(x,y)" in
   let verdict v =
     match v with
-    | Containment.Contained -> "contained"
+    | Containment.Contained _ -> "contained"
     | Containment.Not_contained _ -> "not contained"
     | Containment.Unknown _ -> "unknown"
   in

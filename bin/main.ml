@@ -9,10 +9,26 @@
      homcount count homomorphisms between two queries *)
 
 open Bagcqc_num
+open Bagcqc_engine
 open Bagcqc_entropy
 open Bagcqc_cq
 open Bagcqc_core
 open Cmdliner
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ]
+         ~doc:"After the command finishes, print solver-engine counters to \
+               stderr: LP solves and pivots, LP-cache and elemental-table \
+               hits/misses, homomorphism enumerations, and wall time per \
+               pipeline stage.")
+
+(* Every subcommand runs under this wrapper so [--stats] means the same
+   thing everywhere: counters cover exactly this invocation. *)
+let with_stats stats run =
+  Stats.reset ();
+  let code = run () in
+  if stats then Format.eprintf "%a@?" Stats.pp (Stats.snapshot ());
+  code
 
 let query_conv =
   let parse s =
@@ -39,16 +55,37 @@ let names_of q i = Query.var_name q i
 
 (* ---------------- check ---------------- *)
 
+let certificate_arg =
+  Arg.(value & flag & info [ "certificate" ]
+         ~doc:"On a CONTAINED verdict, print the Farkas certificate (convex \
+               weights and elemental-inequality multipliers) after \
+               re-verifying it with exact arithmetic, independent of the LP \
+               solver.")
+
 let check_cmd =
-  let run q1 q2 max_factors =
+  let run q1 q2 max_factors stats print_cert =
+    with_stats stats @@ fun () ->
+    let boolean = Query.is_boolean q1 && Query.is_boolean q2 in
     let verdict =
-      if Query.is_boolean q1 && Query.is_boolean q2 then
-        Containment.decide ~max_factors q1 q2
+      if boolean then Containment.decide ~max_factors q1 q2
       else Containment.decide_with_heads ~max_factors q1 q2
     in
     match verdict with
-    | Containment.Contained ->
+    | Containment.Contained cert ->
       Format.printf "CONTAINED: certified by a Shannon proof of Eq. 8 (Theorem 4.2).@.";
+      if print_cert then begin
+        if not (Certificate.check cert) then begin
+          Format.printf "ERROR: certificate failed independent verification@.";
+          exit 3
+        end;
+        (* The Boolean reduction renumbers variables, so name them only
+           when the certificate speaks about Q1's own variables. *)
+        let pp_cert =
+          if boolean then Certificate.pp ~names:(names_of q1) ()
+          else Certificate.pp ()
+        in
+        Format.printf "%a" pp_cert cert
+      end;
       0
     | Containment.Not_contained w ->
       Format.printf
@@ -61,7 +98,10 @@ let check_cmd =
       Format.printf "UNKNOWN: %s@." reason;
       2
   in
-  let term = Term.(const run $ q1_arg $ q2_arg $ max_factors_arg) in
+  let term =
+    Term.(const run $ q1_arg $ q2_arg $ max_factors_arg $ stats_arg
+          $ certificate_arg)
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Decide Q1 ⊑ Q2 under bag-set semantics (complete when Q2 is \
@@ -71,7 +111,8 @@ let check_cmd =
 (* ---------------- classify ---------------- *)
 
 let classify_cmd =
-  let run q2 =
+  let run q2 stats =
+    with_stats stats @@ fun () ->
     let cls =
       match Containment.classify q2 with
       | Containment.Acyclic_simple ->
@@ -94,16 +135,22 @@ let classify_cmd =
   Cmd.v
     (Cmd.info "classify" ~doc:"Report the structural class of a query.")
     Term.(const run $ Arg.(required & pos 0 (some query_conv) None
-                           & info [] ~docv:"Q" ~doc:"The query."))
+                           & info [] ~docv:"Q" ~doc:"The query.")
+          $ stats_arg)
 
 (* ---------------- eq8 ---------------- *)
 
 let eq8_cmd =
-  let run q1 q2 =
+  let run q1 q2 stats =
+    with_stats stats @@ fun () ->
     let ineq = Containment.eq8 q1 q2 in
     Format.printf "%a@." (Maxii.pp ~names:(names_of q1) ()) ineq;
     (match Maxii.decide ineq with
-     | Maxii.Valid -> Format.printf "valid over Γn (hence over Γ*n): Q1 ⊑ Q2@."
+     | Maxii.Valid cert ->
+       Format.printf
+         "valid over Γn (hence over Γ*n): Q1 ⊑ Q2 \
+          (Farkas certificate cites %d elemental inequalities)@."
+         (Certificate.size cert)
      | Maxii.Invalid h ->
        Format.printf "refuted by the normal entropic function:@.%a@."
          (Polymatroid.pp ~names:(names_of q1) ()) h
@@ -118,7 +165,7 @@ let eq8_cmd =
     (Cmd.info "eq8"
        ~doc:"Print and decide the Eq. 8 max-information inequality for a pair \
              of Boolean queries.")
-    Term.(const run $ q1_arg $ q2_arg)
+    Term.(const run $ q1_arg $ q2_arg $ stats_arg)
 
 (* ---------------- iip ---------------- *)
 
@@ -150,11 +197,21 @@ let expr_conv =
   Arg.conv (parse, fun fmt e -> Linexpr.pp () fmt e)
 
 let iip_cmd =
-  let run n sides =
+  let run n sides stats print_cert =
+    with_stats stats @@ fun () ->
     let m = Maxii.general ~n sides in
     Format.printf "%a@." (Maxii.pp ()) m;
     (match Maxii.decide m with
-     | Maxii.Valid -> Format.printf "VALID over Γ%d (hence over Γ*)@." n; 0
+     | Maxii.Valid cert ->
+       Format.printf "VALID over Γ%d (hence over Γ*)@." n;
+       if print_cert then begin
+         if not (Certificate.check cert) then begin
+           Format.printf "ERROR: certificate failed independent verification@.";
+           exit 3
+         end;
+         Format.printf "%a" (Certificate.pp ()) cert
+       end;
+       0
      | Maxii.Invalid h ->
        Format.printf "INVALID: refuted by the normal (entropic) function@.%a@."
          (Polymatroid.pp ()) h;
@@ -177,12 +234,13 @@ let iip_cmd =
     (Cmd.info "iip"
        ~doc:"Decide validity of 0 ≤ max(EXPR...) over the entropic cone, via \
              the Shannon relaxation and normal-cone refutation.")
-    Term.(const run $ n_arg $ sides_arg)
+    Term.(const run $ n_arg $ sides_arg $ stats_arg $ certificate_arg)
 
 (* ---------------- reduce ---------------- *)
 
 let reduce_cmd =
-  let run n sides =
+  let run n sides stats =
+    with_stats stats @@ fun () ->
     let m = Maxii.general ~n sides in
     let c = Reduction.reduce m in
     Format.printf "Q1: %a@.Q2: %a@." Query.pp c.Reduction.q1 Query.pp c.Reduction.q2;
@@ -201,19 +259,20 @@ let reduce_cmd =
     (Cmd.info "reduce"
        ~doc:"Reduce a Max-IIP to a bag-containment instance with acyclic Q2 \
              (Theorem 5.1).")
-    Term.(const run $ n_arg $ sides_arg)
+    Term.(const run $ n_arg $ sides_arg $ stats_arg)
 
 (* ---------------- homcount ---------------- *)
 
 let homcount_cmd =
-  let run qa qb =
+  let run qa qb stats =
+    with_stats stats @@ fun () ->
     Format.printf "%d@." (Hom.count_between qa qb);
     0
   in
   Cmd.v
     (Cmd.info "homcount"
        ~doc:"Count homomorphisms from Q1 to Q2 (queries as structures).")
-    Term.(const run $ q1_arg $ q2_arg)
+    Term.(const run $ q1_arg $ q2_arg $ stats_arg)
 
 let main_cmd =
   Cmd.group

@@ -23,7 +23,7 @@ let check a b =
   let qa = query a and qb = query b in
   let verdict =
     match Domination.dominates qa qb with
-    | Containment.Contained -> "<=  (always)"
+    | Containment.Contained _ -> "<=  (always)"
     | Containment.Not_contained w ->
       Format.asprintf ">   on a witness graph (%d vs %d)"
         w.Containment.card_p w.Containment.hom2
@@ -35,7 +35,7 @@ let check_power (a, na) (b, nb) =
   let qa = query a and qb = query b in
   let verdict =
     match Domination.exponent_dominates ~num:na ~den:nb qa qb with
-    | Containment.Contained -> "holds on every graph"
+    | Containment.Contained _ -> "holds on every graph"
     | Containment.Not_contained _ -> "fails on a witness graph"
     | Containment.Unknown _ -> "undecided"
   in

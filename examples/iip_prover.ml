@@ -18,7 +18,7 @@ let i_pair a b x = Linexpr.mutual (vs [ a ]) (vs [ b ]) (vs x)
 let show name m =
   Format.printf "@.%s:@.  %a@." name (Maxii.pp ()) m;
   match Maxii.decide m with
-  | Maxii.Valid -> Format.printf "  => VALID (Shannon)@."
+  | Maxii.Valid _ -> Format.printf "  => VALID (Shannon)@."
   | Maxii.Invalid h ->
     Format.printf "  => INVALID, refuted by the normal entropic function@.     %a@."
       (Polymatroid.pp ()) h
@@ -100,5 +100,5 @@ let () =
    | Containment.Not_contained w ->
      Format.printf "  decided NOT CONTAINED (witness %d > %d), as the IIP is invalid@."
        w.Containment.card_p w.Containment.hom2
-   | Containment.Contained -> Format.printf "  unexpectedly contained?!@."
+   | Containment.Contained _ -> Format.printf "  unexpectedly contained?!@."
    | Containment.Unknown { reason; _ } -> Format.printf "  unknown: %s@." reason)

@@ -15,7 +15,7 @@ let report q1 q2 =
      | Containment.Chordal -> "chordal"
      | Containment.General -> "general");
   match Containment.decide q1 q2 with
-  | Containment.Contained ->
+  | Containment.Contained _ ->
     Format.printf "=> CONTAINED (Shannon proof of Eq. 8, Theorem 4.2)@."
   | Containment.Not_contained w ->
     Format.printf

@@ -1,4 +1,5 @@
 open Bagcqc_num
+open Bagcqc_engine
 open Bagcqc_entropy
 open Bagcqc_relation
 open Bagcqc_cq
@@ -11,7 +12,7 @@ type witness = {
 }
 
 type verdict =
-  | Contained
+  | Contained of Certificate.t
   | Not_contained of witness
   | Unknown of { reason : string; refuter : Polymatroid.t option }
 
@@ -136,9 +137,9 @@ let decide ?max_factors q1 q2 =
   require_boolean q1;
   require_boolean q2;
   let q1 = Query.dedup_atoms q1 and q2 = Query.dedup_atoms q2 in
-  let ineq = eq8 q1 q2 in
-  match Maxii.decide ineq with
-  | Maxii.Valid -> Contained
+  let ineq = Stats.time_stage "eq8" (fun () -> eq8 q1 q2) in
+  match Stats.time_stage "maxii" (fun () -> Maxii.decide ineq) with
+  | Maxii.Valid cert -> Contained cert
   | Maxii.Unknown refuter ->
     Unknown
       { reason =
@@ -147,7 +148,10 @@ let decide ?max_factors q1 q2 =
            decidable classes)";
         refuter = Some refuter }
   | Maxii.Invalid h_normal ->
-    (match witness_from_normal ?max_factors q1 q2 h_normal with
+    (match
+       Stats.time_stage "witness" (fun () ->
+           witness_from_normal ?max_factors q1 q2 h_normal)
+     with
      | Some w -> Not_contained w
      | None ->
        Unknown

@@ -34,7 +34,11 @@ type witness = {
 }
 
 type verdict =
-  | Contained      (** proved by Theorem 4.2 over the Shannon cone *)
+  | Contained of Certificate.t
+      (** proved by Theorem 4.2 over the Shannon cone; the certificate
+          re-derives Eq. 8's validity by exact arithmetic alone
+          ({!Bagcqc_entropy.Certificate.check}), independent of the LP
+          solver and its cache *)
   | Not_contained of witness  (** explicit counterexample, verified *)
   | Unknown of { reason : string; refuter : Polymatroid.t option }
 

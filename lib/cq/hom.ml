@@ -32,6 +32,7 @@ end)
    a scan of the whole relation. *)
 
 let iter_homs q db yield =
+  Bagcqc_engine.Stats.note_hom_enumeration ();
   let nv = Query.nvars q in
   let assignment : Value.t option array = Array.make nv None in
   let atoms = Array.of_list (Query.atoms q) in

@@ -1,0 +1,141 @@
+open Bagcqc_num
+open Bagcqc_lp
+
+(* Sparse canonical row: columns strictly increasing, no zero coefficients. *)
+type row = {
+  cols : int array;
+  vals : Rat.t array;
+  op : Simplex.op;
+  rhs : Rat.t;
+}
+
+type t = {
+  tag : string;
+  num_vars : int;
+  objective : (int * Rat.t) list;
+  rows : row array;
+}
+
+let canonical_pairs pairs =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) pairs in
+  (* Sum duplicate columns, drop zeros. *)
+  let rec merge = function
+    | (j, _) :: _ when j < 0 -> invalid_arg "Engine.Problem: negative column"
+    | (j, c) :: (j', c') :: rest when j = j' -> merge ((j, Rat.add c c') :: rest)
+    | (_, c) :: rest when Rat.is_zero c -> merge rest
+    | p :: rest -> p :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let row pairs op rhs =
+  let pairs = canonical_pairs pairs in
+  let n = List.length pairs in
+  let cols = Array.make n 0 and vals = Array.make n Rat.zero in
+  List.iteri
+    (fun k (j, c) ->
+      cols.(k) <- j;
+      vals.(k) <- c)
+    pairs;
+  { cols; vals; op; rhs }
+
+let op_rank = function Simplex.Le -> 0 | Simplex.Ge -> 1 | Simplex.Eq -> 2
+
+let compare_row a b =
+  let c = compare (op_rank a.op) (op_rank b.op) in
+  if c <> 0 then c
+  else
+    let c = Rat.compare a.rhs b.rhs in
+    if c <> 0 then c
+    else
+      let c = compare a.cols b.cols in
+      if c <> 0 then c
+      else
+        let rec vals i =
+          if i >= Array.length a.vals then 0
+          else
+            let c = Rat.compare a.vals.(i) b.vals.(i) in
+            if c <> 0 then c else vals (i + 1)
+        in
+        let c = compare (Array.length a.vals) (Array.length b.vals) in
+        if c <> 0 then c else vals 0
+
+let make ~tag ~num_vars ?(objective = []) rows =
+  let check_col j =
+    if j >= num_vars then invalid_arg "Engine.Problem: column out of range"
+  in
+  let objective = canonical_pairs objective in
+  List.iter (fun (j, _) -> check_col j) objective;
+  List.iter
+    (fun r -> Array.iter check_col r.cols)
+    rows;
+  { tag; num_vars; objective; rows = Array.of_list (List.sort compare_row rows) }
+
+let tag p = p.tag
+let num_vars p = p.num_vars
+let num_rows p = Array.length p.rows
+
+let compare a b =
+  let c = Stdlib.compare a.tag b.tag in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare a.num_vars b.num_vars in
+    if c <> 0 then c
+    else
+      let rec cmp_obj x y =
+        match (x, y) with
+        | [], [] -> 0
+        | [], _ -> -1
+        | _, [] -> 1
+        | (j, c1) :: xs, (k, c2) :: ys ->
+          let c = Stdlib.compare j k in
+          if c <> 0 then c
+          else
+            let c = Rat.compare c1 c2 in
+            if c <> 0 then c else cmp_obj xs ys
+      in
+      let c = cmp_obj a.objective b.objective in
+      if c <> 0 then c
+      else
+        let c = Stdlib.compare (Array.length a.rows) (Array.length b.rows) in
+        if c <> 0 then c
+        else
+          let rec rows i =
+            if i >= Array.length a.rows then 0
+            else
+              let c = compare_row a.rows.(i) b.rows.(i) in
+              if c <> 0 then c else rows (i + 1)
+          in
+          rows 0
+
+let equal a b = compare a b = 0
+
+(* FNV-style mixing over the canonical structure; Rat.hash is structural,
+   so equal problems hash equal. *)
+let hash p =
+  let mix h x = (h * 16777619) lxor x in
+  let h = ref (mix (Hashtbl.hash p.tag) p.num_vars) in
+  List.iter (fun (j, c) -> h := mix (mix !h j) (Rat.hash c)) p.objective;
+  Array.iter
+    (fun r ->
+      h := mix !h (op_rank r.op);
+      h := mix !h (Rat.hash r.rhs);
+      Array.iteri
+        (fun k j -> h := mix (mix !h j) (Rat.hash r.vals.(k)))
+        r.cols)
+    p.rows;
+  !h land max_int
+
+let to_simplex p =
+  let objective = Array.make p.num_vars Rat.zero in
+  List.iter (fun (j, c) -> objective.(j) <- c) p.objective;
+  let constraints =
+    Array.to_list
+      (Array.map
+         (fun r ->
+           Simplex.sparse_constr
+             (Array.to_list (Array.mapi (fun k j -> (j, r.vals.(k))) r.cols))
+             r.op r.rhs)
+         p.rows)
+  in
+  { Simplex.num_vars = p.num_vars; objective; constraints }

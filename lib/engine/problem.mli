@@ -1,0 +1,48 @@
+(** Canonical LP problem IR — the cache key of the solver engine.
+
+    Every decision procedure in this repro bottoms out in "is this
+    polyhedron empty / what is this optimum", and structurally identical
+    systems recur constantly (the same cone check across renamed
+    homomorphism sides, across tree decompositions, across repeated
+    [decide] calls).  This module gives those systems one normal form:
+
+    - rows are sparse [(column, coefficient)] forms with zero
+      coefficients dropped, columns strictly increasing, and duplicate
+      columns summed;
+    - the row {e set} is sorted under a total order, so two problems that
+      list the same constraints in different orders are equal;
+    - the objective is a sparse sorted form (empty = pure feasibility);
+    - a [tag] names the cone/backend family that built the problem, so
+      distinct encodings with coincidentally equal matrices never collide.
+
+    Structural {!equal}/{!hash} over this normal form key the
+    {!Solver} memo table. *)
+
+open Bagcqc_num
+open Bagcqc_lp
+
+type row
+
+val row : (int * Rat.t) list -> Simplex.op -> Rat.t -> row
+(** Sparse row [pairs · x op rhs]; pairs may arrive unsorted, duplicate
+    columns are summed, zero coefficients dropped.
+    @raise Invalid_argument on a negative column. *)
+
+type t
+
+val make : tag:string -> num_vars:int -> ?objective:(int * Rat.t) list -> row list -> t
+(** Canonicalize.  [objective] (to {e minimize}) defaults to the zero
+    objective, i.e. a pure feasibility problem.
+    @raise Invalid_argument if a row or objective column is [>= num_vars]. *)
+
+val tag : t -> string
+val num_vars : t -> int
+val num_rows : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val to_simplex : t -> Simplex.problem
+(** Lower to the solver's representation (dense objective, sparse
+    constraints). *)

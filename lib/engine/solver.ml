@@ -1,0 +1,45 @@
+open Bagcqc_lp
+
+module Table = Hashtbl.Make (struct
+  type t = Problem.t
+
+  let equal = Problem.equal
+  let hash = Problem.hash
+end)
+
+let caching = ref true
+let cache : Simplex.outcome Table.t = Table.create 256
+
+let clear () = Table.reset cache
+let cache_size () = Table.length cache
+
+(* The memo table owns its outcome values; hand callers copies so a
+   caller mutating a solution array cannot poison later hits. *)
+let copy_outcome = function
+  | Simplex.Optimal (v, x) -> Simplex.Optimal (v, Array.copy x)
+  | (Simplex.Unbounded | Simplex.Infeasible) as o -> o
+
+let solve_uncached problem =
+  let p0 = Simplex.pivot_count () in
+  let outcome = Simplex.solve (Problem.to_simplex problem) in
+  Stats.note_solve ~pivots:(Simplex.pivot_count () - p0);
+  outcome
+
+let solve problem =
+  if not !caching then solve_uncached problem
+  else
+    match Table.find_opt cache problem with
+    | Some outcome ->
+      Stats.note_cache_hit ();
+      copy_outcome outcome
+    | None ->
+      Stats.note_cache_miss ();
+      let outcome = solve_uncached problem in
+      Table.replace cache problem outcome;
+      copy_outcome outcome
+
+let feasible problem =
+  match solve problem with
+  | Simplex.Optimal (_, x) -> Some x
+  | Simplex.Infeasible -> None
+  | Simplex.Unbounded -> assert false (* feasibility objective is constant *)

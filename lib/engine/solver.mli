@@ -1,0 +1,33 @@
+(** Memoizing LP solver: the single chokepoint between the decision
+    procedures and the simplex.
+
+    Every solve is keyed on the canonical {!Problem} IR; structurally
+    identical systems (the same cone check reached through renamed
+    homomorphism sides, repeated [decide] calls on the same pair, …) are
+    answered from the memo table without touching the simplex.  Counters
+    flow into {!Stats} either way.
+
+    Cached solutions are returned as fresh copies, so callers may treat
+    the arrays as their own. *)
+
+open Bagcqc_num
+open Bagcqc_lp
+
+val caching : bool ref
+(** Memoization switch, on by default.  Benchmarks that want to time the
+    underlying simplex (not the table lookup) flip it off around the
+    measured region — same discipline as {!Simplex.default_engine}:
+    restore with [Fun.protect]. *)
+
+val solve : Problem.t -> Simplex.outcome
+(** Cached {!Simplex.solve} on the lowered problem. *)
+
+val feasible : Problem.t -> Rat.t array option
+(** Cached feasibility: [Some x] is a point of the polyhedron.  The
+    problem's objective is ignored (pass a pure feasibility problem). *)
+
+val clear : unit -> unit
+(** Drop every memoized solve (does not touch {!Stats}). *)
+
+val cache_size : unit -> int
+(** Number of distinct problems currently memoized. *)

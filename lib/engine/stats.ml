@@ -1,0 +1,89 @@
+type snapshot = {
+  lp_solves : int;
+  lp_pivots : int;
+  cache_hits : int;
+  cache_misses : int;
+  elemental_hits : int;
+  elemental_misses : int;
+  hom_enumerations : int;
+  stages : (string * float) list;
+}
+
+let lp_solves = ref 0
+let lp_pivots = ref 0
+let cache_hits = ref 0
+let cache_misses = ref 0
+let elemental_hits = ref 0
+let elemental_misses = ref 0
+let hom_enumerations = ref 0
+
+(* Stage buckets in first-use order, so `pp` prints the pipeline in the
+   order it actually ran. *)
+let stage_order : string list ref = ref []
+let stage_time : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let reset () =
+  lp_solves := 0;
+  lp_pivots := 0;
+  cache_hits := 0;
+  cache_misses := 0;
+  elemental_hits := 0;
+  elemental_misses := 0;
+  hom_enumerations := 0;
+  stage_order := [];
+  Hashtbl.reset stage_time
+
+let snapshot () =
+  { lp_solves = !lp_solves;
+    lp_pivots = !lp_pivots;
+    cache_hits = !cache_hits;
+    cache_misses = !cache_misses;
+    elemental_hits = !elemental_hits;
+    elemental_misses = !elemental_misses;
+    hom_enumerations = !hom_enumerations;
+    stages =
+      List.rev_map
+        (fun name -> (name, Hashtbl.find stage_time name))
+        !stage_order }
+
+let note_solve ~pivots =
+  incr lp_solves;
+  lp_pivots := !lp_pivots + pivots
+
+let note_cache_hit () = incr cache_hits
+let note_cache_miss () = incr cache_misses
+let note_elemental_hit () = incr elemental_hits
+let note_elemental_miss () = incr elemental_misses
+let note_hom_enumeration () = incr hom_enumerations
+
+let time_stage name f =
+  (* Register the bucket on entry so first-use order means the order
+     stages started, not the order they finished (nested stages end
+     before their parent does). *)
+  if not (Hashtbl.mem stage_time name) then begin
+    stage_order := name :: !stage_order;
+    Hashtbl.add stage_time name 0.0
+  end;
+  let t0 = Unix.gettimeofday () in
+  let record () =
+    let dt = Unix.gettimeofday () -. t0 in
+    Hashtbl.replace stage_time name (Hashtbl.find stage_time name +. dt)
+  in
+  Fun.protect ~finally:record f
+
+let cache_hit_rate s =
+  let total = s.cache_hits + s.cache_misses in
+  if total = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int total
+
+let pp fmt s =
+  Format.fprintf fmt "engine stats:@.";
+  Format.fprintf fmt "  LP solves:          %d (%d pivots)@." s.lp_solves
+    s.lp_pivots;
+  Format.fprintf fmt "  LP cache:           %d hits / %d misses (%.0f%% hit rate)@."
+    s.cache_hits s.cache_misses (100.0 *. cache_hit_rate s);
+  Format.fprintf fmt "  elemental tables:   %d hits / %d generated@."
+    s.elemental_hits s.elemental_misses;
+  Format.fprintf fmt "  hom enumerations:   %d@." s.hom_enumerations;
+  List.iter
+    (fun (name, t) -> Format.fprintf fmt "  stage %-12s  %.6fs@." name t)
+    s.stages

@@ -1,0 +1,44 @@
+(** Pipeline instrumentation for the solver-engine layer.
+
+    One process-global set of counters, always on (each event is a single
+    integer bump, negligible next to the exact-rational pivots it counts).
+    The CLI's [--stats] flag and [bench/main.exe --json] read a
+    {!snapshot}; long-running callers {!reset} between measurements.
+
+    Stage timers nest: [time_stage "decide" f] attributes the wall-clock
+    time of [f] (inclusive of nested stages) to the ["decide"] bucket. *)
+
+type snapshot = {
+  lp_solves : int;        (** simplex invocations actually performed *)
+  lp_pivots : int;        (** Gaussian pivots across those solves *)
+  cache_hits : int;       (** LP solves answered from the engine cache *)
+  cache_misses : int;     (** LP solves that went to the simplex *)
+  elemental_hits : int;   (** memoized elemental-family lookups *)
+  elemental_misses : int; (** elemental families actually generated *)
+  hom_enumerations : int; (** homomorphism enumeration/counting passes *)
+  stages : (string * float) list;
+      (** cumulative wall-clock seconds per named stage, insertion order *)
+}
+
+val reset : unit -> unit
+(** Zero every counter and stage timer. *)
+
+val snapshot : unit -> snapshot
+
+val note_solve : pivots:int -> unit
+val note_cache_hit : unit -> unit
+val note_cache_miss : unit -> unit
+val note_elemental_hit : unit -> unit
+val note_elemental_miss : unit -> unit
+val note_hom_enumeration : unit -> unit
+
+val time_stage : string -> (unit -> 'a) -> 'a
+(** Run the thunk, adding its wall-clock duration to the named stage
+    bucket (created on first use).  Exceptions propagate; the time is
+    recorded regardless. *)
+
+val cache_hit_rate : snapshot -> float
+(** [hits / (hits + misses)], or 0 when no cached solve was attempted. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Multi-line human-readable rendering (the [--stats] output). *)

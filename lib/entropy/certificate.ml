@@ -1,0 +1,98 @@
+open Bagcqc_num
+
+type t = {
+  n : int;
+  cone : string;
+  sides : Linexpr.t list;
+  lambda : (Linexpr.t * Rat.t) list;
+  mu : Rat.t list;
+}
+
+let make ~n ~cone ~sides ~lambda ~mu =
+  if List.length mu <> List.length sides then
+    invalid_arg "Certificate.make: one convex weight per side required";
+  { n; cone; sides; lambda; mu }
+
+let n_vars c = c.n
+let cone_name c = c.cone
+let sides c = c.sides
+let lambda c = c.lambda
+let convex_weights c = c.mu
+let size c = List.length c.lambda
+
+let check_explain c =
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let ensure b msg = if b then Ok () else Error msg in
+  let* () =
+    ensure
+      (List.for_all (fun m -> Rat.sign m >= 0) c.mu)
+      "negative convex weight"
+  in
+  let* () =
+    ensure
+      (Rat.equal (List.fold_left Rat.add Rat.zero c.mu) Rat.one)
+      "convex weights do not sum to 1"
+  in
+  let* () =
+    ensure
+      (List.for_all (fun (_, l) -> Rat.sign l >= 0) c.lambda)
+      "negative elemental multiplier"
+  in
+  let* () =
+    ensure
+      (List.for_all
+         (fun (e, _) -> Elemental.is_elemental ~n:c.n e)
+         c.lambda)
+      "cited inequality is not elemental"
+  in
+  let* () =
+    ensure
+      (List.for_all (fun e -> Linexpr.max_var e < c.n) c.sides)
+      "side mentions a variable out of range"
+  in
+  let combination =
+    Linexpr.sum (List.map (fun (e, l) -> Linexpr.scale l e) c.lambda)
+  in
+  let goal =
+    Linexpr.sum (List.map2 (fun m e -> Linexpr.scale m e) c.mu c.sides)
+  in
+  ensure (Linexpr.equal combination goal)
+    "multipliers do not reproduce the convex combination of the sides"
+
+let check c = Result.is_ok (check_explain c)
+
+(* Multiset equality of expression lists under Linexpr.equal. *)
+let multiset_equal xs ys =
+  let remove_one e l =
+    let rec go acc = function
+      | [] -> None
+      | x :: rest ->
+        if Linexpr.equal x e then Some (List.rev_append acc rest)
+        else go (x :: acc) rest
+    in
+    go [] l
+  in
+  let rec go xs ys =
+    match xs with
+    | [] -> ys = []
+    | x :: rest ->
+      (match remove_one x ys with
+       | Some ys' -> go rest ys'
+       | None -> false)
+  in
+  List.length xs = List.length ys && go xs ys
+
+let proves c ~n es = c.n = n && multiset_equal c.sides es && check c
+
+let pp ?(names = Varset.default_name) () fmt c =
+  Format.fprintf fmt
+    "Farkas certificate over %s (n=%d): %d elemental inequalities@." c.cone
+    c.n (List.length c.lambda);
+  List.iteri
+    (fun l m ->
+      Format.fprintf fmt "  mu_%d = %a@." (l + 1) Rat.pp m)
+    c.mu;
+  List.iter
+    (fun (e, l) ->
+      Format.fprintf fmt "  %a * [0 <= %a]@." Rat.pp l (Linexpr.pp ~names ()) e)
+    c.lambda

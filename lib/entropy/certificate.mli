@@ -1,0 +1,61 @@
+(** Farkas certificates for (max-)information-inequality validity, and
+    their independent exact verifier.
+
+    A {e Contained}/{e Valid} verdict in this repro ultimately rests on a
+    claim of the form "[0 ≤ max_ℓ Eℓ(h)] is valid over the Shannon cone
+    [Γn]" (paper Theorem 4.2 via Theorem 6.1).  The LP that establishes
+    it also produces a proof object: convex weights [μℓ ≥ 0, Σμ = 1] and
+    non-negative multipliers [λᵢ] over the elemental Shannon inequalities
+    with
+
+    {[ Σᵢ λᵢ · elemᵢ  =  Σℓ μℓ · Eℓ      (exact Linexpr equality) ]}
+
+    Any [h ∈ Γn] satisfies every [elemᵢ(h) ≥ 0], hence
+    [Σℓ μℓ·Eℓ(h) ≥ 0], hence [max_ℓ Eℓ(h) ≥ 0] — soundness needs only
+    the identity above, checked by exact rational arithmetic.  {!check}
+    performs exactly that: it re-derives the elemental family itself and
+    never touches the simplex, so a verdict can be audited without
+    trusting the solver (or the cache) that produced it. *)
+
+open Bagcqc_num
+
+type t
+
+val make :
+  n:int ->
+  cone:string ->
+  sides:Linexpr.t list ->
+  lambda:(Linexpr.t * Rat.t) list ->
+  mu:Rat.t list ->
+  t
+(** Package a certificate; no validation beyond length agreement between
+    [mu] and [sides] — {!check} is the judge.
+    @raise Invalid_argument if [List.length mu <> List.length sides]. *)
+
+val n_vars : t -> int
+val cone_name : t -> string
+(** The backend that produced it (e.g. ["gamma"]). *)
+
+val sides : t -> Linexpr.t list
+val lambda : t -> (Linexpr.t * Rat.t) list
+(** Elemental inequality / multiplier pairs, positive multipliers only. *)
+
+val convex_weights : t -> Rat.t list
+(** The [μℓ], one per side in order. *)
+
+val size : t -> int
+(** Number of elemental inequalities cited. *)
+
+val check : t -> bool
+(** Exact re-verification as described above; no LP solve. *)
+
+val check_explain : t -> (unit, string) result
+(** Like {!check} but says which clause failed — for diagnostics and the
+    tamper-detection tests. *)
+
+val proves : t -> n:int -> Linexpr.t list -> bool
+(** [proves c ~n es]: [c] checks {e and} certifies exactly the
+    max-inequality [0 ≤ max es] over [n] variables (sides matched as a
+    multiset, so side order is irrelevant). *)
+
+val pp : ?names:(int -> string) -> unit -> Format.formatter -> t -> unit

@@ -1,7 +1,8 @@
 open Bagcqc_num
 open Bagcqc_lp
+open Bagcqc_engine
 
-type cone = Gamma | Normal | Modular
+type cone = Gamma | Normal | Modular | Registered of string
 
 let check_range ~n es =
   List.iter
@@ -10,29 +11,30 @@ let check_range ~n es =
         invalid_arg "Cones: expression mentions a variable out of range")
     es
 
-let elemental ~n =
-  let full = Varset.full n in
-  let mono =
-    List.map
-      (fun i ->
-        Linexpr.sub (Linexpr.term full) (Linexpr.term (Varset.remove i full)))
-      (Varset.to_list full)
-  in
-  let submod = ref [] in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let rest = Varset.diff full (Varset.of_list [ i; j ]) in
-      Varset.iter_subsets rest (fun w ->
-          submod :=
-            Linexpr.mutual (Varset.singleton i) (Varset.singleton j) w
-            :: !submod)
-    done
-  done;
-  mono @ !submod
+let elemental ~n = Elemental.list ~n
 
 (* ------------------------------------------------------------------ *)
-(* Γn: LP variables are h(S) for nonempty S, indexed by [mask - 1].    *)
+(* Pluggable backends: each cone contributes how to {e build} its LPs   *)
+(* as canonical engine problems; the generic driver below owns the      *)
+(* decide/certify/refute control flow, and the engine owns solving and  *)
+(* caching.  New cones register without touching any caller.            *)
 (* ------------------------------------------------------------------ *)
+
+type backend = {
+  name : string;
+  refutation : n:int -> Linexpr.t list -> Problem.t;
+      (** Feasibility system for [{h ∈ K, Eℓ(h) ≤ −1 ∀ℓ}] — a point
+          refutes the max-inequality over the cone. *)
+  refuter_of_point : n:int -> Rat.t array -> Polymatroid.t;
+      (** Reconstruct the refuting set function from an LP point. *)
+  farkas : (n:int -> Linexpr.t list -> Problem.t * Linexpr.t list) option;
+      (** Optional validity-certificate LP: the returned problem is
+          feasible iff the max-inequality is valid, and a solution is laid
+          out as [λ] over the returned axiom list followed by the convex
+          weights [μ] (one per side).  Present for [Γn]. *)
+}
+
+(* ---------------- Γn ---------------- *)
 
 (* LP variables for Γn are h(S) for nonempty S, indexed by [mask − 1];
    expressions translate to sparse rows directly off their term lists
@@ -48,8 +50,8 @@ let gamma_sparse e =
    over Γn.  The LP has only 2^n equality rows — far smaller than the
    primal feasibility system, whose rows are the thousands of elemental
    inequalities. *)
-let gamma_dual_multipliers ~n es =
-  let elems = elemental ~n in
+let gamma_farkas ~n es =
+  let elems = Elemental.list ~n in
   let n_elem = List.length elems in
   let k = List.length es in
   let num_vars = n_elem + k in
@@ -66,134 +68,188 @@ let gamma_dual_multipliers ~n es =
         (fun (s, c) -> buckets.(s) <- (n_elem + l, Rat.neg c) :: buckets.(s))
         (gamma_sparse e))
     es;
-  let constraints =
+  let rows =
     List.init ((1 lsl n) - 1) (fun s ->
-        Simplex.sparse_constr buckets.(s) Simplex.Eq Rat.zero)
-    @ [ Simplex.sparse_constr
+        Problem.row buckets.(s) Simplex.Eq Rat.zero)
+    @ [ Problem.row
           (List.init k (fun l -> (n_elem + l, Rat.one)))
           Simplex.Eq Rat.one ]
   in
-  match Simplex.feasible ~num_vars constraints with
-  | None -> None
-  | Some x -> Some (Array.sub x 0 n_elem, Array.sub x n_elem k, elems)
+  (Problem.make ~tag:"gamma/farkas" ~num_vars rows, elems)
 
-let valid_max_gamma ~n es =
-  match gamma_dual_multipliers ~n es with
-  | Some _ -> Ok ()
-  | None ->
-    (* No certificate ⇒ (duality) the primal violation system is feasible;
-       solve it to hand back an explicit refuting polymatroid. *)
-    let num_vars = (1 lsl n) - 1 in
-    let cone_rows =
-      List.map
-        (fun e -> Simplex.sparse_constr (gamma_sparse e) Simplex.Ge Rat.zero)
-        (elemental ~n)
-    in
-    let target_rows =
-      List.map
-        (fun e -> Simplex.sparse_constr (gamma_sparse e) Simplex.Le Rat.minus_one)
-        es
-    in
-    (match Simplex.feasible ~num_vars (cone_rows @ target_rows) with
-     | None -> assert false (* contradicts Farkas infeasibility above *)
-     | Some x -> Error (Polymatroid.make n (fun s -> x.(s - 1))))
+let gamma_refutation ~n es =
+  let num_vars = (1 lsl n) - 1 in
+  let cone_rows =
+    List.map
+      (fun e -> Problem.row (gamma_sparse e) Simplex.Ge Rat.zero)
+      (Elemental.list ~n)
+  in
+  let target_rows =
+    List.map
+      (fun e -> Problem.row (gamma_sparse e) Simplex.Le Rat.minus_one)
+      es
+  in
+  Problem.make ~tag:"gamma/refute" ~num_vars (cone_rows @ target_rows)
 
-(* ------------------------------------------------------------------ *)
-(* Mn: LP variables are the n per-variable weights.                    *)
-(* ------------------------------------------------------------------ *)
+let gamma_backend =
+  { name = "gamma";
+    refutation = gamma_refutation;
+    refuter_of_point = (fun ~n x -> Polymatroid.make n (fun s -> x.(s - 1)));
+    farkas = Some gamma_farkas }
 
-let modular_row ~n e =
-  (* E(h_w) = Σ_S c_S Σ_{i∈S} w_i: the coefficient of w_i is the total
-     weight of terms containing i. *)
+(* ---------------- Mn ---------------- *)
+
+(* LP variables are the n per-variable weights: E(h_w) = Σ_S c_S Σ_{i∈S}
+   w_i, so the coefficient of w_i is the total weight of terms
+   containing i. *)
+let modular_sparse ~n e =
   let row = Array.make n Rat.zero in
   List.iter
     (fun (s, c) ->
       Varset.fold_elements (fun i () -> row.(i) <- Rat.add row.(i) c) s ())
     (Linexpr.terms e);
-  row
+  List.concat
+    (List.init n (fun i ->
+         if Rat.is_zero row.(i) then [] else [ (i, row.(i)) ]))
 
-let valid_max_modular ~n es =
-  let target_rows =
-    List.map
-      (fun e -> Simplex.constr (modular_row ~n e) Simplex.Le Rat.minus_one)
-      es
-  in
-  match Simplex.feasible ~num_vars:n target_rows with
-  | None -> Ok ()
-  | Some w -> Error (Polymatroid.modular_of_weights w)
+let modular_backend =
+  { name = "modular";
+    refutation =
+      (fun ~n es ->
+        Problem.make ~tag:"modular/refute" ~num_vars:n
+          (List.map
+             (fun e ->
+               Problem.row (modular_sparse ~n e) Simplex.Le Rat.minus_one)
+             es));
+    refuter_of_point = (fun ~n:_ w -> Polymatroid.modular_of_weights w);
+    farkas = None }
 
-(* ------------------------------------------------------------------ *)
-(* Nn: LP variables are the step coefficients c_W, W ⊊ V, indexed by    *)
-(* the mask W (the full mask is excluded).                              *)
-(* ------------------------------------------------------------------ *)
+(* ---------------- Nn ---------------- *)
 
-let normal_row ~n e =
-  (* E(Σ_W c_W h_W) = Σ_W c_W E(h_W) with E(h_W) = Σ_{S ⊄ W} c_S. *)
+(* LP variables are the step coefficients c_W, W ⊊ V, indexed by the mask
+   W (the full mask is excluded): E(Σ_W c_W h_W) = Σ_W c_W E(h_W) with
+   E(h_W) = Σ_{S ⊄ W} c_S. *)
+let normal_sparse ~n e =
   let num_vars = (1 lsl n) - 1 in
-  let row = Array.make num_vars Rat.zero in
   let terms = Linexpr.terms e in
-  for w = 0 to num_vars - 1 do
-    row.(w) <-
-      List.fold_left
-        (fun acc (s, c) -> if Varset.subset s w then acc else Rat.add acc c)
-        Rat.zero terms
-  done;
-  row
+  List.concat
+    (List.init num_vars (fun w ->
+         let coeff =
+           List.fold_left
+             (fun acc (s, c) -> if Varset.subset s w then acc else Rat.add acc c)
+             Rat.zero terms
+         in
+         if Rat.is_zero coeff then [] else [ (w, coeff) ]))
 
-let valid_max_normal ~n es =
-  let num_vars = (1 lsl n) - 1 in
-  let target_rows =
-    List.map
-      (fun e -> Simplex.constr (normal_row ~n e) Simplex.Le Rat.minus_one)
-      es
-  in
-  match Simplex.feasible ~num_vars target_rows with
-  | None -> Ok ()
-  | Some c ->
-    let coeffs = ref [] in
-    Array.iteri
-      (fun w cw -> if Rat.sign cw > 0 then coeffs := (w, cw) :: !coeffs)
-      c;
-    Error (Polymatroid.normal_of_steps n !coeffs)
+let normal_backend =
+  { name = "normal";
+    refutation =
+      (fun ~n es ->
+        Problem.make ~tag:"normal/refute" ~num_vars:((1 lsl n) - 1)
+          (List.map
+             (fun e -> Problem.row (normal_sparse ~n e) Simplex.Le Rat.minus_one)
+             es));
+    refuter_of_point =
+      (fun ~n c ->
+        let coeffs = ref [] in
+        Array.iteri
+          (fun w cw -> if Rat.sign cw > 0 then coeffs := (w, cw) :: !coeffs)
+          c;
+        Polymatroid.normal_of_steps n !coeffs);
+    farkas = None }
 
-let valid_max cone ~n es =
+(* ---------------- registry ---------------- *)
+
+let registry : (string, backend) Hashtbl.t = Hashtbl.create 8
+
+let register b =
+  if Hashtbl.mem registry b.name then
+    invalid_arg ("Cones.register: backend already registered: " ^ b.name);
+  Hashtbl.add registry b.name b
+
+let () =
+  register gamma_backend;
+  register normal_backend;
+  register modular_backend
+
+let find_backend name = Hashtbl.find_opt registry name
+
+let backend_names () =
+  List.sort compare (Hashtbl.fold (fun name _ acc -> name :: acc) registry [])
+
+let backend_of_cone = function
+  | Gamma -> gamma_backend
+  | Normal -> normal_backend
+  | Modular -> modular_backend
+  | Registered name ->
+    (match find_backend name with
+     | Some b -> b
+     | None -> invalid_arg ("Cones: unknown backend " ^ name))
+
+(* ---------------- generic driver ---------------- *)
+
+let refute b ~n es =
+  match Solver.feasible (b.refutation ~n es) with
+  | Some x -> Some (b.refuter_of_point ~n x)
+  | None -> None
+
+let valid_max_cert cone ~n es =
   check_range ~n es;
   match es with
   | [] -> Error (Polymatroid.zero n)
   | _ ->
-    (match cone with
-     | Gamma -> valid_max_gamma ~n es
-     | Normal -> valid_max_normal ~n es
-     | Modular -> valid_max_modular ~n es)
+    let b = backend_of_cone cone in
+    (match b.farkas with
+     | Some build ->
+       let prob, elems = build ~n es in
+       let n_elem = List.length elems in
+       let k = List.length es in
+       (match Solver.feasible prob with
+        | Some x ->
+          let lambda =
+            List.filteri (fun _ (_, l) -> Rat.sign l > 0)
+              (List.mapi (fun i e -> (e, x.(i))) elems)
+          in
+          let mu = List.init k (fun l -> x.(n_elem + l)) in
+          Ok (Some (Certificate.make ~n ~cone:b.name ~sides:es ~lambda ~mu))
+        | None ->
+          (match refute b ~n es with
+           | Some h -> Error h
+           | None -> assert false (* contradicts Farkas infeasibility *)))
+     | None ->
+       (match refute b ~n es with
+        | None -> Ok None
+        | Some h -> Error h))
+
+let valid_max cone ~n es =
+  match valid_max_cert cone ~n es with
+  | Ok _ -> Ok ()
+  | Error h -> Error h
 
 let valid_max_quick cone ~n es =
   check_range ~n es;
   match es with
   | [] -> false
   | _ ->
-    (match cone with
-     | Gamma -> gamma_dual_multipliers ~n es <> None
-     | Normal -> Result.is_ok (valid_max_normal ~n es)
-     | Modular -> Result.is_ok (valid_max_modular ~n es))
+    let b = backend_of_cone cone in
+    (match b.farkas with
+     | Some build -> Solver.feasible (fst (build ~n es)) <> None
+     | None -> Solver.feasible (b.refutation ~n es) = None)
 
 let valid cone ~n e = valid_max cone ~n [ e ]
 
 let valid_shannon ~n e = valid_max_quick Gamma ~n [ e ]
 
 let max_to_convex ~n es =
-  check_range ~n es;
-  match es with
-  | [] -> None
-  | _ ->
-    (match gamma_dual_multipliers ~n es with
-     | None -> None
-     | Some (_, mu, _) -> Some mu)
+  match valid_max_cert Gamma ~n es with
+  | Ok (Some cert) -> Some (Array.of_list (Certificate.convex_weights cert))
+  | Ok None -> assert false (* gamma always certifies *)
+  | Error _ -> None
 
 let shannon_certificate ~n e =
-  check_range ~n [ e ];
-  match gamma_dual_multipliers ~n [ e ] with
-  | None -> None
-  | Some (lambda, _mu, elems) ->
+  match valid_max_cert Gamma ~n [ e ] with
+  | Ok (Some cert) ->
     (* With k = 1 the convexity row forces μ = 1, so Σ λᵢ·elemᵢ = e. *)
-    let pairs = List.combine elems (Array.to_list lambda) in
-    Some (List.filter (fun (_, l) -> Rat.sign l > 0) pairs)
+    Some (Certificate.lambda cert)
+  | Ok None -> assert false
+  | Error _ -> None

@@ -1,5 +1,7 @@
-(** Deciding (max-)information inequalities over the polyhedral cones
-    [Γn ⊇ Nn ⊇ Mn] by exact linear programming.
+(** Deciding (max-)information inequalities over polyhedral cones
+    [Γn ⊇ Nn ⊇ Mn] by exact linear programming — routed through the
+    solver engine ({!Bagcqc_engine.Solver}), so structurally identical
+    checks hit its LP cache, and instrumented via {!Bagcqc_engine.Stats}.
 
     This is the computational engine behind the paper's decidability
     results: Theorem 3.6 shows certain max-inequalities are "essentially
@@ -11,29 +13,74 @@
     A max-inequality [0 ≤ max_ℓ Eℓ(h)] is valid over a closed convex cone
     [K] iff the LP [{h ∈ K, Eℓ(h) ≤ −1 ∀ℓ}] is infeasible (by scale
     invariance, a point with [max_ℓ Eℓ < 0] can be scaled to gap 1).
-    Failures return the witnessing point of [K]. *)
+    Failures return the witnessing point of [K]; for [Γn], successes
+    additionally return a Farkas {!Certificate.t} that can be re-verified
+    without the solver.
+
+    Each cone is a {!backend} value; {!register} adds new cones without
+    touching any caller of the decision functions. *)
+
+open Bagcqc_engine
 
 type cone =
   | Gamma   (** the Shannon cone [Γn] of all polymatroids *)
   | Normal  (** [Nn]: non-negative combinations of step functions *)
   | Modular (** [Mn]: non-negative modular functions *)
+  | Registered of string
+      (** A backend added via {!register}, looked up by name at use time. *)
 
 val elemental : n:int -> Linexpr.t list
-(** The elemental Shannon inequalities generating [Γn]: monotonicity
-    [h(V) − h(V∖i) ≥ 0] and elemental submodularities
-    [h(iW) + h(jW) − h(ijW) − h(W) ≥ 0].  Every Shannon inequality is a
-    non-negative combination of these. *)
+(** The elemental Shannon inequalities generating [Γn] (see
+    {!Elemental.list}, which memoizes the family per [n]). *)
 
-val valid_max : cone -> n:int -> Linexpr.t list -> (unit, Polymatroid.t) result
-(** [valid_max k ~n es] decides [∀h ∈ K. 0 ≤ max_ℓ es_ℓ(h)].
-    [Error h] carries a point of [K] with [es_ℓ(h) < 0] for all [ℓ].
-    The empty max is (vacuously) invalid, witnessed by the zero function.
+(** {1 Backends} *)
+
+type backend = {
+  name : string;
+  refutation : n:int -> Linexpr.t list -> Problem.t;
+      (** Feasibility system for [{h ∈ K, Eℓ(h) ≤ −1 ∀ℓ}] — a point
+          refutes the max-inequality over the cone. *)
+  refuter_of_point : n:int -> Bagcqc_num.Rat.t array -> Polymatroid.t;
+      (** Reconstruct the refuting set function from a point of the
+          refutation system. *)
+  farkas :
+    (n:int -> Linexpr.t list -> Problem.t * Linexpr.t list) option;
+      (** Optional validity-certificate LP: feasible iff the
+          max-inequality is valid over the cone, with solutions laid out
+          as multipliers [λ] over the returned axiom list followed by one
+          convex weight [μℓ] per side.  Present for [Γn]; cones without
+          one still decide via {!field-refutation} but yield no
+          certificate. *)
+}
+
+val register : backend -> unit
+(** Make [Registered backend.name] usable everywhere a {!cone} is taken.
+    @raise Invalid_argument if the name is already registered (the three
+    built-in cones occupy ["gamma"], ["normal"], ["modular"]). *)
+
+val find_backend : string -> backend option
+val backend_names : unit -> string list
+(** Sorted names of all registered backends. *)
+
+(** {1 Decision procedures} *)
+
+val valid_max_cert :
+  cone -> n:int -> Linexpr.t list ->
+  (Certificate.t option, Polymatroid.t) result
+(** [valid_max_cert k ~n es] decides [∀h ∈ K. 0 ≤ max_ℓ es_ℓ(h)].
+    [Ok (Some c)] proves validity with a Farkas certificate (always, for
+    cones with a [farkas] builder — in particular [Gamma]); [Ok None]
+    states validity for a cone without certificate support.  [Error h]
+    carries a point of [K] with [es_ℓ(h) < 0] for all [ℓ].  The empty max
+    is (vacuously) invalid, witnessed by the zero function.
     @raise Invalid_argument if an expression mentions a variable [≥ n]. *)
 
+val valid_max : cone -> n:int -> Linexpr.t list -> (unit, Polymatroid.t) result
+(** {!valid_max_cert} with the certificate dropped. *)
+
 val valid_max_quick : cone -> n:int -> Linexpr.t list -> bool
-(** Like {!valid_max} but boolean only: for [Gamma] this runs just the
-    (much smaller) Farkas-certificate LP and skips extracting an explicit
-    refuting polymatroid when invalid. *)
+(** Like {!valid_max} but boolean only: a single feasibility solve, no
+    refuter extraction and no certificate packaging. *)
 
 val valid : cone -> n:int -> Linexpr.t -> (unit, Polymatroid.t) result
 (** Validity of a single linear inequality [0 ≤ E(h)] over the cone. *)

@@ -1,0 +1,41 @@
+open Bagcqc_engine
+
+let generate n =
+  let full = Varset.full n in
+  let mono =
+    List.map
+      (fun i ->
+        Linexpr.sub (Linexpr.term full) (Linexpr.term (Varset.remove i full)))
+      (Varset.to_list full)
+  in
+  let submod = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let rest = Varset.diff full (Varset.of_list [ i; j ]) in
+      Varset.iter_subsets rest (fun w ->
+          submod :=
+            Linexpr.mutual (Varset.singleton i) (Varset.singleton j) w
+            :: !submod)
+    done
+  done;
+  mono @ !submod
+
+(* Per-n lazy table; `Varset.full` bounds n at max_vars, so the table
+   stays tiny for the life of the process. *)
+let table : (int, Linexpr.t list) Hashtbl.t = Hashtbl.create 8
+
+let list ~n =
+  match Hashtbl.find_opt table n with
+  | Some es ->
+    Stats.note_elemental_hit ();
+    es
+  | None ->
+    ignore (Varset.full n) (* range check, even for n = 0 *);
+    Stats.note_elemental_miss ();
+    let es = generate n in
+    Hashtbl.add table n es;
+    es
+
+let count ~n = List.length (list ~n)
+
+let is_elemental ~n e = List.exists (Linexpr.equal e) (list ~n)

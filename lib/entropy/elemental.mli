@@ -1,0 +1,21 @@
+(** The elemental Shannon inequalities generating [Γn], memoized per [n].
+
+    Monotonicity [h(V) − h(V∖i) ≥ 0] and elemental submodularity
+    [I(i;j|W) ≥ 0]; every Shannon inequality is a non-negative
+    combination of these (paper Sec. 3.2).  The family has
+    [n + C(n,2)·2^(n−2)] members and used to be regenerated on every
+    cone check; both the cone backends and the independent certificate
+    verifier now share this one lazy table. *)
+
+val list : n:int -> Linexpr.t list
+(** The elemental family for [n] variables, in a fixed deterministic
+    order (memoized; do not mutate assumptions about identity, only
+    structure).  @raise Invalid_argument if [n] is negative or exceeds
+    {!Varset.max_vars}. *)
+
+val count : n:int -> int
+(** [List.length (list ~n)] without forcing a fresh traversal. *)
+
+val is_elemental : n:int -> Linexpr.t -> bool
+(** Structural membership in the family — the certificate checker's
+    ground truth that a claimed axiom really is one. *)

@@ -44,7 +44,7 @@ let shape t =
     else Conditional_general
 
 type verdict =
-  | Valid
+  | Valid of Certificate.t
   | Invalid of Polymatroid.t
   | Unknown of Polymatroid.t
 
@@ -58,16 +58,15 @@ let decide t =
   match valid_over Cones.Normal t with
   | Error h_normal -> Invalid h_normal
   | Ok () ->
-    if is_valid_over Cones.Gamma t then Valid
-    else begin
-      (* Refuted over Γn but not over Nn: outside the decidable shapes
-         (Theorem 3.6 rules this out for Unconditioned/Simple forms);
-         extract the polymatroid refuter for diagnostics. *)
-      assert (match shape t with Unconditioned | Simple -> false | _ -> true);
-      match valid_over Cones.Gamma t with
-      | Error h_gamma -> Unknown h_gamma
-      | Ok () -> assert false
-    end
+    (match Cones.valid_max_cert Cones.Gamma ~n:t.n (sides t) with
+     | Ok (Some cert) -> Valid cert
+     | Ok None -> assert false (* the Γn backend always certifies *)
+     | Error h_gamma ->
+       (* Refuted over Γn but not over Nn: outside the decidable shapes
+          (Theorem 3.6 rules this out for Unconditioned/Simple forms). *)
+       assert
+         (match shape t with Unconditioned | Simple -> false | _ -> true);
+       Unknown h_gamma)
 
 let pp ?(names = Varset.default_name) () fmt t =
   let pp_sides pp_side sides =

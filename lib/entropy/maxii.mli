@@ -47,8 +47,10 @@ val shape : t -> shape
     [Conditional] forms can be [Unconditioned] or [Simple]. *)
 
 type verdict =
-  | Valid
-      (** valid over [Γn], hence over [Γ*n] *)
+  | Valid of Certificate.t
+      (** valid over [Γn], hence over [Γ*n]; the attached Farkas
+          certificate re-proves it by exact arithmetic alone
+          ({!Certificate.check}) — no trust in the LP solver needed *)
   | Invalid of Polymatroid.t
       (** refuted by an explicitly {e entropic} function (a point of [Nn]
           or [Mn]); the attached function is normal *)

@@ -61,6 +61,10 @@ type engine = Dense | Sparse
 
 let default_engine = ref Sparse
 
+(* Global pivot odometer (see the .mli): bumped by both engines. *)
+let pivots_performed = ref 0
+let pivot_count () = !pivots_performed
+
 let constr coeffs op rhs =
   let nnz = Array.fold_left (fun n c -> if Rat.is_zero c then n else n + 1) 0 coeffs in
   let cols = Array.make nnz 0 and vals = Array.make nnz Rat.zero in
@@ -158,6 +162,7 @@ module Dense_impl = struct
   let rhs_col t = t.ncols
 
   let pivot t r c =
+    incr pivots_performed;
     let row = t.rows.(r) in
     let p = row.(c) in
     assert (not (Rat.is_zero p));
@@ -353,6 +358,7 @@ module Sparse_impl = struct
      at the pivot row's nonzeros — all other columns are unchanged by the
      elimination [target.(j) <- target.(j) - f * row.(j)] anyway. *)
   let pivot t r c =
+    incr pivots_performed;
     let row = t.rows.(r) in
     let p = row.(c) in
     assert (not (Rat.is_zero p));
@@ -568,15 +574,18 @@ let solve_with engine p =
   try (match engine with Dense -> Dense_impl.solve p | Sparse -> Sparse_impl.solve p)
   with Exit -> Infeasible
 
-let solve p = solve_with !default_engine p
+let solve ?engine p =
+  solve_with (match engine with Some e -> e | None -> !default_engine) p
 
-let feasible ~num_vars constraints =
-  match solve { num_vars; objective = Array.make num_vars Rat.zero; constraints } with
+let feasible ?engine ~num_vars constraints =
+  match
+    solve ?engine { num_vars; objective = Array.make num_vars Rat.zero; constraints }
+  with
   | Optimal (_, x) -> Some x
   | Infeasible -> None
   | Unbounded -> assert false (* constant objective cannot be unbounded *)
 
-let maximize p =
-  match solve { p with objective = Array.map Rat.neg p.objective } with
+let maximize ?engine p =
+  match solve ?engine { p with objective = Array.map Rat.neg p.objective } with
   | Optimal (v, x) -> Optimal (Rat.neg v, x)
   | (Unbounded | Infeasible) as o -> o

@@ -51,20 +51,36 @@ val sparse_constr : (int * Rat.t) list -> op -> Rat.t -> constr
 type engine = Dense | Sparse
 
 val default_engine : engine ref
-(** Engine used by {!solve}, {!feasible} and {!maximize}.  Defaults to
-    [Sparse]; benchmarks and cross-checks flip it to compare the two. *)
+(** Engine used when {!solve}, {!feasible} or {!maximize} is called without
+    an explicit [?engine].  Defaults to [Sparse].
 
-val solve : problem -> outcome
-(** @raise Invalid_argument if a dense row length differs from [num_vars]
+    {b Mutation discipline (test/bench only).}  This global exists solely
+    so the benchmark harness and the dense/sparse agreement tests can run
+    the same call tree under both engines.  Library code must never write
+    to it: a library caller that flips the engine mid-pipeline silently
+    changes the behaviour of every other caller in the process
+    (action-at-a-distance).  Production callers that need a specific
+    engine pass [?engine] explicitly; anything that does flip this ref
+    must restore the previous value with [Fun.protect]. *)
+
+val solve : ?engine:engine -> problem -> outcome
+(** Solves with [engine] when given, else with [!default_engine].
+    @raise Invalid_argument if a dense row length differs from [num_vars]
     or a sparse row mentions a column [>= num_vars]. *)
 
 val solve_with : engine -> problem -> outcome
-(** {!solve} with an explicit engine, ignoring {!default_engine}. *)
+(** [solve_with e p = solve ~engine:e p]; kept for the cross-check tests. *)
 
-val feasible : num_vars:int -> constr list -> Rat.t array option
+val feasible : ?engine:engine -> num_vars:int -> constr list -> Rat.t array option
 (** [feasible ~num_vars cs] is a point of the polyhedron
     [{x >= 0 | cs}] if one exists. *)
 
-val maximize : problem -> outcome
+val maximize : ?engine:engine -> problem -> outcome
 (** Same problem record, but the objective is maximized.  The reported
     optimal value is the maximum. *)
+
+val pivot_count : unit -> int
+(** Monotonically increasing count of Gaussian pivots performed by either
+    engine since process start.  Instrumentation reads deltas around a
+    solve; there is deliberately no reset, so concurrent readers cannot
+    clobber each other. *)

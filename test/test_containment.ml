@@ -11,6 +11,12 @@ open Bagcqc_core
 let triangle = Parser.parse "R(x,y), R(y,z), R(z,x)"
 let vee = Parser.parse "R(y1,y2), R(y1,y3)"
 
+(* Every definitive Contained verdict must survive the independent
+   certificate verifier — exact arithmetic only, no LP re-solve. *)
+let cert_ok cert =
+  Alcotest.(check bool) "Farkas certificate re-verifies" true
+    (Certificate.check cert)
+
 let test_classify () =
   let check msg q expected =
     Alcotest.(check bool) msg true (Containment.classify q = expected)
@@ -30,7 +36,7 @@ let test_classify () =
 let test_example_4_3_vee () =
   (* Example 4.3 (Eric Vee): triangle ⊑ vee. *)
   (match Containment.decide triangle vee with
-   | Containment.Contained -> ()
+   | Containment.Contained cert -> cert_ok cert
    | _ -> Alcotest.fail "triangle must be contained in vee");
   (* The reverse fails: no homomorphism vee <- ... triangle has no hom into
      vee, so already hom(Q2,Q1) = ∅. *)
@@ -53,7 +59,7 @@ let test_example_3_5 () =
      (* The database also carries at least |P| homomorphisms of Q1. *)
      let hom1 = Hom.count ~limit:w.Containment.card_p ex35_q1 w.Containment.db in
      Alcotest.(check bool) "hom1 >= |P|" true (hom1 >= w.Containment.card_p)
-   | Containment.Contained -> Alcotest.fail "Example 3.5 is a non-containment"
+   | Containment.Contained _ -> Alcotest.fail "Example 3.5 is a non-containment"
    | Containment.Unknown { reason; _ } -> Alcotest.failf "unexpected Unknown: %s" reason);
   (* The paper's hand witness P = {(u,u,v,v) | u,v ∈ [n]} for n = 3:
      |P| = 9 > n = hom(Q2, Π_Q1(P)). *)
@@ -77,7 +83,7 @@ let test_example_3_5 () =
 
 let test_reflexive_and_trivial () =
   (match Containment.decide triangle triangle with
-   | Containment.Contained -> ()
+   | Containment.Contained cert -> cert_ok cert
    | _ -> Alcotest.fail "Q ⊑ Q must hold");
   (* Dropping an atom breaks containment in general: R(x,y),S(y,z) vs
      R(x,y): S can multiply counts. *)
@@ -98,7 +104,7 @@ let test_contained_with_extra_join () =
   let q1 = Parser.parse "R(x,y)" in
   let q2 = Parser.parse "R(x,y), R(x,z)" in
   (match Containment.decide q1 q2 with
-   | Containment.Contained -> ()
+   | Containment.Contained cert -> cert_ok cert
    | _ -> Alcotest.fail "deg ≤ deg² containment must be proved");
   (match Containment.decide q2 q1 with
    | Containment.Not_contained _ -> ()
@@ -108,7 +114,7 @@ let test_decide_with_heads () =
   let q1 = Parser.parse "Q(x) :- R(x,y)" in
   let q2 = Parser.parse "Q(x) :- R(x,y), R(x,z)" in
   (match Containment.decide_with_heads q1 q2 with
-   | Containment.Contained -> ()
+   | Containment.Contained cert -> cert_ok cert
    | _ -> Alcotest.fail "head version: deg ≤ deg²");
   (match Containment.decide_with_heads q2 q1 with
    | Containment.Not_contained _ -> ()
@@ -245,12 +251,12 @@ let prop_locality_normal =
 let test_domination () =
   (* DOM: triangle ⪯ vee (Example 4.3 again through the DOM lens). *)
   (match Domination.dominates triangle vee with
-   | Containment.Contained -> ()
+   | Containment.Contained cert -> cert_ok cert
    | _ -> Alcotest.fail "triangle ⪯ vee");
   (* Exponent domination: hom(vee) ≤ hom(edge)²  (Cauchy–Schwarz-ish). *)
   let edge = Parser.parse "R(x,y)" in
   (match Domination.exponent_dominates ~num:1 ~den:2 vee edge with
-   | Containment.Contained -> ()
+   | Containment.Contained cert -> cert_ok cert
    | _ -> Alcotest.fail "hom(vee) ≤ hom(edge)^2");
   (* But hom(edge)² ≤ hom(vee) fails. *)
   (match Domination.exponent_dominates ~num:2 ~den:1 edge vee with
@@ -302,9 +308,11 @@ let prop_decide_sound =
     (QCheck.pair arb_pair QCheck.small_int)
     (fun ((q1, q2), seed) ->
       match Containment.decide ~max_factors:10 q1 q2 with
-      | Containment.Contained ->
-        (* Spot-check on several random databases. *)
-        List.for_all
+      | Containment.Contained cert ->
+        (* The proof object must re-verify, and the verdict must
+           spot-check on several random databases. *)
+        Certificate.check cert
+        && List.for_all
           (fun i ->
             let db = random_db (seed + i) in
             Hom.count q1 db <= Hom.count q2 db)
@@ -317,7 +325,55 @@ let prop_decide_sound =
            >= w.Containment.card_p
       | Containment.Unknown _ -> true)
 
-let qtests = List.map QCheck_alcotest.to_alcotest [ prop_decide_sound; prop_locality_normal ]
+(* Random acyclic (path-shaped) and chordal (triangle-closed) containing
+   queries: every Contained verdict's Farkas certificate must pass the
+   independent exact-arithmetic verifier, and must certify exactly the
+   Eq. 8 sides it claims to. *)
+let arb_acyclic_or_chordal_pair =
+  let gen =
+    QCheck.Gen.(
+      let* nv = int_range 2 3 in
+      let* chordal = bool in
+      let q2 =
+        if chordal then
+          (* Triangle on the first three variables (or an edge at nv=2):
+             chordal, simple junction tree. *)
+          Query.make ~nvars:nv
+            (List.init nv (fun v -> Query.atom "R" [ v; (v + 1) mod nv ]))
+        else
+          (* A path: acyclic with a simple join tree. *)
+          Query.make ~nvars:nv
+            (List.init (nv - 1) (fun v -> Query.atom "R" [ v; v + 1 ]))
+      in
+      let* extra = int_range 0 2 in
+      let* atoms =
+        list_repeat extra
+          (let* a = int_range 0 (nv - 1) in
+           let* b = int_range 0 (nv - 1) in
+           return (Query.atom "R" [ a; b ]))
+      in
+      let chain = List.init nv (fun v -> Query.atom "R" [ v; (v + 1) mod nv ]) in
+      let q1 = Query.dedup_atoms (Query.make ~nvars:nv (atoms @ chain)) in
+      return (q1, q2))
+  in
+  QCheck.make
+    ~print:(fun (a, b) -> Query.to_string a ^ "  vs  " ^ Query.to_string b)
+    gen
+
+let prop_certificates_verify =
+  QCheck.Test.make
+    ~name:"Contained certificates re-verify on acyclic/chordal instances"
+    ~count:60 arb_acyclic_or_chordal_pair (fun (q1, q2) ->
+      match Containment.decide ~max_factors:8 q1 q2 with
+      | Containment.Contained cert ->
+        Certificate.check cert
+        && Certificate.proves cert ~n:(Query.nvars q1)
+             (Maxii.sides (Containment.eq8 q1 q2))
+      | Containment.Not_contained _ | Containment.Unknown _ -> true)
+
+let qtests =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_decide_sound; prop_locality_normal; prop_certificates_verify ]
 
 let suite =
   [ ("classify", `Quick, test_classify);

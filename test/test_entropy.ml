@@ -274,7 +274,7 @@ let test_ingleton_unknown_path () =
    | Maxii.Unknown h ->
      Alcotest.(check bool) "refuter is polymatroid" true (Polymatroid.is_polymatroid h);
      Alcotest.(check bool) "refuter not normal" false (Polymatroid.is_normal h)
-   | Maxii.Valid -> Alcotest.fail "Ingleton is not valid over Γ4"
+   | Maxii.Valid _ -> Alcotest.fail "Ingleton is not valid over Γ4"
    | Maxii.Invalid _ -> Alcotest.fail "Ingleton holds over N4, cannot be Invalid")
 
 let test_example_3_8 () =
@@ -286,7 +286,9 @@ let test_example_3_8 () =
   let t = Maxii.conditional ~n:3 ~q:Rat.one [ e1; e2; e3 ] in
   Alcotest.(check bool) "simple shape" true (Maxii.shape t = Maxii.Simple);
   (match Maxii.decide t with
-   | Maxii.Valid -> ()
+   | Maxii.Valid cert ->
+     Alcotest.(check bool) "certificate proves exactly these sides" true
+       (Certificate.proves cert ~n:3 (Maxii.sides t))
    | _ -> Alcotest.fail "Example 3.8 inequality must be valid");
   (* Any single side alone is NOT sufficient: h(X1X2X3) <= E1 fails. *)
   let t1 = Maxii.conditional ~n:3 ~q:Rat.one [ e1 ] in
@@ -303,7 +305,9 @@ let test_max_needs_all_sides () =
   let d12 = Linexpr.sub (Linexpr.term (vs [ 0 ])) (Linexpr.term (vs [ 1 ])) in
   let t = Maxii.general ~n:2 [ d12; Linexpr.neg d12 ] in
   (match Maxii.decide t with
-   | Maxii.Valid -> ()
+   | Maxii.Valid cert ->
+     Alcotest.(check bool) "certificate proves exactly these sides" true
+       (Certificate.proves cert ~n:2 (Maxii.sides t))
    | _ -> Alcotest.fail "max of opposite differences is valid");
   (match Maxii.decide (Maxii.general ~n:2 [ d12 ]) with
    | Maxii.Invalid _ -> ()
@@ -366,7 +370,7 @@ let prop_counterexample_sound =
           | Error h ->
             Polymatroid.is_polymatroid h
             && (match cone with
-                | Cones.Gamma -> true
+                | Cones.Gamma | Cones.Registered _ -> true
                 | Cones.Normal -> Polymatroid.is_normal h
                 | Cones.Modular -> Polymatroid.is_modular h)
             && List.for_all (fun e -> Rat.sign (Polymatroid.eval h e) < 0) es)

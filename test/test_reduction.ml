@@ -150,7 +150,8 @@ let test_full_circle_decide () =
   let m_valid = Maxii.general ~n:1 [ term (vs [ 0 ]) ] in
   let c = Reduction.reduce m_valid in
   (match Containment.decide c.Reduction.q1 c.Reduction.q2 with
-   | Containment.Contained -> ()
+   | Containment.Contained cert ->
+     Alcotest.(check bool) "certificate re-verifies" true (Certificate.check cert)
    | _ -> Alcotest.fail "valid IIP must yield containment");
   let m_invalid = Maxii.general ~n:1 [ Linexpr.neg (term (vs [ 0 ])) ] in
   let c = Reduction.reduce m_invalid in
@@ -158,7 +159,7 @@ let test_full_circle_decide () =
    | Containment.Not_contained w ->
      Alcotest.(check bool) "verified witness" true
        (w.Containment.hom2 < w.Containment.card_p)
-   | Containment.Contained -> Alcotest.fail "invalid IIP must yield non-containment"
+   | Containment.Contained _ -> Alcotest.fail "invalid IIP must yield non-containment"
    | Containment.Unknown { reason; _ } -> Alcotest.failf "Unknown: %s" reason)
 
 (* Property: Lemma 5.3 preserves Γ-validity on random small Max-IIs. *)

@@ -1,0 +1,95 @@
+(* Parser / printer round-trip: parsing what Query.pp prints yields the
+   same query back.
+
+   The parser assigns variable indices by first occurrence (head first,
+   then body, left to right), so the property holds exactly for queries
+   whose variables are numbered in first-occurrence order; the generator
+   produces arbitrary queries and then renumbers them into that canonical
+   order, which loses nothing — Query.equal is structural on indices and
+   ignores names. *)
+
+open Bagcqc_cq
+
+(* Renumber a query's variables by first occurrence in (head, then atom
+   args) order — the order the parser will rediscover them in. *)
+let canonicalize ~head ~nvars atoms =
+  let order = Array.make nvars (-1) in
+  let next = ref 0 in
+  let visit v =
+    if order.(v) < 0 then begin
+      order.(v) <- !next;
+      incr next
+    end
+  in
+  List.iter visit head;
+  List.iter (fun a -> List.iter visit (Array.to_list a.Query.args)) atoms;
+  let head = List.map (fun v -> order.(v)) head in
+  let atoms =
+    List.map
+      (fun a ->
+        Query.atom a.Query.rel (List.map (fun v -> order.(v)) (Array.to_list a.Query.args)))
+      atoms
+  in
+  Query.make ~head ~nvars atoms
+
+let arb_query =
+  let gen =
+    QCheck.Gen.(
+      let* nvars = int_range 1 4 in
+      let* natoms = int_range 1 4 in
+      let gen_atom =
+        (* One arity per relation name — Query.make enforces a consistent
+           vocabulary. *)
+        let* rel, arity = oneofl [ ("R", 2); ("S", 1); ("Tr", 3) ] in
+        let* args = list_repeat arity (int_range 0 (nvars - 1)) in
+        return (Query.atom rel args)
+      in
+      let* atoms = list_repeat natoms gen_atom in
+      (* Query.make requires every variable to occur somewhere; a chain
+         atom guarantees it (and "true"-bodied queries cannot arise). *)
+      let cover =
+        List.init nvars (fun v -> Query.atom "R" [ v; (v + 1) mod nvars ])
+      in
+      let atoms = atoms @ cover in
+      let* head_len = int_range 0 nvars in
+      let* head = list_repeat head_len (int_range 0 (nvars - 1)) in
+      return (canonicalize ~head ~nvars atoms))
+  in
+  QCheck.make ~print:Query.to_string gen
+
+let prop_parse_print_id =
+  QCheck.Test.make ~name:"parse (print q) = q" ~count:300 arb_query (fun q ->
+      match Parser.parse_result (Query.to_string q) with
+      | Ok q' -> Query.equal q q'
+      | Error msg -> QCheck.Test.fail_reportf "reparse failed: %s" msg)
+
+let prop_print_parse_print_fixpoint =
+  (* On arbitrary well-formed input strings that parse, printing is a
+     fixpoint after one normalization. *)
+  QCheck.Test.make ~name:"print is a fixpoint of parse . print" ~count:300
+    arb_query (fun q ->
+      let s = Query.to_string q in
+      match Parser.parse_result s with
+      | Ok q' -> String.equal s (Query.to_string q')
+      | Error msg -> QCheck.Test.fail_reportf "reparse failed: %s" msg)
+
+let test_examples () =
+  (* Hand-picked shapes: boolean, head with repeats, primed names. *)
+  List.iter
+    (fun s ->
+      match Parser.parse_result s with
+      | Error msg -> Alcotest.failf "%s: %s" s msg
+      | Ok q ->
+        (match Parser.parse_result (Query.to_string q) with
+         | Ok q' ->
+           Alcotest.(check bool) ("round trip: " ^ s) true (Query.equal q q')
+         | Error msg -> Alcotest.failf "re-parse of %s: %s" s msg))
+    [ "R(x,y), R(y,z), R(z,x)";
+      "Q(x) :- R(x,y), R(x,z)";
+      "Q(x,x) :- R(x,y)";
+      "A(x1,x2), B(x1,x2), C(x1,x2), A(x1',x2'), B(x1',x2'), C(x1',x2')" ]
+
+let suite =
+  ("examples round trip", `Quick, test_examples)
+  :: List.map QCheck_alcotest.to_alcotest
+       [ prop_parse_print_id; prop_print_parse_print_fixpoint ]
