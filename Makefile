@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json compare clean
+.PHONY: all build test check bench bench-json compare trace-demo clean
 
 all: build
 
@@ -33,6 +33,13 @@ endif
 bench-json: build
 	dune exec bench/main.exe -- --json BENCH_lp.json --only lp
 	dune exec bench/main.exe -- --json BENCH_hom.json --only hom
+
+# Observability demo: run a traced containment check and print the span
+# tree, cache traffic, and histogram percentiles back out of the file.
+trace-demo: build
+	dune exec bin/main.exe -- check 'R(x,y), R(y,z), R(z,x)' 'R(u,v), R(u,w)' \
+	  --trace /tmp/bagcqc-trace-demo.json
+	dune exec bin/main.exe -- report /tmp/bagcqc-trace-demo.json
 
 # Compare a fresh run against the checked-in baselines.
 compare: build

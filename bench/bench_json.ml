@@ -20,6 +20,7 @@ open Bagcqc_entropy
 open Bagcqc_relation
 open Bagcqc_cq
 open Bagcqc_core
+module Obs = Bagcqc_obs
 
 let vs = Varset.of_list
 
@@ -162,11 +163,18 @@ let hom_suite ~smoke =
 
 (* ---------------- JSON emission ---------------- *)
 
-(* Engine counters for a fixed representative workload (three repeated
-   triangle/vee decides plus two repeated path decides, cache on).  The
-   "stats" key is additive — compare.exe reads only "schema" and
-   "suites", so older baselines and newer runs stay diffable. *)
+(* Engine counters and metric histograms for a fixed representative
+   workload (three repeated triangle/vee decides plus two repeated path
+   decides, cache on).  Tracing is force-enabled just for this workload so
+   the histograms fill; the timed suites above always run with whatever
+   state the caller set (disabled unless --trace was given), so the
+   regression numbers never pay tracing overhead by accident.  The
+   "stats" and "histograms" keys are additive — compare.exe reads only
+   "schema" and "suites", so older baselines and newer runs stay
+   diffable. *)
 let stats_workload () =
+  let was_enabled = Obs.enabled () in
+  if not was_enabled then Obs.enable ();
   Stats.reset ();
   Solver.clear ();
   let tri = Parser.parse "R(x,y), R(y,z), R(z,x)" in
@@ -177,7 +185,9 @@ let stats_workload () =
   for _ = 1 to 2 do
     ignore (Containment.decide (path 3) (path 3))
   done;
-  Stats.snapshot ()
+  let snap = (Stats.snapshot (), Obs.Metrics.snapshot ()) in
+  if not was_enabled then Obs.disable ();
+  snap
 
 let emit_stats buf (s : Stats.snapshot) =
   let pf fmt = Printf.bprintf buf fmt in
@@ -190,6 +200,27 @@ let emit_stats buf (s : Stats.snapshot) =
     s.Stats.cache_misses
     (Stats.cache_hit_rate s)
     s.Stats.elemental_hits s.Stats.elemental_misses s.Stats.hom_enumerations
+
+let emit_histograms buf (m : Obs.Metrics.snapshot) =
+  let pf fmt = Printf.bprintf buf fmt in
+  pf ",\n  \"histograms\": {";
+  let first = ref true in
+  List.iter
+    (fun (name, (h : Obs.Metrics.hist_snapshot)) ->
+      if h.Obs.Metrics.count > 0 then begin
+        pf
+          "%s\n    %S: { \"count\": %d, \"mean\": %.3f, \"p50\": %d, \
+           \"p90\": %d, \"p99\": %d, \"max\": %d }"
+          (if !first then "" else ",")
+          name h.Obs.Metrics.count (Obs.Metrics.mean h)
+          (Obs.Metrics.percentile h 0.5)
+          (Obs.Metrics.percentile h 0.9)
+          (Obs.Metrics.percentile h 0.99)
+          h.Obs.Metrics.max_value;
+        first := false
+      end)
+    m.Obs.Metrics.histograms;
+  pf "%s }" (if !first then "" else "\n ")
 
 let emit buf suites stats =
   let pf fmt = Printf.bprintf buf fmt in
@@ -217,7 +248,11 @@ let emit buf suites stats =
       pf " ] }")
     suites;
   pf " ]";
-  Option.iter (emit_stats buf) stats;
+  Option.iter
+    (fun (s, m) ->
+      emit_stats buf s;
+      emit_histograms buf m)
+    stats;
   pf "\n}\n"
 
 type only = All | Lp | Hom
@@ -242,7 +277,7 @@ let run ~path ~only ~smoke =
     match only with All | Lp -> Some (stats_workload ()) | Hom -> None
   in
   (match stats with
-   | Some s ->
+   | Some (s, _) ->
      Format.printf "engine cache hit rate on the stats workload: %.0f%% (%d/%d)@."
        (100. *. Stats.cache_hit_rate s)
        s.Stats.cache_hits

@@ -668,31 +668,47 @@ let bechamel_suite () =
         analyzed)
     tests
 
-(* `--json FILE [--only lp|hom] [--smoke]`: skip the experiment tables and
-   write wall-clock medians for the scaling suites to FILE (see
-   Bench_json); `compare.exe` diffs two such files. *)
+(* `--json FILE [--only lp|hom] [--smoke] [--trace FILE]`: skip the
+   experiment tables and write wall-clock medians for the scaling suites
+   to FILE (see Bench_json); `compare.exe` diffs two such files.
+   `--trace` additionally records the whole bench run as a span trace
+   (readable with `bin/main.exe report`) — note the timed medians then
+   include tracing overhead, so don't gate regressions on a traced run. *)
 let json_mode () =
   let usage () =
-    prerr_endline "usage: main.exe [--json FILE [--only lp|hom] [--smoke]]";
+    prerr_endline
+      "usage: main.exe [--json FILE [--only lp|hom] [--smoke] [--trace FILE]]";
     exit 2
   in
   let path = ref None
   and only = ref Bench_json.All
-  and smoke = ref false in
+  and smoke = ref false
+  and trace = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest -> path := Some file; parse rest
     | "--only" :: "lp" :: rest -> only := Bench_json.Lp; parse rest
     | "--only" :: "hom" :: rest -> only := Bench_json.Hom; parse rest
     | "--smoke" :: rest -> smoke := true; parse rest
+    | "--trace" :: file :: rest -> trace := Some file; parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   match !path with
   | Some path ->
-    Bench_json.run ~path ~only:!only ~smoke:!smoke;
+    let module Obs = Bagcqc_obs in
+    (match !trace with
+     | Some _ ->
+       Obs.enable ();
+       Obs.reset ()
+     | None -> ());
+    Obs.Span.with_span ~name:"bench.json" (fun () ->
+        Bench_json.run ~path ~only:!only ~smoke:!smoke);
+    (match !trace with Some f -> Obs.Export.write f | None -> ());
     true
-  | None -> if !only <> Bench_json.All || !smoke then usage () else false
+  | None ->
+    if !only <> Bench_json.All || !smoke || !trace <> None then usage ()
+    else false
 
 let () =
   if json_mode () then exit 0;

@@ -6,13 +6,15 @@
      eq8      print the Eq. 8 max-information inequality for a pair
      iip      decide a (max-)information inequality over Γn / Nn / Mn
      reduce   run the Section 5 reduction Max-IIP → BagCQC-A
-     homcount count homomorphisms between two queries *)
+     homcount count homomorphisms between two queries
+     report   print the span tree and histograms of a --trace file *)
 
 open Bagcqc_num
 open Bagcqc_engine
 open Bagcqc_entropy
 open Bagcqc_cq
 open Bagcqc_core
+module Obs = Bagcqc_obs
 open Cmdliner
 
 let stats_arg =
@@ -22,11 +24,26 @@ let stats_arg =
                hits/misses, homomorphism enumerations, and wall time per \
                pipeline stage.")
 
-(* Every subcommand runs under this wrapper so [--stats] means the same
-   thing everywhere: counters cover exactly this invocation. *)
-let with_stats stats run =
+let trace_arg =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+         ~doc:"Record a trace of this invocation (span tree plus metric \
+               histograms) and write it to $(docv) on exit.  A '.jsonl' \
+               extension writes one JSON event per line; any other name \
+               writes Chrome trace-event JSON, loadable in Perfetto or \
+               chrome://tracing and readable by 'bagcqc report'.")
+
+(* Every subcommand runs under this wrapper so [--stats] and [--trace]
+   mean the same thing everywhere: counters and spans cover exactly this
+   invocation, under a root span named after the subcommand. *)
+let with_obs ~cmd stats trace run =
   Stats.reset ();
-  let code = run () in
+  if stats || trace <> None then begin
+    Obs.enable ();
+    Obs.reset ()
+  end
+  else Obs.disable ();
+  let code = Obs.Span.with_span ~name:("cli." ^ cmd) run in
+  (match trace with Some path -> Obs.Export.write path | None -> ());
   if stats then Format.eprintf "%a@?" Stats.pp (Stats.snapshot ());
   code
 
@@ -63,8 +80,8 @@ let certificate_arg =
                solver.")
 
 let check_cmd =
-  let run q1 q2 max_factors stats print_cert =
-    with_stats stats @@ fun () ->
+  let run q1 q2 max_factors stats trace print_cert =
+    with_obs ~cmd:"check" stats trace @@ fun () ->
     let boolean = Query.is_boolean q1 && Query.is_boolean q2 in
     let verdict =
       if boolean then Containment.decide ~max_factors q1 q2
@@ -100,7 +117,7 @@ let check_cmd =
   in
   let term =
     Term.(const run $ q1_arg $ q2_arg $ max_factors_arg $ stats_arg
-          $ certificate_arg)
+          $ trace_arg $ certificate_arg)
   in
   Cmd.v
     (Cmd.info "check"
@@ -111,8 +128,8 @@ let check_cmd =
 (* ---------------- classify ---------------- *)
 
 let classify_cmd =
-  let run q2 stats =
-    with_stats stats @@ fun () ->
+  let run q2 stats trace =
+    with_obs ~cmd:"classify" stats trace @@ fun () ->
     let cls =
       match Containment.classify q2 with
       | Containment.Acyclic_simple ->
@@ -136,13 +153,13 @@ let classify_cmd =
     (Cmd.info "classify" ~doc:"Report the structural class of a query.")
     Term.(const run $ Arg.(required & pos 0 (some query_conv) None
                            & info [] ~docv:"Q" ~doc:"The query.")
-          $ stats_arg)
+          $ stats_arg $ trace_arg)
 
 (* ---------------- eq8 ---------------- *)
 
 let eq8_cmd =
-  let run q1 q2 stats =
-    with_stats stats @@ fun () ->
+  let run q1 q2 stats trace =
+    with_obs ~cmd:"eq8" stats trace @@ fun () ->
     let ineq = Containment.eq8 q1 q2 in
     Format.printf "%a@." (Maxii.pp ~names:(names_of q1) ()) ineq;
     (match Maxii.decide ineq with
@@ -165,7 +182,7 @@ let eq8_cmd =
     (Cmd.info "eq8"
        ~doc:"Print and decide the Eq. 8 max-information inequality for a pair \
              of Boolean queries.")
-    Term.(const run $ q1_arg $ q2_arg $ stats_arg)
+    Term.(const run $ q1_arg $ q2_arg $ stats_arg $ trace_arg)
 
 (* ---------------- iip ---------------- *)
 
@@ -197,8 +214,8 @@ let expr_conv =
   Arg.conv (parse, fun fmt e -> Linexpr.pp () fmt e)
 
 let iip_cmd =
-  let run n sides stats print_cert =
-    with_stats stats @@ fun () ->
+  let run n sides stats trace print_cert =
+    with_obs ~cmd:"iip" stats trace @@ fun () ->
     let m = Maxii.general ~n sides in
     Format.printf "%a@." (Maxii.pp ()) m;
     (match Maxii.decide m with
@@ -234,13 +251,14 @@ let iip_cmd =
     (Cmd.info "iip"
        ~doc:"Decide validity of 0 ≤ max(EXPR...) over the entropic cone, via \
              the Shannon relaxation and normal-cone refutation.")
-    Term.(const run $ n_arg $ sides_arg $ stats_arg $ certificate_arg)
+    Term.(const run $ n_arg $ sides_arg $ stats_arg $ trace_arg
+          $ certificate_arg)
 
 (* ---------------- reduce ---------------- *)
 
 let reduce_cmd =
-  let run n sides stats =
-    with_stats stats @@ fun () ->
+  let run n sides stats trace =
+    with_obs ~cmd:"reduce" stats trace @@ fun () ->
     let m = Maxii.general ~n sides in
     let c = Reduction.reduce m in
     Format.printf "Q1: %a@.Q2: %a@." Query.pp c.Reduction.q1 Query.pp c.Reduction.q2;
@@ -259,26 +277,59 @@ let reduce_cmd =
     (Cmd.info "reduce"
        ~doc:"Reduce a Max-IIP to a bag-containment instance with acyclic Q2 \
              (Theorem 5.1).")
-    Term.(const run $ n_arg $ sides_arg $ stats_arg)
+    Term.(const run $ n_arg $ sides_arg $ stats_arg $ trace_arg)
 
 (* ---------------- homcount ---------------- *)
 
 let homcount_cmd =
-  let run qa qb stats =
-    with_stats stats @@ fun () ->
+  let run qa qb stats trace =
+    with_obs ~cmd:"homcount" stats trace @@ fun () ->
     Format.printf "%d@." (Hom.count_between qa qb);
     0
   in
   Cmd.v
     (Cmd.info "homcount"
        ~doc:"Count homomorphisms from Q1 to Q2 (queries as structures).")
-    Term.(const run $ q1_arg $ q2_arg $ stats_arg)
+    Term.(const run $ q1_arg $ q2_arg $ stats_arg $ trace_arg)
+
+(* ---------------- report ---------------- *)
+
+let report_cmd =
+  let run path =
+    match Obs.Report.load path with
+    | exception Sys_error msg ->
+      Format.eprintf "report: %s@." msg;
+      2
+    | exception Obs.Json.Parse_error msg ->
+      Format.eprintf "report: %s: %s@." path msg;
+      2
+    | r ->
+      if Obs.Report.span_count r = 0 then begin
+        Format.eprintf "report: %s contains no spans@." path;
+        1
+      end
+      else begin
+        Format.printf "%a@?" Obs.Report.pp r;
+        0
+      end
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE"
+           ~doc:"Trace file written by --trace (Chrome JSON or JSONL).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Read a --trace file and print its span tree (inclusive/self \
+             time, pivots, cache traffic per node) and histogram \
+             percentiles.")
+    Term.(const run $ path_arg)
 
 let main_cmd =
   Cmd.group
     (Cmd.info "bagcqc" ~version:"1.0.0"
        ~doc:"Bag query containment via information inequalities \
              (Abo Khamis–Kolaitis–Ngo–Suciu, PODS 2020).")
-    [ check_cmd; classify_cmd; eq8_cmd; iip_cmd; reduce_cmd; homcount_cmd ]
+    [ check_cmd; classify_cmd; eq8_cmd; iip_cmd; reduce_cmd; homcount_cmd;
+      report_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

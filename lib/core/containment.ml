@@ -136,11 +136,22 @@ let witness_from_normal ?(max_factors = 14) q1 q2 h =
 let decide ?max_factors q1 q2 =
   require_boolean q1;
   require_boolean q2;
+  Bagcqc_obs.Span.with_span ~name:"containment.decide"
+    ~attrs:
+      [ ("vars1", Bagcqc_obs.Span.Int (Query.nvars q1));
+        ("vars2", Bagcqc_obs.Span.Int (Query.nvars q2)) ]
+  @@ fun () ->
+  let verdict_attr v =
+    Bagcqc_obs.Span.add_attr "verdict" (Bagcqc_obs.Span.Str v)
+  in
   let q1 = Query.dedup_atoms q1 and q2 = Query.dedup_atoms q2 in
   let ineq = Stats.time_stage "eq8" (fun () -> eq8 q1 q2) in
   match Stats.time_stage "maxii" (fun () -> Maxii.decide ineq) with
-  | Maxii.Valid cert -> Contained cert
+  | Maxii.Valid cert ->
+    verdict_attr "contained";
+    Contained cert
   | Maxii.Unknown refuter ->
+    verdict_attr "unknown";
     Unknown
       { reason =
           "Eq. 8 fails over the Shannon cone but holds over the normal cone: \
@@ -152,8 +163,11 @@ let decide ?max_factors q1 q2 =
        Stats.time_stage "witness" (fun () ->
            witness_from_normal ?max_factors q1 q2 h_normal)
      with
-     | Some w -> Not_contained w
+     | Some w ->
+       verdict_attr "not_contained";
+       Not_contained w
      | None ->
+       verdict_attr "unknown";
        Unknown
          { reason =
              "a normal refuter of Eq. 8 exists but realizing it as a witness \

@@ -1,6 +1,13 @@
 open Bagcqc_relation
+module Obs = Bagcqc_obs
 
 exception Limit_reached
+
+(* Size of the candidate row set scanned at each search node: the whole
+   relation when no argument is bound yet, otherwise the index bucket.
+   The distribution tells apart index-driven runs (mass near 1) from
+   degenerate cross-product scans (mass near the relation sizes). *)
+let h_candidates = Obs.Metrics.histogram "hom.candidates"
 
 (* Tuples hash/compare element-wise through Value so hash tables never fall
    back on polymorphic comparison (which walks arbitrary Value structure). *)
@@ -33,6 +40,11 @@ end)
 
 let iter_homs q db yield =
   Bagcqc_engine.Stats.note_hom_enumeration ();
+  Obs.Span.with_span ~name:"hom.enumerate"
+    ~attrs:
+      [ ("vars", Obs.Span.Int (Query.nvars q));
+        ("atoms", Obs.Span.Int (List.length (Query.atoms q))) ]
+  @@ fun () ->
   let nv = Query.nvars q in
   let assignment : Value.t option array = Array.make nv None in
   let atoms = Array.of_list (Query.atoms q) in
@@ -140,15 +152,22 @@ let iter_homs q db yield =
         if !ok then go rest;
         List.iter (fun v -> assignment.(v) <- None) !newly
       in
-      if !best_mask = 0 then Array.iter try_row rows.(ai)
+      if !best_mask = 0 then begin
+        if !Obs.Runtime.enabled then
+          Obs.Metrics.observe h_candidates (Array.length rows.(ai));
+        Array.iter try_row rows.(ai)
+      end
       else begin
         let key =
           selected !best_mask !best_cnt (fun pos ->
               Option.get assignment.(args.(pos)))
         in
         match RowTbl.find_opt (index ai !best_mask !best_cnt) key with
-        | None -> ()
-        | Some bucket -> List.iter try_row bucket
+        | None -> if !Obs.Runtime.enabled then Obs.Metrics.observe h_candidates 0
+        | Some bucket ->
+          if !Obs.Runtime.enabled then
+            Obs.Metrics.observe h_candidates (List.length bucket);
+          List.iter try_row bucket
       end
   in
   go (List.init natoms (fun i -> (i, Array.length rows.(i))))

@@ -1,4 +1,5 @@
 open Bagcqc_lp
+module Obs = Bagcqc_obs
 
 module Table = Hashtbl.Make (struct
   type t = Problem.t
@@ -10,7 +11,18 @@ end)
 let caching = ref true
 let cache : Simplex.outcome Table.t = Table.create 256
 
-let clear () = Table.reset cache
+(* Hash-collision probe: on every cache-miss store we record how many
+   problems with the same [Problem.hash] were already resident.  A healthy
+   hash keeps this histogram pinned at bucket 0; mass in higher buckets
+   means distinct canonical problems are sharing hash values and the memo
+   table is degrading toward a list scan. *)
+let h_hash_collisions = Obs.Metrics.histogram "solver.cache.hash_collisions"
+let hash_seen : (int, int) Hashtbl.t = Hashtbl.create 256
+
+let clear () =
+  Table.reset cache;
+  Hashtbl.reset hash_seen
+
 let cache_size () = Table.length cache
 
 (* The memo table owns its outcome values; hand callers copies so a
@@ -25,17 +37,37 @@ let solve_uncached problem =
   Stats.note_solve ~pivots:(Simplex.pivot_count () - p0);
   outcome
 
+let note_store problem =
+  if !Obs.Runtime.enabled then begin
+    let h = Problem.hash problem in
+    let prior = Option.value ~default:0 (Hashtbl.find_opt hash_seen h) in
+    Obs.Metrics.observe h_hash_collisions prior;
+    Hashtbl.replace hash_seen h (prior + 1)
+  end
+
 let solve problem =
-  if not !caching then solve_uncached problem
+  Obs.Span.with_span ~name:"solver.solve"
+    ~attrs:
+      [ ("tag", Obs.Span.Str (Problem.tag problem));
+        ("rows", Obs.Span.Int (Problem.num_rows problem));
+        ("vars", Obs.Span.Int (Problem.num_vars problem)) ]
+  @@ fun () ->
+  if not !caching then begin
+    Obs.Span.add_attr "cache" (Obs.Span.Str "off");
+    solve_uncached problem
+  end
   else
     match Table.find_opt cache problem with
     | Some outcome ->
       Stats.note_cache_hit ();
+      Obs.Span.add_attr "cache" (Obs.Span.Str "hit");
       copy_outcome outcome
     | None ->
       Stats.note_cache_miss ();
+      Obs.Span.add_attr "cache" (Obs.Span.Str "miss");
       let outcome = solve_uncached problem in
       Table.replace cache problem outcome;
+      note_store problem;
       copy_outcome outcome
 
 let feasible problem =

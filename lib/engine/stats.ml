@@ -1,3 +1,18 @@
+(* Engine.Stats is now a *view* over the obs layer (see DESIGN.md §4c):
+   every counter in the snapshot is a Bagcqc_obs.Metrics counter bumped
+   at the same call sites as before, so the public API and its always-on
+   cost (one integer store per event) are unchanged while the same
+   events also feed trace exports.
+
+   Stage timers remain always-on here (the [--stats] path must work
+   without tracing enabled) and additionally open an obs span, so the
+   eq8/maxii/witness stages appear in trace trees.  Re-entrancy fix: a
+   per-name activation depth makes wall time accumulate only across the
+   *outermost* activation — the old implementation added the inner
+   duration of a self-nested [time_stage "maxii"] twice. *)
+
+module Obs = Bagcqc_obs
+
 type snapshot = {
   lp_solves : int;
   lp_pivots : int;
@@ -9,67 +24,70 @@ type snapshot = {
   stages : (string * float) list;
 }
 
-let lp_solves = ref 0
-let lp_pivots = ref 0
-let cache_hits = ref 0
-let cache_misses = ref 0
-let elemental_hits = ref 0
-let elemental_misses = ref 0
-let hom_enumerations = ref 0
+let c_lp_solves = Obs.Metrics.counter "lp.solves"
+let c_lp_pivots = Obs.Metrics.counter "lp.pivots"
+let c_cache_hits = Obs.Metrics.counter "solver.cache.hits"
+let c_cache_misses = Obs.Metrics.counter "solver.cache.misses"
+let c_elemental_hits = Obs.Metrics.counter "elemental.hits"
+let c_elemental_misses = Obs.Metrics.counter "elemental.misses"
+let c_hom_enumerations = Obs.Metrics.counter "hom.enumerations"
 
 (* Stage buckets in first-use order, so `pp` prints the pipeline in the
-   order it actually ran. *)
+   order it actually ran.  [active] is the current activation depth of
+   the name; [t0] the entry time of the outermost activation. *)
+type stage = { mutable active : int; mutable t0 : float; mutable total : float }
+
 let stage_order : string list ref = ref []
-let stage_time : (string, float) Hashtbl.t = Hashtbl.create 8
+let stage_tbl : (string, stage) Hashtbl.t = Hashtbl.create 8
 
 let reset () =
-  lp_solves := 0;
-  lp_pivots := 0;
-  cache_hits := 0;
-  cache_misses := 0;
-  elemental_hits := 0;
-  elemental_misses := 0;
-  hom_enumerations := 0;
+  Obs.Metrics.reset ();
   stage_order := [];
-  Hashtbl.reset stage_time
+  Hashtbl.reset stage_tbl
 
 let snapshot () =
-  { lp_solves = !lp_solves;
-    lp_pivots = !lp_pivots;
-    cache_hits = !cache_hits;
-    cache_misses = !cache_misses;
-    elemental_hits = !elemental_hits;
-    elemental_misses = !elemental_misses;
-    hom_enumerations = !hom_enumerations;
+  { lp_solves = Obs.Metrics.count c_lp_solves;
+    lp_pivots = Obs.Metrics.count c_lp_pivots;
+    cache_hits = Obs.Metrics.count c_cache_hits;
+    cache_misses = Obs.Metrics.count c_cache_misses;
+    elemental_hits = Obs.Metrics.count c_elemental_hits;
+    elemental_misses = Obs.Metrics.count c_elemental_misses;
+    hom_enumerations = Obs.Metrics.count c_hom_enumerations;
     stages =
       List.rev_map
-        (fun name -> (name, Hashtbl.find stage_time name))
+        (fun name -> (name, (Hashtbl.find stage_tbl name).total))
         !stage_order }
 
 let note_solve ~pivots =
-  incr lp_solves;
-  lp_pivots := !lp_pivots + pivots
+  Obs.Metrics.bump c_lp_solves;
+  Obs.Metrics.add c_lp_pivots pivots
 
-let note_cache_hit () = incr cache_hits
-let note_cache_miss () = incr cache_misses
-let note_elemental_hit () = incr elemental_hits
-let note_elemental_miss () = incr elemental_misses
-let note_hom_enumeration () = incr hom_enumerations
+let note_cache_hit () = Obs.Metrics.bump c_cache_hits
+let note_cache_miss () = Obs.Metrics.bump c_cache_misses
+let note_elemental_hit () = Obs.Metrics.bump c_elemental_hits
+let note_elemental_miss () = Obs.Metrics.bump c_elemental_misses
+let note_hom_enumeration () = Obs.Metrics.bump c_hom_enumerations
 
 let time_stage name f =
-  (* Register the bucket on entry so first-use order means the order
-     stages started, not the order they finished (nested stages end
-     before their parent does). *)
-  if not (Hashtbl.mem stage_time name) then begin
-    stage_order := name :: !stage_order;
-    Hashtbl.add stage_time name 0.0
-  end;
-  let t0 = Unix.gettimeofday () in
-  let record () =
-    let dt = Unix.gettimeofday () -. t0 in
-    Hashtbl.replace stage_time name (Hashtbl.find stage_time name +. dt)
+  let st =
+    match Hashtbl.find_opt stage_tbl name with
+    | Some st -> st
+    | None ->
+      (* Register on entry so first-use order means the order stages
+         started, not the order they finished. *)
+      let st = { active = 0; t0 = 0.0; total = 0.0 } in
+      Hashtbl.add stage_tbl name st;
+      stage_order := name :: !stage_order;
+      st
   in
-  Fun.protect ~finally:record f
+  if st.active = 0 then st.t0 <- Unix.gettimeofday ();
+  st.active <- st.active + 1;
+  let record () =
+    st.active <- st.active - 1;
+    if st.active = 0 then
+      st.total <- st.total +. (Unix.gettimeofday () -. st.t0)
+  in
+  Fun.protect ~finally:record (fun () -> Obs.Span.with_span ~name f)
 
 let cache_hit_rate s =
   let total = s.cache_hits + s.cache_misses in

@@ -21,6 +21,12 @@ let convex_weights c = c.mu
 let size c = List.length c.lambda
 
 let check_explain c =
+  Bagcqc_obs.Span.with_span ~name:"certificate.check"
+    ~attrs:
+      [ ("cone", Bagcqc_obs.Span.Str c.cone);
+        ("n", Bagcqc_obs.Span.Int c.n);
+        ("size", Bagcqc_obs.Span.Int (List.length c.lambda)) ]
+  @@ fun () ->
   let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
   let ensure b msg = if b then Ok () else Error msg in
   let* () =

@@ -1,6 +1,7 @@
 open Bagcqc_num
 open Bagcqc_lp
 open Bagcqc_engine
+module Obs = Bagcqc_obs
 
 type cone = Gamma | Normal | Modular | Registered of string
 
@@ -188,8 +189,23 @@ let backend_of_cone = function
 
 (* ---------------- generic driver ---------------- *)
 
+(* Problem construction (cone axioms → canonical LP rows) is its own
+   span: for Γn it enumerates the full elemental family, which can rival
+   the solve itself on larger n. *)
+let build_span b ~kind ~n es build =
+  Obs.Span.with_span ~name:"cone.build"
+    ~attrs:
+      [ ("backend", Obs.Span.Str b.name);
+        ("kind", Obs.Span.Str kind);
+        ("n", Obs.Span.Int n);
+        ("sides", Obs.Span.Int (List.length es)) ]
+    build
+
+let build_refutation b ~n es =
+  build_span b ~kind:"refutation" ~n es (fun () -> b.refutation ~n es)
+
 let refute b ~n es =
-  match Solver.feasible (b.refutation ~n es) with
+  match Solver.feasible (build_refutation b ~n es) with
   | Some x -> Some (b.refuter_of_point ~n x)
   | None -> None
 
@@ -201,7 +217,9 @@ let valid_max_cert cone ~n es =
     let b = backend_of_cone cone in
     (match b.farkas with
      | Some build ->
-       let prob, elems = build ~n es in
+       let prob, elems =
+         build_span b ~kind:"farkas" ~n es (fun () -> build ~n es)
+       in
        let n_elem = List.length elems in
        let k = List.length es in
        (match Solver.feasible prob with
@@ -233,8 +251,12 @@ let valid_max_quick cone ~n es =
   | _ ->
     let b = backend_of_cone cone in
     (match b.farkas with
-     | Some build -> Solver.feasible (fst (build ~n es)) <> None
-     | None -> Solver.feasible (b.refutation ~n es) = None)
+     | Some build ->
+       let prob =
+         build_span b ~kind:"farkas" ~n es (fun () -> fst (build ~n es))
+       in
+       Solver.feasible prob <> None
+     | None -> Solver.feasible (build_refutation b ~n es) = None)
 
 let valid cone ~n e = valid_max cone ~n [ e ]
 

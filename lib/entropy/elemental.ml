@@ -32,7 +32,11 @@ let list ~n =
   | None ->
     ignore (Varset.full n) (* range check, even for n = 0 *);
     Stats.note_elemental_miss ();
-    let es = generate n in
+    let es =
+      Bagcqc_obs.Span.with_span ~name:"elemental.generate"
+        ~attrs:[ ("n", Bagcqc_obs.Span.Int n) ]
+        (fun () -> generate n)
+    in
     Hashtbl.add table n es;
     es
 

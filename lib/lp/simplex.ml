@@ -65,6 +65,29 @@ let default_engine = ref Sparse
 let pivots_performed = ref 0
 let pivot_count () = !pivots_performed
 
+(* ---- observability ----
+   Per-solve spans and two histograms: pivots per solve, and the bigint
+   bit-width of pivot elements (numerator + denominator bits), the
+   quantity that actually prices a pivot under exact arithmetic.  The
+   bit-width probe runs on the per-pivot hot path, so it is gated on the
+   tracing switch and sampled every k-th pivot. *)
+
+module Obs = Bagcqc_obs
+
+let h_pivot_bits = Obs.Metrics.histogram "lp.pivot_bits"
+let h_pivots_per_solve = Obs.Metrics.histogram "lp.pivots_per_solve"
+let pivot_tick = ref 0
+
+(* Sample the 1st, (k+1)-th, (2k+1)-th, ... pivot so short solves still
+   contribute at least one observation. *)
+let observe_pivot_magnitude (p : Rat.t) =
+  if !Obs.Runtime.enabled then begin
+    incr pivot_tick;
+    if (!pivot_tick - 1) mod !Obs.Runtime.sample_every = 0 then
+      Obs.Metrics.observe h_pivot_bits
+        (Bigint.num_bits (Rat.num p) + Bigint.num_bits (Rat.den p))
+  end
+
 let constr coeffs op rhs =
   let nnz = Array.fold_left (fun n c -> if Rat.is_zero c then n else n + 1) 0 coeffs in
   let cols = Array.make nnz 0 and vals = Array.make nnz Rat.zero in
@@ -166,6 +189,7 @@ module Dense_impl = struct
     let row = t.rows.(r) in
     let p = row.(c) in
     assert (not (Rat.is_zero p));
+    observe_pivot_magnitude p;
     let inv_p = Rat.inv p in
     for j = 0 to t.ncols do
       row.(j) <- row.(j) */ inv_p
@@ -362,6 +386,7 @@ module Sparse_impl = struct
     let row = t.rows.(r) in
     let p = row.(c) in
     assert (not (Rat.is_zero p));
+    observe_pivot_magnitude p;
     let scale = not (Rat.equal p Rat.one) in
     let inv_p = if scale then Rat.inv p else Rat.one in
     let nnz = ref 0 in
@@ -571,8 +596,31 @@ end
 
 let solve_with engine p =
   validate p;
-  try (match engine with Dense -> Dense_impl.solve p | Sparse -> Sparse_impl.solve p)
-  with Exit -> Infeasible
+  Obs.Span.with_span ~name:"simplex.solve"
+    ~attrs:
+      [ ("engine",
+         Obs.Span.Str (match engine with Dense -> "dense" | Sparse -> "sparse"));
+        ("rows", Obs.Span.Int (List.length p.constraints));
+        ("vars", Obs.Span.Int p.num_vars) ]
+  @@ fun () ->
+  let p0 = !pivots_performed in
+  let outcome =
+    try
+      (match engine with Dense -> Dense_impl.solve p | Sparse -> Sparse_impl.solve p)
+    with Exit -> Infeasible
+  in
+  if !Obs.Runtime.enabled then begin
+    let dp = !pivots_performed - p0 in
+    Obs.Metrics.observe h_pivots_per_solve dp;
+    Obs.Span.add_attr "pivots" (Obs.Span.Int dp);
+    Obs.Span.add_attr "outcome"
+      (Obs.Span.Str
+         (match outcome with
+          | Optimal _ -> "optimal"
+          | Unbounded -> "unbounded"
+          | Infeasible -> "infeasible"))
+  end;
+  outcome
 
 let solve ?engine p =
   solve_with (match engine with Some e -> e | None -> !default_engine) p

@@ -1,0 +1,28 @@
+(* Umbrella: one module to open for the whole obs layer, plus the
+   enable/disable/reset lifecycle.  All three lifecycle calls are
+   idempotent, so CLI subcommands can unconditionally install the layer
+   at startup without tracking prior state. *)
+
+module Runtime = Runtime
+module Span = Span
+module Metrics = Metrics
+module Json = Json
+module Export = Export
+module Report = Report
+
+let enabled () = !Runtime.enabled
+
+let enable ?ring_capacity ?max_depth ?sample_every () =
+  Option.iter (fun c -> Runtime.ring_capacity := max 0 c) ring_capacity;
+  Option.iter (fun d -> Runtime.max_depth := max 0 d) max_depth;
+  Option.iter (fun k -> Runtime.sample_every := max 1 k) sample_every;
+  if not !Runtime.enabled then begin
+    Runtime.enabled := true;
+    Span.reset ()
+  end
+
+let disable () = Runtime.enabled := false
+
+let reset () =
+  Span.reset ();
+  Metrics.reset ()

@@ -1,0 +1,37 @@
+(** Structured tracing & metrics for the whole pipeline.
+
+    The event model has three parts (see DESIGN.md §4c):
+
+    - {!Span}: nested timed regions with attributes, recorded into a
+      bounded ring buffer — the trace tree;
+    - {!Metrics}: named counters and log-bucketed histograms, handle-based
+      so a counter event is one integer store;
+    - {!Export}/{!Report}: Chrome-trace / JSONL serialization and the
+      reader behind the [report] CLI subcommand.
+
+    With tracing {e disabled} (the default) every span entry point is a
+    single branch; counters stay live (they are what {!Bagcqc_engine.Stats}
+    snapshots), and histogram call sites are expected to gate themselves
+    on {!enabled}. *)
+
+module Runtime = Runtime
+module Span = Span
+module Metrics = Metrics
+module Json = Json
+module Export = Export
+module Report = Report
+
+val enabled : unit -> bool
+
+val enable :
+  ?ring_capacity:int -> ?max_depth:int -> ?sample_every:int -> unit -> unit
+(** Turn span recording on (idempotent; re-enabling while already enabled
+    only updates the knobs, which take effect at the next {!reset}).  A
+    disabled→enabled transition starts a fresh span store and epoch. *)
+
+val disable : unit -> unit
+(** Stop recording; already collected data stays readable/exportable. *)
+
+val reset : unit -> unit
+(** Fresh trace: clear spans (ring, ids, epoch) and zero all metrics.
+    Idempotent. *)

@@ -1,0 +1,146 @@
+(* Trace exporters.
+
+   Two formats over the same data (the span ring + the metrics registry):
+
+   - Chrome trace-event JSON: an object with a "traceEvents" array of
+     complete ("ph":"X") events, loadable by chrome://tracing and
+     Perfetto.  Span ids, parent ids and self-times ride in "args" under
+     reserved keys, and the full metrics snapshot rides in a "bagcqc"
+     top-level object — both ignored by the viewers but read back by
+     {!Report}, so report output is computed from exactly what the file
+     says, not from in-process state.
+
+   - JSONL: one event object per line ("meta", "span", "counter",
+     "histogram" records), for streaming consumers.
+
+   [write] dispatches on the file extension: ".jsonl" selects JSONL,
+   anything else the Chrome format. *)
+
+let schema = "bagcqc-trace/1"
+
+(* Reserved arg keys carrying span structure; everything else in "args"
+   is a user attribute. *)
+let key_id = "id"
+let key_parent = "parent"
+let key_self = "self_us"
+
+let json_of_attr : Span.attr -> Json.t = function
+  | Span.Int i -> Json.Num (float_of_int i)
+  | Span.Float f -> Json.Num f
+  | Span.Str s -> Json.Str s
+  | Span.Bool b -> Json.Bool b
+
+let us t = t *. 1e6
+
+let span_args sp =
+  (key_id, Json.Num (float_of_int sp.Span.id))
+  :: (key_parent, Json.Num (float_of_int sp.Span.parent))
+  :: (key_self, Json.Num (us (Span.self sp)))
+  :: List.rev_map (fun (k, v) -> (k, json_of_attr v)) sp.Span.attrs
+
+let chrome_event sp =
+  Json.Obj
+    [ ("name", Json.Str sp.Span.name); ("cat", Json.Str "bagcqc");
+      ("ph", Json.Str "X");
+      ("ts", Json.Num (us (Float.max 0.0 (sp.Span.start -. !Runtime.epoch))));
+      ("dur", Json.Num (us sp.Span.dur)); ("pid", Json.Num 1.0);
+      ("tid", Json.Num 1.0); ("args", Json.Obj (span_args sp)) ]
+
+let json_of_hist (h : Metrics.hist_snapshot) =
+  Json.Obj
+    [ ("count", Json.Num (float_of_int h.Metrics.count));
+      ("sum", Json.Num (float_of_int h.Metrics.sum));
+      ("min", Json.Num (float_of_int h.Metrics.min_value));
+      ("max", Json.Num (float_of_int h.Metrics.max_value));
+      ("buckets",
+       Json.Arr
+         (List.map
+            (fun (i, c) ->
+              Json.Arr [ Json.Num (float_of_int i); Json.Num (float_of_int c) ])
+            h.Metrics.buckets)) ]
+
+let metrics_json (s : Metrics.snapshot) =
+  Json.Obj
+    [ ("counters",
+       Json.Obj
+         (List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) s.Metrics.counters));
+      ("histograms",
+       Json.Obj
+         (List.filter_map
+            (fun (n, h) ->
+              if h.Metrics.count = 0 then None else Some (n, json_of_hist h))
+            s.Metrics.histograms)) ]
+
+let chrome () =
+  Json.Obj
+    [ ("traceEvents", Json.Arr (List.map chrome_event (Span.closed ())));
+      ("displayTimeUnit", Json.Str "ms");
+      ("bagcqc",
+       Json.Obj
+         [ ("schema", Json.Str schema);
+           ("dropped", Json.Num (float_of_int (Span.dropped ())));
+           ("depth_dropped", Json.Num (float_of_int (Span.depth_dropped ())));
+           ("metrics", metrics_json (Metrics.snapshot ())) ]) ]
+
+let jsonl_lines () =
+  let meta =
+    Json.Obj
+      [ ("type", Json.Str "meta"); ("schema", Json.Str schema);
+        ("dropped", Json.Num (float_of_int (Span.dropped ())));
+        ("depth_dropped", Json.Num (float_of_int (Span.depth_dropped ()))) ]
+  in
+  let spans =
+    List.map
+      (fun sp ->
+        Json.Obj
+          [ ("type", Json.Str "span"); ("name", Json.Str sp.Span.name);
+            ("ts", Json.Num (us (Float.max 0.0 (sp.Span.start -. !Runtime.epoch))));
+            ("dur", Json.Num (us sp.Span.dur));
+            ("args", Json.Obj (span_args sp)) ])
+      (Span.closed ())
+  in
+  let s = Metrics.snapshot () in
+  let counters =
+    List.map
+      (fun (n, v) ->
+        Json.Obj
+          [ ("type", Json.Str "counter"); ("name", Json.Str n);
+            ("value", Json.Num (float_of_int v)) ])
+      s.Metrics.counters
+  in
+  let hists =
+    List.filter_map
+      (fun (n, h) ->
+        if h.Metrics.count = 0 then None
+        else
+          Some
+            (Json.Obj
+               [ ("type", Json.Str "histogram"); ("name", Json.Str n);
+                 ("data", json_of_hist h) ]))
+      s.Metrics.histograms
+  in
+  (meta :: spans) @ counters @ hists
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+      output_string oc contents)
+
+let write_chrome path =
+  let buf = Buffer.create 4096 in
+  Json.to_buffer buf (chrome ());
+  Buffer.add_char buf '\n';
+  write_file path (Buffer.contents buf)
+
+let write_jsonl path =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun line ->
+      Json.to_buffer buf line;
+      Buffer.add_char buf '\n')
+    (jsonl_lines ());
+  write_file path (Buffer.contents buf)
+
+let write path =
+  if Filename.check_suffix path ".jsonl" then write_jsonl path
+  else write_chrome path

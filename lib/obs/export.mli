@@ -1,0 +1,28 @@
+(** Serialize the current span ring and metrics registry to a trace file.
+
+    The Chrome format is an object with a ["traceEvents"] array of
+    complete events (loadable by chrome://tracing and Perfetto) plus a
+    ["bagcqc"] object carrying the schema tag, drop counts, and a full
+    metrics snapshot; {!Report} reads that same file back.  The JSONL
+    format emits one event object per line. *)
+
+val schema : string
+(** Schema tag written into every trace file (["bagcqc-trace/1"]). *)
+
+val key_id : string
+val key_parent : string
+val key_self : string
+(** Reserved ["args"] keys carrying span structure (id, parent id,
+    self-time in µs); all other arg fields are span attributes. *)
+
+val chrome : unit -> Json.t
+(** The Chrome trace object for the current obs state. *)
+
+val jsonl_lines : unit -> Json.t list
+(** The JSONL event stream for the current obs state, one value per line. *)
+
+val write_chrome : string -> unit
+val write_jsonl : string -> unit
+
+val write : string -> unit
+(** Dispatch on extension: [".jsonl"] writes JSONL, anything else Chrome. *)

@@ -1,0 +1,29 @@
+(** Minimal JSON (objects, arrays, strings, numbers, booleans, null) —
+    the subset the trace exporters emit and the report reader consumes.
+    The build environment has no JSON library. *)
+
+type t =
+  | Obj of (string * t) list
+  | Arr of t list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Parse_error of string
+
+val to_buffer : Buffer.t -> t -> unit
+val to_string : t -> string
+
+val parse : string -> t
+(** @raise Parse_error on malformed input (with an offset). *)
+
+val find_opt : string -> t -> t option
+val member : string -> t -> t
+(** @raise Parse_error when the field is missing or [t] is not an object. *)
+
+val as_arr : t -> t list
+val as_obj : t -> (string * t) list
+val as_str : t -> string
+val as_num : t -> float
+val as_int : t -> int

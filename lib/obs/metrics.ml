@@ -1,0 +1,205 @@
+(* Named counters and log-bucketed histograms.
+
+   Call sites obtain a handle once (module-initialization time) and then
+   bump it with plain field updates, so the steady-state cost of a
+   counter event is one integer store — the same budget the old
+   Engine.Stats counters had.  [reset] zeroes values but keeps handles
+   valid, so resetting between CLI subcommands never invalidates an
+   instrumentation point.
+
+   Histograms are base-2 log-bucketed over non-negative integers:
+   bucket 0 holds exactly the value 0, bucket i (i >= 1) holds
+   [2^(i-1), 2^i - 1].  An exact power of two 2^k therefore lands in
+   bucket k+1, whose lower bound it is.  This suits the quantities we
+   track (pivot counts, bigint bit widths, candidate-set sizes): cheap
+   to bucket, faithful at small values, and percentiles stay meaningful
+   over many orders of magnitude. *)
+
+type counter = { cname : string; mutable count : int }
+
+let nbuckets = 63 (* bucket 62 holds everything >= 2^61 *)
+
+type histogram = {
+  hname : string;
+  buckets : int array; (* length nbuckets *)
+  mutable total : int;
+  mutable vsum : int;
+  mutable vmin : int; (* max_int when empty *)
+  mutable vmax : int; (* min_int when empty *)
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { cname = name; count = 0 } in
+    Hashtbl.add counters name c;
+    c
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h =
+      { hname = name; buckets = Array.make nbuckets 0; total = 0; vsum = 0;
+        vmin = max_int; vmax = min_int }
+    in
+    Hashtbl.add histograms name h;
+    h
+
+let bump c = c.count <- c.count + 1
+let add c k = c.count <- c.count + k
+let count c = c.count
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let bits = ref 0 and x = ref v in
+    while !x <> 0 do
+      incr bits;
+      x := !x lsr 1
+    done;
+    min !bits (nbuckets - 1)
+  end
+
+let bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
+let bucket_hi i = if i <= 0 then 0 else (1 lsl i) - 1
+
+let observe h v =
+  let v = max v 0 in
+  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
+  h.total <- h.total + 1;
+  h.vsum <- h.vsum + v;
+  if v < h.vmin then h.vmin <- v;
+  if v > h.vmax then h.vmax <- v
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.buckets 0 nbuckets 0;
+      h.total <- 0;
+      h.vsum <- 0;
+      h.vmin <- max_int;
+      h.vmax <- min_int)
+    histograms
+
+(* ---------------- snapshots ---------------- *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min_value : int; (* max_int when count = 0 *)
+  max_value : int; (* min_int when count = 0 *)
+  buckets : (int * int) list; (* (bucket index, count), ascending, counts > 0 *)
+}
+
+type snapshot = {
+  counters : (string * int) list; (* name-sorted *)
+  histograms : (string * hist_snapshot) list; (* name-sorted *)
+}
+
+let empty_hist =
+  { count = 0; sum = 0; min_value = max_int; max_value = min_int; buckets = [] }
+
+let hist_snapshot_of (h : histogram) =
+  let buckets = ref [] in
+  for i = nbuckets - 1 downto 0 do
+    if h.buckets.(i) > 0 then buckets := (i, h.buckets.(i)) :: !buckets
+  done;
+  { count = h.total; sum = h.vsum; min_value = h.vmin; max_value = h.vmax;
+    buckets = !buckets }
+
+let by_name (a, _) (b, _) = compare (a : string) b
+
+let snapshot () =
+  { counters =
+      Hashtbl.fold
+        (fun name (c : counter) acc -> (name, c.count) :: acc)
+        counters []
+      |> List.sort by_name;
+    histograms =
+      Hashtbl.fold
+        (fun name h acc -> (name, hist_snapshot_of h) :: acc)
+        histograms []
+      |> List.sort by_name }
+
+(* Canonicalizing constructor for externally assembled snapshots (trace
+   import, tests): sorts, merges duplicate names, drops empty buckets. *)
+let snapshot_of ~counters:cs ~histograms:hs =
+  let merge_counters cs =
+    List.sort by_name cs
+    |> List.fold_left
+         (fun acc (name, v) ->
+           match acc with
+           | (n0, v0) :: rest when n0 = name -> (n0, v0 + v) :: rest
+           | _ -> (name, v) :: acc)
+         []
+    |> List.rev
+  in
+  let canon_hist h =
+    let arr = Array.make nbuckets 0 in
+    List.iter
+      (fun (i, c) ->
+        if i >= 0 && i < nbuckets && c > 0 then arr.(i) <- arr.(i) + c)
+      h.buckets;
+    let buckets = ref [] in
+    for i = nbuckets - 1 downto 0 do
+      if arr.(i) > 0 then buckets := (i, arr.(i)) :: !buckets
+    done;
+    { h with buckets = !buckets }
+  in
+  let merge_hist a b =
+    canon_hist
+      { count = a.count + b.count; sum = a.sum + b.sum;
+        min_value = min a.min_value b.min_value;
+        max_value = max a.max_value b.max_value;
+        buckets = a.buckets @ b.buckets }
+  in
+  let merge_hists hs =
+    List.sort by_name hs
+    |> List.fold_left
+         (fun acc (name, h) ->
+           match acc with
+           | (n0, h0) :: rest when n0 = name -> (n0, merge_hist h0 h) :: rest
+           | _ -> (name, canon_hist h) :: acc)
+         []
+    |> List.rev
+  in
+  { counters = merge_counters cs; histograms = merge_hists hs }
+
+let merge a b =
+  snapshot_of
+    ~counters:(a.counters @ b.counters)
+    ~histograms:(a.histograms @ b.histograms)
+
+(* ---------------- percentiles ---------------- *)
+
+(* Value at quantile p ∈ [0,1]: the lower bound of the log bucket holding
+   the ceil(p·count)-th smallest observation (clamped into [min,max] so a
+   histogram of identical values reports that value at every quantile). *)
+let percentile h p =
+  if h.count = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (ceil (p *. float_of_int h.count)) in
+      if r < 1 then 1 else if r > h.count then h.count else r
+    in
+    let rec go seen = function
+      | [] -> h.max_value
+      | (i, c) :: rest ->
+        if seen + c >= rank then
+          let lo = bucket_lo i in
+          if lo < h.min_value then h.min_value
+          else if lo > h.max_value then h.max_value
+          else lo
+        else go (seen + c) rest
+    in
+    go 0 h.buckets
+  end
+
+let mean h =
+  if h.count = 0 then 0.0 else float_of_int h.sum /. float_of_int h.count

@@ -1,0 +1,79 @@
+(** Named counters and base-2 log-bucketed histograms.
+
+    Handles are obtained once (typically at module initialization) and
+    bumped with plain field updates: a counter event is one integer
+    store.  {!reset} zeroes values but keeps every handle valid.
+
+    Histogram buckets: bucket 0 holds exactly 0; bucket [i >= 1] holds
+    the integers in [\[2^(i-1), 2^i - 1\]], so an exact power of two
+    [2^k] lands in bucket [k+1] as that bucket's lower bound.  Negative
+    observations are clamped to 0. *)
+
+type counter
+
+val counter : string -> counter
+(** Find-or-create the counter with this name (one instance per name). *)
+
+val bump : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+
+type histogram
+
+val histogram : string -> histogram
+(** Find-or-create the histogram with this name. *)
+
+val observe : histogram -> int -> unit
+
+val nbuckets : int
+val bucket_of : int -> int
+(** Bucket index of a value (see the bucketing rule above). *)
+
+val bucket_lo : int -> int
+(** Smallest value in a bucket ([bucket_lo (bucket_of (1 lsl k)) = 1 lsl k]). *)
+
+val bucket_hi : int -> int
+(** Largest value in a bucket. *)
+
+val reset : unit -> unit
+(** Zero every counter and histogram; handles stay valid.  Idempotent. *)
+
+(** {2 Snapshots} *)
+
+type hist_snapshot = {
+  count : int;
+  sum : int;
+  min_value : int;  (** [max_int] when [count = 0] *)
+  max_value : int;  (** [min_int] when [count = 0] *)
+  buckets : (int * int) list;
+      (** (bucket index, count), ascending indices, counts > 0 *)
+}
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  histograms : (string * hist_snapshot) list;  (** sorted by name *)
+}
+
+val empty_hist : hist_snapshot
+
+val snapshot : unit -> snapshot
+(** Canonical snapshot of every registered counter and histogram. *)
+
+val snapshot_of :
+  counters:(string * int) list ->
+  histograms:(string * hist_snapshot) list ->
+  snapshot
+(** Canonicalize an externally assembled snapshot (sorts names, merges
+    duplicates, drops empty buckets) — the constructor used by trace
+    import and by tests. *)
+
+val merge : snapshot -> snapshot -> snapshot
+(** Pointwise union: counters add, histogram buckets add, min/max fold.
+    Associative and commutative on canonical snapshots. *)
+
+val percentile : hist_snapshot -> float -> int
+(** [percentile h p] for [p ∈ \[0,1\]]: lower bound of the bucket holding
+    the [ceil(p·count)]-th smallest observation, clamped to
+    [\[min_value, max_value\]]; 0 when empty. *)
+
+val mean : hist_snapshot -> float

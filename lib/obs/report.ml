@@ -1,0 +1,331 @@
+(* Trace reader + top-down report printer.
+
+   Loads a file written by {!Export} (either format), rebuilds the span
+   tree from the explicit id/parent args, and prints:
+
+   - a top-down tree with inclusive and self time per node, siblings
+     aggregated by name (a node line "simplex.solve ×37" is 37 sibling
+     solves summed), with numeric attributes summed and string/bool
+     attributes tallied per value — so "which cone's LP dominates" is one
+     glance, not printf archaeology;
+   - every counter, and percentiles (p50/p90/p99) for every histogram.
+
+   Everything printed comes from the file alone, never from in-process
+   obs state: the report of a trace is the same tomorrow as today. *)
+
+type node = {
+  name : string;
+  id : int;
+  parent_id : int;
+  ts_us : float;
+  dur_us : float;
+  self_us : float;
+  attrs : (string * Json.t) list;
+  mutable kids : node list; (* start-time order *)
+}
+
+type t = {
+  roots : node list; (* start-time order *)
+  nspans : int;
+  dropped : int;
+  depth_dropped : int;
+  metrics : Metrics.snapshot;
+}
+
+let span_count t = t.nspans
+
+(* ---------------- decoding ---------------- *)
+
+let reserved = [ Export.key_id; Export.key_parent; Export.key_self ]
+
+let node_of_args ~name ~ts_us ~dur_us args =
+  let id = Json.as_int (Json.member Export.key_id args) in
+  let parent_id = Json.as_int (Json.member Export.key_parent args) in
+  let self_us = Json.as_num (Json.member Export.key_self args) in
+  let attrs =
+    List.filter (fun (k, _) -> not (List.mem k reserved)) (Json.as_obj args)
+  in
+  { name; id; parent_id; ts_us; dur_us; self_us; attrs; kids = [] }
+
+let hist_of_json j =
+  Metrics.
+    { count = Json.as_int (Json.member "count" j);
+      sum = Json.as_int (Json.member "sum" j);
+      min_value = Json.as_int (Json.member "min" j);
+      max_value = Json.as_int (Json.member "max" j);
+      buckets =
+        List.map
+          (fun pair ->
+            match Json.as_arr pair with
+            | [ i; c ] -> (Json.as_int i, Json.as_int c)
+            | _ -> raise (Json.Parse_error "bad histogram bucket"))
+          (Json.as_arr (Json.member "buckets" j)) }
+
+let metrics_of_json j =
+  Metrics.snapshot_of
+    ~counters:
+      (List.map
+         (fun (n, v) -> (n, Json.as_int v))
+         (Json.as_obj (Json.member "counters" j)))
+    ~histograms:
+      (List.map
+         (fun (n, h) -> (n, hist_of_json h))
+         (Json.as_obj (Json.member "histograms" j)))
+
+let of_chrome root =
+  (match Json.find_opt "traceEvents" root with
+   | Some _ -> ()
+   | None -> raise (Json.Parse_error "not a bagcqc trace (no traceEvents)"));
+  let nodes =
+    List.filter_map
+      (fun ev ->
+        match Json.find_opt "ph" ev with
+        | Some (Json.Str "X") ->
+          Some
+            (node_of_args
+               ~name:(Json.as_str (Json.member "name" ev))
+               ~ts_us:(Json.as_num (Json.member "ts" ev))
+               ~dur_us:(Json.as_num (Json.member "dur" ev))
+               (Json.member "args" ev))
+        | _ -> None)
+      (Json.as_arr (Json.member "traceEvents" root))
+  in
+  let meta = Json.find_opt "bagcqc" root in
+  let meta_int key =
+    match meta with
+    | None -> 0
+    | Some m ->
+      (match Json.find_opt key m with Some v -> Json.as_int v | None -> 0)
+  in
+  let metrics =
+    match meta with
+    | Some m ->
+      (match Json.find_opt "metrics" m with
+       | Some j -> metrics_of_json j
+       | None -> Metrics.snapshot_of ~counters:[] ~histograms:[])
+    | None -> Metrics.snapshot_of ~counters:[] ~histograms:[]
+  in
+  (nodes, meta_int "dropped", meta_int "depth_dropped", metrics)
+
+let of_jsonl lines =
+  let nodes = ref [] in
+  let counters = ref [] in
+  let hists = ref [] in
+  let dropped = ref 0 in
+  let depth_dropped = ref 0 in
+  List.iter
+    (fun line ->
+      match Json.find_opt "type" line with
+      | Some (Json.Str "span") ->
+        nodes :=
+          node_of_args
+            ~name:(Json.as_str (Json.member "name" line))
+            ~ts_us:(Json.as_num (Json.member "ts" line))
+            ~dur_us:(Json.as_num (Json.member "dur" line))
+            (Json.member "args" line)
+          :: !nodes
+      | Some (Json.Str "counter") ->
+        counters :=
+          (Json.as_str (Json.member "name" line),
+           Json.as_int (Json.member "value" line))
+          :: !counters
+      | Some (Json.Str "histogram") ->
+        hists :=
+          (Json.as_str (Json.member "name" line),
+           hist_of_json (Json.member "data" line))
+          :: !hists
+      | Some (Json.Str "meta") ->
+        (match Json.find_opt "dropped" line with
+         | Some v -> dropped := Json.as_int v
+         | None -> ());
+        (match Json.find_opt "depth_dropped" line with
+         | Some v -> depth_dropped := Json.as_int v
+         | None -> ())
+      | _ -> ())
+    lines;
+  ( List.rev !nodes, !dropped, !depth_dropped,
+    Metrics.snapshot_of ~counters:!counters ~histograms:!hists )
+
+let link nodes dropped depth_dropped metrics =
+  let by_id = Hashtbl.create (2 * List.length nodes + 1) in
+  List.iter (fun nd -> Hashtbl.replace by_id nd.id nd) nodes;
+  let roots = ref [] in
+  (* Spans close child-before-parent, so walk newest-first to append kids
+     in forward order. *)
+  List.iter
+    (fun nd ->
+      match Hashtbl.find_opt by_id nd.parent_id with
+      | Some p when nd.parent_id <> nd.id -> p.kids <- nd :: p.kids
+      | _ -> roots := nd :: !roots)
+    (List.rev nodes);
+  let by_ts a b = compare a.ts_us b.ts_us in
+  let rec sort_kids nd =
+    nd.kids <- List.sort by_ts nd.kids;
+    List.iter sort_kids nd.kids
+  in
+  let roots = List.sort by_ts !roots in
+  List.iter sort_kids roots;
+  { roots; nspans = List.length nodes; dropped; depth_dropped; metrics }
+
+let of_json root =
+  let nodes, d, dd, m = of_chrome root in
+  link nodes d dd m
+
+let parse text =
+  (* A Chrome trace is one JSON object with "traceEvents"; anything else
+     (including a file that fails to parse as a single value) is treated
+     as JSONL. *)
+  match Json.parse text with
+  | root when Json.find_opt "traceEvents" root <> None -> of_json root
+  | root when Json.find_opt "type" root <> None ->
+    let nodes, d, dd, m = of_jsonl [ root ] in
+    link nodes d dd m
+  | _ -> raise (Json.Parse_error "not a bagcqc trace")
+  | exception Json.Parse_error _ ->
+    let lines =
+      String.split_on_char '\n' text
+      |> List.filter (fun l -> String.trim l <> "")
+      |> List.map Json.parse
+    in
+    let nodes, d, dd, m = of_jsonl lines in
+    link nodes d dd m
+
+let load path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  parse text
+
+(* ---------------- printing ---------------- *)
+
+let ms us = us /. 1e3
+
+(* Aggregate a sibling list by name, preserving first-start order. *)
+let group_by_name nodes =
+  let order = ref [] in
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun nd ->
+      match Hashtbl.find_opt tbl nd.name with
+      | Some group -> group := nd :: !group
+      | None ->
+        Hashtbl.add tbl nd.name (ref [ nd ]);
+        order := nd.name :: !order)
+    nodes;
+  List.rev_map (fun name -> (name, List.rev !(Hashtbl.find tbl name))) !order
+
+(* Summarize attributes across an aggregated group: numeric values sum;
+   string/bool values tally per distinct value. *)
+let attr_summary group =
+  let order = ref [] in
+  let sums : (string, float ref) Hashtbl.t = Hashtbl.create 8 in
+  let tallies : (string, (string * int ref) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let seen key = if not (List.mem key !order) then order := !order @ [ key ] in
+  let tally k s =
+    seen k;
+    let t =
+      match Hashtbl.find_opt tallies k with
+      | Some t -> t
+      | None ->
+        let t = ref [] in
+        Hashtbl.add tallies k t;
+        t
+    in
+    match List.assoc_opt s !t with
+    | Some r -> incr r
+    | None -> t := !t @ [ (s, ref 1) ]
+  in
+  List.iter
+    (fun nd ->
+      List.iter
+        (fun (k, v) ->
+          match v with
+          | Json.Num f ->
+            seen k;
+            (match Hashtbl.find_opt sums k with
+             | Some r -> r := !r +. f
+             | None -> Hashtbl.add sums k (ref f))
+          | Json.Str s -> tally k s
+          | Json.Bool b -> tally k (string_of_bool b)
+          | _ -> ())
+        nd.attrs)
+    group;
+  List.filter_map
+    (fun k ->
+      match Hashtbl.find_opt sums k with
+      | Some r ->
+        let f = !r in
+        Some
+          (if Float.is_integer f then Printf.sprintf "%s=%.0f" k f
+           else Printf.sprintf "%s=%.3g" k f)
+      | None ->
+        (match Hashtbl.find_opt tallies k with
+         | Some t ->
+           Some
+             (Printf.sprintf "%s{%s}" k
+                (String.concat ","
+                   (List.map (fun (s, r) -> Printf.sprintf "%s:%d" s !r) !t)))
+         | None -> None))
+    !order
+
+let pp_tree fmt roots =
+  let rec go indent nodes =
+    List.iter
+      (fun (name, group) ->
+        let incl = List.fold_left (fun a nd -> a +. nd.dur_us) 0.0 group in
+        let self = List.fold_left (fun a nd -> a +. nd.self_us) 0.0 group in
+        let label =
+          Printf.sprintf "%s%s %s" indent name
+            (if List.length group > 1 then
+               Printf.sprintf "×%d" (List.length group)
+             else "")
+        in
+        let attrs = attr_summary group in
+        Format.fprintf fmt "  %-44s %10.3f %10.3f%s@." label (ms incl)
+          (ms self)
+          (match attrs with
+           | [] -> ""
+           | l -> "   [" ^ String.concat " " l ^ "]");
+        go (indent ^ "  ") (group_by_name (List.concat_map (fun nd -> nd.kids) group)))
+      nodes
+  in
+  go "" (group_by_name roots)
+
+let pp fmt t =
+  Format.fprintf fmt "trace: %d span%s (%d evicted, %d depth-limited)@."
+    t.nspans
+    (if t.nspans = 1 then "" else "s")
+    t.dropped t.depth_dropped;
+  if t.roots <> [] then begin
+    Format.fprintf fmt "@.span tree (siblings aggregated by name):@.";
+    Format.fprintf fmt "  %-44s %10s %10s@." "" "incl ms" "self ms";
+    pp_tree fmt t.roots
+  end;
+  let { Metrics.counters; histograms } = t.metrics in
+  let nonzero = List.filter (fun (_, v) -> v <> 0) counters in
+  if nonzero <> [] then begin
+    Format.fprintf fmt "@.counters:@.";
+    List.iter
+      (fun (n, v) -> Format.fprintf fmt "  %-36s %12d@." n v)
+      nonzero
+  end;
+  let live = List.filter (fun (_, h) -> h.Metrics.count > 0) histograms in
+  if live <> [] then begin
+    Format.fprintf fmt "@.histograms:@.";
+    Format.fprintf fmt "  %-36s %9s %9s %7s %7s %7s %7s@." "" "count" "mean"
+      "p50" "p90" "p99" "max";
+    List.iter
+      (fun (n, h) ->
+        Format.fprintf fmt "  %-36s %9d %9.1f %7d %7d %7d %7d@." n
+          h.Metrics.count (Metrics.mean h)
+          (Metrics.percentile h 0.50)
+          (Metrics.percentile h 0.90)
+          (Metrics.percentile h 0.99)
+          h.Metrics.max_value)
+      live
+  end

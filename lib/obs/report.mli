@@ -1,0 +1,43 @@
+(** Trace reader and top-down report printer for files written by
+    {!Export} (Chrome or JSONL format).
+
+    Everything printed is computed from the file alone — never from the
+    in-process obs state — so the exporter→reader pair round-trips. *)
+
+type node = {
+  name : string;
+  id : int;
+  parent_id : int;
+  ts_us : float;
+  dur_us : float;
+  self_us : float;
+  attrs : (string * Json.t) list;
+  mutable kids : node list;  (** start-time order *)
+}
+
+type t = {
+  roots : node list;  (** start-time order; evicted parents orphan to roots *)
+  nspans : int;
+  dropped : int;
+  depth_dropped : int;
+  metrics : Metrics.snapshot;
+}
+
+val load : string -> t
+(** Read and decode a trace file.
+    @raise Json.Parse_error on malformed input.
+    @raise Sys_error when the file cannot be read. *)
+
+val parse : string -> t
+(** Decode trace text (auto-detects Chrome vs JSONL). *)
+
+val of_json : Json.t -> t
+(** Decode an already parsed Chrome trace object. *)
+
+val span_count : t -> int
+
+val pp : Format.formatter -> t -> unit
+(** The [report] subcommand's output: span tree with inclusive/self
+    milliseconds (siblings aggregated by name, numeric attributes
+    summed, string attributes tallied), then counters, then histogram
+    percentiles. *)

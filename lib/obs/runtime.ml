@@ -1,0 +1,31 @@
+(* Process-global observability switches and the trace clock.
+
+   Everything in the obs layer funnels through [enabled]: when it is
+   false, every instrumentation entry point must reduce to a single
+   branch (no timestamps, no allocation), so always-on call sites in hot
+   code cost nothing on untraced runs.
+
+   The clock is wall time forced monotonic: [now] never goes backwards
+   even if the system clock is stepped, so span durations and Chrome
+   trace timestamps are always well ordered. *)
+
+let enabled = ref false
+
+(* Tuning knobs, applied by [Span.reset] / the samplers on next use. *)
+let ring_capacity = ref 65536
+let max_depth = ref 64
+let sample_every = ref 16
+
+let last = ref 0.0
+
+let now () =
+  let t = Unix.gettimeofday () in
+  if t > !last then begin
+    last := t;
+    t
+  end
+  else !last
+
+(* Trace epoch: exported timestamps are relative to this, set whenever
+   the span store is reset. *)
+let epoch = ref 0.0

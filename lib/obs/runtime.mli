@@ -1,0 +1,26 @@
+(** Global switches and the trace clock for the obs layer.
+
+    [enabled] gates every recording path: instrumented code must check it
+    (or go through an entry point that does) before paying for
+    timestamps, attribute lists, or histogram updates, so that untraced
+    runs cost a single branch per instrumentation point. *)
+
+val enabled : bool ref
+(** Master switch.  Flip through {!Obs.enable}/{!Obs.disable} rather than
+    directly, so the span store and epoch stay consistent. *)
+
+val ring_capacity : int ref
+(** Capacity of the completed-span ring buffer (applied on {!Span.reset}). *)
+
+val max_depth : int ref
+(** Spans nested deeper than this run uninstrumented (counted as
+    depth-dropped). *)
+
+val sample_every : int ref
+(** Samplers on per-pivot paths record every k-th observation. *)
+
+val now : unit -> float
+(** Wall-clock seconds, forced non-decreasing across calls. *)
+
+val epoch : float ref
+(** Trace epoch; exported timestamps are relative to it. *)

@@ -1,0 +1,127 @@
+(* Span trees: nested timed regions with per-span attributes.
+
+   One process-global stack of open spans (the workloads here are
+   single-threaded); completed spans land in a bounded ring buffer so
+   always-on tracing cannot grow memory without bound.  Parent/child
+   structure is recorded explicitly (ids), so the tree survives export
+   and re-import even though the ring only stores a flat sequence.
+
+   Self-time accounting: every span accumulates the inclusive duration
+   of its direct children as they close; [self] is then inclusive minus
+   that sum, and the identity [self + Σ children = dur] holds exactly
+   (same float additions on both sides). *)
+
+type attr =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type t = {
+  id : int;
+  parent : int; (* -1 for a root span *)
+  depth : int;
+  name : string;
+  mutable attrs : (string * attr) list;
+  start : float; (* absolute seconds (Runtime.now) *)
+  mutable dur : float; (* inclusive, seconds *)
+  mutable children : float; (* Σ inclusive durations of direct children *)
+}
+
+let self sp = sp.dur -. sp.children
+
+(* ---------------- state ---------------- *)
+
+let next_id = ref 0
+let stack : t list ref = ref [] (* innermost open span first *)
+
+let ring : t option array ref = ref [||]
+let widx = ref 0
+let written = ref 0
+let depth_dropped_n = ref 0
+
+let subscribers : (t -> unit) list ref = ref []
+
+let on_close f = subscribers := f :: !subscribers
+
+let reset () =
+  stack := [];
+  next_id := 0;
+  let cap = max 0 !Runtime.ring_capacity in
+  if Array.length !ring <> cap then ring := Array.make cap None
+  else Array.fill !ring 0 cap None;
+  widx := 0;
+  written := 0;
+  depth_dropped_n := 0;
+  Runtime.epoch := Runtime.now ()
+
+let record sp =
+  let cap = Array.length !ring in
+  if cap > 0 then begin
+    !ring.(!widx) <- Some sp;
+    widx := (!widx + 1) mod cap;
+    incr written
+  end
+
+let dropped () = max 0 (!written - Array.length !ring)
+let depth_dropped () = !depth_dropped_n
+let open_depth () = List.length !stack
+
+(* Completed spans, oldest first (eviction order). *)
+let closed () =
+  let cap = Array.length !ring in
+  if cap = 0 then []
+  else begin
+    let acc = ref [] in
+    for k = cap - 1 downto 0 do
+      match !ring.((!widx + k) mod cap) with
+      | Some sp -> acc := sp :: !acc
+      | None -> ()
+    done;
+    !acc
+  end
+
+(* ---------------- recording ---------------- *)
+
+let add_attr key v =
+  if !Runtime.enabled then
+    match !stack with
+    | [] -> ()
+    | sp :: _ -> sp.attrs <- (key, v) :: sp.attrs
+
+let with_span ~name ?(attrs = []) f =
+  if not !Runtime.enabled then f ()
+  else begin
+    let depth = match !stack with [] -> 0 | p :: _ -> p.depth + 1 in
+    if depth > !Runtime.max_depth then begin
+      incr depth_dropped_n;
+      f ()
+    end
+    else begin
+      let parent = match !stack with [] -> -1 | p :: _ -> p.id in
+      let id = !next_id in
+      incr next_id;
+      let sp =
+        { id; parent; depth; name; attrs; start = Runtime.now (); dur = 0.0;
+          children = 0.0 }
+      in
+      stack := sp :: !stack;
+      let finish () =
+        sp.dur <- Runtime.now () -. sp.start;
+        (* Pop back to (and including) sp: recovers from instrumented code
+           that escaped a nested span with an effect the nested [finish]
+           never saw (cannot happen with Fun.protect, but stay safe). *)
+        let rec pop = function
+          | [] -> []
+          | top :: rest -> if top == sp then rest else pop rest
+        in
+        stack := pop !stack;
+        (match !stack with
+         | p :: _ -> p.children <- p.children +. sp.dur
+         | [] -> ());
+        record sp;
+        List.iter (fun k -> k sp) !subscribers
+      in
+      Fun.protect ~finally:finish f
+    end
+  end

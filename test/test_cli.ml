@@ -90,6 +90,21 @@ let test_bad_query () =
   let code, _ = run [ "check"; "R(x,"; "R(x,y)" ] in
   Alcotest.(check bool) "syntax error is a CLI error" true (code <> 0)
 
+let test_trace_report () =
+  let tmp = Filename.temp_file "bagcqc_cli_trace" ".json" in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists tmp then Sys.remove tmp)
+  @@ fun () ->
+  check_output "traced check"
+    [ "check"; "R(x,y), R(y,z), R(z,x)"; "R(u,v), R(u,w)"; "--trace"; tmp ]
+    0 [ "CONTAINED" ];
+  check_output "report on the trace" [ "report"; tmp ] 0
+    [ "cli.check"; "containment.decide"; "simplex.solve"; "span tree";
+      "histograms"; "lp.pivots_per_solve" ]
+
+let test_report_bad_file () =
+  let code, _ = run [ "report"; "/nonexistent/trace.json" ] in
+  Alcotest.(check int) "missing trace file exits 2" 2 code
+
 let suite =
   [ ("check contained", `Quick, test_check_contained);
     ("check not contained", `Quick, test_check_not_contained);
@@ -101,4 +116,6 @@ let suite =
     ("reduce", `Quick, test_reduce);
     ("homcount", `Quick, test_homcount);
     ("eq8", `Quick, test_eq8);
-    ("bad query", `Quick, test_bad_query) ]
+    ("bad query", `Quick, test_bad_query);
+    ("trace + report round trip", `Quick, test_trace_report);
+    ("report on a missing file", `Quick, test_report_bad_file) ]

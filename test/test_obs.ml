@@ -1,0 +1,308 @@
+(* The obs layer: span nesting and self-time, the disabled fast path,
+   histogram bucket boundaries, ring-buffer eviction, the trace
+   export → report round-trip, snapshot-merge algebra, and the
+   Stats.time_stage re-entrancy fix. *)
+
+open Bagcqc_engine
+module Obs = Bagcqc_obs
+
+(* Every test drives the process-global obs state; start each one from a
+   known-clean slate and leave tracing off for the rest of the suite. *)
+let with_tracing ?ring_capacity ?max_depth ?sample_every f =
+  Obs.disable ();
+  Obs.enable ?ring_capacity ?max_depth ?sample_every ();
+  Obs.reset ();
+  Fun.protect ~finally:Obs.disable f
+
+(* ---------------- spans ---------------- *)
+
+let test_span_nesting () =
+  with_tracing @@ fun () ->
+  Obs.Span.with_span ~name:"root" (fun () ->
+      Obs.Span.with_span ~name:"a" (fun () -> ignore (Sys.opaque_identity 1));
+      Obs.Span.with_span ~name:"b" (fun () ->
+          Obs.Span.with_span ~name:"b1" (fun () -> ())));
+  let spans = Obs.Span.closed () in
+  Alcotest.(check int) "four spans recorded" 4 (List.length spans);
+  let find name = List.find (fun s -> s.Obs.Span.name = name) spans in
+  let root = find "root" and a = find "a" and b = find "b" and b1 = find "b1" in
+  Alcotest.(check int) "a's parent is root" root.Obs.Span.id a.Obs.Span.parent;
+  Alcotest.(check int) "b1's parent is b" b.Obs.Span.id b1.Obs.Span.parent;
+  Alcotest.(check int) "root is a root" (-1) root.Obs.Span.parent;
+  Alcotest.(check int) "depths" 2 b1.Obs.Span.depth;
+  (* The exact float identity the ring maintains: self + children = dur. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check (float 0.0))
+        ("self+children=dur for " ^ s.Obs.Span.name)
+        s.Obs.Span.dur
+        (Obs.Span.self s +. s.Obs.Span.children))
+    spans;
+  Alcotest.(check bool) "root children = a.dur + b.dur" true
+    (root.Obs.Span.children = a.Obs.Span.dur +. b.Obs.Span.dur);
+  Alcotest.(check int) "stack empty between operations" 0 (Obs.Span.open_depth ())
+
+let test_span_exception_safety () =
+  with_tracing @@ fun () ->
+  (try
+     Obs.Span.with_span ~name:"outer" (fun () ->
+         Obs.Span.with_span ~name:"thrower" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  let spans = Obs.Span.closed () in
+  Alcotest.(check int) "both spans closed despite the exception" 2
+    (List.length spans);
+  Alcotest.(check int) "stack unwound" 0 (Obs.Span.open_depth ())
+
+let test_disabled_fast_path () =
+  Obs.disable ();
+  Obs.reset ();
+  let r =
+    Obs.Span.with_span ~name:"ghost" (fun () ->
+        Obs.Span.add_attr "k" (Obs.Span.Int 1);
+        41 + 1)
+  in
+  Alcotest.(check int) "thunk result passes through" 42 r;
+  Alcotest.(check int) "nothing recorded while disabled" 0
+    (List.length (Obs.Span.closed ()));
+  (* Counters stay live even when tracing is off — Stats depends on it. *)
+  let c = Obs.Metrics.counter "test.disabled_counter" in
+  Obs.Metrics.bump c;
+  Alcotest.(check int) "counters are always on" 1 (Obs.Metrics.count c)
+
+let test_ring_eviction () =
+  with_tracing ~ring_capacity:4 @@ fun () ->
+  for i = 1 to 6 do
+    Obs.Span.with_span ~name:(Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  let names = List.map (fun s -> s.Obs.Span.name) (Obs.Span.closed ()) in
+  Alcotest.(check (list string)) "oldest spans evicted first, order kept"
+    [ "s3"; "s4"; "s5"; "s6" ] names;
+  Alcotest.(check int) "eviction counted" 2 (Obs.Span.dropped ())
+
+let test_depth_limit () =
+  with_tracing ~max_depth:2 @@ fun () ->
+  let rec nest d = if d > 0 then
+    Obs.Span.with_span ~name:(Printf.sprintf "d%d" d) (fun () -> nest (d - 1))
+  in
+  nest 5;
+  (* Depths 0,1,2 record (max_depth is the deepest recorded depth);
+     the two deeper calls run uninstrumented and are counted. *)
+  Alcotest.(check int) "spans within the depth limit recorded" 3
+    (List.length (Obs.Span.closed ()));
+  Alcotest.(check int) "deeper spans counted as dropped" 2
+    (Obs.Span.depth_dropped ())
+
+(* ---------------- histograms ---------------- *)
+
+let test_histogram_buckets () =
+  (* bucket 0 = {0}; bucket i = [2^(i-1), 2^i - 1], so an exact power of
+     two 2^k is the lower bound of bucket k+1. *)
+  Alcotest.(check int) "0 -> bucket 0" 0 (Obs.Metrics.bucket_of 0);
+  Alcotest.(check int) "1 -> bucket 1" 1 (Obs.Metrics.bucket_of 1);
+  for k = 1 to 20 do
+    let v = 1 lsl k in
+    Alcotest.(check int)
+      (Printf.sprintf "2^%d on a bucket lower bound" k)
+      v
+      (Obs.Metrics.bucket_lo (Obs.Metrics.bucket_of v));
+    Alcotest.(check int)
+      (Printf.sprintf "2^%d - 1 on a bucket upper bound" k)
+      (v - 1)
+      (Obs.Metrics.bucket_hi (Obs.Metrics.bucket_of (v - 1)))
+  done;
+  Alcotest.(check int) "buckets partition: bucket(2^k) = bucket(2^k - 1) + 1"
+    (Obs.Metrics.bucket_of 1023 + 1)
+    (Obs.Metrics.bucket_of 1024)
+
+let test_histogram_percentiles () =
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.histogram "test.percentiles" in
+  (* 90 small values and 10 large: p50 small, p99 large; min/max exact. *)
+  for _ = 1 to 90 do Obs.Metrics.observe h 3 done;
+  for _ = 1 to 10 do Obs.Metrics.observe h 1000 done;
+  let snap =
+    List.assoc "test.percentiles" (Obs.Metrics.snapshot ()).Obs.Metrics.histograms
+  in
+  Alcotest.(check int) "count" 100 snap.Obs.Metrics.count;
+  Alcotest.(check int) "p50 in the small bucket" 3
+    (Obs.Metrics.percentile snap 0.5);
+  Alcotest.(check int) "p99 in the large bucket" 512
+    (Obs.Metrics.percentile snap 0.99);
+  Alcotest.(check int) "max exact" 1000 snap.Obs.Metrics.max_value;
+  (* All-identical observations report that value at every quantile
+     (clamping into [min,max]). *)
+  let h2 = Obs.Metrics.histogram "test.identical" in
+  for _ = 1 to 7 do Obs.Metrics.observe h2 16 done;
+  let s2 =
+    List.assoc "test.identical" (Obs.Metrics.snapshot ()).Obs.Metrics.histograms
+  in
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "identical values: p%.0f = 16" (100. *. p))
+        16
+        (Obs.Metrics.percentile s2 p))
+    [ 0.01; 0.5; 0.9; 0.99 ]
+
+(* qcheck: merging canonical snapshots is associative and commutative.
+   Generate small random snapshots through the canonicalizing
+   constructor, then compare merges structurally. *)
+let arb_snapshot =
+  let open QCheck.Gen in
+  let name = oneofl [ "a"; "b"; "c" ] in
+  let hist =
+    let* count_pairs = list_size (int_range 0 4) (pair (int_range 0 8) (int_range 1 5)) in
+    let* mn = int_range 0 10 in
+    let* mx = int_range 0 200 in
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 count_pairs in
+    let* sum = int_range 0 500 in
+    return
+      { Obs.Metrics.count = total; sum;
+        min_value = (if total = 0 then max_int else min mn mx);
+        max_value = (if total = 0 then min_int else max mn mx);
+        buckets = count_pairs }
+  in
+  let snap =
+    let* cs = list_size (int_range 0 3) (pair name (int_range 0 100)) in
+    let* hs = list_size (int_range 0 3) (pair name hist) in
+    return (Obs.Metrics.snapshot_of ~counters:cs ~histograms:hs)
+  in
+  QCheck.make snap
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"snapshot merge is commutative" ~count:200
+    (QCheck.pair arb_snapshot arb_snapshot) (fun (a, b) ->
+      Obs.Metrics.merge a b = Obs.Metrics.merge b a)
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"snapshot merge is associative" ~count:200
+    (QCheck.triple arb_snapshot arb_snapshot arb_snapshot) (fun (a, b, c) ->
+      Obs.Metrics.merge (Obs.Metrics.merge a b) c
+      = Obs.Metrics.merge a (Obs.Metrics.merge b c))
+
+(* ---------------- export → report round-trip ---------------- *)
+
+let test_roundtrip format =
+  with_tracing @@ fun () ->
+  let h = Obs.Metrics.histogram "test.roundtrip_hist" in
+  Obs.Span.with_span ~name:"root" ~attrs:[ ("mode", Obs.Span.Str "test") ]
+    (fun () ->
+      Obs.Span.with_span ~name:"leaf" (fun () ->
+          Obs.Metrics.observe h 5;
+          Obs.Metrics.observe h 64;
+          Obs.Span.add_attr "pivots" (Obs.Span.Int 7)));
+  let file = Filename.temp_file "bagcqc_trace" format in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  Obs.Export.write file;
+  let r = Obs.Report.load file in
+  Alcotest.(check int) "both spans survive the round trip" 2
+    (Obs.Report.span_count r);
+  Alcotest.(check int) "one root" 1 (List.length r.Obs.Report.roots);
+  let root = List.hd r.Obs.Report.roots in
+  Alcotest.(check string) "root name" "root" root.Obs.Report.name;
+  let leaf =
+    match root.Obs.Report.kids with [ l ] -> l | _ -> Alcotest.fail "one child"
+  in
+  Alcotest.(check string) "child name" "leaf" leaf.Obs.Report.name;
+  Alcotest.(check bool) "mid-span attr survives" true
+    (match List.assoc_opt "pivots" leaf.Obs.Report.attrs with
+     | Some (Obs.Json.Num n) -> n = 7.0
+     | _ -> false);
+  (* Timing survives µs serialization to within a microsecond. *)
+  Alcotest.(check bool) "durations nest in the file too" true
+    (leaf.Obs.Report.dur_us <= root.Obs.Report.dur_us +. 1.0);
+  let snap = List.assoc_opt "test.roundtrip_hist" r.Obs.Report.metrics.Obs.Metrics.histograms in
+  match snap with
+  | None -> Alcotest.fail "histogram missing after round trip"
+  | Some s ->
+    Alcotest.(check int) "histogram count survives" 2 s.Obs.Metrics.count;
+    Alcotest.(check int) "histogram max survives" 64 s.Obs.Metrics.max_value
+
+let test_roundtrip_chrome () = test_roundtrip ".json"
+let test_roundtrip_jsonl () = test_roundtrip ".jsonl"
+
+let test_report_metrics_match_snapshot () =
+  (* The exporter serializes exactly the live snapshot: reading the file
+     back must reproduce Metrics.snapshot () for non-empty series. *)
+  with_tracing @@ fun () ->
+  let h = Obs.Metrics.histogram "test.export_hist" in
+  Obs.Span.with_span ~name:"w" (fun () ->
+      List.iter (Obs.Metrics.observe h) [ 1; 2; 3; 100 ]);
+  let live = Obs.Metrics.snapshot () in
+  let file = Filename.temp_file "bagcqc_trace" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove file) @@ fun () ->
+  Obs.Export.write file;
+  let r = Obs.Report.load file in
+  Alcotest.(check bool) "exported histogram equals the live snapshot" true
+    (List.assoc "test.export_hist" r.Obs.Report.metrics.Obs.Metrics.histograms
+     = List.assoc "test.export_hist" live.Obs.Metrics.histograms)
+
+(* ---------------- Stats as a view over obs ---------------- *)
+
+let test_stats_time_stage_reentrant () =
+  Stats.reset ();
+  (* A self-nested stage must count wall time once, not twice: the inner
+     activation's duration is already inside the outer one.  With the
+     old implementation this totalled inner + outer > elapsed. *)
+  let t0 = Unix.gettimeofday () in
+  Stats.time_stage "reentrant" (fun () ->
+      Stats.time_stage "reentrant" (fun () ->
+          ignore (Sys.opaque_identity (Array.init 10000 Fun.id))));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let total = List.assoc "reentrant" (Stats.snapshot ()).Stats.stages in
+  Alcotest.(check bool) "accumulates at most once the elapsed time" true
+    (total <= elapsed +. 1e-6);
+  Alcotest.(check bool) "still records nonzero time" true (total > 0.0);
+  (* Distinct names keep nesting inclusively, as documented. *)
+  Stats.reset ();
+  Stats.time_stage "outer" (fun () ->
+      Stats.time_stage "inner" (fun () ->
+          ignore (Sys.opaque_identity (Array.init 1000 Fun.id))));
+  let s = Stats.snapshot () in
+  Alcotest.(check bool) "inner <= outer" true
+    (List.assoc "inner" s.Stats.stages <= List.assoc "outer" s.Stats.stages
+     +. 1e-6)
+
+let test_stats_stage_exception () =
+  Stats.reset ();
+  (try Stats.time_stage "fails" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  Alcotest.(check bool) "stage recorded despite the exception" true
+    (List.mem_assoc "fails" (Stats.snapshot ()).Stats.stages)
+
+let test_stats_spans () =
+  (* time_stage doubles as a span emitter when tracing is on. *)
+  with_tracing @@ fun () ->
+  Stats.reset () (* note: resets metrics, not the span ring *);
+  Stats.time_stage "eq8" (fun () -> ());
+  Alcotest.(check (list string)) "stage emitted as a span" [ "eq8" ]
+    (List.map (fun s -> s.Obs.Span.name) (Obs.Span.closed ()))
+
+let suite =
+  [ Alcotest.test_case "span nesting, parents, self-time" `Quick
+      test_span_nesting;
+    Alcotest.test_case "spans close on exceptions" `Quick
+      test_span_exception_safety;
+    Alcotest.test_case "disabled tracing records nothing" `Quick
+      test_disabled_fast_path;
+    Alcotest.test_case "ring buffer evicts oldest first" `Quick
+      test_ring_eviction;
+    Alcotest.test_case "depth limit drops and counts" `Quick test_depth_limit;
+    Alcotest.test_case "log-bucket boundaries at powers of two" `Quick
+      test_histogram_buckets;
+    Alcotest.test_case "histogram percentiles" `Quick
+      test_histogram_percentiles;
+    Alcotest.test_case "chrome export round-trips through report" `Quick
+      test_roundtrip_chrome;
+    Alcotest.test_case "jsonl export round-trips through report" `Quick
+      test_roundtrip_jsonl;
+    Alcotest.test_case "report metrics equal the live snapshot" `Quick
+      test_report_metrics_match_snapshot;
+    Alcotest.test_case "time_stage counts re-entrant stages once" `Quick
+      test_stats_time_stage_reentrant;
+    Alcotest.test_case "time_stage records on exception" `Quick
+      test_stats_stage_exception;
+    Alcotest.test_case "time_stage emits spans when tracing" `Quick
+      test_stats_spans ]
+  @ List.map QCheck_alcotest.to_alcotest
+      [ prop_merge_commutative; prop_merge_associative ]
