@@ -17,14 +17,19 @@ check: build
 	dune exec bench/compare.exe -- /tmp/bagcqc-bench-smoke.json /tmp/bagcqc-bench-smoke.json
 
 # Full experiment harness (tables + bechamel timings).  With JSON=1 it
-# instead runs the JSON timing suites and gates them against the
-# checked-in baselines (what CI runs).
+# instead runs the JSON timing suites (including the jobs-scaling `par`
+# suite, which rides in the lp file) and gates them against the
+# checked-in baselines (what CI runs).  BENCH_OUT picks where the fresh
+# JSON lands, so CI can keep it as an artifact.
+BENCH_OUT ?= /tmp
+
 bench: build
 ifeq ($(JSON),1)
-	dune exec bench/main.exe -- --json /tmp/bagcqc-bench-new-lp.json --only lp
-	dune exec bench/compare.exe -- BENCH_lp.json /tmp/bagcqc-bench-new-lp.json
-	dune exec bench/main.exe -- --json /tmp/bagcqc-bench-new-hom.json --only hom
-	dune exec bench/compare.exe -- BENCH_hom.json /tmp/bagcqc-bench-new-hom.json
+	mkdir -p $(BENCH_OUT)
+	dune exec bench/main.exe -- --json $(BENCH_OUT)/bagcqc-bench-new-lp.json --only lp
+	dune exec bench/compare.exe -- BENCH_lp.json $(BENCH_OUT)/bagcqc-bench-new-lp.json
+	dune exec bench/main.exe -- --json $(BENCH_OUT)/bagcqc-bench-new-hom.json --only hom
+	dune exec bench/compare.exe -- BENCH_hom.json $(BENCH_OUT)/bagcqc-bench-new-hom.json
 else
 	dune exec bench/main.exe
 endif
@@ -43,10 +48,11 @@ trace-demo: build
 
 # Compare a fresh run against the checked-in baselines.
 compare: build
-	dune exec bench/main.exe -- --json /tmp/bagcqc-bench-new-lp.json --only lp
-	dune exec bench/compare.exe -- BENCH_lp.json /tmp/bagcqc-bench-new-lp.json
-	dune exec bench/main.exe -- --json /tmp/bagcqc-bench-new-hom.json --only hom
-	dune exec bench/compare.exe -- BENCH_hom.json /tmp/bagcqc-bench-new-hom.json
+	mkdir -p $(BENCH_OUT)
+	dune exec bench/main.exe -- --json $(BENCH_OUT)/bagcqc-bench-new-lp.json --only lp
+	dune exec bench/compare.exe -- BENCH_lp.json $(BENCH_OUT)/bagcqc-bench-new-lp.json
+	dune exec bench/main.exe -- --json $(BENCH_OUT)/bagcqc-bench-new-hom.json --only hom
+	dune exec bench/compare.exe -- BENCH_hom.json $(BENCH_OUT)/bagcqc-bench-new-hom.json
 
 clean:
 	dune clean

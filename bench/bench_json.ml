@@ -33,15 +33,32 @@ let median samples =
 (* Median for human-facing scaling numbers, minimum for the regression
    gate: on a shared machine the whole process drifts 30-60% with CPU
    contention, and the min of many reps is by far the most reproducible
-   statistic for CPU-bound code. *)
+   statistic for CPU-bound code.
+
+   The fast experiments finish a single call in single-digit microseconds,
+   the same order as gettimeofday's tick, so a one-call sample is mostly
+   timer quantization.  Each sample therefore repeats the call in an inner
+   loop calibrated (by doubling) until one batch takes at least 1ms, and
+   reports batch time divided by batch count. *)
 let time_samples ~reps f =
   ignore (f ());
   (* warm-up *)
+  let rec calibrate batch =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to batch do
+      ignore (f ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= 1e-3 || batch >= 65536 then batch else calibrate (batch * 2)
+  in
+  let batch = calibrate 1 in
   let samples =
     List.init reps (fun _ ->
         let t0 = Unix.gettimeofday () in
-        ignore (f ());
-        Unix.gettimeofday () -. t0)
+        for _ = 1 to batch do
+          ignore (f ())
+        done;
+        (Unix.gettimeofday () -. t0) /. float_of_int batch)
   in
   (median samples, List.fold_left Float.min Float.infinity samples)
 
@@ -161,6 +178,64 @@ let hom_suite ~smoke =
             let db = random_digraph ~seed:7 ~nodes:sz ~edges:(sz * 3) in
             fun () -> Hom.contained_on q1 q2 db) } ]
 
+(* ---------------- par suite ---------------- *)
+
+(* Jobs-scaling points: "size" is the pool size (1/2/4), set via
+   Pool.set_jobs before each point's construction and restored after the
+   suite.  Two workloads: a fan-out of independent Shannon-validity LPs
+   (Cones.valid_shannon_many, cache off so every rep solves), and a batch
+   of full containment decides (Containment.decide_many — the engine
+   behind `check --batch`).  At jobs=1 both take the sequential path
+   byte-for-byte, so the size=1 row doubles as the sequential baseline. *)
+let par_suite ~smoke =
+  let reps = if smoke then 2 else 9 in
+  let jobs_sizes = if smoke then [ 1; 2 ] else [ 1; 2; 4 ] in
+  let n = 5 in
+  let fanout_exprs =
+    (* 15 distinct valid Shannon inequalities at n=5: monotonicity
+       h(full) >= h(full \ {i}), plus (conditional) mutual-information
+       nonnegativity over the index pairs. *)
+    List.init n (fun i ->
+        Linexpr.sub
+          (Linexpr.term (Varset.full n))
+          (Linexpr.term (Varset.remove i (Varset.full n))))
+    @ List.concat_map
+        (fun i ->
+          List.filter_map
+            (fun j ->
+              if i < j then
+                Some
+                  (Linexpr.mutual (vs [ i ]) (vs [ j ])
+                     (vs (if (i + j) mod 2 = 0 then [] else [ (j + 1) mod n ])))
+              else None)
+            (List.init n Fun.id))
+        (List.init n Fun.id)
+  in
+  let batch_pairs =
+    let tri = Parser.parse "R(x,y), R(y,z), R(z,x)" in
+    let vee = Parser.parse "R(x,y), R(x,z)" in
+    List.concat_map
+      (fun k -> [ (path k, path k); (tri, vee); (vee, tri) ])
+      [ 2; 3; 4; 5 ]
+  in
+  let saved_jobs = Bagcqc_par.Pool.jobs () in
+  Fun.protect ~finally:(fun () -> Bagcqc_par.Pool.set_jobs saved_jobs)
+  @@ fun () ->
+  [ { id = "par_e11_fanout";
+      points =
+        run_points ~reps jobs_sizes (fun jobs ->
+            Bagcqc_par.Pool.set_jobs jobs;
+            fun () ->
+              without_cache (fun () ->
+                  Cones.valid_shannon_many ~n fanout_exprs)) };
+    { id = "par_batch_decide";
+      points =
+        run_points ~reps jobs_sizes (fun jobs ->
+            Bagcqc_par.Pool.set_jobs jobs;
+            fun () ->
+              without_cache (fun () ->
+                  Containment.decide_many batch_pairs)) } ]
+
 (* ---------------- JSON emission ---------------- *)
 
 (* Engine counters and metric histograms for a fixed representative
@@ -224,7 +299,8 @@ let emit_histograms buf (m : Obs.Metrics.snapshot) =
 
 let emit buf suites stats =
   let pf fmt = Printf.bprintf buf fmt in
-  pf "{\n  \"schema\": \"bagcqc-bench/1\",\n  \"suites\": [";
+  pf "{\n  \"schema\": \"bagcqc-bench/1\",\n  \"jobs\": %d,\n  \"suites\": ["
+    (Bagcqc_par.Pool.jobs ());
   List.iteri
     (fun i (name, experiments) ->
       pf "%s\n    { \"suite\": %S,\n      \"experiments\": ["
@@ -255,12 +331,22 @@ let emit buf suites stats =
     stats;
   pf "\n}\n"
 
-type only = All | Lp | Hom
+type only = All | Lp | Hom | Par
 
 let run ~path ~only ~smoke =
+  (* The par suite rides with the LP selection on purpose: BENCH_lp.json
+     is the solver-side baseline file, and the jobs-scaling points live
+     there so the regression gate exercises the pool on every run. *)
   let suites =
-    (match only with All | Lp -> [ ("lp", lp_suite ~smoke) ] | Hom -> [])
-    @ (match only with All | Hom -> [ ("hom", hom_suite ~smoke) ] | Lp -> [])
+    (match only with
+     | All | Lp -> [ ("lp", lp_suite ~smoke) ]
+     | Hom | Par -> [])
+    @ (match only with
+       | All | Hom -> [ ("hom", hom_suite ~smoke) ]
+       | Lp | Par -> [])
+    @ (match only with
+       | All | Lp | Par -> [ ("par", par_suite ~smoke) ]
+       | Hom -> [])
   in
   List.iter
     (fun (name, experiments) ->
@@ -274,7 +360,9 @@ let run ~path ~only ~smoke =
         experiments)
     suites;
   let stats =
-    match only with All | Lp -> Some (stats_workload ()) | Hom -> None
+    match only with
+    | All | Lp -> Some (stats_workload ())
+    | Hom | Par -> None
   in
   (match stats with
    | Some (s, _) ->

@@ -4,7 +4,9 @@
    (default 20%, override with `--threshold 0.3`).  Points also need to
    slow down by at least `--min-delta` seconds (default 50us) to count:
    sub-millisecond medians jitter by tens of percent run to run, and a
-   gate that cries wolf on machine noise protects nothing.
+   gate that cries wolf on machine noise protects nothing.  Baseline
+   points missing from the new run also fail the gate, and the "jobs"
+   header of each file is echoed so cross-pool-size diffs are obvious.
 
    The build environment has no JSON library, so this includes a small
    recursive-descent parser for the subset of JSON the harness emits
@@ -133,7 +135,9 @@ let as_num = function Num f -> f | _ -> raise (Parse_error "expected number")
 
 (* (suite, experiment id, size) -> gate seconds.  Prefers the min-of-reps
    statistic (stable under machine-load drift) and falls back to the
-   median for files written before min_s existed. *)
+   median for files written before min_s existed.  Also returns the pool
+   size the run used ("jobs" header field; None for files written before
+   it existed). *)
 let points_of_file path =
   let ic = open_in_bin path in
   let len = in_channel_length ic in
@@ -143,6 +147,15 @@ let points_of_file path =
   (match member "schema" root with
    | Str "bagcqc-bench/1" -> ()
    | _ -> raise (Parse_error (path ^ ": unknown schema")));
+  let jobs =
+    match root with
+    | Obj fields ->
+      (match List.assoc_opt "jobs" fields with
+       | Some (Num f) -> Some (int_of_float f)
+       | _ -> None)
+    | _ -> None
+  in
+  jobs,
   List.concat_map
     (fun suite ->
       let sname = as_str (member "suite" suite) in
@@ -185,13 +198,25 @@ let () =
   parse_args (List.tl (Array.to_list Sys.argv));
   match List.rev !files with
   | [ old_file; new_file ] ->
-    let old_points, new_points =
+    let (old_jobs, old_points), (new_jobs, new_points) =
       try (points_of_file old_file, points_of_file new_file)
       with
       | Parse_error msg -> Printf.eprintf "compare: %s\n" msg; exit 2
       | Sys_error msg -> Printf.eprintf "compare: %s\n" msg; exit 2
     in
+    let pp_jobs = function
+      | Some j -> string_of_int j
+      | None -> "?" (* file predates the "jobs" header field *)
+    in
+    Printf.printf "jobs: old=%s new=%s\n" (pp_jobs old_jobs) (pp_jobs new_jobs);
+    (match old_jobs, new_jobs with
+     | Some a, Some b when a <> b ->
+       Printf.printf
+         "warning: runs used different pool sizes; timings are not \
+          comparable like for like\n"
+     | _ -> ());
     let regressions = ref 0 in
+    let missing = ref 0 in
     Printf.printf "%-40s %12s %12s %8s\n" "suite/experiment/size" "old (s)"
       "new (s)" "ratio";
     List.iter
@@ -216,15 +241,27 @@ let () =
             (Printf.sprintf "%s/%s/%d" suite id size)
             t_old t_new ratio flag)
       new_points;
+    (* A baseline point absent from the new run is a hard failure, not a
+       footnote: a silently dropped experiment is how a perf gate rots. *)
     List.iter
       (fun ((suite, id, size), _) ->
-        if not (List.mem_assoc (suite, id, size) new_points) then
-          Printf.printf "%-40s (dropped from new run)\n"
-            (Printf.sprintf "%s/%s/%d" suite id size))
+        if not (List.mem_assoc (suite, id, size) new_points) then begin
+          incr missing;
+          Printf.printf
+            "%-40s MISSING: baseline experiment absent from new run\n"
+            (Printf.sprintf "%s/%s/%d" suite id size)
+        end)
       old_points;
-    if !regressions > 0 then begin
-      Printf.printf "%d regression(s) beyond %.0f%%\n" !regressions
-        (100.0 *. !threshold);
+    if !regressions > 0 || !missing > 0 then begin
+      if !regressions > 0 then
+        Printf.printf "%d regression(s) beyond %.0f%%\n" !regressions
+          (100.0 *. !threshold);
+      if !missing > 0 then
+        Printf.printf
+          "%d baseline point(s) missing from the new run (rerun with the \
+           full suite, or regenerate the baseline if the experiment was \
+           intentionally removed)\n"
+          !missing;
       exit 1
     end
     else Printf.printf "no regressions beyond %.0f%%\n" (100.0 *. !threshold)

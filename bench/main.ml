@@ -668,32 +668,43 @@ let bechamel_suite () =
         analyzed)
     tests
 
-(* `--json FILE [--only lp|hom] [--smoke] [--trace FILE]`: skip the
-   experiment tables and write wall-clock medians for the scaling suites
-   to FILE (see Bench_json); `compare.exe` diffs two such files.
-   `--trace` additionally records the whole bench run as a span trace
-   (readable with `bin/main.exe report`) — note the timed medians then
-   include tracing overhead, so don't gate regressions on a traced run. *)
+(* `--json FILE [--only lp|hom|par] [--smoke] [--jobs N] [--trace FILE]`:
+   skip the experiment tables and write wall-clock medians for the scaling
+   suites to FILE (see Bench_json); `compare.exe` diffs two such files.
+   `--jobs N` sizes the domain pool (the par suite overrides it per point;
+   everything else runs at this setting, default 1 in this harness for
+   reproducible sequential baselines).  `--trace` additionally records the
+   whole bench run as a span trace (readable with `bin/main.exe report`) —
+   note the timed medians then include tracing overhead, so don't gate
+   regressions on a traced run. *)
 let json_mode () =
   let usage () =
     prerr_endline
-      "usage: main.exe [--json FILE [--only lp|hom] [--smoke] [--trace FILE]]";
+      "usage: main.exe [--json FILE [--only lp|hom|par] [--smoke] [--jobs N] \
+       [--trace FILE]]";
     exit 2
   in
   let path = ref None
   and only = ref Bench_json.All
   and smoke = ref false
+  and jobs = ref None
   and trace = ref None in
   let rec parse = function
     | [] -> ()
     | "--json" :: file :: rest -> path := Some file; parse rest
     | "--only" :: "lp" :: rest -> only := Bench_json.Lp; parse rest
     | "--only" :: "hom" :: rest -> only := Bench_json.Hom; parse rest
+    | "--only" :: "par" :: rest -> only := Bench_json.Par; parse rest
     | "--smoke" :: rest -> smoke := true; parse rest
+    | "--jobs" :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some n when n >= 1 -> jobs := Some n; parse rest
+       | _ -> prerr_endline "main.exe: bad --jobs"; exit 2)
     | "--trace" :: file :: rest -> trace := Some file; parse rest
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  Option.iter Bagcqc_par.Pool.set_jobs !jobs;
   match !path with
   | Some path ->
     let module Obs = Bagcqc_obs in
@@ -707,7 +718,8 @@ let json_mode () =
     (match !trace with Some f -> Obs.Export.write f | None -> ());
     true
   | None ->
-    if !only <> Bench_json.All || !smoke || !trace <> None then usage ()
+    if !only <> Bench_json.All || !smoke || !trace <> None || !jobs <> None
+    then usage ()
     else false
 
 let () =

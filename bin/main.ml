@@ -32,10 +32,20 @@ let trace_arg =
                writes Chrome trace-event JSON, loadable in Perfetto or \
                chrome://tracing and readable by 'bagcqc report'.")
 
+let jobs_arg =
+  Arg.(value & opt (some int) None & info [ "jobs" ] ~docv:"N"
+         ~doc:"Size of the domain pool for parallel execution.  Defaults to \
+               $(b,BAGCQC_JOBS) if set, else the machine's recommended \
+               domain count minus one; 1 runs the sequential code paths \
+               unchanged.")
+
 (* Every subcommand runs under this wrapper so [--stats] and [--trace]
    mean the same thing everywhere: counters and spans cover exactly this
-   invocation, under a root span named after the subcommand. *)
-let with_obs ~cmd stats trace run =
+   invocation, under a root span named after the subcommand.  The pool is
+   sized first — before tracing is enabled — per the initialization-order
+   contract of {!Bagcqc_obs} (pool size, then enable/reset, then work). *)
+let with_obs ~cmd ?jobs stats trace run =
+  Option.iter Bagcqc_par.Pool.set_jobs jobs;
   Stats.reset ();
   if stats || trace <> None then begin
     Obs.enable ();
@@ -63,6 +73,16 @@ let q2_arg =
   Arg.(required & pos 1 (some query_conv) None & info [] ~docv:"Q2"
          ~doc:"Containing query, e.g. 'R(x,y), R(x,z)'.")
 
+(* check accepts either two positional queries or --batch FILE, so its
+   positionals are optional at the Cmdliner layer and validated by hand. *)
+let q1_opt_arg =
+  Arg.(value & pos 0 (some query_conv) None & info [] ~docv:"Q1"
+         ~doc:"Contained query, e.g. 'R(x,y), R(y,z), R(z,x)'.")
+
+let q2_opt_arg =
+  Arg.(value & pos 1 (some query_conv) None & info [] ~docv:"Q2"
+         ~doc:"Containing query, e.g. 'R(x,y), R(x,z)'.")
+
 let max_factors_arg =
   Arg.(value & opt int 14 & info [ "max-factors" ]
          ~doc:"Budget for witness search: the candidate witness is a domain \
@@ -79,50 +99,138 @@ let certificate_arg =
                re-verifying it with exact arithmetic, independent of the LP \
                solver.")
 
-let check_cmd =
-  let run q1 q2 max_factors stats trace print_cert =
-    with_obs ~cmd:"check" stats trace @@ fun () ->
-    let boolean = Query.is_boolean q1 && Query.is_boolean q2 in
-    let verdict =
-      if boolean then Containment.decide ~max_factors q1 q2
-      else Containment.decide_with_heads ~max_factors q1 q2
+let batch_arg =
+  Arg.(value & opt (some string) None & info [ "batch" ] ~docv:"FILE"
+         ~doc:"Decide many instances at once: one per line in $(docv), \
+               written 'Q1 ; Q2'.  Blank lines and lines starting with '#' \
+               are skipped.  The instances are fanned out over the domain \
+               pool (see $(b,--jobs)); verdicts are printed in file order \
+               and are identical to running $(b,check) on each line.")
+
+(* --batch FILE: parse every line up front (a syntax error anywhere aborts
+   the whole batch before any deciding starts), then decide the instances
+   concurrently over the pool.  Returns (source line, Q1, Q2) triples. *)
+let parse_batch_file path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let rec go lineno acc =
+    match input_line ic with
+    | exception End_of_file -> Ok (List.rev acc)
+    | line ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then go (lineno + 1) acc
+      else begin
+        match String.index_opt trimmed ';' with
+        | None ->
+          Error (Printf.sprintf "%s:%d: expected 'Q1 ; Q2'" path lineno)
+        | Some i ->
+          let s1 = String.sub trimmed 0 i in
+          let s2 =
+            String.sub trimmed (i + 1) (String.length trimmed - i - 1)
+          in
+          (match
+             ( Parser.parse_result (String.trim s1),
+               Parser.parse_result (String.trim s2) )
+           with
+           | Ok q1, Ok q2 -> go (lineno + 1) ((lineno, q1, q2) :: acc)
+           | Error msg, _ | _, Error msg ->
+             Error (Printf.sprintf "%s:%d: query syntax: %s" path lineno msg))
+      end
+  in
+  go 1 []
+
+let run_batch ~max_factors file =
+  match parse_batch_file file with
+  | exception Sys_error msg ->
+    Format.eprintf "check: %s@." msg;
+    Cmd.Exit.cli_error
+  | Error msg ->
+    Format.eprintf "check: %s@." msg;
+    Cmd.Exit.cli_error
+  | Ok instances ->
+    let pairs =
+      List.map
+        (fun (_, q1, q2) ->
+          if Query.is_boolean q1 && Query.is_boolean q2 then (q1, q2)
+          else Reductions.booleanize q1 q2)
+        instances
     in
-    match verdict with
-    | Containment.Contained cert ->
-      Format.printf "CONTAINED: certified by a Shannon proof of Eq. 8 (Theorem 4.2).@.";
-      if print_cert then begin
-        if not (Certificate.check cert) then begin
-          Format.printf "ERROR: certificate failed independent verification@.";
-          exit 3
-        end;
-        (* The Boolean reduction renumbers variables, so name them only
-           when the certificate speaks about Q1's own variables. *)
-        let pp_cert =
-          if boolean then Certificate.pp ~names:(names_of q1) ()
-          else Certificate.pp ()
+    let verdicts = Containment.decide_many ~max_factors pairs in
+    let unknowns = ref 0 in
+    List.iter2
+      (fun (lineno, q1, q2) verdict ->
+        let tag =
+          match verdict with
+          | Containment.Contained _ -> "CONTAINED"
+          | Containment.Not_contained _ -> "NOT CONTAINED"
+          | Containment.Unknown _ ->
+            incr unknowns;
+            "UNKNOWN"
         in
-        Format.printf "%a" pp_cert cert
-      end;
-      0
-    | Containment.Not_contained w ->
-      Format.printf
-        "NOT CONTAINED: witness relation with %d rows; \
-         |hom(Q1,D)| >= %d > %d = |hom(Q2,D)| (Fact 3.2).@."
-        w.Containment.card_p w.Containment.card_p w.Containment.hom2;
-      Format.printf "Witness database:@.%a" Database.pp w.Containment.db;
-      0
-    | Containment.Unknown { reason; _ } ->
-      Format.printf "UNKNOWN: %s@." reason;
-      2
+        Format.printf "line %-4d %-14s %a ; %a@." lineno tag Query.pp q1
+          Query.pp q2)
+      instances verdicts;
+    Format.printf "%d instance(s): %d unknown@." (List.length instances)
+      !unknowns;
+    if !unknowns > 0 then 2 else 0
+
+let check_cmd =
+  let run q1 q2 batch max_factors jobs stats trace print_cert =
+    with_obs ~cmd:"check" ?jobs stats trace @@ fun () ->
+    match batch, q1, q2 with
+    | Some file, None, None -> run_batch ~max_factors file
+    | Some _, _, _ ->
+      Format.eprintf
+        "check: --batch and positional queries are mutually exclusive@.";
+      Cmd.Exit.cli_error
+    | None, Some q1, Some q2 ->
+      let boolean = Query.is_boolean q1 && Query.is_boolean q2 in
+      let verdict =
+        if boolean then Containment.decide ~max_factors q1 q2
+        else Containment.decide_with_heads ~max_factors q1 q2
+      in
+      (match verdict with
+       | Containment.Contained cert ->
+         Format.printf
+           "CONTAINED: certified by a Shannon proof of Eq. 8 (Theorem 4.2).@.";
+         if print_cert then begin
+           if not (Certificate.check cert) then begin
+             Format.printf
+               "ERROR: certificate failed independent verification@.";
+             exit 3
+           end;
+           (* The Boolean reduction renumbers variables, so name them only
+              when the certificate speaks about Q1's own variables. *)
+           let pp_cert =
+             if boolean then Certificate.pp ~names:(names_of q1) ()
+             else Certificate.pp ()
+           in
+           Format.printf "%a" pp_cert cert
+         end;
+         0
+       | Containment.Not_contained w ->
+         Format.printf
+           "NOT CONTAINED: witness relation with %d rows; \
+            |hom(Q1,D)| >= %d > %d = |hom(Q2,D)| (Fact 3.2).@."
+           w.Containment.card_p w.Containment.card_p w.Containment.hom2;
+         Format.printf "Witness database:@.%a" Database.pp w.Containment.db;
+         0
+       | Containment.Unknown { reason; _ } ->
+         Format.printf "UNKNOWN: %s@." reason;
+         2)
+    | None, _, _ ->
+      Format.eprintf "check: expected Q1 and Q2 (or --batch FILE)@.";
+      Cmd.Exit.cli_error
   in
   let term =
-    Term.(const run $ q1_arg $ q2_arg $ max_factors_arg $ stats_arg
-          $ trace_arg $ certificate_arg)
+    Term.(const run $ q1_opt_arg $ q2_opt_arg $ batch_arg $ max_factors_arg
+          $ jobs_arg $ stats_arg $ trace_arg $ certificate_arg)
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Decide Q1 ⊑ Q2 under bag-set semantics (complete when Q2 is \
-             chordal with a simple junction tree, Theorem 3.1).")
+             chordal with a simple junction tree, Theorem 3.1); with \
+             $(b,--batch), decide a file of instances concurrently.")
     term
 
 (* ---------------- classify ---------------- *)
@@ -158,8 +266,8 @@ let classify_cmd =
 (* ---------------- eq8 ---------------- *)
 
 let eq8_cmd =
-  let run q1 q2 stats trace =
-    with_obs ~cmd:"eq8" stats trace @@ fun () ->
+  let run q1 q2 jobs stats trace =
+    with_obs ~cmd:"eq8" ?jobs stats trace @@ fun () ->
     let ineq = Containment.eq8 q1 q2 in
     Format.printf "%a@." (Maxii.pp ~names:(names_of q1) ()) ineq;
     (match Maxii.decide ineq with
@@ -182,7 +290,7 @@ let eq8_cmd =
     (Cmd.info "eq8"
        ~doc:"Print and decide the Eq. 8 max-information inequality for a pair \
              of Boolean queries.")
-    Term.(const run $ q1_arg $ q2_arg $ stats_arg $ trace_arg)
+    Term.(const run $ q1_arg $ q2_arg $ jobs_arg $ stats_arg $ trace_arg)
 
 (* ---------------- iip ---------------- *)
 
@@ -214,8 +322,8 @@ let expr_conv =
   Arg.conv (parse, fun fmt e -> Linexpr.pp () fmt e)
 
 let iip_cmd =
-  let run n sides stats trace print_cert =
-    with_obs ~cmd:"iip" stats trace @@ fun () ->
+  let run n sides jobs stats trace print_cert =
+    with_obs ~cmd:"iip" ?jobs stats trace @@ fun () ->
     let m = Maxii.general ~n sides in
     Format.printf "%a@." (Maxii.pp ()) m;
     (match Maxii.decide m with
@@ -251,7 +359,7 @@ let iip_cmd =
     (Cmd.info "iip"
        ~doc:"Decide validity of 0 ≤ max(EXPR...) over the entropic cone, via \
              the Shannon relaxation and normal-cone refutation.")
-    Term.(const run $ n_arg $ sides_arg $ stats_arg $ trace_arg
+    Term.(const run $ n_arg $ sides_arg $ jobs_arg $ stats_arg $ trace_arg
           $ certificate_arg)
 
 (* ---------------- reduce ---------------- *)
@@ -282,15 +390,15 @@ let reduce_cmd =
 (* ---------------- homcount ---------------- *)
 
 let homcount_cmd =
-  let run qa qb stats trace =
-    with_obs ~cmd:"homcount" stats trace @@ fun () ->
+  let run qa qb jobs stats trace =
+    with_obs ~cmd:"homcount" ?jobs stats trace @@ fun () ->
     Format.printf "%d@." (Hom.count_between qa qb);
     0
   in
   Cmd.v
     (Cmd.info "homcount"
        ~doc:"Count homomorphisms from Q1 to Q2 (queries as structures).")
-    Term.(const run $ q1_arg $ q2_arg $ stats_arg $ trace_arg)
+    Term.(const run $ q1_arg $ q2_arg $ jobs_arg $ stats_arg $ trace_arg)
 
 (* ---------------- report ---------------- *)
 

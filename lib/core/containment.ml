@@ -174,6 +174,15 @@ let decide ?max_factors q1 q2 =
               database exceeded the max_factors budget";
            refuter = Some h_normal })
 
+let decide_many ?max_factors pairs =
+  (* Batch fan-out over the pool: each pair runs the full sequential
+     pipeline on its worker (every nested parallel entry point sees
+     [inside_task] and stays sequential), so per-instance verdicts and
+     solver counters match a one-by-one run exactly. *)
+  Bagcqc_par.Pool.parallel_map_list
+    (fun (q1, q2) -> decide ?max_factors q1 q2)
+    pairs
+
 let decide_with_heads ?max_factors q1 q2 =
   let b1, b2 = Reductions.booleanize q1 q2 in
   decide ?max_factors b1 b2

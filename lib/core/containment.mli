@@ -75,6 +75,13 @@ val decide : ?max_factors:int -> Query.t -> Query.t -> verdict
     relations, i.e. at most [2^max_factors] rows.
     @raise Invalid_argument if either query is not Boolean. *)
 
+val decide_many : ?max_factors:int -> (Query.t * Query.t) list -> verdict list
+(** Decide a batch of containment instances concurrently over the domain
+    pool ({!Bagcqc_par.Pool}); order is preserved and each verdict equals
+    what {!decide} returns on that pair (per-instance solver counters
+    included — each instance runs the sequential pipeline on one
+    worker).  This is the engine behind [check --batch]. *)
+
 val decide_with_heads : ?max_factors:int -> Query.t -> Query.t -> verdict
 (** Containment for queries with head variables, via the Boolean
     reduction of Lemma A.1.

@@ -38,13 +38,15 @@ end)
    later visit of that atom at the same mask is a single lookup instead of
    a scan of the whole relation. *)
 
-let iter_homs q db yield =
-  Bagcqc_engine.Stats.note_hom_enumeration ();
-  Obs.Span.with_span ~name:"hom.enumerate"
-    ~attrs:
-      [ ("vars", Obs.Span.Int (Query.nvars q));
-        ("atoms", Obs.Span.Int (List.length (Query.atoms q))) ]
-  @@ fun () ->
+(* [root_slice (lo, hi)] restricts the search to rows [lo, hi) of the
+   {e root} atom's candidate set — the first atom expanded, where nothing
+   is bound yet.  Root selection is deterministic (all bound-counts are
+   zero, so the first smallest relation wins), so slicing its rows
+   partitions the search space exactly: the pool fans [count] and
+   [contained_on] out over such slices and sums/merges.  [note] is false
+   on slices so the enumeration is counted (and spanned) once, keeping
+   the hom.enumerations counter equal to a sequential run. *)
+let iter_homs_body ?root_slice q db yield =
   let nv = Query.nvars q in
   let assignment : Value.t option array = Array.make nv None in
   let atoms = Array.of_list (Query.atoms q) in
@@ -105,8 +107,9 @@ let iter_homs q db yield =
     (!mask, !cnt)
   in
   (* [pending] carries each atom's row count so the selection heuristic
-     never recounts a relation. *)
-  let rec go pending =
+     never recounts a relation.  [root] marks the first expansion, the
+     only place a [root_slice] applies. *)
+  let rec go ~root pending =
     match pending with
     | [] ->
       (* Every variable occurs in some atom (all atoms processed), except
@@ -149,13 +152,18 @@ let iter_homs q db yield =
                 assignment.(v) <- Some row.(pos);
                 newly := v :: !newly)
           args;
-        if !ok then go rest;
+        if !ok then go ~root:false rest;
         List.iter (fun v -> assignment.(v) <- None) !newly
       in
       if !best_mask = 0 then begin
+        let cands =
+          match root_slice with
+          | Some (lo, hi) when root -> Array.sub rows.(ai) lo (hi - lo)
+          | _ -> rows.(ai)
+        in
         if !Obs.Runtime.enabled then
-          Obs.Metrics.observe h_candidates (Array.length rows.(ai));
-        Array.iter try_row rows.(ai)
+          Obs.Metrics.observe h_candidates (Array.length cands);
+        Array.iter try_row cands
       end
       else begin
         let key =
@@ -170,18 +178,77 @@ let iter_homs q db yield =
           List.iter try_row bucket
       end
   in
-  go (List.init natoms (fun i -> (i, Array.length rows.(i))))
+  go ~root:true (List.init natoms (fun i -> (i, Array.length rows.(i))))
+
+let iter_homs q db yield =
+  Bagcqc_engine.Stats.note_hom_enumeration ();
+  Obs.Span.with_span ~name:"hom.enumerate"
+    ~attrs:
+      [ ("vars", Obs.Span.Int (Query.nvars q));
+        ("atoms", Obs.Span.Int (List.length (Query.atoms q))) ]
+  @@ fun () -> iter_homs_body q db yield
+
+(* Row count of the root atom — the first smallest relation, mirroring
+   the selection rule in [go] when nothing is bound yet.  This is how
+   many candidate rows a parallel fan-out can slice. *)
+let root_rows q db =
+  List.fold_left
+    (fun best a ->
+      let arity = Array.length a.Query.args in
+      let sz = Relation.cardinal (Database.relation db a.Query.rel ~arity) in
+      match best with Some b when b <= sz -> best | _ -> Some sz)
+    None (Query.atoms q)
+  |> Option.value ~default:0
+
+(* Parallel fan-out applies only when the full enumeration is needed
+   ([limit] cuts across slices) and the pool can actually help. *)
+let slices_for q db =
+  let module P = Bagcqc_par.Pool in
+  if P.jobs () <= 1 || P.inside_task () then None
+  else begin
+    let n = root_rows q db in
+    if n <= 1 then None
+    else begin
+      let nsl = min n (P.jobs () * 4) in
+      Some (Array.init nsl (fun i -> (i * n / nsl, (i + 1) * n / nsl)))
+    end
+  end
+
+let with_enumeration_span q f =
+  Bagcqc_engine.Stats.note_hom_enumeration ();
+  Obs.Span.with_span ~name:"hom.enumerate"
+    ~attrs:
+      [ ("vars", Obs.Span.Int (Query.nvars q));
+        ("atoms", Obs.Span.Int (List.length (Query.atoms q)));
+        ("par", Obs.Span.Bool true) ]
+    f
 
 let count ?limit q db =
-  let n = ref 0 in
-  (try
-     iter_homs q db (fun _ ->
-         incr n;
-         match limit with
-         | Some l when !n >= l -> raise Limit_reached
-         | _ -> ())
-   with Limit_reached -> ());
-  !n
+  let seq () =
+    let n = ref 0 in
+    (try
+       iter_homs q db (fun _ ->
+           incr n;
+           match limit with
+           | Some l when !n >= l -> raise Limit_reached
+           | _ -> ())
+     with Limit_reached -> ());
+    !n
+  in
+  match limit with
+  | Some _ -> seq ()
+  | None ->
+    (match slices_for q db with
+     | None -> seq ()
+     | Some slices ->
+       with_enumeration_span q @@ fun () ->
+       Bagcqc_par.Pool.parallel_map
+         (fun (lo, hi) ->
+           let n = ref 0 in
+           iter_homs_body ~root_slice:(lo, hi) q db (fun _ -> incr n);
+           !n)
+         slices
+       |> Array.fold_left ( + ) 0)
 
 let exists q db = count ~limit:1 q db > 0
 
@@ -190,24 +257,55 @@ let enumerate q db =
   iter_homs q db (fun h -> acc := Array.copy h :: !acc);
   List.rev !acc
 
-let answers q db =
+(* Bag-set answers as a multiplicity table.  The parallel path merges the
+   per-slice tables by adding multiplicities — addition is the same fold
+   the sequential scan performs, so the merged table is identical (only
+   hash-bucket insertion order can differ). *)
+let answers_tbl q db =
   let head = Array.of_list (Query.head q) in
-  let tbl = RowTbl.create 64 in
-  iter_homs q db (fun h ->
-      let key = Array.map (fun v -> h.(v)) head in
-      let prev = try RowTbl.find tbl key with Not_found -> 0 in
-      RowTbl.replace tbl key (prev + 1));
-  RowTbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  let accumulate tbl h =
+    let key = Array.map (fun v -> h.(v)) head in
+    let prev = try RowTbl.find tbl key with Not_found -> 0 in
+    RowTbl.replace tbl key (prev + 1)
+  in
+  match slices_for q db with
+  | None ->
+    let tbl = RowTbl.create 64 in
+    iter_homs q db (accumulate tbl);
+    tbl
+  | Some slices ->
+    with_enumeration_span q @@ fun () ->
+    let parts =
+      Bagcqc_par.Pool.parallel_map
+        (fun (lo, hi) ->
+          let t = RowTbl.create 64 in
+          iter_homs_body ~root_slice:(lo, hi) q db (accumulate t);
+          t)
+        slices
+    in
+    let tbl = RowTbl.create 64 in
+    Array.iter
+      (fun t ->
+        RowTbl.iter
+          (fun key c ->
+            let prev = try RowTbl.find tbl key with Not_found -> 0 in
+            RowTbl.replace tbl key (prev + c))
+          t)
+      parts;
+    tbl
+
+let answers q db =
+  RowTbl.fold (fun k v acc -> (k, v) :: acc) (answers_tbl q db) []
 
 let contained_on q1 q2 db =
   if List.length (Query.head q1) <> List.length (Query.head q2) then
     invalid_arg "Hom.contained_on: head arity mismatch";
-  let a2 = RowTbl.create 64 in
-  List.iter (fun (key, c) -> RowTbl.replace a2 key c) (answers q2 db);
-  List.for_all
-    (fun (key, c1) ->
-      c1 <= (match RowTbl.find_opt a2 key with Some c -> c | None -> 0))
-    (answers q1 db)
+  let a2 = answers_tbl q2 db in
+  let a1 = answers_tbl q1 db in
+  RowTbl.fold
+    (fun key c1 acc ->
+      acc && c1 <= (match RowTbl.find_opt a2 key with Some c -> c | None -> 0))
+    a1 true
 
 (* Queries as structures: the canonical database uses Str values carrying
    variable names, which we decode back to indices. *)

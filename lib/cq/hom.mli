@@ -8,7 +8,13 @@
 
     The implementation is a backtracking join that always expands a
     most-constrained atom next (maximal number of already-bound variables,
-    then smallest relation). *)
+    then smallest relation).
+
+    When the pool ({!Bagcqc_par.Pool}) is sized above 1, full
+    enumerations ([count] without [~limit], [answers], [contained_on])
+    partition the root atom's candidate rows across worker domains —
+    root selection is deterministic, so the slices partition the search
+    space exactly and the parallel results equal the sequential ones. *)
 
 open Bagcqc_relation
 

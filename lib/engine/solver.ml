@@ -9,7 +9,36 @@ module Table = Hashtbl.Make (struct
 end)
 
 let caching = ref true
-let cache : Simplex.outcome Table.t = Table.create 256
+
+(* The memo table is sharded by problem hash so concurrent solves from
+   pool workers contend only when they touch the same slice of the key
+   space.  Each shard carries its own mutex, its resident problems, an
+   in-flight set, and the hash-collision probe state.
+
+   In-flight dedup keeps (hits, misses) exactly equal to a sequential
+   run: when two domains race on the same problem, the first to arrive
+   registers it in-flight and counts the miss; the others block on the
+   shard condition and count a hit once the outcome lands — just as the
+   second of two sequential identical solves would have.  Without the
+   dedup both would miss and solve, and the counter-equality property
+   (test_par) would fail. *)
+type shard = {
+  m : Mutex.t;
+  cond : Condition.t; (* signalled when an in-flight solve resolves *)
+  table : Simplex.outcome Table.t;
+  in_flight : unit Table.t;
+  hash_seen : (int, int) Hashtbl.t;
+}
+
+let nshards = 16
+
+let shards =
+  Array.init nshards (fun _ ->
+      { m = Mutex.create (); cond = Condition.create ();
+        table = Table.create 64; in_flight = Table.create 8;
+        hash_seen = Hashtbl.create 64 })
+
+let shard_of problem = shards.(Problem.hash problem land (nshards - 1))
 
 (* Hash-collision probe: on every cache-miss store we record how many
    problems with the same [Problem.hash] were already resident.  A healthy
@@ -17,13 +46,29 @@ let cache : Simplex.outcome Table.t = Table.create 256
    means distinct canonical problems are sharing hash values and the memo
    table is degrading toward a list scan. *)
 let h_hash_collisions = Obs.Metrics.histogram "solver.cache.hash_collisions"
-let hash_seen : (int, int) Hashtbl.t = Hashtbl.create 256
 
 let clear () =
-  Table.reset cache;
-  Hashtbl.reset hash_seen
+  if Bagcqc_par.Pool.in_parallel_region () then
+    invalid_arg
+      "Solver.clear: cannot drop the memo cache inside a parallel region \
+       (clear between regions; see Bagcqc_par.Pool initialization order)";
+  Array.iter
+    (fun s ->
+      Mutex.lock s.m;
+      Table.reset s.table;
+      Table.reset s.in_flight;
+      Hashtbl.reset s.hash_seen;
+      Mutex.unlock s.m)
+    shards
 
-let cache_size () = Table.length cache
+let cache_size () =
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.m;
+      let n = Table.length s.table in
+      Mutex.unlock s.m;
+      acc + n)
+    0 shards
 
 (* The memo table owns its outcome values; hand callers copies so a
    caller mutating a solution array cannot poison later hits. *)
@@ -37,13 +82,57 @@ let solve_uncached problem =
   Stats.note_solve ~pivots:(Simplex.pivot_count () - p0);
   outcome
 
-let note_store problem =
+(* Called with the shard mutex held. *)
+let note_store s problem =
   if !Obs.Runtime.enabled then begin
     let h = Problem.hash problem in
-    let prior = Option.value ~default:0 (Hashtbl.find_opt hash_seen h) in
+    let prior = Option.value ~default:0 (Hashtbl.find_opt s.hash_seen h) in
     Obs.Metrics.observe h_hash_collisions prior;
-    Hashtbl.replace hash_seen h (prior + 1)
+    Hashtbl.replace s.hash_seen h (prior + 1)
   end
+
+let solve_cached problem =
+  let s = shard_of problem in
+  Mutex.lock s.m;
+  let rec resolve () =
+    match Table.find_opt s.table problem with
+    | Some outcome ->
+      Stats.note_cache_hit ();
+      Mutex.unlock s.m;
+      Obs.Span.add_attr "cache" (Obs.Span.Str "hit");
+      copy_outcome outcome
+    | None ->
+      if Table.mem s.in_flight problem then begin
+        (* Another domain is already solving exactly this problem; wait
+           for it and take the hit instead of duplicating the solve. *)
+        Condition.wait s.cond s.m;
+        resolve ()
+      end
+      else begin
+        Table.replace s.in_flight problem ();
+        Stats.note_cache_miss ();
+        Mutex.unlock s.m;
+        Obs.Span.add_attr "cache" (Obs.Span.Str "miss");
+        match solve_uncached problem with
+        | outcome ->
+          Mutex.lock s.m;
+          Table.replace s.table problem outcome;
+          note_store s problem;
+          Table.remove s.in_flight problem;
+          Condition.broadcast s.cond;
+          Mutex.unlock s.m;
+          copy_outcome outcome
+        | exception e ->
+          (* Un-register so a waiter can take over as the solver rather
+             than block forever on an outcome that will never land. *)
+          Mutex.lock s.m;
+          Table.remove s.in_flight problem;
+          Condition.broadcast s.cond;
+          Mutex.unlock s.m;
+          raise e
+      end
+  in
+  resolve ()
 
 let solve problem =
   Obs.Span.with_span ~name:"solver.solve"
@@ -56,19 +145,7 @@ let solve problem =
     Obs.Span.add_attr "cache" (Obs.Span.Str "off");
     solve_uncached problem
   end
-  else
-    match Table.find_opt cache problem with
-    | Some outcome ->
-      Stats.note_cache_hit ();
-      Obs.Span.add_attr "cache" (Obs.Span.Str "hit");
-      copy_outcome outcome
-    | None ->
-      Stats.note_cache_miss ();
-      Obs.Span.add_attr "cache" (Obs.Span.Str "miss");
-      let outcome = solve_uncached problem in
-      Table.replace cache problem outcome;
-      note_store problem;
-      copy_outcome outcome
+  else solve_cached problem
 
 let feasible problem =
   match solve problem with

@@ -8,7 +8,14 @@
     flow into {!Stats} either way.
 
     Cached solutions are returned as fresh copies, so callers may treat
-    the arrays as their own. *)
+    the arrays as their own.
+
+    The table is sharded by problem hash (per-shard mutex), so [solve]
+    is safe from pool workers; racing solves of the same problem are
+    deduplicated in-flight, keeping hit/miss counters exactly equal to a
+    sequential run.  Lifecycle mutation ({!clear}) must happen between
+    parallel regions — see the initialization order in
+    {!Bagcqc_par.Pool}. *)
 
 open Bagcqc_num
 open Bagcqc_lp
@@ -27,7 +34,8 @@ val feasible : Problem.t -> Rat.t array option
     problem's objective is ignored (pass a pure feasibility problem). *)
 
 val clear : unit -> unit
-(** Drop every memoized solve (does not touch {!Stats}). *)
+(** Drop every memoized solve (does not touch {!Stats}).
+    @raise Invalid_argument when called inside a parallel region. *)
 
 val cache_size : unit -> int
 (** Number of distinct problems currently memoized. *)

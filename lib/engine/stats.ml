@@ -34,16 +34,45 @@ let c_hom_enumerations = Obs.Metrics.counter "hom.enumerations"
 
 (* Stage buckets in first-use order, so `pp` prints the pipeline in the
    order it actually ran.  [active] is the current activation depth of
-   the name; [t0] the entry time of the outermost activation. *)
+   the name; [t0] the entry time of the outermost activation.
+
+   Activation state is per-domain ([Domain.DLS]): each domain times its
+   own outermost activation of a name, so pool workers timing the same
+   stage never clobber each other's [t0].  The first-use order and the
+   snapshot merge (summing each name's total across domains) are global,
+   guarded by [stage_mutex].  Summing means a stage running on k domains
+   at once reports k× wall time — CPU-seconds, the honest unit for
+   parallel stage accounting. *)
 type stage = { mutable active : int; mutable t0 : float; mutable total : float }
 
-let stage_order : string list ref = ref []
-let stage_tbl : (string, stage) Hashtbl.t = Hashtbl.create 8
+let stage_mutex = Mutex.create ()
+let stage_order : string list ref = ref [] (* newest first *)
+let stage_seen : (string, unit) Hashtbl.t = Hashtbl.create 8
+let stage_stores : (string, stage) Hashtbl.t list ref = ref []
+
+let stage_key =
+  Domain.DLS.new_key (fun () ->
+      let tbl : (string, stage) Hashtbl.t = Hashtbl.create 8 in
+      Mutex.lock stage_mutex;
+      stage_stores := tbl :: !stage_stores;
+      Mutex.unlock stage_mutex;
+      tbl)
+
+let stage_total name =
+  List.fold_left
+    (fun acc tbl ->
+      match Hashtbl.find_opt tbl name with
+      | Some st -> acc +. st.total
+      | None -> acc)
+    0.0 !stage_stores
 
 let reset () =
   Obs.Metrics.reset ();
+  Mutex.lock stage_mutex;
   stage_order := [];
-  Hashtbl.reset stage_tbl
+  Hashtbl.reset stage_seen;
+  List.iter Hashtbl.reset !stage_stores;
+  Mutex.unlock stage_mutex
 
 let snapshot () =
   { lp_solves = Obs.Metrics.count c_lp_solves;
@@ -54,9 +83,10 @@ let snapshot () =
     elemental_misses = Obs.Metrics.count c_elemental_misses;
     hom_enumerations = Obs.Metrics.count c_hom_enumerations;
     stages =
-      List.rev_map
-        (fun name -> (name, (Hashtbl.find stage_tbl name).total))
-        !stage_order }
+      (Mutex.lock stage_mutex;
+       let rows = List.rev_map (fun name -> (name, stage_total name)) !stage_order in
+       Mutex.unlock stage_mutex;
+       rows) }
 
 let note_solve ~pivots =
   Obs.Metrics.bump c_lp_solves;
@@ -69,15 +99,21 @@ let note_elemental_miss () = Obs.Metrics.bump c_elemental_misses
 let note_hom_enumeration () = Obs.Metrics.bump c_hom_enumerations
 
 let time_stage name f =
+  let tbl = Domain.DLS.get stage_key in
   let st =
-    match Hashtbl.find_opt stage_tbl name with
+    match Hashtbl.find_opt tbl name with
     | Some st -> st
     | None ->
       (* Register on entry so first-use order means the order stages
          started, not the order they finished. *)
       let st = { active = 0; t0 = 0.0; total = 0.0 } in
-      Hashtbl.add stage_tbl name st;
-      stage_order := name :: !stage_order;
+      Hashtbl.add tbl name st;
+      Mutex.lock stage_mutex;
+      if not (Hashtbl.mem stage_seen name) then begin
+        Hashtbl.add stage_seen name ();
+        stage_order := name :: !stage_order
+      end;
+      Mutex.unlock stage_mutex;
       st
   in
   if st.active = 0 then st.t0 <- Unix.gettimeofday ();

@@ -262,6 +262,12 @@ let valid cone ~n e = valid_max cone ~n [ e ]
 
 let valid_shannon ~n e = valid_max_quick Gamma ~n [ e ]
 
+let valid_shannon_many ~n es =
+  (* Warm the elemental family once before fanning out, so the workers
+     race on LP solving rather than on the elemental-table mutex. *)
+  (match es with [] -> () | _ -> ignore (Elemental.list ~n));
+  Bagcqc_par.Pool.parallel_map_list (fun e -> valid_shannon ~n e) es
+
 let max_to_convex ~n es =
   match valid_max_cert Gamma ~n es with
   | Ok (Some cert) -> Some (Array.of_list (Certificate.convex_weights cert))

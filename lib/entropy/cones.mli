@@ -90,6 +90,11 @@ val valid_shannon : n:int -> Linexpr.t -> bool
     [Γn]); a sound (and, for non-max linear inequalities with at most
     3 variables, complete) test of information-inequality validity. *)
 
+val valid_shannon_many : n:int -> Linexpr.t list -> bool list
+(** {!valid_shannon} on each expression, fanned out over the domain pool
+    ({!Bagcqc_par.Pool}); results are in input order and identical to
+    [List.map (valid_shannon ~n) es]. *)
+
 val max_to_convex : n:int -> Linexpr.t list -> Bagcqc_num.Rat.t array option
 (** Theorem 6.1 of the paper, instantiated at the Shannon cone: a
     max-linear inequality [0 ≤ max_ℓ Eℓ] is valid over [Γn] iff there are

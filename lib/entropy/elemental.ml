@@ -21,10 +21,16 @@ let generate n =
   mono @ !submod
 
 (* Per-n lazy table; `Varset.full` bounds n at max_vars, so the table
-   stays tiny for the life of the process. *)
+   stays tiny for the life of the process.  Generation happens inside the
+   mutex on purpose: when pool workers race on a fresh [n], exactly one
+   generates (one miss) and the rest block until the entry lands (hits) —
+   the same hit/miss totals a sequential run would record. *)
+let table_mutex = Mutex.create ()
 let table : (int, Linexpr.t list) Hashtbl.t = Hashtbl.create 8
 
 let list ~n =
+  Mutex.lock table_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock table_mutex) @@ fun () ->
   match Hashtbl.find_opt table n with
   | Some es ->
     Stats.note_elemental_hit ();

@@ -52,13 +52,11 @@ let valid_over cone t = Cones.valid_max cone ~n:t.n (sides t)
 
 let is_valid_over cone t = Cones.valid_max_quick cone ~n:t.n (sides t)
 
-let decide t =
-  (* Cheapest first: the Nn refutation LP is tiny (one row per side), and a
-     normal refuter is entropic, settling the instance outright. *)
-  match valid_over Cones.Normal t with
+let combine_verdict t normal gamma =
+  match normal with
   | Error h_normal -> Invalid h_normal
   | Ok () ->
-    (match Cones.valid_max_cert Cones.Gamma ~n:t.n (sides t) with
+    (match gamma with
      | Ok (Some cert) -> Valid cert
      | Ok None -> assert false (* the Γn backend always certifies *)
      | Error h_gamma ->
@@ -67,6 +65,33 @@ let decide t =
        assert
          (match shape t with Unconditioned | Simple -> false | _ -> true);
        Unknown h_gamma)
+
+let decide t =
+  if Bagcqc_par.Pool.(jobs () > 1 && not (inside_task ())) then
+    (* Speculate on the two cones concurrently: the Γn certificate work is
+       wasted when Nn refutes, but that is the expensive side we would
+       otherwise wait on in the common (valid) case.  The verdict is
+       identical to the sequential path; only the solve/cache counters may
+       differ (the speculative Γn solve). *)
+    let normal, gamma =
+      Bagcqc_par.Pool.both
+        (fun () -> valid_over Cones.Normal t)
+        (fun () -> Cones.valid_max_cert Cones.Gamma ~n:t.n (sides t))
+    in
+    combine_verdict t normal gamma
+  else
+    (* Cheapest first: the Nn refutation LP is tiny (one row per side), and
+       a normal refuter is entropic, settling the instance outright. *)
+    match valid_over Cones.Normal t with
+    | Error h_normal -> Invalid h_normal
+    | Ok () -> combine_verdict t (Ok ()) (Cones.valid_max_cert Cones.Gamma ~n:t.n (sides t))
+
+let decide_many ts =
+  (* Batch fan-out: each instance is decided sequentially on its worker
+     (the nested [decide] sees [inside_task] and takes the sequential
+     path), so per-instance verdicts {e and} counters match a sequential
+     run exactly. *)
+  Bagcqc_par.Pool.parallel_map_list decide ts
 
 let pp ?(names = Varset.default_name) () fmt t =
   let pp_sides pp_side sides =

@@ -63,7 +63,17 @@ val decide : t -> verdict
 (** Sound decision procedure, complete on the Theorem 3.6 fragments: an
     [Unknown] verdict is impossible when {!shape} is [Unconditioned] or
     [Simple] (that is Theorem 3.6), and also whenever the refutation
-    search over [Nn] happens to succeed. *)
+    search over [Nn] happens to succeed.
+
+    With the pool sized above 1 ({!Bagcqc_par.Pool.jobs}), the [Nn]
+    refutation and the [Γn] certificate LPs run concurrently; the verdict
+    is identical to the sequential path (only solver-effort counters may
+    differ, because the [Γn] side is speculative). *)
+
+val decide_many : t list -> verdict list
+(** Decide a batch concurrently over the pool, each instance on the
+    sequential path.  Equals [List.map decide] run at [jobs = 1] —
+    verdicts {e and} per-instance solver counters included. *)
 
 val valid_over : Cones.cone -> t -> (unit, Polymatroid.t) result
 (** Validity over a single polyhedral cone. *)

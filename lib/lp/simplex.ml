@@ -61,9 +61,13 @@ type engine = Dense | Sparse
 
 let default_engine = ref Sparse
 
-(* Global pivot odometer (see the .mli): bumped by both engines. *)
-let pivots_performed = ref 0
-let pivot_count () = !pivots_performed
+(* Per-domain pivot odometer (see the .mli): bumped by both engines.
+   Callers read it as a delta around a solve, which only stays exact if
+   no other domain's pivots leak into the window — hence one cell per
+   domain rather than one shared counter. *)
+let pivots_key = Domain.DLS.new_key (fun () -> ref 0)
+let pivot_count () = !(Domain.DLS.get pivots_key)
+let note_pivot () = incr (Domain.DLS.get pivots_key)
 
 (* ---- observability ----
    Per-solve spans and two histograms: pivots per solve, and the bigint
@@ -76,12 +80,15 @@ module Obs = Bagcqc_obs
 
 let h_pivot_bits = Obs.Metrics.histogram "lp.pivot_bits"
 let h_pivots_per_solve = Obs.Metrics.histogram "lp.pivots_per_solve"
-let pivot_tick = ref 0
+let pivot_tick_key = Domain.DLS.new_key (fun () -> ref 0)
 
 (* Sample the 1st, (k+1)-th, (2k+1)-th, ... pivot so short solves still
-   contribute at least one observation. *)
+   contribute at least one observation.  The tick is per-domain so the
+   sampling phase of concurrent solves stays deterministic per solve
+   stream. *)
 let observe_pivot_magnitude (p : Rat.t) =
   if !Obs.Runtime.enabled then begin
+    let pivot_tick = Domain.DLS.get pivot_tick_key in
     incr pivot_tick;
     if (!pivot_tick - 1) mod !Obs.Runtime.sample_every = 0 then
       Obs.Metrics.observe h_pivot_bits
@@ -185,7 +192,7 @@ module Dense_impl = struct
   let rhs_col t = t.ncols
 
   let pivot t r c =
-    incr pivots_performed;
+    note_pivot ();
     let row = t.rows.(r) in
     let p = row.(c) in
     assert (not (Rat.is_zero p));
@@ -382,7 +389,7 @@ module Sparse_impl = struct
      at the pivot row's nonzeros — all other columns are unchanged by the
      elimination [target.(j) <- target.(j) - f * row.(j)] anyway. *)
   let pivot t r c =
-    incr pivots_performed;
+    note_pivot ();
     let row = t.rows.(r) in
     let p = row.(c) in
     assert (not (Rat.is_zero p));
@@ -603,14 +610,14 @@ let solve_with engine p =
         ("rows", Obs.Span.Int (List.length p.constraints));
         ("vars", Obs.Span.Int p.num_vars) ]
   @@ fun () ->
-  let p0 = !pivots_performed in
+  let p0 = pivot_count () in
   let outcome =
     try
       (match engine with Dense -> Dense_impl.solve p | Sparse -> Sparse_impl.solve p)
     with Exit -> Infeasible
   in
   if !Obs.Runtime.enabled then begin
-    let dp = !pivots_performed - p0 in
+    let dp = pivot_count () - p0 in
     Obs.Metrics.observe h_pivots_per_solve dp;
     Obs.Span.add_attr "pivots" (Obs.Span.Int dp);
     Obs.Span.add_attr "outcome"

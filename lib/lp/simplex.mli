@@ -81,6 +81,7 @@ val maximize : ?engine:engine -> problem -> outcome
 
 val pivot_count : unit -> int
 (** Monotonically increasing count of Gaussian pivots performed by either
-    engine since process start.  Instrumentation reads deltas around a
-    solve; there is deliberately no reset, so concurrent readers cannot
-    clobber each other. *)
+    engine {e on the calling domain} since that domain started.
+    Instrumentation reads deltas around a solve; the odometer is
+    per-domain ([Domain.DLS]) and never reset, so a delta window is never
+    polluted by another domain's pivots. *)

@@ -12,7 +12,19 @@
     With tracing {e disabled} (the default) every span entry point is a
     single branch; counters stay live (they are what {!Bagcqc_engine.Stats}
     snapshots), and histogram call sites are expected to gate themselves
-    on {!enabled}. *)
+    on {!enabled}.
+
+    {2 Initialization order under parallelism}
+
+    Collection is per-domain (each domain owns its span ring and metric
+    cells; snapshots merge them), so recording is always safe inside the
+    {!Bagcqc_par.Pool} — but the lifecycle calls below walk and clear
+    every domain's store and therefore must run while the pool is
+    quiescent.  Configure in this order: pool size
+    ([--jobs] / [BAGCQC_JOBS] / [Bagcqc_par.Pool.set_jobs]), then
+    {!enable}/{!reset}, then parallel work.  {!enable}, {!disable} and
+    {!reset} raise [Invalid_argument] when called from inside a parallel
+    region. *)
 
 module Runtime = Runtime
 module Span = Span

@@ -1,11 +1,20 @@
-(* Named counters and log-bucketed histograms.
+(* Named counters and log-bucketed histograms, collected per domain.
 
-   Call sites obtain a handle once (module-initialization time) and then
-   bump it with plain field updates, so the steady-state cost of a
-   counter event is one integer store — the same budget the old
-   Engine.Stats counters had.  [reset] zeroes values but keeps handles
-   valid, so resetting between CLI subcommands never invalidates an
-   instrumentation point.
+   Handles are global and immutable (a dense id plus the name); the
+   mutable state lives in one store per domain, reached through
+   [Domain.DLS].  A counter event is therefore a DLS load plus an integer
+   store — unchanged in spirit from the old single-cell design, and the
+   extra load is what buys race-free collection under the domain pool:
+   every domain bumps only its own cells, and [snapshot] merges all
+   per-domain stores through the same canonical snapshot merge that
+   [merge] exposes.
+
+   Exactness contract: merged values are exact whenever the reader is
+   ordered after the writers — which the pool guarantees (a parallel
+   region's completion is a happens-before edge), so snapshots taken
+   between regions equal what a sequential run would have counted.
+   Reading {e during} a region can observe slightly stale cells (never
+   torn ones).
 
    Histograms are base-2 log-bucketed over non-negative integers:
    bucket 0 holds exactly the value 0, bucket i (i >= 1) holds
@@ -15,12 +24,52 @@
    to bucket, faithful at small values, and percentiles stay meaningful
    over many orders of magnitude. *)
 
-type counter = { cname : string; mutable count : int }
+type counter = { cid : int; cname : string }
+type histogram = { hid : int; hname : string }
 
 let nbuckets = 63 (* bucket 62 holds everything >= 2^61 *)
 
-type histogram = {
-  hname : string;
+(* ---------------- registry (names -> dense ids) ---------------- *)
+
+(* Handle creation is module-initialization-rare; one mutex covers the
+   name tables and the store list. *)
+let reg_mutex = Mutex.create ()
+let counters_by_name : (string, counter) Hashtbl.t = Hashtbl.create 16
+let histograms_by_name : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let n_counters = ref 0
+let n_histograms = ref 0
+
+let counter name =
+  Mutex.lock reg_mutex;
+  let c =
+    match Hashtbl.find_opt counters_by_name name with
+    | Some c -> c
+    | None ->
+      let c = { cid = !n_counters; cname = name } in
+      incr n_counters;
+      Hashtbl.add counters_by_name name c;
+      c
+  in
+  Mutex.unlock reg_mutex;
+  c
+
+let histogram name =
+  Mutex.lock reg_mutex;
+  let h =
+    match Hashtbl.find_opt histograms_by_name name with
+    | Some h -> h
+    | None ->
+      let h = { hid = !n_histograms; hname = name } in
+      incr n_histograms;
+      Hashtbl.add histograms_by_name name h;
+      h
+  in
+  Mutex.unlock reg_mutex;
+  h
+
+(* ---------------- per-domain stores ---------------- *)
+
+type hstate = {
   buckets : int array; (* length nbuckets *)
   mutable total : int;
   mutable vsum : int;
@@ -28,31 +77,69 @@ type histogram = {
   mutable vmax : int; (* min_int when empty *)
 }
 
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
-let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+type store = {
+  mutable cvals : int array; (* indexed by cid, grown on demand *)
+  mutable hstates : hstate option array; (* indexed by hid *)
+}
 
-let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
+(* Every store ever created (worker domains are long-lived, so stores are
+   never retired); [snapshot]/[reset] walk this list. *)
+let stores : store list ref = ref []
+
+let store_key =
+  Domain.DLS.new_key (fun () ->
+      let s = { cvals = [||]; hstates = [||] } in
+      Mutex.lock reg_mutex;
+      stores := s :: !stores;
+      Mutex.unlock reg_mutex;
+      s)
+
+let ensure_counter s id =
+  if id >= Array.length s.cvals then begin
+    let n = max 16 (max (id + 1) (2 * Array.length s.cvals)) in
+    let a = Array.make n 0 in
+    Array.blit s.cvals 0 a 0 (Array.length s.cvals);
+    s.cvals <- a
+  end
+
+let fresh_hstate () =
+  { buckets = Array.make nbuckets 0; total = 0; vsum = 0; vmin = max_int;
+    vmax = min_int }
+
+let hstate_of s id =
+  if id >= Array.length s.hstates then begin
+    let n = max 16 (max (id + 1) (2 * Array.length s.hstates)) in
+    let a = Array.make n None in
+    Array.blit s.hstates 0 a 0 (Array.length s.hstates);
+    s.hstates <- a
+  end;
+  match s.hstates.(id) with
+  | Some st -> st
   | None ->
-    let c = { cname = name; count = 0 } in
-    Hashtbl.add counters name c;
-    c
+    let st = fresh_hstate () in
+    s.hstates.(id) <- Some st;
+    st
 
-let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-    let h =
-      { hname = name; buckets = Array.make nbuckets 0; total = 0; vsum = 0;
-        vmin = max_int; vmax = min_int }
-    in
-    Hashtbl.add histograms name h;
-    h
+let bump c =
+  let s = Domain.DLS.get store_key in
+  ensure_counter s c.cid;
+  s.cvals.(c.cid) <- s.cvals.(c.cid) + 1
 
-let bump c = c.count <- c.count + 1
-let add c k = c.count <- c.count + k
-let count c = c.count
+let add c k =
+  let s = Domain.DLS.get store_key in
+  ensure_counter s c.cid;
+  s.cvals.(c.cid) <- s.cvals.(c.cid) + k
+
+let all_stores () =
+  Mutex.lock reg_mutex;
+  let ss = !stores in
+  Mutex.unlock reg_mutex;
+  ss
+
+let count c =
+  List.fold_left
+    (fun acc s -> if c.cid < Array.length s.cvals then acc + s.cvals.(c.cid) else acc)
+    0 (all_stores ())
 
 let bucket_of v =
   if v <= 0 then 0
@@ -69,23 +156,32 @@ let bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
 let bucket_hi i = if i <= 0 then 0 else (1 lsl i) - 1
 
 let observe h v =
+  let s = Domain.DLS.get store_key in
+  let st = hstate_of s h.hid in
   let v = max v 0 in
-  h.buckets.(bucket_of v) <- h.buckets.(bucket_of v) + 1;
-  h.total <- h.total + 1;
-  h.vsum <- h.vsum + v;
-  if v < h.vmin then h.vmin <- v;
-  if v > h.vmax then h.vmax <- v
+  st.buckets.(bucket_of v) <- st.buckets.(bucket_of v) + 1;
+  st.total <- st.total + 1;
+  st.vsum <- st.vsum + v;
+  if v < st.vmin then st.vmin <- v;
+  if v > st.vmax then st.vmax <- v
 
+(* Quiescence contract as for [snapshot]: resetting while a parallel
+   region runs would race the workers' bumps. *)
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.buckets 0 nbuckets 0;
-      h.total <- 0;
-      h.vsum <- 0;
-      h.vmin <- max_int;
-      h.vmax <- min_int)
-    histograms
+  List.iter
+    (fun s ->
+      Array.fill s.cvals 0 (Array.length s.cvals) 0;
+      Array.iter
+        (function
+          | Some st ->
+            Array.fill st.buckets 0 nbuckets 0;
+            st.total <- 0;
+            st.vsum <- 0;
+            st.vmin <- max_int;
+            st.vmax <- min_int
+          | None -> ())
+        s.hstates)
+    (all_stores ())
 
 (* ---------------- snapshots ---------------- *)
 
@@ -105,30 +201,19 @@ type snapshot = {
 let empty_hist =
   { count = 0; sum = 0; min_value = max_int; max_value = min_int; buckets = [] }
 
-let hist_snapshot_of (h : histogram) =
+let hist_snapshot_of (st : hstate) =
   let buckets = ref [] in
   for i = nbuckets - 1 downto 0 do
-    if h.buckets.(i) > 0 then buckets := (i, h.buckets.(i)) :: !buckets
+    if st.buckets.(i) > 0 then buckets := (i, st.buckets.(i)) :: !buckets
   done;
-  { count = h.total; sum = h.vsum; min_value = h.vmin; max_value = h.vmax;
+  { count = st.total; sum = st.vsum; min_value = st.vmin; max_value = st.vmax;
     buckets = !buckets }
 
 let by_name (a, _) (b, _) = compare (a : string) b
 
-let snapshot () =
-  { counters =
-      Hashtbl.fold
-        (fun name (c : counter) acc -> (name, c.count) :: acc)
-        counters []
-      |> List.sort by_name;
-    histograms =
-      Hashtbl.fold
-        (fun name h acc -> (name, hist_snapshot_of h) :: acc)
-        histograms []
-      |> List.sort by_name }
-
 (* Canonicalizing constructor for externally assembled snapshots (trace
-   import, tests): sorts, merges duplicate names, drops empty buckets. *)
+   import, tests) and the per-domain merge below: sorts, merges duplicate
+   names, drops empty buckets. *)
 let snapshot_of ~counters:cs ~histograms:hs =
   let merge_counters cs =
     List.sort by_name cs
@@ -170,6 +255,54 @@ let snapshot_of ~counters:cs ~histograms:hs =
     |> List.rev
   in
   { counters = merge_counters cs; histograms = merge_hists hs }
+
+(* The per-domain collection points straight at the canonical merge: each
+   store contributes its (name, value) rows, and [snapshot_of] folds the
+   duplicates — associative and commutative, so domain order is
+   irrelevant. *)
+let snapshot () =
+  let ss = all_stores () in
+  let names_c =
+    Mutex.lock reg_mutex;
+    let l = Hashtbl.fold (fun name c acc -> (name, c.cid) :: acc) counters_by_name [] in
+    Mutex.unlock reg_mutex;
+    l
+  in
+  let names_h =
+    Mutex.lock reg_mutex;
+    let l =
+      Hashtbl.fold (fun name h acc -> (name, h.hid) :: acc) histograms_by_name []
+    in
+    Mutex.unlock reg_mutex;
+    l
+  in
+  let counters =
+    List.concat_map
+      (fun (name, id) ->
+        List.filter_map
+          (fun s ->
+            if id < Array.length s.cvals then Some (name, s.cvals.(id)) else None)
+          ss
+        |> function
+        | [] -> [ (name, 0) ]
+        | rows -> rows)
+      names_c
+  in
+  let histograms =
+    List.concat_map
+      (fun (name, id) ->
+        List.filter_map
+          (fun s ->
+            if id < Array.length s.hstates then
+              Option.map (fun st -> (name, hist_snapshot_of st)) s.hstates.(id)
+            else None)
+          ss
+        |> function
+        | [] -> [ (name, empty_hist) ]
+        | rows -> rows)
+      names_h
+  in
+  snapshot_of ~counters ~histograms
 
 let merge a b =
   snapshot_of

@@ -2,7 +2,12 @@
 
     Handles are obtained once (typically at module initialization) and
     bumped with plain field updates: a counter event is one integer
-    store.  {!reset} zeroes values but keeps every handle valid.
+    store into the calling domain's cell ([Domain.DLS]); {!count} and
+    {!snapshot} sum/merge across domains.  Merged values are exact
+    whenever the reader is ordered after the writers — which the
+    {!Bagcqc_par.Pool} guarantees at the end of every parallel region.
+    {!reset} zeroes values but keeps every handle valid; like snapshots,
+    it assumes pool quiescence.
 
     Histogram buckets: bucket 0 holds exactly 0; bucket [i >= 1] holds
     the integers in [\[2^(i-1), 2^i - 1\]], so an exact power of two

@@ -16,15 +16,17 @@ let ring_capacity = ref 65536
 let max_depth = ref 64
 let sample_every = ref 16
 
-let last = ref 0.0
+(* High-water mark of the clock, shared by all domains.  The CAS loop
+   keeps [now] monotonic under concurrent callers: a reader either
+   advances the mark to its own (later) sample or inherits a mark some
+   other domain already pushed past it. *)
+let last = Atomic.make 0.0
 
-let now () =
+let rec now () =
   let t = Unix.gettimeofday () in
-  if t > !last then begin
-    last := t;
-    t
-  end
-  else !last
+  let l = Atomic.get last in
+  if t > l then if Atomic.compare_and_set last l t then t else now ()
+  else l
 
 (* Trace epoch: exported timestamps are relative to this, set whenever
    the span store is reset. *)

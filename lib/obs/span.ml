@@ -1,10 +1,14 @@
 (* Span trees: nested timed regions with per-span attributes.
 
-   One process-global stack of open spans (the workloads here are
-   single-threaded); completed spans land in a bounded ring buffer so
-   always-on tracing cannot grow memory without bound.  Parent/child
-   structure is recorded explicitly (ids), so the tree survives export
-   and re-import even though the ring only stores a flat sequence.
+   Each domain owns an open-span stack and a bounded ring of completed
+   spans (reached through [Domain.DLS]), so pool workers trace their
+   chunks without contending on — or corrupting — a shared stack.
+   Parent/child structure is per-domain: a pool task starts a fresh root
+   span on its worker, which is the truthful shape (the coordinating
+   domain is blocked, not "calling" the chunk).  Ids come from one
+   process-wide atomic so they are unique across domains, and [closed]
+   merges every ring sorted by (start, id), which on a single domain
+   reproduces exactly the old completion order.
 
    Self-time accounting: every span accumulates the inclusive duration
    of its direct children as they close; [self] is then inclusive minus
@@ -32,80 +36,126 @@ let self sp = sp.dur -. sp.children
 
 (* ---------------- state ---------------- *)
 
-let next_id = ref 0
-let stack : t list ref = ref [] (* innermost open span first *)
+let next_id = Atomic.make 0
 
-let ring : t option array ref = ref [||]
-let widx = ref 0
-let written = ref 0
-let depth_dropped_n = ref 0
+type dstore = {
+  mutable stack : t list; (* innermost open span first *)
+  mutable ring : t option array;
+  mutable widx : int;
+  mutable written : int;
+  mutable depth_dropped_n : int;
+}
+
+let reg_mutex = Mutex.create ()
+let dstores : dstore list ref = ref []
+
+let dstore_key =
+  Domain.DLS.new_key (fun () ->
+      let d =
+        { stack = []; ring = Array.make (max 0 !Runtime.ring_capacity) None;
+          widx = 0; written = 0; depth_dropped_n = 0 }
+      in
+      Mutex.lock reg_mutex;
+      dstores := d :: !dstores;
+      Mutex.unlock reg_mutex;
+      d)
+
+let all_dstores () =
+  Mutex.lock reg_mutex;
+  let ds = !dstores in
+  Mutex.unlock reg_mutex;
+  ds
 
 let subscribers : (t -> unit) list ref = ref []
 
 let on_close f = subscribers := f :: !subscribers
 
+(* Quiescence contract: reset between parallel regions (the obs layer
+   refuses to flip recording inside one), so walking the other domains'
+   stores here cannot race their writes. *)
 let reset () =
-  stack := [];
-  next_id := 0;
+  Atomic.set next_id 0;
   let cap = max 0 !Runtime.ring_capacity in
-  if Array.length !ring <> cap then ring := Array.make cap None
-  else Array.fill !ring 0 cap None;
-  widx := 0;
-  written := 0;
-  depth_dropped_n := 0;
+  List.iter
+    (fun d ->
+      d.stack <- [];
+      if Array.length d.ring <> cap then d.ring <- Array.make cap None
+      else Array.fill d.ring 0 cap None;
+      d.widx <- 0;
+      d.written <- 0;
+      d.depth_dropped_n <- 0)
+    (all_dstores ());
   Runtime.epoch := Runtime.now ()
 
-let record sp =
-  let cap = Array.length !ring in
+let record d sp =
+  let cap = Array.length d.ring in
   if cap > 0 then begin
-    !ring.(!widx) <- Some sp;
-    widx := (!widx + 1) mod cap;
-    incr written
+    d.ring.(d.widx) <- Some sp;
+    d.widx <- (d.widx + 1) mod cap;
+    d.written <- d.written + 1
   end
 
-let dropped () = max 0 (!written - Array.length !ring)
-let depth_dropped () = !depth_dropped_n
-let open_depth () = List.length !stack
+let dropped () =
+  List.fold_left
+    (fun acc d -> acc + max 0 (d.written - Array.length d.ring))
+    0 (all_dstores ())
 
-(* Completed spans, oldest first (eviction order). *)
-let closed () =
-  let cap = Array.length !ring in
+let depth_dropped () =
+  List.fold_left (fun acc d -> acc + d.depth_dropped_n) 0 (all_dstores ())
+
+let open_depth () = List.length (Domain.DLS.get dstore_key).stack
+
+(* Completed spans in one ring, oldest first (eviction order). *)
+let ring_closed d =
+  let cap = Array.length d.ring in
   if cap = 0 then []
   else begin
     let acc = ref [] in
     for k = cap - 1 downto 0 do
-      match !ring.((!widx + k) mod cap) with
+      match d.ring.((d.widx + k) mod cap) with
       | Some sp -> acc := sp :: !acc
       | None -> ()
     done;
     !acc
   end
 
+(* All completed spans, merged across domains by (start, id).  Ids are
+   allocated from one atomic at span open, so on a single domain this is
+   the old insertion order; across domains it interleaves by the
+   monotonic trace clock. *)
+let closed () =
+  match all_dstores () with
+  | [ d ] -> ring_closed d
+  | ds ->
+    List.concat_map ring_closed ds
+    |> List.sort (fun a b ->
+           match compare a.start b.start with 0 -> compare a.id b.id | c -> c)
+
 (* ---------------- recording ---------------- *)
 
 let add_attr key v =
   if !Runtime.enabled then
-    match !stack with
+    match (Domain.DLS.get dstore_key).stack with
     | [] -> ()
     | sp :: _ -> sp.attrs <- (key, v) :: sp.attrs
 
 let with_span ~name ?(attrs = []) f =
   if not !Runtime.enabled then f ()
   else begin
-    let depth = match !stack with [] -> 0 | p :: _ -> p.depth + 1 in
+    let d = Domain.DLS.get dstore_key in
+    let depth = match d.stack with [] -> 0 | p :: _ -> p.depth + 1 in
     if depth > !Runtime.max_depth then begin
-      incr depth_dropped_n;
+      d.depth_dropped_n <- d.depth_dropped_n + 1;
       f ()
     end
     else begin
-      let parent = match !stack with [] -> -1 | p :: _ -> p.id in
-      let id = !next_id in
-      incr next_id;
+      let parent = match d.stack with [] -> -1 | p :: _ -> p.id in
+      let id = Atomic.fetch_and_add next_id 1 in
       let sp =
         { id; parent; depth; name; attrs; start = Runtime.now (); dur = 0.0;
           children = 0.0 }
       in
-      stack := sp :: !stack;
+      d.stack <- sp :: d.stack;
       let finish () =
         sp.dur <- Runtime.now () -. sp.start;
         (* Pop back to (and including) sp: recovers from instrumented code
@@ -115,11 +165,11 @@ let with_span ~name ?(attrs = []) f =
           | [] -> []
           | top :: rest -> if top == sp then rest else pop rest
         in
-        stack := pop !stack;
-        (match !stack with
+        d.stack <- pop d.stack;
+        (match d.stack with
          | p :: _ -> p.children <- p.children +. sp.dur
          | [] -> ());
-        record sp;
+        record d sp;
         List.iter (fun k -> k sp) !subscribers
       in
       Fun.protect ~finally:finish f

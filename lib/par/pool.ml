@@ -1,0 +1,263 @@
+(* One process-global pool of worker domains behind a chunked work queue.
+
+   A parallel call ("region") publishes a bag of chunk tasks; up to
+   jobs−1 parked workers join in, and the calling domain drains chunks
+   too, so a level of [jobs] uses exactly [jobs] domains.  All hand-off
+   goes through one mutex: chunk indices are taken under it, completions
+   are counted under it, and the caller returns only after the last
+   completion — which is the happens-before edge that makes every chunk's
+   writes (results, per-domain metrics) visible to the caller.
+
+   Determinism: chunks are contiguous index ranges assigned statically,
+   each chunk's results land in its own slot, and exception reporting
+   picks the smallest failing chunk index.  Scheduling order can vary;
+   observable results cannot.
+
+   jobs = 1 never touches any of this machinery: the combinators reduce
+   to their sequential bodies and no domain is ever spawned. *)
+
+let mutex = Mutex.create ()
+let work_cond = Condition.create () (* workers: tickets available *)
+let done_cond = Condition.create () (* caller: region completed *)
+
+type region = {
+  run : int -> unit; (* execute chunk i; must not raise *)
+  nchunks : int;
+  mutable next : int;
+  mutable completed : int;
+}
+
+let current : region option ref = ref None
+let tickets = ref 0
+let region_active = ref false
+let shutting_down = ref false
+let workers : unit Domain.t list ref = ref []
+let n_workers = ref 0
+let exit_hook_installed = ref false
+
+(* True on a domain while it executes a pool task (workers and the
+   participating caller alike): nested combinators check this and run
+   sequentially — the pool has exactly one region at a time, so a nested
+   region would deadlock against its own caller. *)
+let in_task_key = Domain.DLS.new_key (fun () -> ref false)
+let inside_task () = !(Domain.DLS.get in_task_key)
+
+(* ---------------- sizing ---------------- *)
+
+let env_jobs () =
+  match Sys.getenv_opt "BAGCQC_JOBS" with
+  | None -> None
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> Some n
+     | Some _ | None -> None)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+let jobs_level : int option ref = ref None
+
+let jobs () =
+  match !jobs_level with
+  | Some n -> n
+  | None ->
+    let n = match env_jobs () with Some n -> n | None -> default_jobs () in
+    jobs_level := Some n;
+    n
+
+let in_parallel_region () = !region_active
+
+let set_jobs n =
+  if !region_active then
+    invalid_arg "Pool.set_jobs: cannot resize inside a parallel region";
+  jobs_level := Some (max 1 n)
+
+let started () = !n_workers > 0
+
+(* ---------------- workers ---------------- *)
+
+let run_chunk r i =
+  let flag = Domain.DLS.get in_task_key in
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := false) (fun () -> r.run i)
+
+(* Drain chunks of [r] until none are left.  Called with [mutex] held;
+   returns with it held. *)
+let drain r =
+  while r.next < r.nchunks do
+    let i = r.next in
+    r.next <- r.next + 1;
+    Mutex.unlock mutex;
+    run_chunk r i;
+    Mutex.lock mutex;
+    r.completed <- r.completed + 1;
+    if r.completed = r.nchunks then Condition.broadcast done_cond
+  done
+
+let worker_body () =
+  Mutex.lock mutex;
+  let continue = ref true in
+  while !continue do
+    if !shutting_down then continue := false
+    else if !tickets > 0 then begin
+      decr tickets;
+      match !current with
+      | Some r -> drain r
+      | None -> () (* stale ticket from an already-finished region *)
+    end
+    else Condition.wait work_cond mutex
+  done;
+  Mutex.unlock mutex
+
+(* Called with [mutex] held. *)
+let ensure_workers want =
+  while !n_workers < want && not !shutting_down do
+    incr n_workers;
+    workers := Domain.spawn worker_body :: !workers;
+    if not !exit_hook_installed then begin
+      exit_hook_installed := true;
+      at_exit (fun () ->
+          Mutex.lock mutex;
+          shutting_down := true;
+          Condition.broadcast work_cond;
+          let ws = !workers in
+          workers := [];
+          n_workers := 0;
+          Mutex.unlock mutex;
+          List.iter Domain.join ws)
+    end
+  done
+
+let shutdown () =
+  Mutex.lock mutex;
+  if !region_active then begin
+    Mutex.unlock mutex;
+    invalid_arg "Pool.shutdown: cannot shut down inside a parallel region"
+  end;
+  shutting_down := true;
+  Condition.broadcast work_cond;
+  let ws = !workers in
+  workers := [];
+  n_workers := 0;
+  Mutex.unlock mutex;
+  List.iter Domain.join ws;
+  (* Allow a later parallel call to restart the pool. *)
+  Mutex.lock mutex;
+  shutting_down := false;
+  Mutex.unlock mutex
+
+(* ---------------- regions ---------------- *)
+
+(* Execute [nchunks] calls of [run] across the pool.  [run] must not
+   raise (combinators wrap their chunk bodies to capture exceptions). *)
+let run_region ~nchunks run =
+  let j = jobs () in
+  Mutex.lock mutex;
+  region_active := true;
+  let r = { run; nchunks; next = 0; completed = 0 } in
+  current := Some r;
+  let helpers = min (j - 1) nchunks in
+  ensure_workers helpers;
+  tickets := min helpers !n_workers;
+  if !tickets > 0 then Condition.broadcast work_cond;
+  drain r;
+  while r.completed < r.nchunks do
+    Condition.wait done_cond mutex
+  done;
+  current := None;
+  tickets := 0;
+  region_active := false;
+  Mutex.unlock mutex
+
+(* Deterministic failure: re-raise the exception of the smallest failing
+   chunk, with the backtrace captured where it was thrown. *)
+let reraise_first errors =
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors
+
+let run_tasks tasks =
+  let n = Array.length tasks in
+  if n > 0 then begin
+    let errors = Array.make n None in
+    run_region ~nchunks:n (fun i ->
+        try tasks.(i) ()
+        with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+    reraise_first errors
+  end
+
+(* Contiguous chunk ranges: a few chunks per participant evens out
+   imbalanced chunk costs without starving the queue. *)
+let chunks_per_job = 4
+
+let chunk_ranges n j =
+  let nchunks = min n (max 1 (j * chunks_per_job)) in
+  Array.init nchunks (fun i ->
+      let lo = i * n / nchunks and hi = (i + 1) * n / nchunks in
+      (lo, hi))
+
+let sequential () = jobs () <= 1 || inside_task ()
+
+let map_range f xs lo hi =
+  let rec go k acc =
+    if k >= hi then Array.of_list (List.rev acc) else go (k + 1) (f xs.(k) :: acc)
+  in
+  go lo []
+
+let parallel_map f xs =
+  let n = Array.length xs in
+  if n <= 1 || sequential () then Array.map f xs
+  else begin
+    let ranges = chunk_ranges n (jobs ()) in
+    let nchunks = Array.length ranges in
+    let slots = Array.make nchunks [||] in
+    let errors = Array.make nchunks None in
+    run_region ~nchunks (fun i ->
+        let lo, hi = ranges.(i) in
+        try slots.(i) <- map_range f xs lo hi
+        with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+    reraise_first errors;
+    Array.concat (Array.to_list slots)
+  end
+
+let filter_map_range f xs lo hi =
+  let rec go k acc =
+    if k >= hi then Array.of_list (List.rev acc)
+    else
+      match f xs.(k) with
+      | Some y -> go (k + 1) (y :: acc)
+      | None -> go (k + 1) acc
+  in
+  go lo []
+
+let parallel_filter_map f xs =
+  let n = Array.length xs in
+  if n <= 1 || sequential () then filter_map_range f xs 0 n
+  else begin
+    let ranges = chunk_ranges n (jobs ()) in
+    let nchunks = Array.length ranges in
+    let slots = Array.make nchunks [||] in
+    let errors = Array.make nchunks None in
+    run_region ~nchunks (fun i ->
+        let lo, hi = ranges.(i) in
+        try slots.(i) <- filter_map_range f xs lo hi
+        with e -> errors.(i) <- Some (e, Printexc.get_raw_backtrace ()));
+    reraise_first errors;
+    Array.concat (Array.to_list slots)
+  end
+
+let parallel_map_list f l = Array.to_list (parallel_map f (Array.of_list l))
+
+let both f g =
+  if sequential () then begin
+    let a = f () in
+    let b = g () in
+    (a, b)
+  end
+  else begin
+    let ra = ref None and rb = ref None in
+    run_tasks [| (fun () -> ra := Some (f ())); (fun () -> rb := Some (g ())) |];
+    match (!ra, !rb) with
+    | Some a, Some b -> (a, b)
+    | _ -> assert false (* run_tasks re-raises before we get here *)
+  end

@@ -1,0 +1,88 @@
+(** Fixed-size domain pool for the fan-out-shaped hot paths.
+
+    The decision procedures are embarrassingly parallel at three grains:
+    deciding a max-inequality solves independent cone LPs, homomorphism
+    counting partitions the top-level candidate set, and batch workloads
+    decide many instances at once.  This module owns the domains all of
+    those share: a single process-global pool of worker domains, spawned
+    lazily on the first parallel call, consuming chunked work queues with
+    deterministic result ordering.
+
+    {2 Initialization order}
+
+    The pool size is fixed once workers exist.  Configure the process in
+    this order:
+
+    + pick the parallelism level — [BAGCQC_JOBS] in the environment, or
+      {!set_jobs} (CLI [--jobs]) before the first parallel call;
+    + enable/disable observability ({!Bagcqc_obs} — see its docs; the obs
+      layer refuses to flip recording inside a parallel region);
+    + run parallel work ({!parallel_map} and friends, or the higher-level
+      entry points in [Maxii]/[Hom]/[Containment]).
+
+    {!set_jobs} may raise the level between regions (more workers are
+    spawned on demand) — it only fails {e inside} a region.  With
+    [jobs = 1] nothing is ever spawned and every combinator runs its
+    sequential fallback, byte-for-byte the pre-pool code path.
+
+    {2 Memory model}
+
+    Each region establishes a happens-before edge between the caller and
+    every chunk (work hand-off and completion both go through the pool
+    mutex), so results — and any per-domain instrumentation the chunks
+    wrote — are visible to the caller when a combinator returns.  Worker
+    domains are parked between regions; an [at_exit] hook shuts them down
+    so process exit never races a parked domain. *)
+
+val default_jobs : unit -> int
+(** The level used when neither [BAGCQC_JOBS] nor {!set_jobs} spoke:
+    [max 1 (Domain.recommended_domain_count () - 1)] — one slot is left
+    for the coordinating domain, which also executes chunks. *)
+
+val jobs : unit -> int
+(** Current parallelism level (≥ 1).  First call resolves [BAGCQC_JOBS]
+    (a positive integer; anything else is ignored) and falls back to
+    {!default_jobs}. *)
+
+val set_jobs : int -> unit
+(** Override the level (clamped to ≥ 1).  Raising it after workers exist
+    spawns more on the next parallel call; lowering it just caps how many
+    participate.
+    @raise Invalid_argument when called inside a parallel region. *)
+
+val in_parallel_region : unit -> bool
+(** True while a region is executing — from the coordinating domain's
+    point of view, only ever observed true {e inside} a task (the
+    coordinator is otherwise blocked in the combinator).  The obs layer
+    and the solver cache use this to guard lifecycle mutations. *)
+
+val inside_task : unit -> bool
+(** True on a domain currently executing a pool task (including the
+    coordinator while it participates).  Nested parallel combinators
+    detect this and run sequentially instead of deadlocking the pool. *)
+
+val started : unit -> bool
+(** True once at least one worker domain has been spawned. *)
+
+val parallel_map : ('a -> 'b) -> 'a array -> 'b array
+(** [parallel_map f xs] is [Array.map f xs], computed by chunking [xs]
+    over the pool.  Results are in input order regardless of scheduling.
+    If several [f] applications raise, the exception of the
+    smallest-indexed chunk is re-raised (with its backtrace), so failure
+    is deterministic.  Falls back to [Array.map] when [jobs () = 1], the
+    input has fewer than 2 elements, or the caller is itself a pool
+    task. *)
+
+val parallel_filter_map : ('a -> 'b option) -> 'a array -> 'b array
+(** Chunked [filter_map]; survivors keep input order. *)
+
+val parallel_map_list : ('a -> 'b) -> 'a list -> 'b list
+(** List clothing over {!parallel_map}. *)
+
+val both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
+(** Run two thunks as one two-chunk region; sequential fallback is
+    [let a = f () in let b = g () in (a, b)]. *)
+
+val shutdown : unit -> unit
+(** Stop and join every worker (idempotent; installed via [at_exit]).
+    The pool restarts lazily if parallel work arrives afterwards. *)

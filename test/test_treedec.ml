@@ -1,0 +1,154 @@
+(* Validity tests for tree decompositions (Definition 2.6) on the paper's
+   example queries: atom coverage (every atom's variables inside some
+   bag), running intersection (the bags holding any one variable form a
+   connected subforest), and width.  [Treedec.is_valid_for] implements
+   the same definition; here the two halves are re-checked independently
+   so a bug in the library predicate can't hide one in the builders. *)
+
+open Bagcqc_entropy
+open Bagcqc_cq
+
+let vs = Varset.of_list
+
+let triangle = Parser.parse "R(x,y), R(y,z), R(z,x)"
+let vee = Parser.parse "R(y1,y2), R(y1,y3)"
+let path4 = Parser.parse "R(x,y), R(y,z), R(z,w)"
+let c4 = Parser.parse "R(w,x), S(x,y), T(y,z), U(z,w)"
+
+(* Example 3.5's containing query: acyclic, join tree not simple. *)
+let ex35_q2 = Parser.parse "A(y1,y2), B(y1,y3), C(y4,y2)"
+
+(* K4 minus an edge: chordal but its junction tree is not simple. *)
+let k4_minus = Parser.parse "R(x,y), R(x,z), R(y,z), R(y,w), R(z,w)"
+
+let atom_varset (a : Query.atom) = vs (Array.to_list a.Query.args)
+
+(* Independent re-implementation of Definition 2.6's two conditions. *)
+let covers_atoms q t =
+  let bags = Treedec.bags t in
+  List.for_all
+    (fun a -> Array.exists (fun bag -> Varset.subset (atom_varset a) bag) bags)
+    (Query.atoms q)
+
+let running_intersection q t =
+  let bags = Treedec.bags t in
+  let nnodes = Array.length bags in
+  let adj = Array.make nnodes [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    (Treedec.tree_edges t);
+  let connected_for v =
+    let holders =
+      List.filter (fun i -> Varset.mem v bags.(i)) (List.init nnodes Fun.id)
+    in
+    match holders with
+    | [] | [ _ ] -> true
+    | start :: _ ->
+      let seen = Array.make nnodes false in
+      let rec dfs i =
+        if not seen.(i) then begin
+          seen.(i) <- true;
+          List.iter (fun j -> if Varset.mem v bags.(j) then dfs j) adj.(i)
+        end
+      in
+      dfs start;
+      List.for_all (fun i -> seen.(i)) holders
+  in
+  List.for_all connected_for (List.init (Query.nvars q) Fun.id)
+
+let check_decomposition name q t ~max_width =
+  Alcotest.(check bool) (name ^ ": library validity") true
+    (Treedec.is_valid_for q t);
+  Alcotest.(check bool) (name ^ ": every atom covered") true (covers_atoms q t);
+  Alcotest.(check bool) (name ^ ": running intersection") true
+    (running_intersection q t);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: width %d <= %d" name (Treedec.width t) max_width)
+    true
+    (Treedec.width t <= max_width)
+
+let test_paper_examples () =
+  (* Triangle: Gaifman graph is K3, one-bag junction tree of width 2. *)
+  check_decomposition "triangle" triangle (Treedec.of_query triangle)
+    ~max_width:2;
+  (* Vee and the path are acyclic with binary atoms: width 1. *)
+  check_decomposition "vee" vee (Treedec.of_query vee) ~max_width:1;
+  check_decomposition "path4" path4 (Treedec.of_query path4) ~max_width:1;
+  (* C4 is neither acyclic nor chordal; the min-fill triangulation adds
+     one chord, so the decomposition has width 2. *)
+  check_decomposition "C4" c4 (Treedec.of_query c4) ~max_width:2;
+  (* Example 3.5's Q2: acyclic (join tree exists), width 1. *)
+  check_decomposition "Example 3.5 Q2" ex35_q2 (Treedec.of_query ex35_q2)
+    ~max_width:1;
+  (* K4 minus an edge: junction tree over cliques {x,y,z}, {y,z,w}. *)
+  check_decomposition "K4 minus edge" k4_minus (Treedec.of_query k4_minus)
+    ~max_width:2
+
+let test_acyclicity_and_join_trees () =
+  Alcotest.(check bool) "path acyclic" true (Treedec.is_acyclic path4);
+  Alcotest.(check bool) "vee acyclic" true (Treedec.is_acyclic vee);
+  Alcotest.(check bool) "Ex 3.5 Q2 acyclic" true (Treedec.is_acyclic ex35_q2);
+  Alcotest.(check bool) "triangle cyclic" false (Treedec.is_acyclic triangle);
+  Alcotest.(check bool) "C4 cyclic" false (Treedec.is_acyclic c4);
+  (* A GYO join tree uses only atom variable-sets as bags. *)
+  match Treedec.join_tree path4 with
+  | None -> Alcotest.fail "path must have a join tree"
+  | Some t ->
+    let atom_sets = List.map atom_varset (Query.atoms path4) in
+    Array.iter
+      (fun bag ->
+        Alcotest.(check bool) "join-tree bag is an atom varset" true
+          (List.exists (Varset.equal bag) atom_sets))
+      (Treedec.bags t)
+
+let test_invalid_decompositions () =
+  (* Missing coverage: no bag contains {z,x}. *)
+  let missing =
+    Treedec.make
+      ~bags:[| vs [ 0; 1 ]; vs [ 1; 2 ] |]
+      ~edges:[ (0, 1) ]
+  in
+  Alcotest.(check bool) "missing atom coverage rejected" false
+    (Treedec.is_valid_for triangle missing);
+  Alcotest.(check bool) "still fails the independent coverage check" false
+    (covers_atoms triangle missing);
+  (* Coverage holds but running intersection fails: x lives in bags 0 and
+     2, which are not adjacent. *)
+  let disconnected =
+    Treedec.make
+      ~bags:[| vs [ 0; 1 ]; vs [ 1; 2 ]; vs [ 0; 2 ] |]
+      ~edges:[ (0, 1); (1, 2) ]
+  in
+  Alcotest.(check bool) "coverage holds" true (covers_atoms triangle disconnected);
+  Alcotest.(check bool) "running intersection violated" false
+    (running_intersection triangle disconnected);
+  Alcotest.(check bool) "library agrees" false
+    (Treedec.is_valid_for triangle disconnected);
+  (* The node graph must be a forest. *)
+  Alcotest.check_raises "cyclic node graph rejected"
+    (Invalid_argument "Treedec.make: edges contain a cycle")
+    (fun () ->
+      ignore
+        (Treedec.make
+           ~bags:[| vs [ 0 ]; vs [ 1 ]; vs [ 2 ] |]
+           ~edges:[ (0, 1); (1, 2); (2, 0) ]))
+
+let test_prune_preserves_validity () =
+  List.iter
+    (fun q ->
+      let t = Treedec.of_query q in
+      let p = Treedec.prune t in
+      Alcotest.(check bool) "pruned still valid" true (Treedec.is_valid_for q p);
+      Alcotest.(check bool) "pruned running intersection" true
+        (running_intersection q p);
+      Alcotest.(check bool) "pruning never widens" true
+        (Treedec.width p <= Treedec.width t))
+    [ triangle; vee; path4; c4; ex35_q2; k4_minus ]
+
+let suite =
+  [ ("paper examples are valid", `Quick, test_paper_examples);
+    ("acyclicity and join trees", `Quick, test_acyclicity_and_join_trees);
+    ("invalid decompositions rejected", `Quick, test_invalid_decompositions);
+    ("prune preserves validity", `Quick, test_prune_preserves_validity) ]
