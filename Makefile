@@ -1,4 +1,4 @@
-.PHONY: all build test check bench bench-json compare trace-demo clean
+.PHONY: all build test check fuzz bench bench-json compare trace-demo clean
 
 all: build
 
@@ -15,6 +15,15 @@ check: build
 	dune runtest
 	dune exec bench/main.exe -- --json /tmp/bagcqc-bench-smoke.json --smoke
 	dune exec bench/compare.exe -- /tmp/bagcqc-bench-smoke.json /tmp/bagcqc-bench-smoke.json
+
+# Differential fuzzing (DESIGN.md §4e): every suite, deterministic in
+# SEED, at a heavier budget than the in-suite smoke tests.  On a finding
+# the shrunk case and its replay line land in fuzz-repro-<suite>.txt.
+FUZZ_ITERS ?= 10000
+SEED ?= 42
+
+fuzz: build
+	dune exec bin/fuzz.exe -- --iters $(FUZZ_ITERS) --seed $(SEED)
 
 # Full experiment harness (tables + bechamel timings).  With JSON=1 it
 # instead runs the JSON timing suites (including the jobs-scaling `par`

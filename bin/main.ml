@@ -296,28 +296,44 @@ let eq8_cmd =
 
 let expr_conv =
   (* Linear expressions as "+2 h(1,2) -1 h(2)" — coefficient then a
-     1-based variable list. *)
+     1-based variable list.  Every malformed shape gets its own message
+     and a clean [`Msg] (cmdliner turns it into a usage error, exit 124);
+     no catch-all [try] hiding a raw exception behind [Printexc]. *)
+  let err fmt = Printf.ksprintf (fun m -> Error (`Msg ("expression syntax: " ^ m))) fmt in
+  let parse_var v =
+    match int_of_string_opt (String.trim v) with
+    | Some i when i >= 1 && i <= Varset.max_vars -> Ok (i - 1)
+    | Some i -> err "variable %d out of range (variables are 1..%d)" i Varset.max_vars
+    | None -> err "invalid variable %S (expected a 1-based integer)" v
+  in
+  let rec parse_vars acc = function
+    | [] -> Ok (List.rev acc)
+    | v :: rest ->
+      (match parse_var v with
+       | Ok i -> parse_vars (i :: acc) rest
+       | Error _ as e -> e)
+  in
   let parse s =
-    try
-      let toks = String.split_on_char ' ' s |> List.filter (fun t -> t <> "") in
-      let rec go acc = function
-        | [] -> acc
-        | c :: h :: rest ->
-          let coeff = Rat.of_string c in
-          if not (String.length h > 2 && String.sub h 0 2 = "h(") then
-            failwith "expected h(...)"
-          else begin
-            let inner = String.sub h 2 (String.length h - 3) in
-            let vars =
-              String.split_on_char ',' inner
-              |> List.map (fun v -> int_of_string (String.trim v) - 1)
-            in
-            go (Linexpr.add acc (Linexpr.term ~coeff (Varset.of_list vars))) rest
-          end
-        | [ _ ] -> failwith "dangling token"
-      in
-      Ok (go Linexpr.zero toks)
-    with e -> Error (`Msg ("expression syntax: " ^ Printexc.to_string e))
+    let toks = String.split_on_char ' ' s |> List.filter (fun t -> t <> "") in
+    let rec go acc = function
+      | [] -> Ok acc
+      | c :: h :: rest ->
+        (match Rat.of_string_opt c with
+         | None -> err "invalid coefficient %S (expected an integer or n/d)" c
+         | Some coeff ->
+           if String.length h < 4
+              || String.sub h 0 2 <> "h("
+              || h.[String.length h - 1] <> ')'
+           then err "expected h(vars) after coefficient %s, got %S" c h
+           else
+             let inner = String.sub h 2 (String.length h - 3) in
+             (match parse_vars [] (String.split_on_char ',' inner) with
+              | Error _ as e -> e
+              | Ok vars ->
+                go (Linexpr.add acc (Linexpr.term ~coeff (Varset.of_list vars))) rest))
+      | [ t ] -> err "dangling token %S (terms come as coefficient h(vars) pairs)" t
+    in
+    go Linexpr.zero toks
   in
   Arg.conv (parse, fun fmt e -> Linexpr.pp () fmt e)
 
@@ -440,4 +456,18 @@ let main_cmd =
     [ check_cmd; classify_cmd; eq8_cmd; iip_cmd; reduce_cmd; homcount_cmd;
       report_cmd ]
 
-let () = exit (Cmd.eval' main_cmd)
+let () =
+  (* Typed internal-invariant errors (Bagcqc_error) escape as a dedicated
+     exit code so scripts can tell "the tool found a bug in itself" apart
+     from usage errors (124) and stray exceptions (125, matching
+     cmdliner's default catch, which we disable to see the typed ones). *)
+  match Cmd.eval' ~catch:false main_cmd with
+  | code -> exit code
+  | exception Bagcqc_num.Bagcqc_error.Error e ->
+    Format.eprintf "bagcqc: internal error: %a@." Bagcqc_num.Bagcqc_error.pp e;
+    exit 4
+  | exception e ->
+    let bt = Printexc.get_backtrace () in
+    Format.eprintf "bagcqc: uncaught exception: %s@.%s@?"
+      (Printexc.to_string e) bt;
+    exit 125

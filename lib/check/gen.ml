@@ -1,0 +1,231 @@
+open Bagcqc_num
+open Bagcqc_lp
+open Bagcqc_cq
+
+(* ---------------- Logint ---------------- *)
+
+type logint_case = (int * Rat.t) list
+
+(* Coefficient pools: small rationals exercise the refinement and float
+   stages; the huge numerators (scaled by ~1e15) push the cleared-
+   denominator exponents past [Bigint.to_int_opt] range, the regime where
+   the seed implementation died. *)
+let coeff rng =
+  let num = (if Rng.bool rng then 1 else -1) * Rng.range rng 1 12 in
+  let den = Rng.range rng 1 6 in
+  let num = if Rng.int rng 4 = 0 then num * 1_000_000_000_000_003 else num in
+  Rat.of_ints num den
+
+let base rng =
+  match Rng.int rng 4 with
+  | 0 -> Rng.range rng 2 12
+  | 1 -> Rng.range rng 2 3000
+  | 2 ->
+    (* Products of small primes: rich gcd structure for the coprime
+       refinement to chew on. *)
+    let primes = [ 2; 3; 5; 7; 11 ] in
+    let p () = Rng.choose rng primes in
+    p () * p () * (if Rng.bool rng then p () else 1)
+  | _ -> Rng.range rng 2 64
+
+let logint_case rng =
+  let k = Rng.range rng 1 5 in
+  let plain = List.init k (fun _ -> (base rng, coeff rng)) in
+  if Rng.int rng 3 = 0 then begin
+    (* Append an exactly-cancelling bundle c·log(ab) − c·log a − c·log b:
+       invisible to floats at these magnitudes, found only by the exact
+       stages. *)
+    let a = Rng.range rng 2 50 and b = Rng.range rng 2 50 in
+    let c = coeff rng in
+    (a * b, c) :: (a, Rat.neg c) :: (b, Rat.neg c) :: plain
+  end
+  else plain
+
+let build_logint case =
+  List.fold_left
+    (fun acc (b, c) -> Logint.add acc (Logint.scale c (Logint.log_int b)))
+    Logint.zero case
+
+let shrink_logint case =
+  let removals =
+    List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) case) case
+  in
+  let simplified =
+    List.concat
+      (List.mapi
+         (fun i (b, c) ->
+           let unit = Rat.of_int (Rat.sign c) in
+           if Rat.equal c unit then []
+           else
+             [ List.mapi (fun j t -> if j = i then (b, unit) else t) case ])
+         case)
+  in
+  List.filter (fun c -> c <> []) removals @ simplified
+
+let show_logint case =
+  String.concat " + "
+    (List.map
+       (fun (b, c) -> Printf.sprintf "%s*log(%d)" (Rat.to_string c) b)
+       case)
+
+(* ---------------- LP problems ---------------- *)
+
+type lp_case = {
+  nv : int;
+  obj : Rat.t list;
+  rows : ((int * Rat.t) list * Simplex.op * Rat.t) list;
+}
+
+let small_rat ?(lo = -3) ?(hi = 3) rng =
+  Rat.of_ints (Rng.range rng lo hi) (Rng.range rng 1 3)
+
+let lp_row rng nv =
+  let cols =
+    List.filter (fun _ -> Rng.int rng 3 > 0) (List.init nv Fun.id)
+  in
+  let cols = if cols = [] then [ Rng.int rng nv ] else cols in
+  let row =
+    List.filter_map
+      (fun i ->
+        let c = small_rat rng in
+        if Rat.is_zero c then None else Some (i, c))
+      cols
+  in
+  let op = Rng.choose rng [ Simplex.Le; Simplex.Ge; Simplex.Eq ] in
+  (row, op, small_rat ~lo:(-4) ~hi:4 rng)
+
+let lp_case rng =
+  let nv = Rng.range rng 1 4 in
+  let nrows = Rng.range rng 1 7 in
+  { nv;
+    obj = List.init nv (fun _ -> small_rat rng);
+    rows = List.init nrows (fun _ -> lp_row rng nv) }
+
+let build_lp { nv; obj; rows } =
+  { Simplex.num_vars = nv;
+    objective = Array.of_list obj;
+    constraints =
+      List.map (fun (r, op, b) -> Simplex.sparse_constr r op b) rows }
+
+let shrink_lp case =
+  let drop_row =
+    List.mapi
+      (fun i _ -> { case with rows = List.filteri (fun j _ -> j <> i) case.rows })
+      case.rows
+  in
+  let zero_obj =
+    if List.for_all Rat.is_zero case.obj then []
+    else [ { case with obj = List.map (fun _ -> Rat.zero) case.obj } ]
+  in
+  drop_row @ zero_obj
+
+let show_op = function
+  | Simplex.Le -> "<="
+  | Simplex.Ge -> ">="
+  | Simplex.Eq -> "="
+
+let show_lp { nv; obj; rows } =
+  Printf.sprintf "nv=%d min[%s] s.t. %s" nv
+    (String.concat " " (List.map Rat.to_string obj))
+    (String.concat "; "
+       (List.map
+          (fun (r, op, b) ->
+            Printf.sprintf "%s %s %s"
+              (String.concat "+"
+                 (List.map
+                    (fun (i, c) -> Printf.sprintf "%s*x%d" (Rat.to_string c) i)
+                    r))
+              (show_op op) (Rat.to_string b))
+          rows))
+
+(* ---------------- Boolean query pairs ---------------- *)
+
+let vocabulary = [ ("R", 2); ("S", 2); ("T", 1) ]
+
+let compact_atoms atoms =
+  (* Remap the variables actually used onto 0..n-1 so [Query.make]'s
+     every-variable-occurs rule holds by construction. *)
+  let seen = Hashtbl.create 8 in
+  let next = ref 0 in
+  let remap v =
+    match Hashtbl.find_opt seen v with
+    | Some i -> i
+    | None ->
+      let i = !next in
+      Hashtbl.add seen v i;
+      incr next;
+      i
+  in
+  let atoms =
+    List.map
+      (fun (rel, args) -> { Query.rel; args = Array.of_list (List.map remap args) })
+      atoms
+  in
+  Query.make ~nvars:!next atoms
+
+let query rng =
+  let nv = Rng.range rng 1 3 in
+  let natoms = Rng.range rng 1 3 in
+  compact_atoms
+    (List.init natoms (fun _ ->
+         let rel, arity = Rng.choose rng vocabulary in
+         (rel, List.init arity (fun _ -> Rng.int rng nv))))
+
+let query_pair rng = (query rng, query rng)
+
+let shrink_query rebuild_pair q =
+  let atoms = List.map (fun a -> (a.Query.rel, Array.to_list a.Query.args)) (Query.atoms q) in
+  if List.length atoms <= 1 then []
+  else
+    List.mapi
+      (fun i _ ->
+        rebuild_pair (compact_atoms (List.filteri (fun j _ -> j <> i) atoms)))
+      atoms
+
+let shrink_query_pair (q1, q2) =
+  shrink_query (fun q -> (q, q2)) q1 @ shrink_query (fun q -> (q1, q)) q2
+
+let show_query_pair (q1, q2) =
+  Printf.sprintf "%s ; %s" (Query.to_string q1) (Query.to_string q2)
+
+(* ---------------- Parser inputs ---------------- *)
+
+let alphabet = "RSTQxyzw()(),,.:-- '\t_019"
+
+let random_string rng =
+  let n = Rng.int rng 41 in
+  String.init n (fun _ -> alphabet.[Rng.int rng (String.length alphabet)])
+
+let mutate rng s =
+  let n = String.length s in
+  let c () = alphabet.[Rng.int rng (String.length alphabet)] in
+  match Rng.int rng 3 with
+  | 0 when n > 0 ->
+    (* delete *)
+    let i = Rng.int rng n in
+    String.sub s 0 i ^ String.sub s (i + 1) (n - i - 1)
+  | 1 ->
+    (* insert *)
+    let i = Rng.int rng (n + 1) in
+    String.sub s 0 i ^ String.make 1 (c ()) ^ String.sub s i (n - i)
+  | _ when n > 0 ->
+    (* replace *)
+    let i = Rng.int rng n in
+    String.sub s 0 i ^ String.make 1 (c ()) ^ String.sub s (i + 1) (n - i - 1)
+  | _ -> String.make 1 (c ())
+
+let parser_case rng =
+  if Rng.bool rng then random_string rng
+  else begin
+    let s = ref (Query.to_string (query rng)) in
+    for _ = 1 to Rng.range rng 1 3 do
+      s := mutate rng !s
+    done;
+    !s
+  end
+
+let shrink_string s =
+  List.init (String.length s) (fun i ->
+      String.sub s 0 i ^ String.sub s (i + 1) (String.length s - i - 1))
+
+let show_string s = Printf.sprintf "%S" s

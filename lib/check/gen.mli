@@ -1,0 +1,57 @@
+(** Seeded case generators (and their shrinkers and printers) for the
+    differential fuzzing suites.
+
+    Each case is a plain recipe — term lists, sparse rows, atom lists,
+    raw strings — rather than the built value, so a failing case can be
+    printed as a reproducer and shrunk structurally before being
+    rebuilt. *)
+
+open Bagcqc_num
+open Bagcqc_lp
+open Bagcqc_cq
+
+(** {2 Logint terms} *)
+
+type logint_case = (int * Rat.t) list
+(** Raw [(base, coefficient)] terms: bases [>= 2], possibly composite and
+    repeated; coefficients possibly huge (to push cleared-denominator
+    exponents past native-int range). *)
+
+val logint_case : Rng.t -> logint_case
+val build_logint : logint_case -> Logint.t
+val shrink_logint : logint_case -> logint_case list
+val show_logint : logint_case -> string
+
+(** {2 LP problems} *)
+
+type lp_case = {
+  nv : int;
+  obj : Rat.t list;  (** dense objective, length [nv] *)
+  rows : ((int * Rat.t) list * Simplex.op * Rat.t) list;
+      (** sparse row, relation, right-hand side *)
+}
+
+val lp_case : Rng.t -> lp_case
+val build_lp : lp_case -> Simplex.problem
+val shrink_lp : lp_case -> lp_case list
+val show_lp : lp_case -> string
+
+(** {2 Boolean query pairs} *)
+
+val query : Rng.t -> Query.t
+(** Small random Boolean query over the vocabulary
+    [R/2, S/2, T/1] — sized for full [Containment.decide] pipelines. *)
+
+val query_pair : Rng.t -> Query.t * Query.t
+val shrink_query_pair : Query.t * Query.t -> (Query.t * Query.t) list
+val show_query_pair : Query.t * Query.t -> string
+
+(** {2 Parser inputs} *)
+
+val parser_case : Rng.t -> string
+(** A mix of unconstrained strings over a query-ish alphabet and
+    well-formed queries damaged by a few random edits — the latter sit
+    near the grammar's boundary where partial-parse bugs live. *)
+
+val shrink_string : string -> string list
+val show_string : string -> string

@@ -1,0 +1,40 @@
+(* SplitMix64 (Steele–Lea–Flood), the usual seeding PRNG of JDK /
+   xoshiro fame: a 64-bit counter stream through a bijective finalizer.
+   State is one int64, so [derive] can jump to any iteration in O(1). *)
+
+type t = { mutable s : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { s = Int64.mul (Int64.of_int seed) 0x632BE59BD9B4E019L }
+
+let next t =
+  t.s <- Int64.add t.s golden;
+  let z = t.s in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let derive seed i =
+  (* Mix the iteration index through one finalizer round before adding,
+     so [derive s 0, derive s 1, …] are not merely shifted streams. *)
+  let t = create seed in
+  let k = next { s = Int64.mul (Int64.of_int i) golden } in
+  t.s <- Int64.add t.s k;
+  t
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next t) 2)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits t mod n
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range: empty interval";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+let choose t = function
+  | [] -> invalid_arg "Rng.choose: empty list"
+  | l -> List.nth l (int t (List.length l))

@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random generator for the differential fuzzer.
+
+    SplitMix64: the whole fuzzing run is a pure function of [(seed,
+    iteration)], independent of [Random.State]'s global self-init and of
+    the standard library's generator changing across OCaml releases — a
+    reproducer line printed on one machine replays bit-for-bit on
+    another.  Not cryptographic; statistical quality is ample for test
+    generation. *)
+
+type t
+
+val create : int -> t
+(** Fresh stream from an integer seed (any int, including 0). *)
+
+val derive : int -> int -> t
+(** [derive seed i]: the stream for iteration [i] of a run seeded with
+    [seed].  Streams for different [i] are decorrelated, so a failing
+    iteration can be replayed without generating its predecessors. *)
+
+val bits : t -> int
+(** Next 62 uniformly random non-negative bits. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform-ish on [0 .. n-1].  @raise Invalid_argument if
+    [n <= 0]. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform-ish on the inclusive interval
+    [lo .. hi]. *)
+
+val bool : t -> bool
+
+val choose : t -> 'a list -> 'a
+(** Uniform pick.  @raise Invalid_argument on an empty list. *)

@@ -1,0 +1,99 @@
+type t =
+  | Suite : {
+      name : string;
+      doc : string;
+      gen : Rng.t -> 'c;
+      show : 'c -> string;
+      shrink : 'c -> 'c list;
+      check : 'c -> (unit, string) result;
+    }
+      -> t
+
+let name (Suite s) = s.name
+let doc (Suite s) = s.doc
+
+type failure = {
+  iteration : int;
+  seed : int;
+  case : string;
+  original : string;
+  message : string;
+  shrink_steps : int;
+}
+
+type outcome = {
+  suite : string;
+  iters : int;
+  elapsed : float;
+  failure : failure option;
+}
+
+(* An exception out of a check is itself a finding — "never raises" is
+   one of the properties under test — so it must not abort the run. *)
+let run_case check c =
+  match check c with
+  | Ok () -> None
+  | Error msg -> Some msg
+  | exception e -> Some ("exception: " ^ Printexc.to_string e)
+
+let max_shrink_steps = 500
+
+let shrink_to_fixpoint shrink check c0 msg0 =
+  let cur = ref c0 and msg = ref msg0 and steps = ref 0 in
+  let improving = ref true in
+  while !improving && !steps < max_shrink_steps do
+    match
+      List.find_map
+        (fun cand ->
+          match run_case check cand with
+          | Some m -> Some (cand, m)
+          | None -> None)
+        (shrink !cur)
+    with
+    | Some (cand, m) ->
+      cur := cand;
+      msg := m;
+      incr steps
+    | None -> improving := false
+  done;
+  (!cur, !msg, !steps)
+
+let run ~iters ~seed (Suite s) =
+  let t0 = Unix.gettimeofday () in
+  let failure = ref None in
+  let i = ref 0 in
+  while !failure = None && !i < iters do
+    let rng = Rng.derive seed !i in
+    let case = s.gen rng in
+    (match run_case s.check case with
+     | None -> ()
+     | Some msg ->
+       let shrunk, msg', steps = shrink_to_fixpoint s.shrink s.check case msg in
+       failure :=
+         Some
+           { iteration = !i;
+             seed;
+             case = s.show shrunk;
+             original = s.show case;
+             message = msg';
+             shrink_steps = steps });
+    incr i
+  done;
+  { suite = s.name;
+    iters = !i;
+    elapsed = Unix.gettimeofday () -. t0;
+    failure = !failure }
+
+let pp_failure ~suite fmt f =
+  Format.fprintf fmt
+    "suite %s: FAILED at iteration %d (seed %d)@\n\
+    \  case:     %s@\n\
+     %s\
+    \  error:    %s@\n\
+    \  reproduce: fuzz --suite %s --iters %d --seed %d@\n"
+    suite f.iteration f.seed f.case
+    (if String.equal f.case f.original then ""
+     else
+       Format.asprintf "  original: %s@\n  (shrunk in %d steps)@\n" f.original
+         f.shrink_steps)
+    f.message suite (f.iteration + 1) f.seed

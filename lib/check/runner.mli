@@ -1,0 +1,45 @@
+(** Suite runner: deterministic iteration, greedy shrinking, reproducer
+    text.
+
+    A suite packages a generator with a differential check.  The runner
+    derives one RNG stream per iteration from [(seed, iteration)], so a
+    failure report names the exact pair that rebuilds the case; on
+    failure it shrinks greedily (first failing candidate wins, bounded
+    steps) before printing. *)
+
+type t =
+  | Suite : {
+      name : string;
+      doc : string;  (** one line: what is cross-checked against what *)
+      gen : Rng.t -> 'c;
+      show : 'c -> string;
+      shrink : 'c -> 'c list;
+      check : 'c -> (unit, string) result;
+          (** [Error msg] {e or} any exception is a finding *)
+    }
+      -> t
+
+val name : t -> string
+val doc : t -> string
+
+type failure = {
+  iteration : int;  (** 0-based iteration that failed *)
+  seed : int;
+  case : string;      (** shrunk case *)
+  original : string;  (** as generated, before shrinking *)
+  message : string;   (** from the shrunk case *)
+  shrink_steps : int;
+}
+
+type outcome = {
+  suite : string;
+  iters : int;     (** iterations executed (stops at first failure) *)
+  elapsed : float; (** wall-clock seconds *)
+  failure : failure option;
+}
+
+val run : iters:int -> seed:int -> t -> outcome
+
+val pp_failure : suite:string -> Format.formatter -> failure -> unit
+(** Human-readable block including the [--suite … --iters … --seed …]
+    reproduction line. *)

@@ -1,0 +1,227 @@
+open Bagcqc_num
+open Bagcqc_lp
+open Bagcqc_cq
+open Bagcqc_core
+
+let ( let* ) = Result.bind
+
+let require cond fmt =
+  Printf.ksprintf (fun msg -> if cond then Ok () else Error msg) fmt
+
+(* ---------------- logint ---------------- *)
+
+(* The seed implementation of [Logint.sign], kept as the reference
+   oracle: clear denominators, materialize both sides as full [Bigint]
+   powers, compare.  Only usable when every cleared exponent fits an
+   [int] and the products stay small — exactly the regime the seed
+   supported; outside it the suite falls back to the other oracles. *)
+let slow_exact_sign terms =
+  let d =
+    List.fold_left
+      (fun acc (_, c) ->
+        let den = Rat.den c in
+        Bigint.mul acc (Bigint.div den (Bigint.gcd acc den)))
+      Bigint.one terms
+  in
+  let exps =
+    List.map
+      (fun (b, c) -> (b, Bigint.mul (Rat.num c) (Bigint.div d (Rat.den c))))
+      terms
+  in
+  let feasible =
+    List.fold_left
+      (fun bits (b, e) ->
+        match bits, Bigint.to_int_opt e with
+        | Some bits, Some e when abs e <= 100_000 ->
+          Some (bits + (abs e * Bigint.num_bits b))
+        | _ -> None)
+      (Some 0) exps
+  in
+  match feasible with
+  | None | Some 0 -> if exps = [] then Some 0 else None
+  | Some bits when bits > 40_000 -> None
+  | Some _ ->
+    let pos = ref Bigint.one and neg = ref Bigint.one in
+    List.iter
+      (fun (b, e) ->
+        match Bigint.to_int_opt e with
+        | Some e when e > 0 -> pos := Bigint.mul !pos (Bigint.pow b e)
+        | Some e when e < 0 -> neg := Bigint.mul !neg (Bigint.pow b (-e))
+        | _ -> ())
+      exps;
+    let c = Bigint.compare !pos !neg in
+    Some (if c > 0 then 1 else if c < 0 then -1 else 0)
+
+let check_logint case =
+  let t = Gen.build_logint case in
+  let s = Logint.sign t in
+  let* () = require (s >= -1 && s <= 1) "sign returned %d" s in
+  let* () =
+    match Logint.sign_float_interval t with
+    | Some fs -> require (fs = s) "float-interval oracle says %d, sign says %d" fs s
+    | None -> Ok ()
+  in
+  let* () =
+    match slow_exact_sign (Logint.terms t) with
+    | Some es -> require (es = s) "slow exact oracle says %d, sign says %d" es s
+    | None -> Ok ()
+  in
+  let* () =
+    require (Logint.sign (Logint.neg t) = -s) "sign(-t) <> -sign(t) (= %d)" s
+  in
+  let* () =
+    require (Logint.sign (Logint.sub t t) = 0) "sign(t - t) <> 0"
+  in
+  let* () = require (Logint.sign (Logint.add t t) = s) "sign(t + t) <> sign(t)" in
+  require
+    (Logint.sign (Logint.scale (Rat.of_ints 2 3) t) = s)
+    "sign(2/3 * t) <> sign(t)"
+
+let logint_suite =
+  Runner.Suite
+    { name = "logint";
+      doc = "exact Logint.sign vs float-interval, slow-exact and sign laws";
+      gen = Gen.logint_case;
+      show = Gen.show_logint;
+      shrink = Gen.shrink_logint;
+      check = check_logint }
+
+(* ---------------- simplex ---------------- *)
+
+let eval_row x row =
+  List.fold_left
+    (fun acc (i, c) -> Rat.add acc (Rat.mul c x.(i)))
+    Rat.zero row
+
+let point_feasible (case : Gen.lp_case) x =
+  Array.for_all (fun v -> Rat.sign v >= 0) x
+  && List.for_all
+       (fun (row, op, b) ->
+         let v = eval_row x row in
+         match op with
+         | Simplex.Le -> Rat.compare v b <= 0
+         | Simplex.Ge -> Rat.compare v b >= 0
+         | Simplex.Eq -> Rat.equal v b)
+       case.Gen.rows
+
+let objective_value (case : Gen.lp_case) x =
+  List.fold_left
+    (fun (acc, i) c -> (Rat.add acc (Rat.mul c x.(i)), i + 1))
+    (Rat.zero, 0) case.Gen.obj
+  |> fst
+
+let check_lp case =
+  let p = Gen.build_lp case in
+  let check_point engine x v =
+    let* () =
+      require (point_feasible case x) "%s point violates a constraint" engine
+    in
+    require
+      (Rat.equal (objective_value case x) v)
+      "%s point is off its reported objective" engine
+  in
+  match Simplex.solve_with Dense p, Simplex.solve_with Sparse p with
+  | Simplex.Optimal (v1, x1), Simplex.Optimal (v2, x2) ->
+    let* () =
+      require (Rat.equal v1 v2) "optimal values differ: dense %s, sparse %s"
+        (Rat.to_string v1) (Rat.to_string v2)
+    in
+    let* () = check_point "dense" x1 v1 in
+    check_point "sparse" x2 v2
+  | Simplex.Unbounded, Simplex.Unbounded
+  | Simplex.Infeasible, Simplex.Infeasible -> Ok ()
+  | o1, o2 ->
+    let name = function
+      | Simplex.Optimal _ -> "Optimal"
+      | Simplex.Unbounded -> "Unbounded"
+      | Simplex.Infeasible -> "Infeasible"
+    in
+    Error (Printf.sprintf "status mismatch: dense %s, sparse %s" (name o1) (name o2))
+
+let simplex_suite =
+  Runner.Suite
+    { name = "simplex";
+      doc = "sparse vs dense simplex: status, value, exact feasibility";
+      gen = Gen.lp_case;
+      show = Gen.show_lp;
+      shrink = Gen.shrink_lp;
+      check = check_lp }
+
+(* ---------------- decide ---------------- *)
+
+let verdict_name = function
+  | Containment.Contained _ -> "Contained"
+  | Containment.Not_contained _ -> "Not_contained"
+  | Containment.Unknown _ -> "Unknown"
+
+let decide_at jobs q1 q2 =
+  let prev = Bagcqc_par.Pool.jobs () in
+  Bagcqc_par.Pool.set_jobs jobs;
+  Fun.protect
+    ~finally:(fun () -> Bagcqc_par.Pool.set_jobs prev)
+    (fun () -> Containment.decide q1 q2)
+
+let check_decide (q1, q2) =
+  let v1 = decide_at 1 q1 q2 in
+  let v2 = decide_at 2 q1 q2 in
+  let* () =
+    require
+      (String.equal (verdict_name v1) (verdict_name v2))
+      "verdicts differ: sequential %s, parallel %s" (verdict_name v1)
+      (verdict_name v2)
+  in
+  let sound tag = function
+    | Containment.Contained cert ->
+      require (Bagcqc_entropy.Certificate.check cert)
+        "%s Contained certificate fails Certificate.check" tag
+    | Containment.Not_contained w ->
+      require
+        (w.Containment.card_p > w.Containment.hom2)
+        "%s witness does not separate: |P| = %d vs hom2 = %d" tag
+        w.Containment.card_p w.Containment.hom2
+    | Containment.Unknown _ -> Ok ()
+  in
+  let* () = sound "sequential" v1 in
+  let* () = sound "parallel" v2 in
+  match v1, v2 with
+  | Containment.Unknown { reason = r1; _ }, Containment.Unknown { reason = r2; _ }
+    ->
+    require (String.equal r1 r2) "Unknown reasons differ: %S vs %S" r1 r2
+  | _ -> Ok ()
+
+let decide_suite =
+  Runner.Suite
+    { name = "decide";
+      doc = "Containment.decide at jobs=1 vs jobs=2, plus verdict soundness";
+      gen = Gen.query_pair;
+      show = Gen.show_query_pair;
+      shrink = Gen.shrink_query_pair;
+      check = check_decide }
+
+(* ---------------- parser ---------------- *)
+
+let check_parser s =
+  match Parser.parse_result s with
+  | Error _ -> Ok () (* rejection is fine; raising is the bug *)
+  | Ok q ->
+    let printed = Query.to_string q in
+    (match Parser.parse_result printed with
+     | Ok q' ->
+       require (Query.equal q q') "print/reparse changed the query: %S" printed
+     | Error msg ->
+       Error
+         (Printf.sprintf "accepted, but its printing %S is rejected: %s"
+            printed msg))
+
+let parser_suite =
+  Runner.Suite
+    { name = "parser";
+      doc = "Parser.parse_result totality and print/reparse stability";
+      gen = Gen.parser_case;
+      show = Gen.show_string;
+      shrink = Gen.shrink_string;
+      check = check_parser }
+
+let all = [ logint_suite; simplex_suite; decide_suite; parser_suite ]
+
+let find name = List.find_opt (fun s -> String.equal (Runner.name s) name) all

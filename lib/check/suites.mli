@@ -1,0 +1,25 @@
+(** The differential suites: each cross-checks a fast production path
+    against an independent oracle.
+
+    - [logint]: the three-stage exact {!Bagcqc_num.Logint.sign} against a
+      slow common-denominator [Bigint.pow] oracle (when the exponents
+      permit one — the seed algorithm, kept here as the reference),
+      against the float-interval screen whenever it is decisive, and
+      against algebraic sign laws (negation, cancellation, doubling,
+      positive scaling).
+    - [simplex]: sparse vs dense engines on random LPs — same status,
+      equal optimal value, and each engine's point checked feasible and
+      on-objective by exact arithmetic.
+    - [decide]: the full containment pipeline at [jobs = 1] vs
+      [jobs = 2] (sequential vs speculative-parallel control flow), plus
+      the internal soundness oracles: a [Contained] certificate must
+      re-verify ({!Bagcqc_entropy.Certificate.check}) and a
+      [Not_contained] witness must actually separate the counts.
+    - [parser]: {!Bagcqc_cq.Parser.parse_result} never raises on
+      arbitrary near-grammar strings, and accepted queries survive a
+      print/reparse round trip. *)
+
+val all : Runner.t list
+(** In fixed order: logint, simplex, decide, parser. *)
+
+val find : string -> Runner.t option

@@ -174,6 +174,9 @@ let decide ?max_factors q1 q2 =
               database exceeded the max_factors budget";
            refuter = Some h_normal })
 
+let decide_result ?max_factors q1 q2 =
+  Bagcqc_error.protect (fun () -> decide ?max_factors q1 q2)
+
 let decide_many ?max_factors pairs =
   (* Batch fan-out over the pool: each pair runs the full sequential
      pipeline on its worker (every nested parallel entry point sees

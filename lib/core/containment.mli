@@ -75,6 +75,13 @@ val decide : ?max_factors:int -> Query.t -> Query.t -> verdict
     relations, i.e. at most [2^max_factors] rows.
     @raise Invalid_argument if either query is not Boolean. *)
 
+val decide_result :
+  ?max_factors:int -> Query.t -> Query.t -> (verdict, Bagcqc_error.t) result
+(** {!decide} with internal invariant violations anywhere in the pipeline
+    (simplex phase-1 anomalies, LP-duality disagreements, junction-tree
+    failures on chordal graphs) reified as a typed [Error].
+    Caller-side precondition failures still raise [Invalid_argument]. *)
+
 val decide_many : ?max_factors:int -> (Query.t * Query.t) list -> verdict list
 (** Decide a batch of containment instances concurrently over the domain
     pool ({!Bagcqc_par.Pool}); order is preserved and each verdict equals

@@ -15,7 +15,12 @@ let applicable q2 =
       | None ->
         (match Treedec.junction_tree (Graph.gaifman q2) with
          | Some t -> t
-         | None -> assert false)
+         | None ->
+           (* Guarded by the acyclic/chordal test above: a non-acyclic
+              query only reaches here when its Gaifman graph is chordal,
+              and [junction_tree] succeeds on every chordal graph. *)
+           Bagcqc_num.Bagcqc_error.invariant ~where:"Witness.applicable"
+             "junction_tree failed on a chordal Gaifman graph")
     in
     if Treedec.is_totally_disconnected t then Some Product
     else if Treedec.is_simple t then Some Normal

@@ -77,13 +77,18 @@ let parse input =
       loop []
     end
   in
-  let parse_atom () =
+  (* Body atoms must have at least one argument (a 0-ary atom constrains
+     nothing and [Query.make] requires every variable to occur in the
+     body); an empty {e head} is the ordinary Boolean-query syntax. *)
+  let parse_atom ~body () =
     match peek () with
     | Ident rel ->
       advance ();
       expect Lparen "'('";
       let args = parse_var_list () in
       expect Rparen "')'";
+      if body && args = [] then
+        fail (Printf.sprintf "atom %s() has no arguments" rel);
       { Query.rel; args = Array.of_list args }
     | _ -> fail "expected an atom"
   in
@@ -93,7 +98,7 @@ let parse input =
     match peek () with
     | Ident _ ->
       (try
-         let a = parse_atom () in
+         let a = parse_atom ~body:false () in
          if peek () = Turnstile then begin
            advance ();
            Some (Array.to_list a.Query.args)
@@ -112,16 +117,27 @@ let parse input =
          None)
     | _ -> None
   in
+  (* Duplicate head variables are legal: [Q(x,x) :- R(x,y)] outputs the
+     tuple [(x,x)], a meaningful shape under bag semantics (and the
+     round-trip suite pins that down).  Validation of the head against
+     the body happens below and in [Query.make]. *)
   let atoms =
     let rec loop acc =
-      let a = parse_atom () in
+      let a = parse_atom ~body:true () in
       if peek () = Comma then begin
         advance ();
         loop (a :: acc)
       end
       else List.rev (a :: acc)
     in
-    if peek () = Period || peek () = Eof then [] else loop []
+    (* [true] is the empty body — the form the printer emits for a query
+       with no atoms — unless it opens an atom of a relation named
+       "true". *)
+    match !toks with
+    | Ident "true" :: next :: _ when next <> Lparen ->
+      advance ();
+      []
+    | _ -> if peek () = Period || peek () = Eof then [] else loop []
   in
   if peek () = Period then advance ();
   if peek () <> Eof then fail "trailing input after query";
@@ -133,9 +149,18 @@ let parse input =
       if not (List.exists (fun a -> Array.exists (( = ) v) a.Query.args) atoms)
       then fail "head variable does not occur in the body")
     (Option.value head ~default:[]);
-  Query.make ?head ~nvars ~names atoms
+  (* [Query.make] still validates (variable count against [Varset.max_vars],
+     consistent arities, …); surface its rejections as parse errors so
+     [parse]'s contract — [Parse_error] on any bad input — is accurate. *)
+  match Query.make ?head ~nvars ~names atoms with
+  | q -> q
+  | exception Invalid_argument msg -> fail msg
 
 let parse_result s =
   match parse s with
   | q -> Ok q
   | exception Parse_error msg -> Error msg
+  (* Defense in depth: no current path raises [Invalid_argument] out of
+     [parse], but this function is the total entry point the CLI and the
+     fuzzer rely on — never raise on a string. *)
+  | exception Invalid_argument msg -> Error msg

@@ -13,6 +13,12 @@ exception Parse_error of string
 (** Carries a human-readable position + message. *)
 
 val parse : string -> Query.t
-(** @raise Parse_error on malformed input. *)
+(** @raise Parse_error on malformed input — including inputs the
+    tokenizer and grammar accept but {!Query.make} rejects (too many
+    variables, inconsistent relation arities) and body atoms with no
+    arguments.  Duplicate head variables are legal ([Q(x,x) :- R(x,y)]
+    outputs the tuple [(x,x)]). *)
 
 val parse_result : string -> (Query.t, string) result
+(** Total: returns [Error _] on every malformed input and never raises,
+    whatever the string (the differential fuzzer checks exactly that). *)

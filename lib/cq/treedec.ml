@@ -340,7 +340,13 @@ let of_query q =
     let g = if Graph.is_chordal g then g else Graph.min_fill_triangulation g in
     (match junction_tree g with
      | Some t -> t
-     | None -> assert false (* triangulated graphs are chordal *))
+     | None ->
+       (* [min_fill_triangulation] returns a chordal supergraph by
+          construction, and [junction_tree] succeeds on every chordal
+          graph; failure here means one of the two is buggy. *)
+       Bagcqc_num.Bagcqc_error.invariant ~where:"Treedec.of_query"
+         "junction_tree failed on a min-fill triangulated (hence chordal) \
+          graph")
 
 let pp fmt t =
   Array.iteri

@@ -147,8 +147,14 @@ let solve problem =
   end
   else solve_cached problem
 
+let solve_result problem = Bagcqc_num.Bagcqc_error.protect (fun () -> solve problem)
+
 let feasible problem =
   match solve problem with
   | Simplex.Optimal (_, x) -> Some x
   | Simplex.Infeasible -> None
-  | Simplex.Unbounded -> assert false (* feasibility objective is constant *)
+  | Simplex.Unbounded ->
+    (* Feasibility problems carry a constant objective; an unbounded
+       verdict can only come from a simplex bug. *)
+    Bagcqc_num.Bagcqc_error.invariant ~where:"Solver.feasible"
+      "constant objective reported unbounded"

@@ -29,6 +29,10 @@ val caching : bool ref
 val solve : Problem.t -> Simplex.outcome
 (** Cached {!Simplex.solve} on the lowered problem. *)
 
+val solve_result : Problem.t -> (Simplex.outcome, Bagcqc_error.t) result
+(** {!solve} with internal invariant violations reified as a typed
+    [Error] (see {!Simplex.solve_result}). *)
+
 val feasible : Problem.t -> Rat.t array option
 (** Cached feasibility: [Some x] is a point of the polyhedron.  The
     problem's objective is ignored (pass a pure feasibility problem). *)

@@ -233,7 +233,16 @@ let valid_max_cert cone ~n es =
         | None ->
           (match refute b ~n es with
            | Some h -> Error h
-           | None -> assert false (* contradicts Farkas infeasibility *)))
+           | None ->
+             (* LP duality (Theorem 6.1 at this cone): the Farkas system
+                is infeasible iff the refutation system has a point.  Both
+                coming back empty means the two independently-built LPs
+                disagree — a solver bug, reported as a typed error. *)
+             Bagcqc_error.invariant ~where:"Cones.valid_max_cert"
+               (Printf.sprintf
+                  "backend %s: Farkas LP infeasible but refutation LP \
+                   infeasible too (duality violated)"
+                  b.name)))
      | None ->
        (match refute b ~n es with
         | None -> Ok None
@@ -268,10 +277,18 @@ let valid_shannon_many ~n es =
   (match es with [] -> () | _ -> ignore (Elemental.list ~n));
   Bagcqc_par.Pool.parallel_map_list (fun e -> valid_shannon ~n e) es
 
+(* [valid_max_cert] can only return [Ok None] for a backend without a
+   Farkas builder; Γn registers one, so a certificate-less Ok from the
+   gamma backend is a broken invariant, not a reachable state. *)
+let gamma_always_certifies ~where =
+  Bagcqc_error.invariant ~where
+    "gamma backend returned Ok without a certificate despite its Farkas \
+     builder"
+
 let max_to_convex ~n es =
   match valid_max_cert Gamma ~n es with
   | Ok (Some cert) -> Some (Array.of_list (Certificate.convex_weights cert))
-  | Ok None -> assert false (* gamma always certifies *)
+  | Ok None -> gamma_always_certifies ~where:"Cones.max_to_convex"
   | Error _ -> None
 
 let shannon_certificate ~n e =
@@ -279,5 +296,5 @@ let shannon_certificate ~n e =
   | Ok (Some cert) ->
     (* With k = 1 the convexity row forces μ = 1, so Σ λᵢ·elemᵢ = e. *)
     Some (Certificate.lambda cert)
-  | Ok None -> assert false
+  | Ok None -> gamma_always_certifies ~where:"Cones.shannon_certificate"
   | Error _ -> None

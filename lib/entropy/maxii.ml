@@ -58,12 +58,21 @@ let combine_verdict t normal gamma =
   | Ok () ->
     (match gamma with
      | Ok (Some cert) -> Valid cert
-     | Ok None -> assert false (* the Γn backend always certifies *)
+     | Ok None ->
+       (* The Γn backend registers a Farkas builder, so a certificate-less
+          Ok cannot be produced by construction. *)
+       Bagcqc_error.invariant ~where:"Maxii.combine_verdict"
+         "gamma backend returned Ok without a certificate"
      | Error h_gamma ->
-       (* Refuted over Γn but not over Nn: outside the decidable shapes
-          (Theorem 3.6 rules this out for Unconditioned/Simple forms). *)
-       assert
-         (match shape t with Unconditioned | Simple -> false | _ -> true);
+       (* Refuted over Γn but not over Nn: Theorem 3.6 proves the two
+          cones agree on Unconditioned/Simple forms, so landing here on
+          one of those shapes means an LP gave a wrong answer. *)
+       (match shape t with
+        | Unconditioned | Simple ->
+          Bagcqc_error.invariant ~where:"Maxii.combine_verdict"
+            "Γn refutes but Nn validates a decidable (Unconditioned or \
+             Simple) shape, contradicting Theorem 3.6"
+        | Conditional_general | Unrestricted -> ());
        Unknown h_gamma)
 
 let decide t =
@@ -85,6 +94,8 @@ let decide t =
     match valid_over Cones.Normal t with
     | Error h_normal -> Invalid h_normal
     | Ok () -> combine_verdict t (Ok ()) (Cones.valid_max_cert Cones.Gamma ~n:t.n (sides t))
+
+let decide_result t = Bagcqc_error.protect (fun () -> decide t)
 
 let decide_many ts =
   (* Batch fan-out: each instance is decided sequentially on its worker

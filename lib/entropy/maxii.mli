@@ -70,6 +70,11 @@ val decide : t -> verdict
     is identical to the sequential path (only solver-effort counters may
     differ, because the [Γn] side is speculative). *)
 
+val decide_result : t -> (verdict, Bagcqc_error.t) result
+(** {!decide} with internal invariant violations (broken LP duality,
+    Theorem 3.6 contradictions) reified as a typed [Error] instead of an
+    exception. *)
+
 val decide_many : t list -> verdict list
 (** Decide a batch concurrently over the pool, each instance on the
     sequential path.  Equals [List.map decide] run at [jobs = 1] —

@@ -325,7 +325,11 @@ module Dense_impl = struct
             done)
         t.basis;
       (match run_phase t ~allowed:(fun _ -> true) with
-       | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+       | `Unbounded ->
+         (* The phase-1 objective (a sum of non-negative artificials) is
+            bounded below by 0; an unbounded verdict means a pivoting bug. *)
+         Bagcqc_error.invariant ~where:"Simplex.Dense_impl.solve"
+           "phase-1 objective reported unbounded"
        | `Optimal -> ());
       (* obj.(ncols) holds -(phase-1 value). *)
       if Rat.sign t.obj.(ncols) < 0 then raise Exit
@@ -557,7 +561,10 @@ module Sparse_impl = struct
             done)
         t.basis;
       (match run_phase t ~allowed:(fun _ -> true) with
-       | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+       | `Unbounded ->
+         (* Bounded below by 0, as in the dense solver. *)
+         Bagcqc_error.invariant ~where:"Simplex.Sparse_impl.solve"
+           "phase-1 objective reported unbounded"
        | `Optimal -> ());
       if Rat.sign t.obj.(ncols) < 0 then raise Exit
     end;
@@ -632,13 +639,18 @@ let solve_with engine p =
 let solve ?engine p =
   solve_with (match engine with Some e -> e | None -> !default_engine) p
 
+let solve_result ?engine p =
+  Bagcqc_error.protect (fun () -> solve ?engine p)
+
 let feasible ?engine ~num_vars constraints =
   match
     solve ?engine { num_vars; objective = Array.make num_vars Rat.zero; constraints }
   with
   | Optimal (_, x) -> Some x
   | Infeasible -> None
-  | Unbounded -> assert false (* constant objective cannot be unbounded *)
+  | Unbounded ->
+    Bagcqc_error.invariant ~where:"Simplex.feasible"
+      "constant (zero) objective reported unbounded"
 
 let maximize ?engine p =
   match solve ?engine { p with objective = Array.map Rat.neg p.objective } with

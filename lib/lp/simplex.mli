@@ -71,6 +71,13 @@ val solve : ?engine:engine -> problem -> outcome
 val solve_with : engine -> problem -> outcome
 (** [solve_with e p = solve ~engine:e p]; kept for the cross-check tests. *)
 
+val solve_result :
+  ?engine:engine -> problem -> (outcome, Bagcqc_error.t) result
+(** {!solve} with internal invariant violations (a pivoting bug making a
+    bounded phase-1 objective look unbounded, …) reified as a typed
+    [Error] instead of an exception.  Caller-precondition violations
+    still raise [Invalid_argument]. *)
+
 val feasible : ?engine:engine -> num_vars:int -> constr list -> Rat.t array option
 (** [feasible ~num_vars cs] is a point of the polyhedron
     [{x >= 0 | cs}] if one exists. *)

@@ -1,0 +1,29 @@
+type kind =
+  | Invariant of string
+  | Overflow of string
+  | Unsupported of string
+
+type t = { where : string; kind : kind }
+
+exception Error of t
+
+let invariant ~where msg = raise (Error { where; kind = Invariant msg })
+let overflow ~where msg = raise (Error { where; kind = Overflow msg })
+let unsupported ~where msg = raise (Error { where; kind = Unsupported msg })
+
+let protect f = match f () with v -> Ok v | exception Error e -> Error e
+
+let to_string { where; kind } =
+  match kind with
+  | Invariant msg -> Printf.sprintf "%s: invariant violation: %s" where msg
+  | Overflow msg -> Printf.sprintf "%s: overflow: %s" where msg
+  | Unsupported msg -> Printf.sprintf "%s: unsupported: %s" where msg
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+(* Register a printer so an uncaught Error still names the site instead of
+   printing an opaque constructor. *)
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Bagcqc_error.Error: " ^ to_string e)
+    | _ -> None)

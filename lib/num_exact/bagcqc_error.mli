@@ -1,0 +1,59 @@
+(** Structured, typed errors for the whole solver stack.
+
+    The decision procedures are only trustworthy if the substrate is
+    {e total}: a recoverable condition that aborts the process (an
+    [assert false], a bare [failwith]) is indistinguishable from a wrong
+    answer to a caller operating at scale.  Every layer — [num_exact],
+    [lp], [engine], [entropy], [core] — reports internal trouble through
+    this one type, so callers can catch {!Error} (or use the [_result]
+    entry points built on {!protect}) and degrade gracefully instead of
+    dying.
+
+    Two kinds of condition flow through here:
+
+    - {b Invariant violations}: cross-checks between independent
+      computations disagreed (e.g. the Farkas LP says "no certificate"
+      while the refutation LP also says "no refuter", or a phase-1
+      simplex objective claims to be unbounded).  Mathematically these
+      are unreachable; if one fires it is a bug in the solver, and the
+      structured error names the site and the evidence instead of
+      aborting.
+    - {b Resource overflows}: an exact computation whose result would be
+      astronomically large (documented per call site).  After the total
+      [Logint.sign] rewrite no such site remains reachable on valid
+      inputs in [num_exact]/[lp]/[entropy]; the constructor is kept for
+      defensive caps (e.g. the precision-escalation ceiling).
+
+    Caller-precondition violations (bad argument shapes) remain ordinary
+    [Invalid_argument] — those are programming errors at the call site,
+    not internal failures. *)
+
+type kind =
+  | Invariant of string
+      (** An internal cross-check failed; carries the evidence.  Always a
+          solver bug, never the caller's fault. *)
+  | Overflow of string
+      (** An exact computation exceeded a documented defensive cap. *)
+  | Unsupported of string
+      (** The input is valid but outside what this build can decide. *)
+
+type t = {
+  where : string;  (** The raising site, e.g. ["Cones.valid_max_cert"]. *)
+  kind : kind;
+}
+
+exception Error of t
+
+val invariant : where:string -> string -> 'a
+(** [invariant ~where msg] raises {!Error} with [Invariant msg].  Use in
+    place of [assert false] on documented-unreachable branches. *)
+
+val overflow : where:string -> string -> 'a
+val unsupported : where:string -> string -> 'a
+
+val protect : (unit -> 'a) -> ('a, t) result
+(** [protect f] runs [f], converting a raised {!Error} into [Error t].
+    All other exceptions pass through unchanged. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -399,6 +399,21 @@ let num_bits x =
   | Small n -> mag_bits (mag_of_int (if n > 0 then n else -n))
   | Big b -> mag_bits b.mag
 
+let shift_right x bits =
+  if bits = 0 || is_zero x then canon x
+  else
+    let s, mag = parts x in
+    make s (mag_shift_right mag bits)
+
+let testbit x i =
+  match x with
+  | Small n ->
+    let m = if n >= 0 then n else -n in
+    i < 62 && (m lsr i) land 1 = 1
+  | Big { mag; _ } ->
+    let limb = i / base_bits and off = i mod base_bits in
+    limb < Array.length mag && (mag.(limb) lsr off) land 1 = 1
+
 let gcd a b =
   match abs a, abs b with
   | Small 0, y -> canon y

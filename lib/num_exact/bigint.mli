@@ -58,6 +58,14 @@ val pow : t -> int -> t
 val shift_left : t -> int -> t
 (** Multiplication by 2{^k}. *)
 
+val shift_right : t -> int -> t
+(** [shift_right x k] shifts the {e magnitude} right by [k] bits (i.e.
+    [sign x * (|x| / 2^k)] with truncation toward zero). *)
+
+val testbit : t -> int -> bool
+(** [testbit x i] is bit [i] of the magnitude [|x|] (bit 0 is the least
+    significant).  False for every [i >= num_bits x]. *)
+
 val min : t -> t -> t
 val max : t -> t -> t
 

@@ -4,9 +4,13 @@
     integers, and the expressions the paper compares — [log |P|] against
     [(E_T ∘ φ)(h)] in Theorem 4.4, the Vee example 4.3, witness
     verification — are rational combinations of such logarithms.  This
-    module decides their sign {i exactly}: [Σ cᵢ log aᵢ ≥ 0] iff
-    [Π aᵢ^{cᵢ·D} ≥ 1] for a common denominator [D], which is an integer
-    comparison. *)
+    module decides their sign {i exactly} and {i totally}: the terms are
+    rewritten over a pairwise-coprime base set (which settles exact
+    cancellation by multiplicative independence, with no exponentiation),
+    then compared by a float interval and — only on overlap — by
+    directed-rounding big-float products at escalating precision.  No
+    input, however large its exponents, aborts or materializes a full
+    power. *)
 
 type t
 
@@ -23,7 +27,16 @@ val sub : t -> t -> t
 val neg : t -> t
 
 val sign : t -> int
-(** Exact sign of the real number denoted: [-1], [0] or [1]. *)
+(** Exact sign of the real number denoted: [-1], [0] or [1].  Total: the
+    seed implementation raised [Failure] when a cleared-denominator
+    exponent exceeded native-int range; this one handles any exponent
+    size (see the module doc for the three-stage algorithm). *)
+
+val sign_float_interval : t -> int option
+(** Cheap one-sided oracle: the sign as decided by a floating-point
+    evaluation with a conservative error bound, or [None] when zero lies
+    inside the error interval.  When it answers, the answer agrees with
+    {!sign}; the differential fuzzer cross-checks exactly that. *)
 
 val compare : t -> t -> int
 val equal : t -> t -> bool

@@ -117,6 +117,11 @@ let of_string s =
          make (if neg_sign then Bigint.neg total else total) scale
        end)
 
+let of_string_opt s =
+  match of_string s with
+  | r -> Some r
+  | exception (Invalid_argument _ | Division_by_zero) -> None
+
 let to_string x =
   if is_integer x then Bigint.to_string x.n
   else Bigint.to_string x.n ^ "/" ^ Bigint.to_string x.d

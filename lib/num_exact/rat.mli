@@ -55,6 +55,10 @@ val of_string : string -> t
 (** Accepts ["a"], ["a/b"] and decimal ["a.b"] forms.
     @raise Invalid_argument on malformed input. *)
 
+val of_string_opt : string -> t option
+(** Total variant of {!of_string}: [None] on malformed input (including a
+    zero denominator). *)
+
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit
 

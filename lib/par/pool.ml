@@ -44,15 +44,23 @@ let inside_task () = !(Domain.DLS.get in_task_key)
 
 (* ---------------- sizing ---------------- *)
 
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
 let env_jobs () =
   match Sys.getenv_opt "BAGCQC_JOBS" with
   | None -> None
   | Some s ->
     (match int_of_string_opt (String.trim s) with
      | Some n when n >= 1 -> Some n
-     | Some _ | None -> None)
-
-let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+     | Some _ | None ->
+       (* A typo'd level silently running at the machine default is the
+          kind of misconfiguration that only shows up as a perf mystery;
+          say what happened, once, and fall back. *)
+       Printf.eprintf
+         "bagcqc: warning: ignoring invalid BAGCQC_JOBS=%S (expected a \
+          positive integer); using the default of %d\n%!"
+         s (default_jobs ());
+       None)
 let jobs_level : int option ref = ref None
 
 let jobs () =

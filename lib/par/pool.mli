@@ -40,9 +40,10 @@ val default_jobs : unit -> int
     for the coordinating domain, which also executes chunks. *)
 
 val jobs : unit -> int
-(** Current parallelism level (≥ 1).  First call resolves [BAGCQC_JOBS]
-    (a positive integer; anything else is ignored) and falls back to
-    {!default_jobs}. *)
+(** Current parallelism level (≥ 1).  First call resolves [BAGCQC_JOBS]:
+    a positive integer is used as-is; anything else (non-numeric, zero,
+    negative) prints a one-line warning on stderr and falls back to
+    {!default_jobs}.  An unset variable falls back silently. *)
 
 val set_jobs : int -> unit
 (** Override the level (clamped to ≥ 1).  Raising it after workers exist

@@ -36,12 +36,23 @@ and compare_list l1 l2 =
 
 let equal a b = compare a b = 0
 
-let rec hash = function
-  | Int x -> x * 1000003
-  | Str s -> Hashtbl.hash s
-  | Pair (a, b) -> (hash a * 65599) + hash b + 1
-  | Tag (s, v) -> (Hashtbl.hash s * 65599) + hash v + 2
-  | Tuple l -> List.fold_left (fun acc v -> (acc * 65599) + hash v) 3 l
+(* FNV-1a-style mixing, the same scheme as [Bagcqc_engine.Problem]'s
+   hasher.  Each constructor contributes a tag before its payload, so
+   structurally different nestings mix different sequences — the previous
+   additive scheme was symmetric enough that [Tag ("a", Tag ("b", v))]
+   and [Tag ("b", Tag ("a", v))] always collided — and the final
+   [land max_int] keeps the result non-negative after multiplication
+   overflow. *)
+let hash v =
+  let mix h x = (h * 16777619) lxor x in
+  let rec go h = function
+    | Int x -> mix (mix h 1) x
+    | Str s -> mix (mix h 2) (Hashtbl.hash s)
+    | Pair (a, b) -> go (go (mix h 3) a) b
+    | Tag (s, v) -> go (mix (mix h 4) (Hashtbl.hash s)) v
+    | Tuple l -> List.fold_left go (mix (mix h 5) (List.length l)) l
+  in
+  go 0x811c9dc5 v land max_int
 
 let rec pp fmt = function
   | Int x -> Format.pp_print_int fmt x

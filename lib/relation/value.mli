@@ -17,5 +17,9 @@ type t =
 val compare : t -> t -> int
 val equal : t -> t -> bool
 val hash : t -> int
+(** Structural hash, always non-negative, consistent with {!equal}.
+    Constructor-tagged FNV-style mixing: swapping the annotation order of
+    nested [Tag]s (or the components of a [Pair]) changes the hash. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

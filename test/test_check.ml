@@ -1,0 +1,32 @@
+(* Smoke-run of the differential fuzzing suites (lib/check): a few
+   hundred seeded iterations per suite as part of the ordinary test run,
+   so an oracle disagreement shows up in `dune runtest` long before the
+   dedicated CI fuzz job.  The full budget lives in bin/fuzz.exe. *)
+
+open Bagcqc_check
+
+let run_suite s () =
+  let r = Runner.run ~iters:300 ~seed:7 s in
+  match r.Runner.failure with
+  | None -> ()
+  | Some f ->
+    Alcotest.failf "%s"
+      (Format.asprintf "%a" (Runner.pp_failure ~suite:r.Runner.suite) f)
+
+let test_deterministic () =
+  (* Same (seed, iteration) must rebuild the same case: the reproducer
+     contract the failure reports rely on. *)
+  let sample rng =
+    List.init 8 (fun _ -> Rng.int rng 1000)
+  in
+  Alcotest.(check (list int)) "derive is deterministic"
+    (sample (Rng.derive 99 5))
+    (sample (Rng.derive 99 5));
+  Alcotest.(check bool) "iteration streams differ" true
+    (sample (Rng.derive 99 5) <> sample (Rng.derive 99 6))
+
+let suite =
+  ("rng determinism", `Quick, test_deterministic)
+  :: List.map
+       (fun s -> ("fuzz smoke: " ^ Runner.name s, `Quick, run_suite s))
+       Suites.all

@@ -48,7 +48,41 @@ let test_parser_errors () =
   bad "R(x))";
   bad "Q(w) :- R(x,y)";
   (* head var not in body *)
-  bad "R(x,y) extra"
+  bad "R(x,y) extra";
+  (* unbalanced parens, both directions *)
+  bad "R(x";
+  bad "R x,y)";
+  (* a body atom with no arguments constrains nothing *)
+  bad "R()";
+  bad "R(x,y), S()";
+  (* trailing garbage after a complete query *)
+  bad "R(x,y).)";
+  bad "R(x,y), ";
+  (* grammar-valid but Query.make-invalid inputs must come back as
+     Error, not escape as Invalid_argument: inconsistent arities and a
+     variable count past Varset.max_vars *)
+  bad "R(x), R(x,y)";
+  bad
+    ("R("
+    ^ String.concat "," (List.init 70 (fun i -> Printf.sprintf "v%d" i))
+    ^ ")");
+  (* duplicate head variables are legal output tuples, not errors *)
+  (match Parser.parse_result "Q(x,x) :- R(x,y)" with
+   | Ok q -> Alcotest.(check (list int)) "head repeats" [ 0; 0 ] (Query.head q)
+   | Error msg -> Alcotest.failf "Q(x,x) should parse: %s" msg)
+
+let prop_parse_result_never_raises =
+  (* Totality of the parser on genuinely arbitrary bytes — printable or
+     not.  Any exception (including Invalid_argument out of Query.make)
+     fails the property. *)
+  QCheck.Test.make ~name:"parse_result never raises" ~count:2000
+    QCheck.(string_gen Gen.char)
+    (fun s ->
+      match Parser.parse_result s with
+      | Ok _ | Error _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "parse_result %S raised %s" s
+          (Printexc.to_string e))
 
 let test_query_ops () =
   Alcotest.(check int) "triangle components" 1
@@ -323,7 +357,8 @@ let prop_closure_preserves_homs =
 
 let qtests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_of_query_valid; prop_et_on_modular; prop_closure_preserves_homs ]
+    [ prop_of_query_valid; prop_et_on_modular; prop_closure_preserves_homs;
+      prop_parse_result_never_raises ]
 
 let suite =
   [ ("parser", `Quick, test_parser);

@@ -233,6 +233,60 @@ let test_logint_basic () =
   Alcotest.check_raises "log 0" (Invalid_argument "Logint.log: non-positive argument")
     (fun () -> ignore (Logint.log Bigint.zero))
 
+let test_logint_sign_large_exponents () =
+  (* Coefficients whose cleared-denominator exponents are 33-digit
+     integers — far past [Bigint.to_int_opt] range, where the seed
+     implementation of [sign] raised [Failure] out of the exponent
+     conversion.  Verified three ways: against the float approximation
+     where it is decisive, against a [Bigint.pow] oracle on an
+     exponent-range instance whose sign is invariant under scaling, and
+     on an exact cancellation only the refinement stage can settle. *)
+  let huge = Rat.make (Bigint.of_string "123456789012345678901234567890123")
+      (Bigint.of_int 7) in
+  let t =
+    Logint.sub
+      (Logint.scale huge (Logint.log_int 2))
+      (Logint.scale huge (Logint.log_int 3))
+  in
+  Alcotest.(check int) "huge*(log 2 - log 3) < 0" (-1) (Logint.sign t);
+  Alcotest.(check int) "negated" 1 (Logint.sign (Logint.neg t));
+  Alcotest.(check bool) "float approximation agrees" true
+    (Logint.to_float t < 0.0);
+  (match Logint.sign_float_interval t with
+   | Some s -> Alcotest.(check int) "float-interval oracle agrees" (-1) s
+   | None -> ());
+  (* Exact zero at huge exponents: huge·log 36 − 2·huge·log 6 = 0. *)
+  let z =
+    Logint.sub
+      (Logint.scale huge (Logint.log_int 36))
+      (Logint.scale (Rat.mul huge Rat.two) (Logint.log_int 6))
+  in
+  Alcotest.(check int) "exact zero at huge exponents" 0 (Logint.sign z);
+  (* A continued-fraction near-tie: 125743/79335 approximates log₂3 to
+     ~7e-11 relative, so the float interval must abstain and the
+     directed-rounding big-float stage decides.  Its sign is established
+     independently by comparing the full powers 2^125743 vs 3^79335, and
+     must survive scaling by 10^30 — exponents the pow oracle could
+     never materialize. *)
+  let near =
+    Logint.sub
+      (Logint.scale (Rat.of_int 125743) (Logint.log_int 2))
+      (Logint.scale (Rat.of_int 79335) (Logint.log_int 3))
+  in
+  Alcotest.(check (option int)) "float interval abstains on the near-tie"
+    None
+    (Logint.sign_float_interval near);
+  let c =
+    Bigint.compare (Bigint.pow Bigint.two 125743)
+      (Bigint.pow (Bigint.of_int 3) 79335)
+  in
+  let expected = if c > 0 then 1 else -1 in
+  Alcotest.(check int) "near-tie matches the Bigint.pow oracle" expected
+    (Logint.sign near);
+  let m = Rat.of_bigint (Bigint.pow (Bigint.of_int 10) 30) in
+  Alcotest.(check int) "near-tie sign survives a 10^30 scale" expected
+    (Logint.sign (Logint.scale m near))
+
 let prop_logint_sign_matches_float =
   QCheck.Test.make ~name:"logint sign matches float approximation" ~count:300
     (QCheck.pair
@@ -369,5 +423,7 @@ let suite =
     ("rat basic", `Quick, test_rat_basic);
     ("rat floor/ceil", `Quick, test_rat_floor_ceil);
     ("rat of_string", `Quick, test_rat_of_string);
-    ("logint basic", `Quick, test_logint_basic) ]
+    ("logint basic", `Quick, test_logint_basic);
+    ("logint sign on large exponents", `Quick,
+     test_logint_sign_large_exponents) ]
   @ qtests

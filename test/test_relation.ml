@@ -187,8 +187,37 @@ let qtests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_normal_relations_uniform; prop_projection_composes ]
 
+let test_value_hash () =
+  let open Value in
+  (* The pre-mixer hash was symmetric in nested annotations:
+     Tag ("a", Tag ("b", v)) and Tag ("b", Tag ("a", v)) always collided,
+     and hom-counting hash tables over twice-annotated databases
+     degenerated to linear probes.  Pin the separation down. *)
+  let v = Int 7 in
+  Alcotest.(check bool) "nested tag swap separates" true
+    (hash (Tag ("a", Tag ("b", v))) <> hash (Tag ("b", Tag ("a", v))));
+  Alcotest.(check bool) "pair swap separates" true
+    (hash (Pair (Int 1, Int 2)) <> hash (Pair (Int 2, Int 1)));
+  Alcotest.(check bool) "constructors separate" true
+    (hash (Pair (Int 1, Int 2)) <> hash (Tuple [ Int 1; Int 2 ]));
+  (* Large ints used to drive the product into the sign bit. *)
+  let samples =
+    [ Int max_int; Int min_int; Int (-1); Str "x";
+      Tag ("a", Tag ("b", Tag ("c", Int max_int)));
+      Tuple [ Pair (Int max_int, Str "y"); Tag ("t", Int 3) ] ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "hash is non-negative" true (hash s >= 0))
+    samples;
+  (* Consistency with equal: structurally equal values hash equal. *)
+  Alcotest.(check int) "equal values collide"
+    (hash (Tag ("a", Pair (Int 1, Str "s"))))
+    (hash (Tag ("a", Pair (Int 1, Str "s"))))
+
 let suite =
   [ ("basic", `Quick, test_basic);
+    ("value hash mixing", `Quick, test_value_hash);
     ("generalized projection", `Quick, test_generalized_projection);
     ("product", `Quick, test_product);
     ("step relation (Table 1)", `Quick, test_step_relation);
