@@ -83,6 +83,16 @@ let with_engine engine f =
   Simplex.default_engine := engine;
   Fun.protect ~finally:(fun () -> Simplex.default_engine := saved) f
 
+(* The pre-hybrid experiment ids are pinned to [Exact] so their medians
+   keep measuring the exact simplex regardless of what [BAGCQC_LP] or
+   [--lp-engine] set the process default to — ids are frozen contracts
+   with older baseline files.  Hybrid ids opt into [Float_first]
+   explicitly for the same reason. *)
+let with_mode mode f =
+  let saved = !Simplex.default_mode in
+  Simplex.default_mode := mode;
+  Fun.protect ~finally:(fun () -> Simplex.default_mode := saved) f
+
 (* LP timing must bypass the engine's solve cache: with it on, every rep
    after the first is a table lookup and the baselines stop measuring the
    simplex at all (and dense-vs-sparse points would alias to whichever
@@ -104,11 +114,23 @@ let path k =
   Query.make ~nvars:(k + 1)
     (List.init k (fun i -> Query.atom "R" [ i; i + 1 ]))
 
+(* The certificate (Farkas) LP for the n-variable Shannon monotonicity
+   target, as a raw simplex problem: the "decide point" workload that the
+   float-first engine exists for, measured below without the surrounding
+   elemental-family construction and axiom bookkeeping. *)
+let gamma_farkas_problem n =
+  match Cones.find_backend "gamma" with
+  | Some { Cones.farkas = Some build; _ } ->
+    Problem.to_simplex (fst (build ~n [ shannon_target n ]))
+  | Some _ | None -> invalid_arg "gamma backend with farkas builder"
+
 let lp_suite ~smoke =
   let ns = if smoke then [ 2; 3 ] else [ 2; 3; 4; 5 ] in
+  let hybrid_ns = if smoke then [ 2; 3 ] else [ 2; 3; 4; 5; 6 ] in
   let reps = if smoke then 2 else 15 in
   let raw_solver =
     without_cache @@ fun () ->
+    with_mode Simplex.Exact @@ fun () ->
     [ { id = "e11_gamma_sparse";
         points =
           run_points ~reps ns (fun n () ->
@@ -126,11 +148,42 @@ let lp_suite ~smoke =
           run_points ~reps:(if smoke then 2 else 15) [ 4 ] (fun n () ->
               Cones.valid Cones.Gamma ~n ingleton) } ]
   in
+  (* Same end-to-end workload as e11_gamma_sparse under the float-first
+     engine, one size further out (n=6 is affordable only here). *)
+  let hybrid =
+    without_cache @@ fun () ->
+    with_mode Simplex.Float_first @@ fun () ->
+    [ { id = "e11_gamma_hybrid";
+        points =
+          run_points ~reps hybrid_ns (fun n () ->
+              with_engine Simplex.Sparse (fun () ->
+                  Cones.valid_shannon ~n (shannon_target n))) } ]
+  in
+  (* Solver-only decide points: the Farkas LP is built once per size and
+     the thunk times nothing but [Simplex.solve], so the exact/hybrid
+     ratio here is the honest speedup of the LP engine itself (the
+     end-to-end e11 ids share cone-construction overhead between modes).
+     [Simplex.solve] never consults the engine cache, so no cache guard
+     is needed. *)
+  let decide_points =
+    let decide ~id ~mode sizes =
+      { id;
+        points =
+          run_points ~reps sizes (fun n ->
+              let sp = gamma_farkas_problem n in
+              fun () -> Simplex.solve ~mode sp) }
+    in
+    [ decide ~id:"lp_decide_gamma_exact" ~mode:Simplex.Exact
+        (if smoke then [ 3 ] else [ 4; 5 ]);
+      decide ~id:"lp_decide_gamma_hybrid" ~mode:Simplex.Float_first
+        (if smoke then [ 3 ] else [ 4; 5; 6 ]) ]
+  in
   (* Repeated full decide on the same pair, with and without the engine's
      LP cache: the cached variant is warmed by time_samples' warm-up call,
      so every measured rep answers its solves from the cache. *)
   let decide_sizes = if smoke then [ 3 ] else [ 3; 4; 5 ] in
   let cache_pair =
+    with_mode Simplex.Exact @@ fun () ->
     [ { id = "decide_path_repeat_uncached";
         points =
           run_points ~reps decide_sizes (fun n ->
@@ -144,7 +197,7 @@ let lp_suite ~smoke =
               Solver.clear ();
               fun () -> ignore (Containment.decide p p)) } ]
   in
-  raw_solver @ cache_pair
+  raw_solver @ hybrid @ decide_points @ cache_pair
 
 (* ---------------- hom suite ---------------- *)
 
@@ -221,6 +274,9 @@ let par_suite ~smoke =
   let saved_jobs = Bagcqc_par.Pool.jobs () in
   Fun.protect ~finally:(fun () -> Bagcqc_par.Pool.set_jobs saved_jobs)
   @@ fun () ->
+  (* Frozen ids again: the jobs-scaling baselines predate the hybrid
+     engine, so they stay pinned to the exact simplex. *)
+  with_mode Simplex.Exact @@ fun () ->
   [ { id = "par_e11_fanout";
       points =
         run_points ~reps jobs_sizes (fun jobs ->
@@ -270,11 +326,16 @@ let emit_stats buf (s : Stats.snapshot) =
     ",\n  \"stats\": { \"lp_solves\": %d, \"lp_pivots\": %d, \
      \"cache_hits\": %d, \"cache_misses\": %d, \"cache_hit_rate\": %.4f, \
      \"elemental_hits\": %d, \"elemental_misses\": %d, \
-     \"hom_enumerations\": %d }"
+     \"hom_enumerations\": %d, \"hybrid_float_solves\": %d, \
+     \"hybrid_repairs\": %d, \"hybrid_repair_failures\": %d, \
+     \"hybrid_fallbacks\": %d, \"hybrid_fallback_rate\": %.4f }"
     s.Stats.lp_solves s.Stats.lp_pivots s.Stats.cache_hits
     s.Stats.cache_misses
     (Stats.cache_hit_rate s)
     s.Stats.elemental_hits s.Stats.elemental_misses s.Stats.hom_enumerations
+    s.Stats.hybrid_float_solves s.Stats.hybrid_repairs
+    s.Stats.hybrid_repair_failures s.Stats.hybrid_fallbacks
+    (Stats.fallback_rate s)
 
 let emit_histograms buf (m : Obs.Metrics.snapshot) =
   let pf fmt = Printf.bprintf buf fmt in
@@ -299,8 +360,11 @@ let emit_histograms buf (m : Obs.Metrics.snapshot) =
 
 let emit buf suites stats =
   let pf fmt = Printf.bprintf buf fmt in
-  pf "{\n  \"schema\": \"bagcqc-bench/1\",\n  \"jobs\": %d,\n  \"suites\": ["
-    (Bagcqc_par.Pool.jobs ());
+  pf
+    "{\n  \"schema\": \"bagcqc-bench/1\",\n  \"jobs\": %d,\n  \
+     \"lp_engine\": %S,\n  \"suites\": ["
+    (Bagcqc_par.Pool.jobs ())
+    (Simplex.mode_name !Simplex.default_mode);
   List.iteri
     (fun i (name, experiments) ->
       pf "%s\n    { \"suite\": %S,\n      \"experiments\": ["

@@ -138,6 +138,79 @@ let show_lp { nv; obj; rows } =
               (show_op op) (Rat.to_string b))
           rows))
 
+(* ---------------- hybrid (float-first vs exact) LP cases ------------ *)
+
+(* Two populations: raw random LPs (reusing [lp_case], which skews small
+   and degenerate — the regime where float tolerances misjudge bases),
+   and Γn cone instances driven through the full Cones pipeline, whose
+   Farkas/refutation LPs are the workload the hybrid mode exists for.
+   Sides are raw [(mask, coeff)] term lists so failures print and shrink
+   structurally. *)
+type hybrid_case =
+  | Raw_lp of lp_case
+  | Cone_gamma of { n : int; sides : (int * Rat.t) list list }
+
+let cone_side rng ~n =
+  let nterms = Rng.range rng 1 3 in
+  List.init nterms (fun _ ->
+      let mask = Rng.range rng 1 ((1 lsl n) - 1) in
+      let c = small_rat rng in
+      (mask, (if Rat.is_zero c then Rat.one else c)))
+
+let hybrid_case rng =
+  if Rng.int rng 3 < 2 then Raw_lp (lp_case rng)
+  else begin
+    let n = Rng.range rng 2 3 in
+    let k = Rng.range rng 1 3 in
+    Cone_gamma { n; sides = List.init k (fun _ -> cone_side rng ~n) }
+  end
+
+let shrink_hybrid = function
+  | Raw_lp case -> List.map (fun c -> Raw_lp c) (shrink_lp case)
+  | Cone_gamma { n; sides } ->
+    let drop_side =
+      if List.length sides <= 1 then []
+      else
+        List.mapi
+          (fun i _ ->
+            Cone_gamma { n; sides = List.filteri (fun j _ -> j <> i) sides })
+          sides
+    in
+    let drop_term =
+      List.concat
+        (List.mapi
+           (fun i side ->
+             if List.length side <= 1 then []
+             else
+               List.mapi
+                 (fun t _ ->
+                   Cone_gamma
+                     { n;
+                       sides =
+                         List.mapi
+                           (fun j s ->
+                             if j = i then List.filteri (fun u _ -> u <> t) s
+                             else s)
+                           sides })
+                 side)
+           sides)
+    in
+    drop_side @ drop_term
+
+let show_hybrid = function
+  | Raw_lp case -> "lp: " ^ show_lp case
+  | Cone_gamma { n; sides } ->
+    Printf.sprintf "gamma n=%d max(%s)" n
+      (String.concat " ; "
+         (List.map
+            (fun side ->
+              String.concat " + "
+                (List.map
+                   (fun (mask, c) ->
+                     Printf.sprintf "%s*h(%d)" (Rat.to_string c) mask)
+                   side))
+            sides))
+
 (* ---------------- Boolean query pairs ---------------- *)
 
 let vocabulary = [ ("R", 2); ("S", 2); ("T", 1) ]

@@ -36,6 +36,18 @@ val build_lp : lp_case -> Simplex.problem
 val shrink_lp : lp_case -> lp_case list
 val show_lp : lp_case -> string
 
+(** {2 Hybrid (float-first vs exact) LP cases} *)
+
+type hybrid_case =
+  | Raw_lp of lp_case  (** a random LP, solved in both modes directly *)
+  | Cone_gamma of { n : int; sides : (int * Rat.t) list list }
+      (** a Γn max-inequality as raw [(mask, coeff)] sides, driven
+          through [Cones.valid_max_cert] in both modes *)
+
+val hybrid_case : Rng.t -> hybrid_case
+val shrink_hybrid : hybrid_case -> hybrid_case list
+val show_hybrid : hybrid_case -> string
+
 (** {2 Boolean query pairs} *)
 
 val query : Rng.t -> Query.t

@@ -147,6 +147,109 @@ let simplex_suite =
       shrink = Gen.shrink_lp;
       check = check_lp }
 
+(* ---------------- float_vs_exact ---------------- *)
+
+(* Differential check for the hybrid LP pipeline (DESIGN.md §4f): the
+   float-first mode must agree with the exact oracle on every verdict,
+   its optimal points must be exactly feasible at exactly the reported
+   value, and every certificate the cone layer accepts must pass the
+   exact, LP-independent [Certificate.check].  Global-state discipline:
+   the mode flip and the cache bypass are scoped with [Fun.protect], and
+   the solver cache is cleared around the cone runs so the two modes
+   cannot answer each other's queries from the cache. *)
+
+let with_lp_mode mode f =
+  let saved = !Simplex.default_mode in
+  Simplex.default_mode := mode;
+  Fun.protect ~finally:(fun () -> Simplex.default_mode := saved) f
+
+let without_solver_cache f =
+  let saved = !Bagcqc_engine.Solver.caching in
+  Bagcqc_engine.Solver.caching := false;
+  Bagcqc_engine.Solver.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Bagcqc_engine.Solver.caching := saved;
+      Bagcqc_engine.Solver.clear ())
+    f
+
+let outcome_name = function
+  | Simplex.Optimal _ -> "Optimal"
+  | Simplex.Unbounded -> "Unbounded"
+  | Simplex.Infeasible -> "Infeasible"
+
+let check_hybrid_lp case =
+  let p = Gen.build_lp case in
+  match Simplex.solve ~mode:Simplex.Exact p,
+        Simplex.solve ~mode:Simplex.Float_first p
+  with
+  | Simplex.Optimal (ve, _), Simplex.Optimal (vh, xh) ->
+    let* () =
+      require (Rat.equal ve vh) "optimal values differ: exact %s, hybrid %s"
+        (Rat.to_string ve) (Rat.to_string vh)
+    in
+    let* () =
+      require (point_feasible case xh) "hybrid point violates a constraint"
+    in
+    require
+      (Rat.equal (objective_value case xh) vh)
+      "hybrid point is off its reported objective"
+  | Simplex.Unbounded, Simplex.Unbounded
+  | Simplex.Infeasible, Simplex.Infeasible -> Ok ()
+  | oe, oh ->
+    Error
+      (Printf.sprintf "status mismatch: exact %s, hybrid %s"
+         (outcome_name oe) (outcome_name oh))
+
+let build_side terms =
+  List.fold_left
+    (fun acc (mask, c) ->
+      Bagcqc_entropy.Linexpr.add acc
+        (Bagcqc_entropy.Linexpr.term ~coeff:c mask))
+    Bagcqc_entropy.Linexpr.zero terms
+
+let check_hybrid_cone ~n sides =
+  let module Cones = Bagcqc_entropy.Cones in
+  let module Certificate = Bagcqc_entropy.Certificate in
+  let es = List.map build_side sides in
+  without_solver_cache @@ fun () ->
+  let run mode = with_lp_mode mode (fun () -> Cones.valid_max_cert Cones.Gamma ~n es) in
+  let ve = run Simplex.Exact in
+  let vh = run Simplex.Float_first in
+  match ve, vh with
+  | Ok (Some ce), Ok (Some ch) ->
+    let* () =
+      require (Certificate.check ce) "exact-mode certificate fails check"
+    in
+    require (Certificate.check ch) "hybrid-mode certificate fails check"
+  | Error _, Error _ ->
+    (* Both modes refute; the refuting polymatroids may be different
+       vertices of the same polyhedron, which is fine — the refuters
+       were already exact-verified inside the cone layer's duality
+       cross-check. *)
+    Ok ()
+  | Ok None, _ | _, Ok None ->
+    Error "gamma backend returned Ok without a certificate"
+  | Ok (Some _), Error _ ->
+    Error "verdict mismatch: exact says valid, hybrid refutes"
+  | Error _, Ok (Some _) ->
+    Error "verdict mismatch: exact refutes, hybrid says valid"
+
+let check_hybrid = function
+  | Gen.Raw_lp case -> check_hybrid_lp case
+  | Gen.Cone_gamma { n; sides } -> check_hybrid_cone ~n sides
+
+let float_vs_exact_suite =
+  Runner.Suite
+    { name = "float_vs_exact";
+      doc =
+        "hybrid (float-first) vs exact LP: verdicts, exact feasibility, \
+         certificate checks";
+      gen = Gen.hybrid_case;
+      show = Gen.show_hybrid;
+      shrink = Gen.shrink_hybrid;
+      check = check_hybrid }
+
 (* ---------------- decide ---------------- *)
 
 let verdict_name = function
@@ -222,6 +325,8 @@ let parser_suite =
       shrink = Gen.shrink_string;
       check = check_parser }
 
-let all = [ logint_suite; simplex_suite; decide_suite; parser_suite ]
+let all =
+  [ logint_suite; simplex_suite; float_vs_exact_suite; decide_suite;
+    parser_suite ]
 
 let find name = List.find_opt (fun s -> String.equal (Runner.name s) name) all

@@ -21,6 +21,10 @@ type snapshot = {
   elemental_hits : int;
   elemental_misses : int;
   hom_enumerations : int;
+  hybrid_float_solves : int;
+  hybrid_repairs : int;
+  hybrid_repair_failures : int;
+  hybrid_fallbacks : int;
   stages : (string * float) list;
 }
 
@@ -31,6 +35,13 @@ let c_cache_misses = Obs.Metrics.counter "solver.cache.misses"
 let c_elemental_hits = Obs.Metrics.counter "elemental.hits"
 let c_elemental_misses = Obs.Metrics.counter "elemental.misses"
 let c_hom_enumerations = Obs.Metrics.counter "hom.enumerations"
+
+(* Views over counters bumped inside Bagcqc_lp.Simplex's hybrid driver —
+   the registry keys counters by name, so these are the same cells. *)
+let c_hybrid_float_solves = Obs.Metrics.counter "lp.hybrid.float_solves"
+let c_hybrid_repairs = Obs.Metrics.counter "lp.hybrid.repairs"
+let c_hybrid_repair_failures = Obs.Metrics.counter "lp.hybrid.repair_failures"
+let c_hybrid_fallbacks = Obs.Metrics.counter "lp.hybrid.fallbacks"
 
 (* Stage buckets in first-use order, so `pp` prints the pipeline in the
    order it actually ran.  [active] is the current activation depth of
@@ -82,6 +93,10 @@ let snapshot () =
     elemental_hits = Obs.Metrics.count c_elemental_hits;
     elemental_misses = Obs.Metrics.count c_elemental_misses;
     hom_enumerations = Obs.Metrics.count c_hom_enumerations;
+    hybrid_float_solves = Obs.Metrics.count c_hybrid_float_solves;
+    hybrid_repairs = Obs.Metrics.count c_hybrid_repairs;
+    hybrid_repair_failures = Obs.Metrics.count c_hybrid_repair_failures;
+    hybrid_fallbacks = Obs.Metrics.count c_hybrid_fallbacks;
     stages =
       (Mutex.lock stage_mutex;
        let rows = List.rev_map (fun name -> (name, stage_total name)) !stage_order in
@@ -129,6 +144,10 @@ let cache_hit_rate s =
   let total = s.cache_hits + s.cache_misses in
   if total = 0 then 0.0 else float_of_int s.cache_hits /. float_of_int total
 
+let fallback_rate s =
+  if s.hybrid_float_solves = 0 then 0.0
+  else float_of_int s.hybrid_fallbacks /. float_of_int s.hybrid_float_solves
+
 let pp fmt s =
   Format.fprintf fmt "engine stats:@.";
   Format.fprintf fmt "  LP solves:          %d (%d pivots)@." s.lp_solves
@@ -138,6 +157,14 @@ let pp fmt s =
   Format.fprintf fmt "  elemental tables:   %d hits / %d generated@."
     s.elemental_hits s.elemental_misses;
   Format.fprintf fmt "  hom enumerations:   %d@." s.hom_enumerations;
+  (* Only when the hybrid engine actually ran: exact-mode output stays
+     byte-for-byte what it was before float-first existed. *)
+  if s.hybrid_float_solves > 0 then
+    Format.fprintf fmt
+      "  hybrid LP:          %d float solves, %d repaired, %d fallbacks \
+       (%.1f%% fallback rate)@."
+      s.hybrid_float_solves s.hybrid_repairs s.hybrid_fallbacks
+      (100.0 *. fallback_rate s);
   List.iter
     (fun (name, t) -> Format.fprintf fmt "  stage %-12s  %.6fs@." name t)
     s.stages

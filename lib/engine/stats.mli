@@ -16,6 +16,12 @@ type snapshot = {
   elemental_hits : int;   (** memoized elemental-family lookups *)
   elemental_misses : int; (** elemental families actually generated *)
   hom_enumerations : int; (** homomorphism enumeration/counting passes *)
+  hybrid_float_solves : int;
+      (** float-first simplex proposals attempted (0 in exact mode) *)
+  hybrid_repairs : int;   (** proposals repaired to verified exact answers *)
+  hybrid_repair_failures : int;
+      (** proposals whose exact repair was rejected *)
+  hybrid_fallbacks : int; (** solves re-run on the exact simplex *)
   stages : (string * float) list;
       (** cumulative wall-clock seconds per named stage, insertion order *)
 }
@@ -39,6 +45,10 @@ val time_stage : string -> (unit -> 'a) -> 'a
 
 val cache_hit_rate : snapshot -> float
 (** [hits / (hits + misses)], or 0 when no cached solve was attempted. *)
+
+val fallback_rate : snapshot -> float
+(** [hybrid_fallbacks / hybrid_float_solves], or 0 when the float-first
+    engine never ran. *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Multi-line human-readable rendering (the [--stats] output). *)

@@ -14,6 +14,11 @@ let check_range ~n es =
 
 let elemental ~n = Elemental.list ~n
 
+(* Certificates rejected by the exact [Certificate.check] under the
+   float-first LP mode (expected 0; any bump is a solver bug that was
+   caught and repaired by the exact oracle). *)
+let c_cert_repair_fallbacks = Obs.Metrics.counter "cone.cert_check_fallbacks"
+
 (* ------------------------------------------------------------------ *)
 (* Pluggable backends: each cone contributes how to {e build} its LPs   *)
 (* as canonical engine problems; the generic driver below owns the      *)
@@ -224,12 +229,39 @@ let valid_max_cert cone ~n es =
        let k = List.length es in
        (match Solver.feasible prob with
         | Some x ->
-          let lambda =
-            List.filteri (fun _ (_, l) -> Rat.sign l > 0)
-              (List.mapi (fun i e -> (e, x.(i))) elems)
+          let assemble x =
+            let lambda =
+              List.filteri (fun _ (_, l) -> Rat.sign l > 0)
+                (List.mapi (fun i e -> (e, x.(i))) elems)
+            in
+            let mu = List.init k (fun l -> x.(n_elem + l)) in
+            Certificate.make ~n ~cone:b.name ~sides:es ~lambda ~mu
           in
-          let mu = List.init k (fun l -> x.(n_elem + l)) in
-          Ok (Some (Certificate.make ~n ~cone:b.name ~sides:es ~lambda ~mu))
+          let cert = assemble x in
+          (* Defense in depth for the float-first LP mode (DESIGN.md
+             §4f): a hybrid answer is only accepted once its Farkas
+             certificate passes the exact, LP-independent
+             [Certificate.check].  Repair already verified the solution
+             exactly, so a failure here means a solver bug — re-derive
+             the point with the exact oracle (bypassing the solver cache,
+             which holds the rejected point) rather than returning an
+             uncertified answer. *)
+          if !Simplex.default_mode = Simplex.Exact || Certificate.check cert
+          then Ok (Some cert)
+          else begin
+            Obs.Metrics.bump c_cert_repair_fallbacks;
+            match
+              Simplex.solve ~mode:Simplex.Exact (Problem.to_simplex prob)
+            with
+            | Simplex.Optimal (_, x) -> Ok (Some (assemble x))
+            | Simplex.Infeasible | Simplex.Unbounded ->
+              Bagcqc_error.invariant ~where:"Cones.valid_max_cert"
+                (Printf.sprintf
+                   "backend %s: float-first Farkas point rejected by \
+                    Certificate.check and the exact re-solve found no \
+                    feasible point"
+                   b.name)
+          end
         | None ->
           (match refute b ~n es with
            | Some h -> Error h

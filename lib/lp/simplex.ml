@@ -31,14 +31,13 @@
 open Bagcqc_num
 open Rat.Infix
 
-type op = Le | Ge | Eq
+(* Problem representation and normalized ingestion live in {!Lp_layout},
+   shared with the float-first pipeline ({!Fsimplex} + {!Repair}) so a
+   basis means the same columns to every solver.  Re-exported here so
+   callers keep a single entry point. *)
+type op = Lp_layout.op = Le | Ge | Eq
 
-(* Constraints are stored sparsely: parallel arrays of strictly increasing
-   column indices and their (nonzero) coefficients.  [width] remembers the
-   declared row length for constraints built from dense arrays ([-1] for
-   natively sparse ones), so [solve] can reproduce the historical
-   dimension check. *)
-type constr = {
+type constr = Lp_layout.constr = {
   cols : int array;
   vals : Rat.t array;
   width : int;
@@ -46,7 +45,7 @@ type constr = {
   rhs : Rat.t;
 }
 
-type problem = {
+type problem = Lp_layout.problem = {
   num_vars : int;
   objective : Rat.t array;
   constraints : constr list;
@@ -61,13 +60,37 @@ type engine = Dense | Sparse
 
 let default_engine = ref Sparse
 
-(* Per-domain pivot odometer (see the .mli): bumped by both engines.
-   Callers read it as a delta around a solve, which only stays exact if
-   no other domain's pivots leak into the window — hence one cell per
-   domain rather than one shared counter. *)
-let pivots_key = Domain.DLS.new_key (fun () -> ref 0)
-let pivot_count () = !(Domain.DLS.get pivots_key)
-let note_pivot () = incr (Domain.DLS.get pivots_key)
+type mode = Exact | Float_first
+
+let mode_name = function Exact -> "exact" | Float_first -> "float_first"
+
+let mode_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "exact" -> Some Exact
+  | "float_first" | "float-first" -> Some Float_first
+  | _ -> None
+
+(* BAGCQC_LP picks the process-wide default mode, mirroring BAGCQC_JOBS
+   for the pool: an invalid value is reported once and ignored rather
+   than aborting (the CLI flag --lp-engine still overrides). *)
+let default_mode =
+  ref
+    (match Sys.getenv_opt "BAGCQC_LP" with
+     | None -> Float_first
+     | Some s ->
+       (match mode_of_string s with
+        | Some m -> m
+        | None ->
+          Printf.eprintf
+            "bagcqc: ignoring invalid BAGCQC_LP=%s (expected exact or \
+             float_first)\n%!"
+            s;
+          Float_first))
+
+(* Per-domain pivot odometer (see the .mli): the cell itself lives in
+   {!Lp_layout} so the float proposer feeds the same meter. *)
+let pivot_count = Lp_layout.pivot_count
+let note_pivot = Lp_layout.note_pivot
 
 (* ---- observability ----
    Per-solve spans and two histograms: pivots per solve, and the bigint
@@ -95,87 +118,19 @@ let observe_pivot_magnitude (p : Rat.t) =
         (Bigint.num_bits (Rat.num p) + Bigint.num_bits (Rat.den p))
   end
 
-let constr coeffs op rhs =
-  let nnz = Array.fold_left (fun n c -> if Rat.is_zero c then n else n + 1) 0 coeffs in
-  let cols = Array.make nnz 0 and vals = Array.make nnz Rat.zero in
-  let k = ref 0 in
-  Array.iteri
-    (fun j c ->
-      if not (Rat.is_zero c) then begin
-        cols.(!k) <- j;
-        vals.(!k) <- c;
-        incr k
-      end)
-    coeffs;
-  { cols; vals; width = Array.length coeffs; op; rhs }
+let constr = Lp_layout.constr
+let sparse_constr = Lp_layout.sparse_constr
+let validate = Lp_layout.validate
 
-let sparse_constr pairs op rhs =
-  let pairs =
-    List.filter (fun (_, c) -> not (Rat.is_zero c)) pairs
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-  in
-  let n = List.length pairs in
-  let cols = Array.make n 0 and vals = Array.make n Rat.zero in
-  List.iteri
-    (fun k (j, c) ->
-      if j < 0 then invalid_arg "Simplex.sparse_constr: negative column";
-      if k > 0 && cols.(k - 1) = j then
-        invalid_arg "Simplex.sparse_constr: duplicate column";
-      cols.(k) <- j;
-      vals.(k) <- c)
-    pairs;
-  { cols; vals; width = -1; op; rhs }
-
-let validate { num_vars; objective; constraints } =
-  if Array.length objective <> num_vars then
-    invalid_arg "Simplex.solve: objective length mismatch";
-  List.iter
-    (fun c ->
-      if c.width >= 0 then begin
-        if c.width <> num_vars then
-          invalid_arg "Simplex.solve: constraint length mismatch"
-      end
-      else if Array.length c.cols > 0 && c.cols.(Array.length c.cols - 1) >= num_vars
-      then invalid_arg "Simplex.solve: constraint column out of range")
-    constraints
-
-(* Normalized ingestion shared by both solvers: flip rows to non-negative
-   rhs and compute the column layout — [0, num_vars) structural, then one
-   slack/surplus column per inequality, then one artificial column per
-   Ge/Eq row. *)
-type layout = {
+type layout = Lp_layout.layout = {
   m : int;
   ncols : int;
   art_start : int;
   num_art : int;
-  (* per row: sparse structural coefficients, op, rhs (rhs >= 0) *)
   rows_data : (int array * Rat.t array * op * Rat.t) array;
 }
 
-let layout_of { num_vars; constraints; _ } =
-  let rows_data =
-    Array.of_list constraints
-    |> Array.map (fun { cols; vals; op; rhs; _ } ->
-           if Rat.sign rhs < 0 then
-             ( cols,
-               Array.map Rat.neg vals,
-               (match op with Le -> Ge | Ge -> Le | Eq -> Eq),
-               Rat.neg rhs )
-           else (cols, Array.copy vals, op, rhs))
-  in
-  let m = Array.length rows_data in
-  let num_slack =
-    Array.fold_left
-      (fun acc (_, _, op, _) -> match op with Le | Ge -> acc + 1 | Eq -> acc)
-      0 rows_data
-  in
-  let num_art =
-    Array.fold_left
-      (fun acc (_, _, op, _) -> match op with Ge | Eq -> acc + 1 | Le -> acc)
-      0 rows_data
-  in
-  let ncols = num_vars + num_slack + num_art in
-  { m; ncols; art_start = num_vars + num_slack; num_art; rows_data }
+let layout_of = Lp_layout.layout_of
 
 (* ================================================================== *)
 (* Dense reference solver (the seed implementation, kept as oracle).    *)
@@ -608,6 +563,11 @@ end
 (* Public interface.                                                    *)
 (* ================================================================== *)
 
+let outcome_name = function
+  | Optimal _ -> "optimal"
+  | Unbounded -> "unbounded"
+  | Infeasible -> "infeasible"
+
 let solve_with engine p =
   validate p;
   Obs.Span.with_span ~name:"simplex.solve"
@@ -627,24 +587,91 @@ let solve_with engine p =
     let dp = pivot_count () - p0 in
     Obs.Metrics.observe h_pivots_per_solve dp;
     Obs.Span.add_attr "pivots" (Obs.Span.Int dp);
-    Obs.Span.add_attr "outcome"
-      (Obs.Span.Str
-         (match outcome with
-          | Optimal _ -> "optimal"
-          | Unbounded -> "unbounded"
-          | Infeasible -> "infeasible"))
+    Obs.Span.add_attr "outcome" (Obs.Span.Str (outcome_name outcome))
   end;
   outcome
 
-let solve ?engine p =
-  solve_with (match engine with Some e -> e | None -> !default_engine) p
+(* ---- float-first hybrid (DESIGN.md §4f) ----
+   Propose a basis in floats, repair it exactly, fall back to the exact
+   engine on any hiccup.  The four counters make the fallback rate
+   measurable from --stats, `report` and the bench JSON. *)
 
-let solve_result ?engine p =
-  Bagcqc_error.protect (fun () -> solve ?engine p)
+let c_float_solves = Obs.Metrics.counter "lp.hybrid.float_solves"
+let c_repairs = Obs.Metrics.counter "lp.hybrid.repairs"
+let c_repair_failures = Obs.Metrics.counter "lp.hybrid.repair_failures"
+let c_fallbacks = Obs.Metrics.counter "lp.hybrid.fallbacks"
 
-let feasible ?engine ~num_vars constraints =
+let solve_hybrid engine p =
+  validate p;
+  Obs.Span.with_span ~name:"simplex.solve"
+    ~attrs:
+      [ ("engine", Obs.Span.Str "float_first");
+        ("rows", Obs.Span.Int (List.length p.constraints));
+        ("vars", Obs.Span.Int p.num_vars) ]
+  @@ fun () ->
+  let fallback reason =
+    Obs.Metrics.bump c_fallbacks;
+    if !Obs.Runtime.enabled then
+      Obs.Span.add_attr "fallback" (Obs.Span.Str reason);
+    (* The exact solve opens its own nested simplex.solve span, so a
+       trace shows both the failed float attempt and the oracle solve. *)
+    solve_with engine p
+  in
+  Obs.Metrics.bump c_float_solves;
+  let p0 = pivot_count () in
+  let lay = layout_of p in
+  let outcome, fell_back =
+    match Fsimplex.propose p lay with
+    | Error e ->
+      (* Typed numerical failure (NaN/inf/pivot budget): never a verdict,
+         always a fallback. *)
+      ( fallback
+          (match e.Bagcqc_error.kind with
+           | Bagcqc_error.Overflow msg -> "float_error:" ^ msg
+           | Bagcqc_error.Invariant msg -> "float_invariant:" ^ msg
+           | Bagcqc_error.Unsupported msg -> "float_unsupported:" ^ msg),
+        true )
+    | Ok Fsimplex.Unbounded_direction ->
+      (* No finite basis to certify; let the exact engine decide. *)
+      (fallback "unbounded", true)
+    | Ok proposal ->
+      (match Repair.repair p lay proposal with
+       | Repair.Repaired_optimal (v, x) ->
+         Obs.Metrics.bump c_repairs;
+         (Optimal (v, x), false)
+       | Repair.Repaired_infeasible ->
+         Obs.Metrics.bump c_repairs;
+         (Infeasible, false)
+       | Repair.Rejected reason ->
+         Obs.Metrics.bump c_repair_failures;
+         (fallback ("repair:" ^ reason), true))
+  in
+  if !Obs.Runtime.enabled then begin
+    (* On a fallback the nested exact solve_with already observed its own
+       pivots-per-solve; observing the combined delta again would double-
+       count, so the hybrid span only reports the accepted-repair case. *)
+    if not fell_back then begin
+      let dp = pivot_count () - p0 in
+      Obs.Metrics.observe h_pivots_per_solve dp;
+      Obs.Span.add_attr "pivots" (Obs.Span.Int dp)
+    end;
+    Obs.Span.add_attr "outcome" (Obs.Span.Str (outcome_name outcome))
+  end;
+  outcome
+
+let solve ?engine ?mode p =
+  let engine = match engine with Some e -> e | None -> !default_engine in
+  match (match mode with Some m -> m | None -> !default_mode) with
+  | Exact -> solve_with engine p
+  | Float_first -> solve_hybrid engine p
+
+let solve_result ?engine ?mode p =
+  Bagcqc_error.protect (fun () -> solve ?engine ?mode p)
+
+let feasible ?engine ?mode ~num_vars constraints =
   match
-    solve ?engine { num_vars; objective = Array.make num_vars Rat.zero; constraints }
+    solve ?engine ?mode
+      { num_vars; objective = Array.make num_vars Rat.zero; constraints }
   with
   | Optimal (_, x) -> Some x
   | Infeasible -> None
@@ -652,7 +679,9 @@ let feasible ?engine ~num_vars constraints =
     Bagcqc_error.invariant ~where:"Simplex.feasible"
       "constant (zero) objective reported unbounded"
 
-let maximize ?engine p =
-  match solve ?engine { p with objective = Array.map Rat.neg p.objective } with
+let maximize ?engine ?mode p =
+  match
+    solve ?engine ?mode { p with objective = Array.map Rat.neg p.objective }
+  with
   | Optimal (v, x) -> Optimal (Rat.neg v, x)
   | (Unbounded | Infeasible) as o -> o

@@ -63,26 +63,58 @@ val default_engine : engine ref
     engine pass [?engine] explicitly; anything that does flip this ref
     must restore the previous value with [Fun.protect]. *)
 
-val solve : ?engine:engine -> problem -> outcome
-(** Solves with [engine] when given, else with [!default_engine].
+type mode = Exact | Float_first
+
+val mode_name : mode -> string
+(** ["exact"] / ["float_first"] — the spellings accepted by
+    {!mode_of_string}, [BAGCQC_LP] and the [--lp-engine] CLI flag. *)
+
+val mode_of_string : string -> mode option
+
+val default_mode : mode ref
+(** Solving strategy used when {!solve}, {!feasible} or {!maximize} is
+    called without an explicit [?mode].  Initialized from the
+    [BAGCQC_LP] environment variable ([exact] or [float_first]; an
+    invalid value is reported on stderr and ignored); defaults to
+    [Float_first].
+
+    [Exact] runs today's exact simplex unchanged.  [Float_first] runs
+    the hybrid pipeline (DESIGN.md §4f): {!Fsimplex} proposes a basis in
+    machine floats, {!Repair} reconstructs the exact rational solution
+    and dual multipliers for that basis and verifies them exactly, and
+    any failure falls back to the exact engine — so both modes return
+    exact, certified outcomes; [Float_first] only changes which (equally
+    optimal) vertex may be reported and how fast the answer arrives.
+
+    Same mutation discipline as {!default_engine}: the CLI entry points
+    and the test/bench harnesses may set it once at startup or around a
+    measured region ([Fun.protect]); library code must pass [?mode]
+    instead of writing here. *)
+
+val solve : ?engine:engine -> ?mode:mode -> problem -> outcome
+(** Solves with [engine] (default [!default_engine]) under [mode]
+    (default [!default_mode]).
     @raise Invalid_argument if a dense row length differs from [num_vars]
     or a sparse row mentions a column [>= num_vars]. *)
 
 val solve_with : engine -> problem -> outcome
-(** [solve_with e p = solve ~engine:e p]; kept for the cross-check tests. *)
+(** [solve_with e p = solve ~engine:e ~mode:Exact p]: always the exact
+    engine, bypassing [!default_mode] — kept for the cross-check tests,
+    where [e] is the oracle under test. *)
 
 val solve_result :
-  ?engine:engine -> problem -> (outcome, Bagcqc_error.t) result
+  ?engine:engine -> ?mode:mode -> problem -> (outcome, Bagcqc_error.t) result
 (** {!solve} with internal invariant violations (a pivoting bug making a
     bounded phase-1 objective look unbounded, …) reified as a typed
     [Error] instead of an exception.  Caller-precondition violations
     still raise [Invalid_argument]. *)
 
-val feasible : ?engine:engine -> num_vars:int -> constr list -> Rat.t array option
+val feasible :
+  ?engine:engine -> ?mode:mode -> num_vars:int -> constr list -> Rat.t array option
 (** [feasible ~num_vars cs] is a point of the polyhedron
     [{x >= 0 | cs}] if one exists. *)
 
-val maximize : ?engine:engine -> problem -> outcome
+val maximize : ?engine:engine -> ?mode:mode -> problem -> outcome
 (** Same problem record, but the objective is maximized.  The reported
     optimal value is the maximum. *)
 

@@ -93,6 +93,24 @@ let ceil x =
 
 let to_float x = Bigint.to_float x.n /. Bigint.to_float x.d
 
+(* Every finite float is a dyadic rational m·2^e with |m| < 2^53: frexp
+   splits off the exponent, scaling the mantissa by 2^53 makes it an
+   exact integer, and the power of two lands in the numerator or the
+   denominator depending on the sign of the adjusted exponent.  No
+   rounding anywhere. *)
+let of_float_dyadic f =
+  if not (Float.is_finite f) then
+    invalid_arg "Rat.of_float_dyadic: not a finite float";
+  if f = 0.0 then zero
+  else begin
+    let m, e = Float.frexp f in
+    (* |m| ∈ [1/2, 1), so |m·2^53| ∈ [2^52, 2^53) is exactly an int. *)
+    let mi = int_of_float (Float.ldexp m 53) in
+    let e = e - 53 in
+    if e >= 0 then of_bigint (Bigint.shift_left (Bigint.of_int mi) e)
+    else make (Bigint.of_int mi) (Bigint.shift_left Bigint.one (-e))
+  end
+
 let of_string s =
   match String.index_opt s '/' with
   | Some i ->

@@ -50,6 +50,30 @@ val floor : t -> Bigint.t
 val ceil : t -> Bigint.t
 
 val to_float : t -> float
+(** Nearest-float approximation, computed as
+    [Bigint.to_float n /. Bigint.to_float d].
+
+    {b Rounding contract.}  Each of the two conversions rounds to
+    nearest and the IEEE division rounds the quotient to nearest again,
+    so the result is within 2 ulp of the true value — close enough for
+    the float-first LP pipeline, whose verdicts never depend on this
+    value (every accepted answer is re-verified in exact arithmetic).
+    The rounding is {e not} directed: callers must not assume
+    [to_float x <= x] or [>= x].  Values beyond the float range come
+    back as [infinity]/[-infinity] (consumers with totality obligations,
+    e.g. {!Fsimplex}, check finiteness on ingestion); in particular a
+    denominator above [2^1024] overflows to [infinity] and the result
+    collapses to [0.], so the round-trip law
+    [to_float (of_float_dyadic f) = f] holds for every {e normal} finite
+    [f] but not for subnormals. *)
+
+val of_float_dyadic : float -> t
+(** Exact dyadic conversion: the rational whose value is {e exactly} the
+    finite float [f] (every finite IEEE-754 double is [m·2^e] with
+    integer [m], so no rounding is involved; denominators are powers of
+    two).  Subnormals convert exactly too, though {!to_float} cannot
+    round-trip them (see above).
+    @raise Invalid_argument on NaN or infinities. *)
 
 val of_string : string -> t
 (** Accepts ["a"], ["a/b"] and decimal ["a.b"] forms.

@@ -298,9 +298,115 @@ let test_sparse_constr_validation () =
     (fun () ->
       ignore (Simplex.sparse_constr [ (0, q 1); (0, q 2) ] Simplex.Le (q 0)))
 
+(* ---------------- hybrid (float-first) engine ---------------- *)
+
+let test_mode_selector () =
+  Alcotest.(check string) "exact name" "exact" (Simplex.mode_name Simplex.Exact);
+  Alcotest.(check string) "float_first name" "float_first"
+    (Simplex.mode_name Simplex.Float_first);
+  let parses s expected =
+    match Simplex.mode_of_string s, expected with
+    | Some Simplex.Exact, `Exact | Some Simplex.Float_first, `Float -> ()
+    | None, `None -> ()
+    | _ -> Alcotest.failf "mode_of_string %S" s
+  in
+  parses "exact" `Exact;
+  parses "float_first" `Float;
+  parses "float-first" `Float;
+  parses "fast-but-wrong" `None
+
+(* Float-first and exact modes must return the same verdict and the same
+   optimal value on random signed LPs, and any hybrid optimum must be an
+   exactly feasible point attaining that value — the repair step is what
+   makes this a theorem rather than a hope, so the property doubles as a
+   regression net for it. *)
+let prop_hybrid_agrees =
+  QCheck.Test.make ~name:"float_first and exact modes agree" ~count:500
+    QCheck.(int_bound 1_000_000)
+    (fun seed ->
+      let st = Random.State.make [| seed + 211 |] in
+      let rand_rat () =
+        Rat.of_ints (Random.State.int st 21 - 10) (1 + Random.State.int st 4)
+      in
+      let nv = 1 + Random.State.int st 4 in
+      let nc = 1 + Random.State.int st 6 in
+      let rows =
+        List.init nc (fun _ ->
+            let row = Array.init nv (fun _ -> rand_rat ()) in
+            let op =
+              match Random.State.int st 3 with
+              | 0 -> Simplex.Le
+              | 1 -> Simplex.Ge
+              | _ -> Simplex.Eq
+            in
+            (row, op, rand_rat ()))
+      in
+      let objective = Array.init nv (fun _ -> rand_rat ()) in
+      let p =
+        Simplex.{ num_vars = nv; objective;
+                  constraints =
+                    List.map (fun (r, op, b) -> constr r op b) rows }
+      in
+      let exact = Simplex.solve ~mode:Simplex.Exact p in
+      let hybrid = Simplex.solve ~mode:Simplex.Float_first p in
+      let dot r x =
+        Array.fold_left Rat.add Rat.zero (Array.mapi (fun i c -> Rat.mul c x.(i)) r)
+      in
+      outcomes_agree exact hybrid
+      && (match hybrid with
+          | Simplex.Optimal (v, x) ->
+            Array.for_all (fun xi -> Rat.sign xi >= 0) x
+            && List.for_all
+                 (fun (row, op, rhs) ->
+                   let lhs = dot row x in
+                   match op with
+                   | Simplex.Le -> Rat.compare lhs rhs <= 0
+                   | Simplex.Ge -> Rat.compare lhs rhs >= 0
+                   | Simplex.Eq -> Rat.equal lhs rhs)
+                 rows
+            && Rat.equal v (dot objective x)
+          | Simplex.Unbounded | Simplex.Infeasible -> true))
+
+(* A coefficient of 2^5000 overflows [Rat.to_float] to infinity; the
+   float engine must report a typed [Overflow] error from ingestion (not
+   propagate inf/NaN into pricing), and the hybrid driver must fall back
+   to the exact engine and still return the exact optimum. *)
+let huge = Rat.of_bigint (Bigint.shift_left Bigint.one 5000)
+
+let test_float_overflow_is_typed () =
+  let p =
+    { Lp_layout.num_vars = 1;
+      objective = [| Rat.one |];
+      constraints = [ Lp_layout.constr [| huge |] Lp_layout.Ge Rat.one ] }
+  in
+  match Fsimplex.propose p (Lp_layout.layout_of p) with
+  | Error { Bagcqc_error.kind = Bagcqc_error.Overflow _; where } ->
+    Alcotest.(check string) "where" "Fsimplex.propose" where
+  | Error e ->
+    Alcotest.failf "expected Overflow, got %s" (Bagcqc_error.to_string e)
+  | Ok _ -> Alcotest.fail "expected ingestion overflow, got a proposal"
+
+let test_hybrid_falls_back_on_overflow () =
+  let p =
+    Simplex.{
+      num_vars = 1;
+      objective = qa [1];
+      constraints = [ constr [| huge |] Ge Rat.one ];
+    }
+  in
+  (* min x s.t. 2^5000 x >= 1: optimum x = 2^-5000, far below float range
+     in the constraint and subnormal in the answer — only the exact
+     fallback can get this right. *)
+  match Simplex.solve ~mode:Simplex.Float_first p with
+  | Simplex.Optimal (v, x) ->
+    Alcotest.check rt "value" (Rat.inv huge) v;
+    Alcotest.check rt "point" (Rat.inv huge) x.(0)
+  | _ -> Alcotest.fail "expected optimal via exact fallback"
+
 let qtests =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_solution_feasible; prop_engines_agree; prop_sparse_ingestion ]
+    [ prop_solution_feasible; prop_engines_agree; prop_sparse_ingestion;
+      prop_hybrid_agrees ]
 
 let suite =
   [ ("basic min", `Quick, test_basic_min);
@@ -313,5 +419,8 @@ let suite =
     ("feasibility", `Quick, test_zero_objective_feasibility);
     ("redundant equalities", `Quick, test_redundant_equalities);
     ("dimension mismatch", `Quick, test_dimension_mismatch);
-    ("sparse_constr validation", `Quick, test_sparse_constr_validation) ]
+    ("sparse_constr validation", `Quick, test_sparse_constr_validation);
+    ("mode selector", `Quick, test_mode_selector);
+    ("float overflow is typed", `Quick, test_float_overflow_is_typed);
+    ("hybrid falls back on overflow", `Quick, test_hybrid_falls_back_on_overflow) ]
   @ qtests

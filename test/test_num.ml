@@ -208,6 +208,51 @@ let prop_rat_compare_antisym =
       c = -Rat.compare b a
       && (c = 0 || Float.compare (Rat.to_float a) (Rat.to_float b) = c))
 
+(* of_float_dyadic: every finite float is an exact dyadic rational, so
+   converting back must round-trip bit-for-bit (to_float's ≤2ulp slack
+   never bites on values that are already representable). *)
+let arb_finite_float =
+  let gen =
+    QCheck.Gen.(
+      let* m = int_range (-(1 lsl 53)) (1 lsl 53) in
+      let* e = int_range (-60) 60 in
+      return (Float.ldexp (float_of_int m) e))
+  in
+  QCheck.make ~print:(Printf.sprintf "%h") gen
+
+let prop_dyadic_roundtrip =
+  QCheck.Test.make ~name:"of_float_dyadic/to_float roundtrip" ~count:1000
+    arb_finite_float
+    (fun f -> Rat.to_float (Rat.of_float_dyadic f) = f)
+
+(* On exact dyadics, Rat.compare must agree with Float.compare — the
+   float engine's pricing decisions and the exact repair see the same
+   order. *)
+let prop_dyadic_ordering =
+  QCheck.Test.make ~name:"of_float_dyadic preserves order" ~count:1000
+    (QCheck.pair arb_finite_float arb_finite_float)
+    (fun (a, b) ->
+      Rat.compare (Rat.of_float_dyadic a) (Rat.of_float_dyadic b)
+      = Float.compare a b)
+
+let test_of_float_dyadic_edges () =
+  Alcotest.check rt "zero" Rat.zero (Rat.of_float_dyadic 0.0);
+  Alcotest.check rt "neg zero" Rat.zero (Rat.of_float_dyadic (-0.0));
+  Alcotest.check rt "one" Rat.one (Rat.of_float_dyadic 1.0);
+  Alcotest.check rt "0.5" (Rat.of_ints 1 2) (Rat.of_float_dyadic 0.5);
+  Alcotest.check rt "-0.75" (Rat.of_ints (-3) 4) (Rat.of_float_dyadic (-0.75));
+  (* 0.1 is NOT 1/10 in binary: the exact mantissa must surface. *)
+  Alcotest.(check bool) "0.1 <> 1/10" false
+    (Rat.equal (Rat.of_float_dyadic 0.1) (Rat.of_ints 1 10));
+  Alcotest.(check bool) "0.1 round-trips" true
+    (Rat.to_float (Rat.of_float_dyadic 0.1) = 0.1);
+  List.iter
+    (fun f ->
+      Alcotest.check_raises (Printf.sprintf "%h rejected" f)
+        (Invalid_argument "Rat.of_float_dyadic: not a finite float")
+        (fun () -> ignore (Rat.of_float_dyadic f)))
+    [ Float.infinity; Float.neg_infinity; Float.nan ]
+
 (* ------------------------------------------------------------------ *)
 (* Logint tests                                                        *)
 (* ------------------------------------------------------------------ *)
@@ -409,6 +454,7 @@ let qtests =
       prop_fast_slow_add; prop_fast_slow_sub; prop_fast_slow_mul;
       prop_fast_slow_gcd; prop_fast_slow_compare; prop_fast_slow_divmod;
       prop_rat_field; prop_rat_compare_antisym;
+      prop_dyadic_roundtrip; prop_dyadic_ordering;
       prop_logint_sign_matches_float; prop_logint_additive ]
 
 let suite =
@@ -423,6 +469,7 @@ let suite =
     ("rat basic", `Quick, test_rat_basic);
     ("rat floor/ceil", `Quick, test_rat_floor_ceil);
     ("rat of_string", `Quick, test_rat_of_string);
+    ("rat of_float_dyadic edges", `Quick, test_of_float_dyadic_edges);
     ("logint basic", `Quick, test_logint_basic);
     ("logint sign on large exponents", `Quick,
      test_logint_sign_large_exponents) ]
