@@ -1,4 +1,5 @@
-.PHONY: all build test check fuzz bench bench-json compare trace-demo clean
+.PHONY: all build test check fuzz bench bench-json compare trace-demo \
+	serve-smoke clean
 
 all: build
 
@@ -47,6 +48,15 @@ endif
 bench-json: build
 	dune exec bench/main.exe -- --json BENCH_lp.json --only lp
 	dune exec bench/main.exe -- --json BENCH_hom.json --only hom
+
+# End-to-end daemon smoke (what CI's serve-smoke job runs): a real
+# `bagcqc serve` process with a persistent store, driven over its Unix
+# socket by `bagcqc client` — cold and cached checks, typed protocol
+# errors, SIGTERM drain, a warm restart answered from the store with
+# zero simplex pivots, and a corrupted store entry rejected by
+# verify-on-load.  See scripts/serve_smoke.sh.
+serve-smoke: build
+	scripts/serve_smoke.sh
 
 # Observability demo: run a traced containment check and print the span
 # tree, cache traffic, and histogram percentiles back out of the file.

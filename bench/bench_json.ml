@@ -292,6 +292,131 @@ let par_suite ~smoke =
               without_cache (fun () ->
                   Containment.decide_many batch_pairs)) } ]
 
+(* ---------------- serve suite ---------------- *)
+
+(* End-to-end daemon service time over a real Unix socket: "size" is
+   again the pool size.  One sample = one pipelined burst (every request
+   written before any reply is read), so a burst exercises the reader
+   thread, the admission queue, the dispatcher's pool fan-out and reply
+   serialization together; the recorded figure is burst time divided by
+   burst size — per-request service time under full pipelining, the
+   reciprocal of requests/second.  Two ids bracket the cold-vs-warm
+   axis: [serve_burst_cold] wipes tier 0 before every burst with no
+   store attached, so each burst pays full LP solves;
+   [serve_burst_warm_store] also wipes tier 0 but serves from a
+   pre-populated persistent store, so the delta between the ids is the
+   solve work a restarted daemon avoids by warm-starting from disk.
+   The timed bursts run with obs recording off (like every other
+   suite); [serve_metrics_burst] below reruns the workload inside the
+   report block's recording window so the serve.queue_us/serve.solve_us
+   histograms — the p50/p99 latency source — land in the emitted
+   "histograms" key. *)
+let serve_request_lines =
+  let check i (q1, q2) =
+    Obs.Json.to_string
+      (Obs.Json.Obj
+         [ ("id", Obs.Json.Num (float_of_int i));
+           ("op", Obs.Json.Str "check");
+           ("q1", Obs.Json.Str q1);
+           ("q2", Obs.Json.Str q2) ])
+  in
+  let path_str k =
+    String.concat ", "
+      (List.init k (fun i -> Printf.sprintf "R(x%d,x%d)" i (i + 1)))
+  in
+  (* Nine distinct instances (so tier 0 dedups nothing within a burst),
+     same shape family as par_batch_decide. *)
+  List.mapi check
+    (List.concat_map
+       (fun k ->
+         [ (path_str k, path_str k);
+           ("R(x,y), R(y,z), R(z,x)", "R(x,y), R(x,z)");
+           ("R(x,y), R(x,z)", "R(x,y), R(y,z), R(z,x)") ])
+       [ 2; 3; 4 ])
+
+let with_serve_server ~jobs f =
+  Bagcqc_par.Pool.set_jobs jobs;
+  let sock = Filename.temp_file "bagcqc-bench-serve" ".sock" in
+  Sys.remove sock;
+  let addr = Bagcqc_serve.Protocol.Unix_path sock in
+  let cfg =
+    { (Bagcqc_serve.Server.default_config addr) with
+      Bagcqc_serve.Server.banner = false }
+  in
+  let server = Thread.create Bagcqc_serve.Server.run cfg in
+  let c = Bagcqc_serve.Client.connect ~retry_ms:5000 addr in
+  Fun.protect
+    ~finally:(fun () ->
+      (try
+         ignore
+           (Bagcqc_serve.Client.request c
+              (Obs.Json.Obj
+                 [ ("id", Obs.Json.Null); ("op", Obs.Json.Str "shutdown") ]))
+       with _ -> ());
+      Bagcqc_serve.Client.close c;
+      Thread.join server)
+    (fun () -> f c)
+
+let serve_burst c =
+  List.iter (Bagcqc_serve.Client.send_line c) serve_request_lines;
+  List.iter
+    (fun _ ->
+      match Bagcqc_serve.Client.recv_line c with
+      | Some _ -> ()
+      | None -> failwith "serve bench: connection closed mid-burst")
+    serve_request_lines
+
+(* One untimed burst with recording on, for the report block's
+   histograms; a no-op pool-size set keeps the caller's jobs level. *)
+let serve_metrics_burst () =
+  with_serve_server ~jobs:(Bagcqc_par.Pool.jobs ()) serve_burst
+
+let serve_suite ~smoke =
+  (* Bursts are a few ms each, and their latency is bimodal (it depends
+     on when the dispatcher wakes relative to the pipelined writes), so
+     the serve ids need more reps than the CPU-bound suites for the
+     min-of-reps gate statistic to settle on the fast mode. *)
+  let reps = if smoke then 2 else 31 in
+  let jobs_sizes = if smoke then [ 1 ] else [ 1; 4 ] in
+  let n_req = List.length serve_request_lines in
+  let time_bursts c =
+    for _ = 1 to 3 do
+      serve_burst c
+    done;
+    (* warm-up; for the warm id this also populates the store *)
+    let samples =
+      List.init reps (fun _ ->
+          Solver.clear ();
+          let t0 = Unix.gettimeofday () in
+          serve_burst c;
+          (Unix.gettimeofday () -. t0) /. float_of_int n_req)
+    in
+    { size = Bagcqc_par.Pool.jobs ();
+      reps;
+      median_s = median samples;
+      min_s = List.fold_left Float.min Float.infinity samples }
+  in
+  let saved_jobs = Bagcqc_par.Pool.jobs () in
+  Fun.protect ~finally:(fun () -> Bagcqc_par.Pool.set_jobs saved_jobs)
+  @@ fun () ->
+  with_mode Simplex.Exact @@ fun () ->
+  [ { id = "serve_burst_cold";
+      points =
+        List.map (fun jobs -> with_serve_server ~jobs time_bursts) jobs_sizes
+    };
+    { id = "serve_burst_warm_store";
+      points =
+        List.map
+          (fun jobs ->
+            let store_path = Filename.temp_file "bagcqc-bench-store" ".log" in
+            Fun.protect
+              ~finally:(fun () ->
+                try Sys.remove store_path with Sys_error _ -> ())
+            @@ fun () ->
+            Store.with_store store_path @@ fun () ->
+            with_serve_server ~jobs time_bursts)
+          jobs_sizes } ]
+
 (* ---------------- JSON emission ---------------- *)
 
 (* Engine counters and metric histograms for a fixed representative
@@ -316,7 +441,13 @@ let stats_workload () =
   for _ = 1 to 2 do
     ignore (Containment.decide (path 3) (path 3))
   done;
-  let snap = (Stats.snapshot (), Obs.Metrics.snapshot ()) in
+  let engine = Stats.snapshot () in
+  (* The engine counters above are frozen; the serve burst runs after
+     that snapshot (so it cannot shift them) but inside the recording
+     window, filling the serve.queue_us/solve_us histograms for the
+     report block. *)
+  serve_metrics_burst ();
+  let snap = (engine, Obs.Metrics.snapshot ()) in
   if not was_enabled then Obs.disable ();
   snap
 
@@ -411,6 +542,12 @@ let run ~path ~only ~smoke =
     @ (match only with
        | All | Lp | Par -> [ ("par", par_suite ~smoke) ]
        | Hom -> [])
+    @ (match only with
+       (* The serve suite rides with the LP selection like par: the
+          daemon's throughput baselines live in BENCH_lp.json so the
+          regression gate drives the full socket path on every run. *)
+       | All | Lp -> [ ("serve", serve_suite ~smoke) ]
+       | Hom | Par -> [])
   in
   List.iter
     (fun (name, experiments) ->

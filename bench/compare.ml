@@ -8,130 +8,16 @@
    points missing from the new run also fail the gate, and the "jobs"
    header of each file is echoed so cross-pool-size diffs are obvious.
 
-   The build environment has no JSON library, so this includes a small
-   recursive-descent parser for the subset of JSON the harness emits
-   (objects, arrays, numbers, and strings with the basic escapes). *)
+   JSON comes from the in-tree Bagcqc_obs.Json (the build environment
+   has no JSON library): the same parser that reads --trace files and
+   serve requests also reads the bench schema, so there is exactly one
+   JSON dialect in the repo. *)
 
-type json =
-  | Obj of (string * json) list
-  | Arr of json list
-  | Str of string
-  | Num of float
-  | Bool of bool
-  | Null
+open Bagcqc_obs.Json
 
-exception Parse_error of string
-
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < n then s.[!pos] else '\000' in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | ' ' | '\t' | '\n' | '\r' -> advance (); skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    if peek () = c then advance () else fail (Printf.sprintf "expected %c" c)
-  in
-  let literal word value =
-    String.iter expect word;
-    value
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek () with
-      | '"' -> advance (); Buffer.contents buf
-      | '\\' ->
-        advance ();
-        (match peek () with
-         | '"' -> Buffer.add_char buf '"'
-         | '\\' -> Buffer.add_char buf '\\'
-         | '/' -> Buffer.add_char buf '/'
-         | 'n' -> Buffer.add_char buf '\n'
-         | 't' -> Buffer.add_char buf '\t'
-         | _ -> fail "unsupported escape");
-        advance ();
-        go ()
-      | '\000' -> fail "unterminated string"
-      | c -> Buffer.add_char buf c; advance (); go ()
-    in
-    go ()
-  in
-  let parse_number () =
-    let start = !pos in
-    let number_char c =
-      (c >= '0' && c <= '9')
-      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-    in
-    while number_char (peek ()) do advance () done;
-    let text = String.sub s start (!pos - start) in
-    match float_of_string_opt text with
-    | Some f -> Num f
-    | None -> fail (Printf.sprintf "bad number %S" text)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = '}' then (advance (); Obj [])
-      else
-        let rec members acc =
-          skip_ws ();
-          let key = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | ',' -> advance (); members ((key, v) :: acc)
-          | '}' -> advance (); Obj (List.rev ((key, v) :: acc))
-          | _ -> fail "expected , or } in object"
-        in
-        members []
-    | '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = ']' then (advance (); Arr [])
-      else
-        let rec elements acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | ',' -> advance (); elements (v :: acc)
-          | ']' -> advance (); Arr (List.rev (v :: acc))
-          | _ -> fail "expected , or ] in array"
-        in
-        elements []
-    | '"' -> Str (parse_string ())
-    | 't' -> literal "true" (Bool true)
-    | 'f' -> literal "false" (Bool false)
-    | 'n' -> literal "null" Null
-    | c when c = '-' || (c >= '0' && c <= '9') -> parse_number ()
-    | _ -> fail "unexpected character"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
+exception Parse_error = Bagcqc_obs.Json.Parse_error
 
 (* ---------------- extraction ---------------- *)
-
-let member key = function
-  | Obj fields ->
-    (try List.assoc key fields
-     with Not_found -> raise (Parse_error ("missing field " ^ key)))
-  | _ -> raise (Parse_error ("not an object looking for " ^ key))
-
-let as_arr = function Arr l -> l | _ -> raise (Parse_error "expected array")
-let as_str = function Str s -> s | _ -> raise (Parse_error "expected string")
-let as_num = function Num f -> f | _ -> raise (Parse_error "expected number")
 
 (* (suite, experiment id, size) -> gate seconds.  Prefers the min-of-reps
    statistic (stable under machine-load drift) and falls back to the
@@ -143,7 +29,7 @@ let points_of_file path =
   let len = in_channel_length ic in
   let text = really_input_string ic len in
   close_in ic;
-  let root = parse_json text in
+  let root = parse text in
   (match member "schema" root with
    | Str "bagcqc-bench/1" -> ()
    | _ -> raise (Parse_error (path ^ ": unknown schema")));

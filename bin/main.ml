@@ -7,7 +7,9 @@
      iip      decide a (max-)information inequality over Γn / Nn / Mn
      reduce   run the Section 5 reduction Max-IIP → BagCQC-A
      homcount count homomorphisms between two queries
-     report   print the span tree and histograms of a --trace file *)
+     report   print the span tree and histograms of a --trace file
+     serve    long-running containment daemon over a Unix/TCP socket
+     client   drive a serve daemon from the command line or a script *)
 
 open Bagcqc_num
 open Bagcqc_engine
@@ -71,6 +73,22 @@ let with_obs ~cmd ?jobs ?lp_engine stats trace run =
   (match trace with Some path -> Obs.Export.write path | None -> ());
   if stats then Format.eprintf "%a@?" Stats.pp (Stats.snapshot ());
   code
+
+let store_arg =
+  Arg.(value & opt (some string) None
+       & info [ "store" ] ~docv:"PATH"
+           ~env:(Cmd.Env.info "BAGCQC_STORE"
+                   ~doc:"Default value of $(b,--store).")
+           ~doc:"Persistent solve store: an append-only log of LP solves \
+                 keyed by the canonical problem.  Opened (and created on \
+                 first use) before solving starts; every entry is \
+                 re-verified with exact arithmetic when the file is loaded \
+                 — corrupt or forged entries are dropped, never served.  \
+                 Warm runs answer repeated LP problems from the store \
+                 without re-solving (visible under $(b,--stats)).")
+
+let with_store_opt store f =
+  match store with None -> f () | Some path -> Store.with_store path f
 
 let query_conv =
   let parse s =
@@ -190,8 +208,9 @@ let run_batch ~max_factors file =
     if !unknowns > 0 then 2 else 0
 
 let check_cmd =
-  let run q1 q2 batch max_factors jobs lp_engine stats trace print_cert =
+  let run q1 q2 batch max_factors store jobs lp_engine stats trace print_cert =
     with_obs ~cmd:"check" ?jobs ?lp_engine stats trace @@ fun () ->
+    with_store_opt store @@ fun () ->
     match batch, q1, q2 with
     | Some file, None, None -> run_batch ~max_factors file
     | Some _, _, _ ->
@@ -239,7 +258,8 @@ let check_cmd =
   in
   let term =
     Term.(const run $ q1_opt_arg $ q2_opt_arg $ batch_arg $ max_factors_arg
-          $ jobs_arg $ lp_engine_arg $ stats_arg $ trace_arg $ certificate_arg)
+          $ store_arg $ jobs_arg $ lp_engine_arg $ stats_arg $ trace_arg
+          $ certificate_arg)
   in
   Cmd.v
     (Cmd.info "check"
@@ -464,13 +484,152 @@ let report_cmd =
              percentiles.")
     Term.(const run $ path_arg)
 
+(* ---------------- serve / client ---------------- *)
+
+let socket_arg =
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Listen on (resp. connect to) a Unix-domain stream socket at \
+               $(docv).  Mutually exclusive with $(b,--port).")
+
+let port_arg =
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT"
+         ~doc:"Listen on (resp. connect to) TCP $(b,--host):$(docv).")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST"
+         ~doc:"Host for $(b,--port) (default 127.0.0.1).")
+
+let addr_of socket port host =
+  match (socket, port) with
+  | Some path, None -> Ok (Bagcqc_serve.Protocol.Unix_path path)
+  | None, Some port -> Ok (Bagcqc_serve.Protocol.Tcp (host, port))
+  | Some _, Some _ -> Error "--socket and --port are mutually exclusive"
+  | None, None -> Error "expected --socket PATH or --port N"
+
+let serve_cmd =
+  let run socket port host max_queue deadline_ms store selftest jobs lp_engine
+      stats trace =
+    with_obs ~cmd:"serve" ?jobs ?lp_engine stats trace @@ fun () ->
+    with_store_opt store @@ fun () ->
+    if selftest then begin
+      match Bagcqc_serve.Selftest.run ~verbose:true () with
+      | Ok steps ->
+        Format.printf "serve selftest: %d checks passed@." (List.length steps);
+        0
+      | Error msg ->
+        Format.eprintf "serve selftest: FAILED: %s@." msg;
+        1
+    end
+    else
+      match addr_of socket port host with
+      | Error msg ->
+        Format.eprintf "serve: %s@." msg;
+        Cmd.Exit.cli_error
+      | Ok addr ->
+        let cfg =
+          { (Bagcqc_serve.Server.default_config addr) with
+            Bagcqc_serve.Server.max_queue;
+            default_deadline_ms = deadline_ms }
+        in
+        Bagcqc_serve.Server.run cfg;
+        0
+  in
+  let max_queue_arg =
+    Arg.(value & opt int 256 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Admission-queue bound: check requests beyond $(docv) \
+                 outstanding are refused with an 'overloaded' error instead \
+                 of buffering without bound.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+           ~doc:"Default per-request deadline applied to check requests that \
+                 carry no deadline_ms of their own.  A request still queued \
+                 when its deadline expires is answered with \
+                 'deadline_exceeded' instead of being solved.")
+  in
+  let selftest_arg =
+    Arg.(value & flag & info [ "selftest" ]
+           ~doc:"Do not serve: boot an in-process daemon on a throwaway \
+                 socket, drive a scripted client session across the whole \
+                 protocol surface (including graceful drain), report, and \
+                 exit 0/1.  Used by CI.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the containment daemon: newline-delimited JSON requests \
+             over a Unix or TCP socket, fanned out over the domain pool, \
+             with typed errors, per-request deadlines, bounded admission \
+             and graceful drain on SIGTERM or a 'shutdown' request.  With \
+             $(b,--store), solved LPs persist across restarts (entries are \
+             re-verified with exact arithmetic on load).")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ max_queue_arg
+          $ deadline_arg $ store_arg $ selftest_arg $ jobs_arg $ lp_engine_arg
+          $ stats_arg $ trace_arg)
+
+let client_cmd =
+  let run socket port host retry_ms sends =
+    match addr_of socket port host with
+    | Error msg ->
+      Format.eprintf "client: %s@." msg;
+      Cmd.Exit.cli_error
+    | Ok addr -> (
+      match Bagcqc_serve.Client.connect ~retry_ms addr with
+      | exception Unix.Unix_error (e, _, _) ->
+        Format.eprintf "client: cannot connect to %a: %s@."
+          Bagcqc_serve.Protocol.pp_addr addr (Unix.error_message e);
+        1
+      | c ->
+        Fun.protect ~finally:(fun () -> Bagcqc_serve.Client.close c)
+        @@ fun () ->
+        (* Strict request/reply alternation; stop quietly on server EOF
+           (the expected end of a session that sent 'shutdown'). *)
+        let exchange line =
+          Bagcqc_serve.Client.send_line c line;
+          match Bagcqc_serve.Client.recv_line c with
+          | Some reply ->
+            print_endline reply;
+            true
+          | None -> false
+        in
+        (match sends with
+         | _ :: _ -> List.iter (fun l -> ignore (exchange l)) sends
+         | [] ->
+           let continue = ref true in
+           while !continue do
+             match input_line stdin with
+             | exception End_of_file -> continue := false
+             | line ->
+               if String.trim line <> "" && not (exchange line) then
+                 continue := false
+           done);
+        0)
+  in
+  let retry_arg =
+    Arg.(value & opt int 2000 & info [ "retry-ms" ] ~docv:"MS"
+           ~doc:"Keep retrying a refused or absent socket for $(docv) \
+                 milliseconds before giving up — lets scripts start the \
+                 daemon and the client concurrently.")
+  in
+  let send_arg =
+    Arg.(value & opt_all string [] & info [ "send" ] ~docv:"JSON"
+           ~doc:"Send this request line and print the reply; repeatable, \
+                 sent in order.  Without $(b,--send), request lines are \
+                 read from stdin.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Drive a running serve daemon: send newline-delimited JSON \
+             requests (from $(b,--send) or stdin) and print one reply line \
+             per request.")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ retry_arg $ send_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "bagcqc" ~version:"1.0.0"
        ~doc:"Bag query containment via information inequalities \
              (Abo Khamis–Kolaitis–Ngo–Suciu, PODS 2020).")
     [ check_cmd; classify_cmd; eq8_cmd; iip_cmd; reduce_cmd; homcount_cmd;
-      report_cmd ]
+      report_cmd; serve_cmd; client_cmd ]
 
 let () =
   (* Typed internal-invariant errors (Bagcqc_error) escape as a dedicated

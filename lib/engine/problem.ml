@@ -74,6 +74,15 @@ let make ~tag ~num_vars ?(objective = []) rows =
 let tag p = p.tag
 let num_vars p = p.num_vars
 let num_rows p = Array.length p.rows
+let objective p = p.objective
+
+let rows_list p =
+  Array.to_list
+    (Array.map
+       (fun r ->
+         (Array.to_list (Array.mapi (fun k j -> (j, r.vals.(k))) r.cols),
+          r.op, r.rhs))
+       p.rows)
 
 let compare a b =
   let c = Stdlib.compare a.tag b.tag in

@@ -39,6 +39,15 @@ val tag : t -> string
 val num_vars : t -> int
 val num_rows : t -> int
 
+val objective : t -> (int * Rat.t) list
+(** The canonical sparse objective (empty for feasibility problems). *)
+
+val rows_list : t -> ((int * Rat.t) list * Simplex.op * Rat.t) list
+(** The canonical rows as [(pairs, op, rhs)] triples, in row order.
+    Feeding these (and {!objective}) back through {!row}/{!make}
+    reconstructs a problem {!equal} to this one — the serialization
+    contract of the persistent {!Store}. *)
+
 val equal : t -> t -> bool
 val compare : t -> t -> int
 val hash : t -> int

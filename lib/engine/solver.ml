@@ -15,6 +15,12 @@ let caching = ref true
    space.  Each shard carries its own mutex, its resident problems, an
    in-flight set, and the hash-collision probe state.
 
+   This sharded table is tier 0 of a two-tier cache: on a tier-0 miss
+   the attached persistent [Store] (tier 1) is consulted before the
+   simplex runs, and fresh solves are recorded back to it.  With no
+   store attached (the default) the code path and every counter are
+   exactly the single-tier behaviour.
+
    In-flight dedup keeps (hits, misses) exactly equal to a sequential
    run: when two domains race on the same problem, the first to arrive
    registers it in-flight and counts the miss; the others block on the
@@ -112,8 +118,27 @@ let solve_cached problem =
         Table.replace s.in_flight problem ();
         Stats.note_cache_miss ();
         Mutex.unlock s.m;
-        Obs.Span.add_attr "cache" (Obs.Span.Str "miss");
-        match solve_uncached problem with
+        (* Tier 1: the persistent store, when attached.  Consulted only
+           on a tier-0 miss and outside the shard mutex (it does its own
+           locking and possibly file work); in-flight registration above
+           means racing domains still agree on exactly one resolver. *)
+        let store = Store.attached () in
+        let from_store =
+          match store with
+          | None -> None
+          | Some st -> Store.lookup st problem
+        in
+        match
+          (match from_store with
+           | Some outcome ->
+             Obs.Span.add_attr "cache" (Obs.Span.Str "store");
+             outcome
+           | None ->
+             Obs.Span.add_attr "cache" (Obs.Span.Str "miss");
+             let outcome = solve_uncached problem in
+             Option.iter (fun st -> Store.record st problem outcome) store;
+             outcome)
+        with
         | outcome ->
           Mutex.lock s.m;
           Table.replace s.table problem outcome;

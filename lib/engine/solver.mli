@@ -15,7 +15,14 @@
     deduplicated in-flight, keeping hit/miss counters exactly equal to a
     sequential run.  Lifecycle mutation ({!clear}) must happen between
     parallel regions — see the initialization order in
-    {!Bagcqc_par.Pool}. *)
+    {!Bagcqc_par.Pool}.
+
+    The sharded table is {e tier 0}.  When a persistent {!Store} is
+    attached ({!Store.attach}, [check --store], [serve]), a tier-0 miss
+    consults it before running the simplex, and fresh [Optimal] solves
+    are appended to it — restarts and sibling processes start warm.
+    Store entries are re-verified in exact arithmetic on load, so the
+    cache never trusts the disk (see {!Store}). *)
 
 open Bagcqc_num
 open Bagcqc_lp
@@ -38,7 +45,8 @@ val feasible : Problem.t -> Rat.t array option
     problem's objective is ignored (pass a pure feasibility problem). *)
 
 val clear : unit -> unit
-(** Drop every memoized solve (does not touch {!Stats}).
+(** Drop every memoized solve from tier 0 (does not touch {!Stats} or an
+    attached {!Store}).
     @raise Invalid_argument when called inside a parallel region. *)
 
 val cache_size : unit -> int

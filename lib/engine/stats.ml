@@ -25,6 +25,11 @@ type snapshot = {
   hybrid_repairs : int;
   hybrid_repair_failures : int;
   hybrid_fallbacks : int;
+  store_hits : int;
+  store_misses : int;
+  store_appends : int;
+  store_loaded : int;
+  store_rejected : int;
   stages : (string * float) list;
 }
 
@@ -42,6 +47,14 @@ let c_hybrid_float_solves = Obs.Metrics.counter "lp.hybrid.float_solves"
 let c_hybrid_repairs = Obs.Metrics.counter "lp.hybrid.repairs"
 let c_hybrid_repair_failures = Obs.Metrics.counter "lp.hybrid.repair_failures"
 let c_hybrid_fallbacks = Obs.Metrics.counter "lp.hybrid.fallbacks"
+
+(* Views over the persistent-store counters bumped inside Store — same
+   registry cells, by name, like the hybrid counters above. *)
+let c_store_hits = Obs.Metrics.counter "solver.store.hits"
+let c_store_misses = Obs.Metrics.counter "solver.store.misses"
+let c_store_appends = Obs.Metrics.counter "solver.store.appends"
+let c_store_loaded = Obs.Metrics.counter "solver.store.loaded"
+let c_store_rejected = Obs.Metrics.counter "solver.store.rejected"
 
 (* Stage buckets in first-use order, so `pp` prints the pipeline in the
    order it actually ran.  [active] is the current activation depth of
@@ -97,6 +110,11 @@ let snapshot () =
     hybrid_repairs = Obs.Metrics.count c_hybrid_repairs;
     hybrid_repair_failures = Obs.Metrics.count c_hybrid_repair_failures;
     hybrid_fallbacks = Obs.Metrics.count c_hybrid_fallbacks;
+    store_hits = Obs.Metrics.count c_store_hits;
+    store_misses = Obs.Metrics.count c_store_misses;
+    store_appends = Obs.Metrics.count c_store_appends;
+    store_loaded = Obs.Metrics.count c_store_loaded;
+    store_rejected = Obs.Metrics.count c_store_rejected;
     stages =
       (Mutex.lock stage_mutex;
        let rows = List.rev_map (fun name -> (name, stage_total name)) !stage_order in
@@ -165,6 +183,16 @@ let pp fmt s =
        (%.1f%% fallback rate)@."
       s.hybrid_float_solves s.hybrid_repairs s.hybrid_fallbacks
       (100.0 *. fallback_rate s);
+  (* Only when a persistent store was in play: runs without --store /
+     serve keep the historical output byte-for-byte. *)
+  if s.store_hits + s.store_misses + s.store_appends + s.store_loaded
+     + s.store_rejected > 0
+  then
+    Format.fprintf fmt
+      "  LP store:           %d hits / %d misses, %d appended; loaded %d \
+       verified, rejected %d@."
+      s.store_hits s.store_misses s.store_appends s.store_loaded
+      s.store_rejected;
   List.iter
     (fun (name, t) -> Format.fprintf fmt "  stage %-12s  %.6fs@." name t)
     s.stages

@@ -22,6 +22,13 @@ type snapshot = {
   hybrid_repair_failures : int;
       (** proposals whose exact repair was rejected *)
   hybrid_fallbacks : int; (** solves re-run on the exact simplex *)
+  store_hits : int;       (** tier-0 misses answered by the persistent store *)
+  store_misses : int;     (** tier-0 misses the store could not answer *)
+  store_appends : int;    (** fresh solves appended to the store *)
+  store_loaded : int;     (** store entries verified and indexed at open *)
+  store_rejected : int;
+      (** store entries dropped at open: corrupt, forged, or failing
+          exact re-verification — never served *)
   stages : (string * float) list;
       (** cumulative wall-clock seconds per named stage, insertion order *)
 }

@@ -1,8 +1,9 @@
-(* Minimal JSON: just enough for the trace exporters and the report
-   reader.  The build environment has no JSON library (see
-   bench/compare.ml, which carries its own copy of the same subset for
-   the same reason); keeping one here lets the report CLI parse exactly
-   what the exporter writes without dragging bench code into lib/. *)
+(* Minimal JSON: the repo's one and only JSON dialect.  The build
+   environment has no JSON library, so this module serves every JSON
+   consumer and producer in the tree: the trace exporters and the report
+   reader, the bench comparator (bench/compare.ml), the persistent solve
+   store (lib/engine/store.ml) and the serve wire protocol
+   (lib/serve/protocol.ml). *)
 
 type t =
   | Obj of (string * t) list

@@ -173,6 +173,10 @@ let run_region ~nchunks run =
   current := None;
   tickets := 0;
   region_active := false;
+  (* Wake [quiesce] waiters: the completion broadcast above fired while
+     [region_active] was still true, so a drain hook that woke on it
+     would otherwise go back to sleep with nobody left to signal. *)
+  Condition.broadcast done_cond;
   Mutex.unlock mutex
 
 (* Deterministic failure: re-raise the exception of the smallest failing
@@ -255,6 +259,20 @@ let parallel_filter_map f xs =
   end
 
 let parallel_map_list f l = Array.to_list (parallel_map f (Array.of_list l))
+
+(* Drain hook for long-running hosts (the serve daemon's graceful
+   shutdown): block until no region is executing.  Quiescence is
+   observed, not reserved — a caller that wants the pool to *stay* idle
+   must stop feeding it work first (the server stops its dispatcher
+   before calling this). *)
+let quiesce () =
+  if inside_task () then
+    invalid_arg "Pool.quiesce: cannot wait for the pool from inside a task";
+  Mutex.lock mutex;
+  while !region_active do
+    Condition.wait done_cond mutex
+  done;
+  Mutex.unlock mutex
 
 let both f g =
   if sequential () then begin

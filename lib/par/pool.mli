@@ -84,6 +84,13 @@ val both : (unit -> 'a) -> (unit -> 'b) -> 'a * 'b
 (** Run two thunks as one two-chunk region; sequential fallback is
     [let a = f () in let b = g () in (a, b)]. *)
 
+val quiesce : unit -> unit
+(** Block until no parallel region is executing — the drain hook used by
+    the [serve] daemon's graceful shutdown.  Quiescence is observed, not
+    reserved: stop submitting work before relying on it.
+    @raise Invalid_argument when called from inside a pool task (that
+    region would be waiting on itself). *)
+
 val shutdown : unit -> unit
 (** Stop and join every worker (idempotent; installed via [at_exit]).
     The pool restarts lazily if parallel work arrives afterwards. *)

@@ -1,0 +1,64 @@
+module Json = Bagcqc_obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable open_ : bool;
+}
+
+let sockaddr_of = function
+  | Protocol.Unix_path path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+  | Protocol.Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found ->
+          raise (Unix.Unix_error (Unix.EINVAL, "gethostbyname", host)))
+    in
+    (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+
+let connect ?(retry_ms = 0) addr =
+  let domain, sockaddr = sockaddr_of addr in
+  let give_up_at = Unix.gettimeofday () +. (float_of_int retry_ms /. 1000.0) in
+  let rec go () =
+    let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sockaddr with
+    | () ->
+      { fd;
+        ic = Unix.in_channel_of_descr fd;
+        oc = Unix.out_channel_of_descr fd;
+        open_ = true }
+    | exception
+        Unix.Unix_error ((ECONNREFUSED | ENOENT | ECONNRESET), _, _)
+      when Unix.gettimeofday () < give_up_at ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Unix.sleepf 0.02;
+      go ()
+    | exception e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  go ()
+
+let send_line c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+let recv_line c =
+  match input_line c.ic with
+  | line -> Some line
+  | exception End_of_file -> None
+
+let request c json =
+  send_line c (Json.to_string json);
+  Option.map Json.parse (recv_line c)
+
+let close c =
+  if c.open_ then begin
+    c.open_ <- false;
+    (try Unix.shutdown c.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end

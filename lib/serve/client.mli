@@ -1,0 +1,24 @@
+(** Minimal blocking client for the {!Protocol} wire format — the engine
+    behind [bagcqc client], the selftest and the serve benchmarks. *)
+
+type t
+
+val connect : ?retry_ms:int -> Protocol.addr -> t
+(** Connect to a serve daemon.  [retry_ms] (default 0) keeps retrying
+    refused/absent sockets for that many milliseconds — scripts start
+    the daemon and the client concurrently and let the client win the
+    race.  @raise Unix.Unix_error when the budget runs out. *)
+
+val send_line : t -> string -> unit
+(** Write one raw line (newline appended, flushed). *)
+
+val recv_line : t -> string option
+(** Read one reply line; [None] on EOF (server drained). *)
+
+val request : t -> Protocol.Json.t -> Protocol.Json.t option
+(** [send_line] the JSON, then parse the next reply line.  Only valid
+    when requests and replies alternate strictly (one in flight).
+    @raise Bagcqc_obs.Json.Parse_error on a malformed reply. *)
+
+val close : t -> unit
+(** Idempotent. *)

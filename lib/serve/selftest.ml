@@ -1,0 +1,158 @@
+module Json = Bagcqc_obs.Json
+
+exception Failed of string
+
+let failf fmt = Printf.ksprintf (fun m -> raise (Failed m)) fmt
+
+let get reply name =
+  match Json.find_opt name reply with
+  | Some v -> v
+  | None -> failf "reply %s lacks field %S" (Json.to_string reply) name
+
+let get_num reply name =
+  match get reply name with
+  | Json.Num f -> f
+  | _ -> failf "reply field %S is not a number" name
+
+let get_str reply name =
+  match get reply name with
+  | Json.Str s -> s
+  | _ -> failf "reply field %S is not a string" name
+
+let expect_ok reply =
+  match get reply "ok" with
+  | Json.Bool true -> ()
+  | _ -> failf "expected ok reply, got %s" (Json.to_string reply)
+
+let expect_error kind reply =
+  (match get reply "ok" with
+   | Json.Bool false -> ()
+   | _ -> failf "expected error reply, got %s" (Json.to_string reply));
+  let e = get reply "error" in
+  let k = get_str e "kind" in
+  if k <> Protocol.kind_name kind then
+    failf "expected error kind %S, got %s" (Protocol.kind_name kind)
+      (Json.to_string reply)
+
+let roundtrip c json =
+  match Client.request c json with
+  | Some reply -> reply
+  | None -> failf "connection closed while waiting for a reply to %s"
+              (Json.to_string json)
+
+let check_req ?deadline_ms ?(certificate = false) ~id q1 q2 =
+  Json.Obj
+    ([ ("id", Json.Str id); ("op", Json.Str "check");
+       ("q1", Json.Str q1); ("q2", Json.Str q2) ]
+    @ (if certificate then [ ("certificate", Json.Bool true) ] else [])
+    @ match deadline_ms with
+      | Some ms -> [ ("deadline_ms", Json.Num ms) ]
+      | None -> [])
+
+let stats c = roundtrip c (Json.Obj [ ("id", Json.Null); ("op", Json.Str "stats") ])
+
+let run ?(verbose = false) () =
+  (* Fresh socket path: temp_file reserves the name; the server refuses
+     to clobber non-socket files, so hand it a vacant path. *)
+  let sock = Filename.temp_file "bagcqc_selftest" ".sock" in
+  Sys.remove sock;
+  let cfg =
+    { Server.addr = Protocol.Unix_path sock; max_queue = 64;
+      default_deadline_ms = None; banner = false }
+  in
+  let server = Thread.create Server.run cfg in
+  let steps = ref [] in
+  let pass name =
+    steps := name :: !steps;
+    if verbose then Printf.eprintf "serve selftest: %-24s ok\n%!" name
+  in
+  let finish () = List.rev !steps in
+  match
+    let c = Client.connect ~retry_ms:5000 (Protocol.Unix_path sock) in
+    Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+    (* ping *)
+    let r = roundtrip c (Json.Obj [ ("id", Json.Str "p"); ("op", Json.Str "ping") ]) in
+    expect_ok r;
+    (match get r "pong" with
+     | Json.Bool true -> ()
+     | _ -> failf "ping did not pong: %s" (Json.to_string r));
+    (match get r "id" with
+     | Json.Str "p" -> ()
+     | _ -> failf "ping reply did not echo the id: %s" (Json.to_string r));
+    pass "ping";
+    (* contained verdict, with certificate *)
+    let triangle = "R(x,y), R(y,z), R(z,x)" and vee = "R(u,v), R(u,w)" in
+    let r1 = roundtrip c (check_req ~id:"c1" ~certificate:true triangle vee) in
+    expect_ok r1;
+    if get_str r1 "verdict" <> "contained" then
+      failf "expected contained, got %s" (Json.to_string r1);
+    let cert1 = get_str r1 "certificate" in
+    pass "check contained";
+    (* the same instance again must not cost a single new LP solve *)
+    let solves_before = get_num (stats c) "lp_solves" in
+    let r2 = roundtrip c (check_req ~id:"c2" ~certificate:true triangle vee) in
+    expect_ok r2;
+    let solves_after = get_num (stats c) "lp_solves" in
+    if solves_after <> solves_before then
+      failf "repeated check cost %g new LP solves" (solves_after -. solves_before);
+    if get_str r2 "certificate" <> cert1 then
+      failf "repeated check produced a different certificate";
+    pass "cached re-check";
+    (* not-contained verdict *)
+    let r = roundtrip c (check_req ~id:"n" "R(x,y), S(y,z)" "R(x,y)") in
+    expect_ok r;
+    if get_str r "verdict" <> "not_contained" then
+      failf "expected not_contained, got %s" (Json.to_string r);
+    if get_num r "hom2" >= get_num r "card_p" then
+      failf "witness counts do not refute: %s" (Json.to_string r);
+    pass "check not contained";
+    (* head variables exercise the booleanization path *)
+    let r = roundtrip c (check_req ~id:"h" "Q(x) :- R(x,y)" "Q(x) :- R(x,y), R(x,z)") in
+    expect_ok r;
+    if get_str r "verdict" <> "contained" then
+      failf "head-variable check: expected contained, got %s" (Json.to_string r);
+    pass "check with heads";
+    (* malformed line: typed parse error, connection survives *)
+    Client.send_line c "this is not JSON";
+    (match Client.recv_line c with
+     | Some line -> expect_error Protocol.Parse (Json.parse line)
+     | None -> failf "connection died on a malformed line");
+    pass "malformed line";
+    (* query syntax error: typed bad_request *)
+    expect_error Protocol.Bad_request (roundtrip c (check_req ~id:"b" "R(x," "R(x,y)"));
+    pass "bad query";
+    (* unknown op *)
+    expect_error Protocol.Bad_request
+      (roundtrip c (Json.Obj [ ("id", Json.Null); ("op", Json.Str "frobnicate") ]));
+    pass "unknown op";
+    (* an already-expired deadline is shed, not solved *)
+    expect_error Protocol.Deadline_exceeded
+      (roundtrip c (check_req ~id:"d" ~deadline_ms:0.0 triangle vee));
+    let s = stats c in
+    if get_num s "deadline_expired" < 1.0 then
+      failf "stats did not count the expired deadline: %s" (Json.to_string s);
+    pass "deadline exceeded";
+    (* graceful drain: shutdown is acknowledged, then the socket EOFs
+       and the server thread joins *)
+    let r = roundtrip c (Json.Obj [ ("id", Json.Str "s"); ("op", Json.Str "shutdown") ]) in
+    expect_ok r;
+    (match Client.recv_line c with
+     | None -> ()
+     | Some line -> failf "expected EOF after drain, got %S" line);
+    Thread.join server;
+    if Sys.file_exists sock then failf "drained server left the socket behind";
+    pass "graceful drain"
+  with
+  | () -> Ok (finish ())
+  | exception Failed msg ->
+    (* Best effort not to leak the daemon on a failed step. *)
+    (try
+       let c = Client.connect ~retry_ms:100 (Protocol.Unix_path sock) in
+       ignore (Client.request c (Json.Obj [ ("id", Json.Null); ("op", Json.Str "shutdown") ]));
+       Client.close c;
+       Thread.join server
+     with _ -> ());
+    Error msg
+  | exception e ->
+    (try Thread.join server with _ -> ());
+    Error (Printexc.to_string e)

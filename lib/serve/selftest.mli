@@ -1,0 +1,14 @@
+(** Scripted end-to-end exercise of a serve daemon — the engine behind
+    [bagcqc serve --selftest] and the [serve] test suite.
+
+    Boots an in-process server on a fresh Unix socket, drives one client
+    session through the protocol surface (ping; a contained and a
+    not-contained check; a repeated check that must be answered without
+    any new LP solve; a malformed line; a bad query; an
+    already-expired deadline; stats; shutdown), and verifies the server
+    drains cleanly: the socket reports EOF and the server thread joins. *)
+
+val run : ?verbose:bool -> unit -> (string list, string) result
+(** [Ok steps] lists the checks that passed, in order; [Error msg]
+    pinpoints the first failure.  [verbose] (default false) echoes each
+    step to stderr as it passes. *)

@@ -1,0 +1,415 @@
+open Bagcqc_cq
+open Bagcqc_core
+open Bagcqc_engine
+module Obs = Bagcqc_obs
+module Json = Bagcqc_obs.Json
+
+(* Service-level counters live in the same metrics registry as the
+   solver's, so `stats`, `--stats` and trace export all see them. *)
+let c_requests = Obs.Metrics.counter "serve.requests"
+let c_replies = Obs.Metrics.counter "serve.replies"
+let c_errors = Obs.Metrics.counter "serve.errors"
+let c_overloaded = Obs.Metrics.counter "serve.overloaded"
+let c_deadline = Obs.Metrics.counter "serve.deadline_expired"
+let c_connections = Obs.Metrics.counter "serve.connections"
+let h_queue_us = Obs.Metrics.histogram "serve.queue_us"
+let h_solve_us = Obs.Metrics.histogram "serve.solve_us"
+
+type config = {
+  addr : Protocol.addr;
+  max_queue : int;
+  default_deadline_ms : float option;
+  banner : bool;
+}
+
+let default_config addr =
+  { addr; max_queue = 256; default_deadline_ms = None; banner = true }
+
+type conn = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  wm : Mutex.t; (* serializes writes from reader and dispatcher *)
+  mutable alive : bool;
+}
+
+type pending = {
+  conn : conn;
+  id : Json.t;
+  q1 : Query.t;
+  q2 : Query.t;
+  max_factors : int;
+  want_certificate : bool;
+  deadline : float option; (* absolute, Unix.gettimeofday clock *)
+  enqueued_at : float;
+}
+
+type t = {
+  cfg : config;
+  qm : Mutex.t;
+  qc : Condition.t; (* dispatcher: work available / draining *)
+  queue : pending Queue.t;
+  mutable draining : bool;
+  cm : Mutex.t;
+  mutable conns : conn list;
+  mutable readers : Thread.t list;
+  pipe_r : Unix.file_descr; (* self-pipe: wakes the accept loop *)
+  pipe_w : Unix.file_descr;
+}
+
+(* ---------------- replies ---------------- *)
+
+let send t conn json =
+  ignore t;
+  Mutex.lock conn.wm;
+  (try
+     if conn.alive then begin
+       output_string conn.oc (Json.to_string json);
+       output_char conn.oc '\n';
+       flush conn.oc
+     end
+   with Sys_error _ | Unix.Unix_error _ ->
+     (* Client went away mid-reply; the reader thread will see EOF and
+        clean up — nothing to do here, and nothing to crash over. *)
+     conn.alive <- false);
+  Mutex.unlock conn.wm;
+  Obs.Metrics.bump c_replies
+
+let send_error t conn err =
+  Obs.Metrics.bump c_errors;
+  send t conn (Protocol.error_reply err)
+
+(* ---------------- drain ---------------- *)
+
+(* Async-signal-safe wake-up: handlers only write the self-pipe; the
+   accept loop does the actual (mutex-taking) state change. *)
+let wake t = try ignore (Unix.write t.pipe_w (Bytes.make 1 'x') 0 1) with _ -> ()
+
+let initiate_drain t =
+  Mutex.lock t.qm;
+  t.draining <- true;
+  Condition.broadcast t.qc;
+  Mutex.unlock t.qm;
+  wake t
+
+(* ---------------- admission ---------------- *)
+
+let expired deadline now =
+  match deadline with Some d -> d <= now | None -> false
+
+let enqueue t (p : pending) =
+  if expired p.deadline p.enqueued_at then begin
+    Obs.Metrics.bump c_deadline;
+    send_error t p.conn
+      { Protocol.id = p.id; kind = Protocol.Deadline_exceeded;
+        message = "deadline expired before admission" }
+  end
+  else begin
+    Mutex.lock t.qm;
+    let status =
+      if t.draining then `Draining
+      else if Queue.length t.queue >= t.cfg.max_queue then `Full
+      else begin
+        Queue.add p t.queue;
+        Condition.broadcast t.qc;
+        `Queued
+      end
+    in
+    Mutex.unlock t.qm;
+    match status with
+    | `Queued -> Obs.Metrics.bump c_requests
+    | `Draining ->
+      send_error t p.conn
+        { Protocol.id = p.id; kind = Protocol.Shutting_down;
+          message = "server is draining" }
+    | `Full ->
+      Obs.Metrics.bump c_overloaded;
+      send_error t p.conn
+        { Protocol.id = p.id; kind = Protocol.Overloaded;
+          message =
+            Printf.sprintf "admission queue full (max %d)" t.cfg.max_queue }
+  end
+
+(* ---------------- stats verb ---------------- *)
+
+let stats_fields t =
+  let s = Stats.snapshot () in
+  Mutex.lock t.qm;
+  let queue_depth = Queue.length t.queue in
+  let draining = t.draining in
+  Mutex.unlock t.qm;
+  let num n = Json.Num (float_of_int n) in
+  [ ("jobs", num (Bagcqc_par.Pool.jobs ()));
+    ("queue_depth", num queue_depth);
+    ("draining", Json.Bool draining);
+    ("requests", num (Obs.Metrics.count c_requests));
+    ("replies", num (Obs.Metrics.count c_replies));
+    ("errors", num (Obs.Metrics.count c_errors));
+    ("overloaded", num (Obs.Metrics.count c_overloaded));
+    ("deadline_expired", num (Obs.Metrics.count c_deadline));
+    ("connections", num (Obs.Metrics.count c_connections));
+    ("lp_solves", num s.Stats.lp_solves);
+    ("lp_pivots", num s.Stats.lp_pivots);
+    ("cache_hits", num s.Stats.cache_hits);
+    ("cache_misses", num s.Stats.cache_misses);
+    ("store_hits", num s.Stats.store_hits);
+    ("store_misses", num s.Stats.store_misses);
+    ("store_appends", num s.Stats.store_appends);
+    ("store_loaded", num s.Stats.store_loaded);
+    ("store_rejected", num s.Stats.store_rejected) ]
+
+(* ---------------- dispatcher ---------------- *)
+
+(* All solving happens on this one thread (fanning out via the pool),
+   because the pool admits one region at a time process-wide. *)
+let process_batch t batch =
+  let now = Unix.gettimeofday () in
+  let live, dead = List.partition (fun p -> not (expired p.deadline now)) batch in
+  List.iter
+    (fun p ->
+      Obs.Metrics.bump c_deadline;
+      send_error t p.conn
+        { Protocol.id = p.id; kind = Protocol.Deadline_exceeded;
+          message = "deadline expired while queued" })
+    dead;
+  (* Booleanization can refuse a pair (head lengths differ); that is the
+     client's mistake, not the batch's — answer it typed and keep going. *)
+  let jobs =
+    List.filter_map
+      (fun p ->
+        if Query.is_boolean p.q1 && Query.is_boolean p.q2 then
+          Some (p, p.q1, p.q2)
+        else
+          match Reductions.booleanize p.q1 p.q2 with
+          | q1, q2 -> Some (p, q1, q2)
+          | exception Invalid_argument msg ->
+            send_error t p.conn
+              { Protocol.id = p.id; kind = Protocol.Bad_request;
+                message = msg };
+            None)
+      live
+  in
+  if jobs <> [] then begin
+    let results =
+      Obs.Span.with_span ~name:"serve.batch"
+        ~attrs:[ ("requests", Obs.Span.Int (List.length jobs)) ]
+      @@ fun () ->
+      Bagcqc_par.Pool.parallel_map_list
+        (fun (p, q1, q2) ->
+          let t0 = Unix.gettimeofday () in
+          let r =
+            Obs.Span.with_span ~name:"serve.request" @@ fun () ->
+            Containment.decide_result ~max_factors:p.max_factors q1 q2
+          in
+          (p, r, Unix.gettimeofday () -. t0))
+        jobs
+    in
+    List.iter
+      (fun ((p : pending), r, solve_s) ->
+        let queue_s = now -. p.enqueued_at in
+        if !Obs.Runtime.enabled then begin
+          Obs.Metrics.observe h_queue_us (int_of_float (queue_s *. 1e6));
+          Obs.Metrics.observe h_solve_us (int_of_float (solve_s *. 1e6))
+        end;
+        match r with
+        | Ok verdict ->
+          send t p.conn
+            (Protocol.ok p.id
+               (Protocol.verdict_fields
+                  ~want_certificate:p.want_certificate verdict
+                @ [ ("queue_ms", Json.Num (queue_s *. 1e3));
+                    ("solve_ms", Json.Num (solve_s *. 1e3)) ]))
+        | Error e ->
+          Obs.Metrics.bump c_errors;
+          send t p.conn (Protocol.internal_error ~id:p.id e))
+      results
+  end
+
+let dispatcher_body t =
+  let continue = ref true in
+  while !continue do
+    Mutex.lock t.qm;
+    while Queue.is_empty t.queue && not t.draining do
+      Condition.wait t.qc t.qm
+    done;
+    let batch = ref [] in
+    while not (Queue.is_empty t.queue) do
+      batch := Queue.pop t.queue :: !batch
+    done;
+    if !batch = [] && t.draining then continue := false;
+    Mutex.unlock t.qm;
+    match List.rev !batch with
+    | [] -> ()
+    | batch -> (
+      try process_batch t batch
+      with e ->
+        (* A dispatcher death would hang every queued client; answer what
+           we can and keep serving.  decide_result already reifies the
+           expected failure modes, so this is strictly a backstop. *)
+        let msg = "unexpected server error: " ^ Printexc.to_string e in
+        List.iter
+          (fun p ->
+            send_error t p.conn
+              { Protocol.id = p.id; kind = Protocol.Internal; message = msg })
+          batch)
+  done
+
+(* ---------------- connections ---------------- *)
+
+let close_conn t conn =
+  Mutex.lock conn.wm;
+  let was_alive = conn.alive in
+  conn.alive <- false;
+  Mutex.unlock conn.wm;
+  if was_alive then begin
+    (try flush conn.oc with Sys_error _ -> ());
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    (* Drop the record so a later drain cannot shoot a reused fd. *)
+    Mutex.lock t.cm;
+    t.conns <- List.filter (fun c -> c != conn) t.conns;
+    Mutex.unlock t.cm
+  end
+
+let handle_line t conn line =
+  if String.trim line = "" then ()
+  else
+    match Protocol.parse_line line with
+    | Error err -> send_error t conn err
+    | Ok env -> (
+      match env.Protocol.request with
+      | Protocol.Ping ->
+        send t conn (Protocol.ok env.Protocol.id [ ("pong", Json.Bool true) ])
+      | Protocol.Stats ->
+        send t conn (Protocol.ok env.Protocol.id (stats_fields t))
+      | Protocol.Shutdown ->
+        send t conn
+          (Protocol.ok env.Protocol.id [ ("draining", Json.Bool true) ]);
+        initiate_drain t
+      | Protocol.Check { q1; q2; max_factors; want_certificate } ->
+        let now = Unix.gettimeofday () in
+        let deadline_ms =
+          match env.Protocol.deadline_ms with
+          | Some _ as d -> d
+          | None -> t.cfg.default_deadline_ms
+        in
+        let deadline = Option.map (fun ms -> now +. (ms /. 1000.0)) deadline_ms in
+        enqueue t
+          { conn; id = env.Protocol.id; q1; q2; max_factors;
+            want_certificate; deadline; enqueued_at = now })
+
+let reader_body t conn =
+  (try
+     while conn.alive do
+       let line = input_line conn.ic in
+       handle_line t conn line
+     done
+   with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+  close_conn t conn
+
+let spawn_reader t fd =
+  let conn =
+    { fd;
+      ic = Unix.in_channel_of_descr fd;
+      oc = Unix.out_channel_of_descr fd;
+      wm = Mutex.create ();
+      alive = true }
+  in
+  Obs.Metrics.bump c_connections;
+  Mutex.lock t.cm;
+  t.conns <- conn :: t.conns;
+  t.readers <- Thread.create (reader_body t) conn :: t.readers;
+  Mutex.unlock t.cm
+
+(* ---------------- listen / accept ---------------- *)
+
+let listen_socket = function
+  | Protocol.Unix_path path ->
+    (* A stale socket file from a crashed predecessor would make bind
+       fail forever; connect() semantics distinguish live servers (the
+       CLI refuses to clobber a *connectable* socket). *)
+    (match Unix.lstat path with
+     | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+     | _ -> ()
+     | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 64
+     with e -> (try Unix.close fd with _ -> ()); raise e);
+    fd
+  | Protocol.Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        with Not_found ->
+          raise (Unix.Unix_error (Unix.EINVAL, "gethostbyname", host)))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (inet, port));
+       Unix.listen fd 64
+     with e -> (try Unix.close fd with _ -> ()); raise e);
+    fd
+
+let accept_loop t listen_fd =
+  let continue = ref true in
+  while !continue do
+    match Unix.select [ listen_fd; t.pipe_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+      if List.mem t.pipe_r ready then continue := false
+      else if List.mem listen_fd ready then (
+        match Unix.accept ~cloexec:true listen_fd with
+        | fd, _ -> spawn_reader t fd
+        | exception Unix.Unix_error _ -> ())
+  done
+
+(* ---------------- lifecycle ---------------- *)
+
+let run cfg =
+  let listen_fd = listen_socket cfg.addr in
+  let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+  let t =
+    { cfg; qm = Mutex.create (); qc = Condition.create ();
+      queue = Queue.create (); draining = false; cm = Mutex.create ();
+      conns = []; readers = []; pipe_r; pipe_w }
+  in
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let on_signal = Sys.Signal_handle (fun _ -> wake t) in
+  let old_term = Sys.signal Sys.sigterm on_signal in
+  let old_int = Sys.signal Sys.sigint on_signal in
+  let dispatcher = Thread.create dispatcher_body t in
+  if cfg.banner then
+    Format.printf "bagcqc serve: listening on %a@." Protocol.pp_addr cfg.addr;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm old_term;
+      Sys.set_signal Sys.sigint old_int;
+      Sys.set_signal Sys.sigpipe old_pipe)
+    (fun () ->
+      accept_loop t listen_fd;
+      (* Drain: no new connections or work; every queued request is still
+         answered before any socket closes. *)
+      initiate_drain t;
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      (match cfg.addr with
+       | Protocol.Unix_path path ->
+         (try Unix.unlink path with Unix.Unix_error _ -> ())
+       | Protocol.Tcp _ -> ());
+      Thread.join dispatcher;
+      Bagcqc_par.Pool.quiesce ();
+      (* Readers may be parked in input_line; shutting the sockets down
+         gives them EOF, then they can be joined. *)
+      Mutex.lock t.cm;
+      let conns = t.conns and readers = t.readers in
+      Mutex.unlock t.cm;
+      List.iter
+        (fun c ->
+          try Unix.shutdown c.fd Unix.SHUTDOWN_ALL
+          with Unix.Unix_error _ -> ())
+        conns;
+      List.iter Thread.join readers;
+      (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
+      (try Unix.close t.pipe_w with Unix.Unix_error _ -> ()))

@@ -1,0 +1,57 @@
+(** The [bagcqc serve] daemon: containment-as-a-service over the
+    {!Protocol} wire format.
+
+    {2 Threading model}
+
+    The process-global domain pool ({!Bagcqc_par.Pool}) admits exactly
+    one parallel region at a time, so the server funnels all solving
+    through {e one} dispatcher thread:
+
+    - the calling thread runs the accept loop ([select] over the listen
+      socket and a self-pipe that signal handlers and the [shutdown]
+      verb write to);
+    - each connection gets a reader thread that parses lines, answers
+      [ping]/[stats] inline, and pushes [check] requests onto a bounded
+      admission queue (full queue → ["overloaded"], draining →
+      ["shutting_down"], already-expired deadline →
+      ["deadline_exceeded"] — the queue sheds load, it never hangs);
+    - the single dispatcher thread drains the queue in batches and fans
+      each batch across the pool with
+      {!Bagcqc_core.Containment.decide_result}, so concurrent clients
+      get multicore fan-out while the pool's single-region invariant
+      holds.
+
+    Replies are written under a per-connection mutex, so inline replies
+    from the reader never interleave bytes with solved verdicts from the
+    dispatcher.
+
+    {2 Graceful drain}
+
+    [SIGTERM], [SIGINT] and the [shutdown] verb all trigger the same
+    drain: stop accepting, refuse new work with ["shutting_down"],
+    finish every queued request, wait for the pool to go idle
+    ({!Bagcqc_par.Pool.quiesce}), then close the connections and join
+    all threads.  Every admitted request is answered before the socket
+    closes. *)
+
+type config = {
+  addr : Protocol.addr;
+  max_queue : int;
+      (** admission-queue bound; requests beyond it are refused with
+          ["overloaded"], never buffered unboundedly *)
+  default_deadline_ms : float option;
+      (** applied to [check] requests that carry no [deadline_ms] *)
+  banner : bool;
+      (** print a one-line "listening on …" banner on stdout once the
+          socket is ready (scripts wait on it) *)
+}
+
+val default_config : Protocol.addr -> config
+(** [max_queue = 256], no default deadline, banner on. *)
+
+val run : config -> unit
+(** Bind, serve until drained, release the socket.  Returns only after
+    every admitted request has been answered and all threads joined.
+    Installs [SIGTERM]/[SIGINT] handlers for the duration of the call
+    (restored on return) and ignores [SIGPIPE].
+    @raise Unix.Unix_error if the address cannot be bound. *)

@@ -1,0 +1,133 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the containment daemon over a real Unix socket:
+# boots `bagcqc serve` as a separate process with a persistent store and
+# tracing on, drives it with `bagcqc client`, and checks the full
+# lifecycle the unit tests can only approximate in-process:
+#
+#   1. in-process protocol selftest (`serve --selftest`)
+#   2. cold check answered with a verified certificate
+#   3. cached re-check + stats (store gains exactly one entry)
+#   4. malformed line and zero deadline answered with typed errors,
+#      connection and daemon both surviving
+#   5. graceful drain on SIGTERM: exit 0, socket file removed, trace
+#      artifact written and readable by `bagcqc report`
+#   6. warm restart: verdict served from the store with zero simplex pivots
+#   7. corrupted store entry: rejected (counted) on load, never served,
+#      and the re-check still answers correctly by re-solving
+#
+# Run from the repo root (CI's serve-smoke job, or `make serve-smoke`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+dune build bin/main.exe
+BIN=_build/default/bin/main.exe
+
+DIR=$(mktemp -d)
+SOCK="$DIR/serve.sock"
+STORE="$DIR/store.log"
+TRACE="${TRACE_OUT:-$DIR/serve-trace.json}"
+LOG="$DIR/serve.log"
+SERVER_PID=""
+
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+  [ -n "$SERVER_PID" ] && wait "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "serve_smoke: FAIL: $*" >&2
+  echo "--- daemon log ---" >&2
+  cat "$LOG" >&2 2>/dev/null || true
+  exit 1
+}
+
+step() { echo "serve_smoke: $*"; }
+
+start_daemon() {
+  "$BIN" serve --socket "$SOCK" --store "$STORE" --jobs 2 "$@" \
+    >>"$LOG" 2>&1 &
+  SERVER_PID=$!
+}
+
+stop_daemon() {
+  kill -TERM "$SERVER_PID"
+  local code=0
+  wait "$SERVER_PID" || code=$?
+  SERVER_PID=""
+  [ "$code" -eq 0 ] || fail "daemon exited $code on SIGTERM (want 0)"
+  [ -S "$SOCK" ] && fail "socket file survived the drain"
+  return 0
+}
+
+# client REQUEST...: send each line on one connection, print the replies.
+client() {
+  local args=()
+  local r
+  for r in "$@"; do args+=(--send "$r"); done
+  "$BIN" client --socket "$SOCK" --retry-ms 5000 "${args[@]}"
+}
+
+CHECK_CONTAINED='{"id":1,"op":"check","q1":"R(x,y), R(y,z), R(z,x)","q2":"R(u,v), R(u,w)","certificate":true}'
+STATS='{"id":"s","op":"stats"}'
+
+step "1: protocol selftest"
+"$BIN" serve --selftest >"$LOG" 2>&1 || fail "serve --selftest failed"
+
+step "2: cold check over the socket"
+start_daemon --trace "$TRACE"
+out=$(client "$CHECK_CONTAINED") || fail "client exited nonzero"
+echo "$out" | grep -q '"verdict":"contained"' || fail "expected a contained verdict, got: $out"
+echo "$out" | grep -q '"certificate"' || fail "expected a certificate in: $out"
+
+step "3: cached re-check + stats"
+out=$(client "$CHECK_CONTAINED" "$STATS") || fail "client exited nonzero"
+echo "$out" | grep -q '"store_appends":1' || fail "expected one store append in: $out"
+
+step "4: malformed line and zero deadline get typed errors"
+out=$(client 'this is not JSON' \
+  '{"id":4,"op":"check","q1":"R(x,y)","q2":"R(x,y)","deadline_ms":0}' \
+  '{"id":5,"op":"ping"}') || fail "client exited nonzero"
+echo "$out" | grep -q '"kind":"parse"' || fail "expected a parse error in: $out"
+echo "$out" | grep -q '"kind":"deadline_exceeded"' || fail "expected a deadline error in: $out"
+echo "$out" | grep -q '"pong":true' || fail "connection should survive the errors: $out"
+
+step "5: graceful drain on SIGTERM + trace artifact"
+stop_daemon
+[ -s "$TRACE" ] || fail "trace artifact missing or empty"
+# grep without -q: it must read to EOF, or report dies with SIGPIPE and
+# pipefail turns a successful match into a failure.
+"$BIN" report "$TRACE" | grep 'serve.request' >/dev/null \
+  || fail "trace artifact has no serve.request spans"
+
+step "6: warm restart serves the verdict from the store"
+start_daemon
+out=$(client "$CHECK_CONTAINED" "$STATS") || fail "client exited nonzero"
+echo "$out" | grep -q '"verdict":"contained"' || fail "warm verdict wrong: $out"
+echo "$out" | grep -q '"store_loaded":1' || fail "expected one store entry loaded in: $out"
+echo "$out" | grep -q '"store_hits":1' || fail "expected a store hit in: $out"
+echo "$out" | grep -q '"lp_pivots":0' || fail "warm check should not pivot: $out"
+stop_daemon
+
+step "7: corrupted store entry is rejected, verdict still correct"
+# Flip one digit inside the recorded outcome: the record stays parseable
+# JSON but the solution point no longer verifies, so the loader must
+# drop it (store_rejected) and the daemon must re-solve from scratch.
+python3 - "$STORE" <<'EOF'
+import re, sys
+path = sys.argv[1]
+text = open(path).read()
+at = text.index('"outcome"')
+m = re.compile(r"[0-9]").search(text, at)
+text = text[:m.start()] + ("3" if m.group() != "3" else "4") + text[m.end():]
+open(path, "w").write(text)
+EOF
+start_daemon
+out=$(client "$CHECK_CONTAINED" "$STATS") || fail "client exited nonzero"
+echo "$out" | grep -q '"verdict":"contained"' || fail "post-corruption verdict wrong: $out"
+echo "$out" | grep -q '"store_rejected":1' || fail "expected the corrupt entry rejected in: $out"
+echo "$out" | grep -q '"store_loaded":0' || fail "corrupt entry must not load: $out"
+stop_daemon
+
+echo "serve_smoke: OK (7 steps)"

@@ -180,6 +180,51 @@ let prop_merge_associative =
       Obs.Metrics.merge (Obs.Metrics.merge a b) c
       = Obs.Metrics.merge a (Obs.Metrics.merge b c))
 
+(* qcheck: Json.parse ∘ Json.to_string = id.  One JSON dialect serves
+   trace files, the bench comparator and the serve wire protocol, so the
+   printer and parser must be exact inverses on everything the printer
+   can emit (all byte strings, every finite double, nested values). *)
+let arb_json =
+  let open QCheck.Gen in
+  let gen_float =
+    oneof
+      [ map float_of_int int;
+        map2
+          (fun a k -> float_of_int a /. (2.0 ** float_of_int k))
+          int (int_bound 40);
+        oneofl [ 0.0; -0.0; 1e-7; 3.141592653589793; 1e308; -1e308; 1e15 ] ]
+  in
+  let gen_string = string_size ~gen:char (int_bound 12) in
+  let leaf =
+    oneof
+      [ return Obs.Json.Null;
+        map (fun b -> Obs.Json.Bool b) bool;
+        map (fun f -> Obs.Json.Num f) gen_float;
+        map (fun s -> Obs.Json.Str s) gen_string ]
+  in
+  let tree =
+    sized
+    @@ fix (fun self n ->
+           if n = 0 then leaf
+           else
+             frequency
+               [ (3, leaf);
+                 ( 1,
+                   map
+                     (fun l -> Obs.Json.Arr l)
+                     (list_size (int_bound 4) (self (n / 2))) );
+                 ( 1,
+                   map
+                     (fun fields -> Obs.Json.Obj fields)
+                     (list_size (int_bound 4)
+                        (pair gen_string (self (n / 2)))) ) ])
+  in
+  QCheck.make ~print:Obs.Json.to_string tree
+
+let prop_json_roundtrip =
+  QCheck.Test.make ~name:"Json.parse inverts Json.to_string" ~count:500
+    arb_json (fun j -> Obs.Json.parse (Obs.Json.to_string j) = j)
+
 (* ---------------- export → report round-trip ---------------- *)
 
 let test_roundtrip format =
@@ -305,4 +350,4 @@ let suite =
     Alcotest.test_case "time_stage emits spans when tracing" `Quick
       test_stats_spans ]
   @ List.map QCheck_alcotest.to_alcotest
-      [ prop_merge_commutative; prop_merge_associative ]
+      [ prop_merge_commutative; prop_merge_associative; prop_json_roundtrip ]

@@ -214,6 +214,49 @@ let prop_batch_par_eq_seq =
           | _ -> true)
         seq par)
 
+(* The serve daemon's concurrency contract, at the solver layer: N
+   identical requests landing together cost exactly as many LP solves as
+   one request (the sharded cache's in-flight dedup), and every caller
+   gets byte-identical, certificate-verified verdicts — under both the
+   sequential and the parallel scheduler. *)
+let prop_identical_requests_one_solve =
+  QCheck.Test.make
+    ~name:"decide_many: N identical requests, one solve, identical verdicts"
+    ~count:10 arb_pair (fun (q1, q2) ->
+      let pairs = List.init 6 (fun _ -> (q1, q2)) in
+      let cert_str c = Format.asprintf "%a" (Bagcqc_entropy.Certificate.pp ()) c in
+      let was = Obs.enabled () in
+      if not was then Obs.enable ();
+      Fun.protect ~finally:(fun () -> if not was then Obs.disable ())
+      @@ fun () ->
+      Stats.reset ();
+      Solver.clear ();
+      let single = with_jobs 1 (fun () -> Containment.decide ~max_factors:8 q1 q2) in
+      let single_solves = (Stats.snapshot ()).Stats.lp_solves in
+      List.for_all
+        (fun jobs ->
+          Stats.reset ();
+          Solver.clear ();
+          let verdicts =
+            with_jobs jobs (fun () ->
+                Containment.decide_many ~max_factors:8 pairs)
+          in
+          (Stats.snapshot ()).Stats.lp_solves = single_solves
+          && List.for_all
+               (fun v ->
+                 verdict_tag v = verdict_tag single
+                 &&
+                 match (v, single) with
+                 | Containment.Contained c, Containment.Contained c0 ->
+                   Bagcqc_entropy.Certificate.check c
+                   && cert_str c = cert_str c0
+                 | Containment.Not_contained w, Containment.Not_contained w0 ->
+                   w.Containment.card_p = w0.Containment.card_p
+                   && w.Containment.hom2 = w0.Containment.hom2
+                 | _ -> true)
+               verdicts)
+        [ 1; 4 ])
+
 (* ------------------------------------------------------------------ *)
 (* Deterministic counters: merged snapshots equal sequential counts    *)
 (* ------------------------------------------------------------------ *)
@@ -275,7 +318,8 @@ let test_hom_counter_parity () =
 let qtests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_maxii_par_eq_seq; prop_hom_count_par_eq_seq;
-      prop_contained_on_par_eq_seq; prop_batch_par_eq_seq ]
+      prop_contained_on_par_eq_seq; prop_batch_par_eq_seq;
+      prop_identical_requests_one_solve ]
 
 let suite =
   [ ("parallel_map matches sequential", `Quick, test_map_matches_sequential);
