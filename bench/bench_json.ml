@@ -334,14 +334,15 @@ let serve_request_lines =
            ("R(x,y), R(x,z)", "R(x,y), R(y,z), R(z,x)") ])
        [ 2; 3; 4 ])
 
-let with_serve_server ~jobs f =
+let with_serve_server ?(configure = Fun.id) ~jobs f =
   Bagcqc_par.Pool.set_jobs jobs;
   let sock = Filename.temp_file "bagcqc-bench-serve" ".sock" in
   Sys.remove sock;
   let addr = Bagcqc_serve.Protocol.Unix_path sock in
   let cfg =
-    { (Bagcqc_serve.Server.default_config addr) with
-      Bagcqc_serve.Server.banner = false }
+    configure
+      { (Bagcqc_serve.Server.default_config addr) with
+        Bagcqc_serve.Server.banner = false }
   in
   let server = Thread.create Bagcqc_serve.Server.run cfg in
   let c = Bagcqc_serve.Client.connect ~retry_ms:5000 addr in
@@ -415,6 +416,28 @@ let serve_suite ~smoke =
             @@ fun () ->
             Store.with_store store_path @@ fun () ->
             with_serve_server ~jobs time_bursts)
+          jobs_sizes };
+    (* serve_burst_cold with the full telemetry surface armed: metrics
+       endpoint live on an ephemeral port (its ticker sampling gauges
+       and windows 4×/s), an access log writing every request line, and
+       a slow-request threshold being evaluated per request.  The delta
+       against serve_burst_cold is the per-request cost of serving-grade
+       observability; the acceptance bar is "within noise".  Tracing
+       stays off, as in every timed suite — span capture is priced by
+       the obs overhead suite, not here. *)
+    { id = "serve_burst_telemetry";
+      points =
+        List.map
+          (fun jobs ->
+            let log = Filename.temp_file "bagcqc-bench-access" ".jsonl" in
+            Fun.protect
+              ~finally:(fun () -> try Sys.remove log with Sys_error _ -> ())
+            @@ fun () ->
+            with_serve_server
+              ~configure:(fun c ->
+                { c with Bagcqc_serve.Server.metrics_port = Some 0;
+                  access_log = Some log; log_sample = 1; slow_ms = Some 50.0 })
+              ~jobs time_bursts)
           jobs_sizes } ]
 
 (* ---------------- JSON emission ---------------- *)

@@ -9,7 +9,9 @@
      homcount count homomorphisms between two queries
      report   print the span tree and histograms of a --trace file
      serve    long-running containment daemon over a Unix/TCP socket
-     client   drive a serve daemon from the command line or a script *)
+     client   drive a serve daemon from the command line or a script
+     top      live dashboard over a daemon's stats verb
+     promlint validate a Prometheus text exposition (e.g. /metrics) *)
 
 open Bagcqc_num
 open Bagcqc_engine
@@ -507,9 +509,15 @@ let addr_of socket port host =
   | None, None -> Error "expected --socket PATH or --port N"
 
 let serve_cmd =
-  let run socket port host max_queue deadline_ms store selftest jobs lp_engine
-      stats trace =
+  let run socket port host max_queue deadline_ms metrics_port access_log
+      log_sample slow_ms store selftest jobs lp_engine stats trace =
     with_obs ~cmd:"serve" ?jobs ?lp_engine stats trace @@ fun () ->
+    (* Slow-request capture reconstructs each request's span subtree, so
+       an access log forces tracing on even without --stats/--trace. *)
+    if access_log <> None && not (stats || trace <> None) then begin
+      Obs.enable ();
+      Obs.reset ()
+    end;
     with_store_opt store @@ fun () ->
     if selftest then begin
       match Bagcqc_serve.Selftest.run ~verbose:true () with
@@ -529,7 +537,8 @@ let serve_cmd =
         let cfg =
           { (Bagcqc_serve.Server.default_config addr) with
             Bagcqc_serve.Server.max_queue;
-            default_deadline_ms = deadline_ms }
+            default_deadline_ms = deadline_ms;
+            metrics_port; access_log; log_sample; slow_ms }
         in
         Bagcqc_serve.Server.run cfg;
         0
@@ -547,6 +556,38 @@ let serve_cmd =
                  when its deadline expires is answered with \
                  'deadline_exceeded' instead of being solved.")
   in
+  let metrics_port_arg =
+    Arg.(value & opt (some int) None
+         & info [ "metrics-port" ] ~docv:"PORT"
+             ~env:(Cmd.Env.info "BAGCQC_METRICS_PORT"
+                     ~doc:"Default for $(b,--metrics-port).")
+             ~doc:"Serve Prometheus $(b,GET /metrics) plus $(b,/healthz) \
+                   and $(b,/readyz) on 127.0.0.1:$(docv) (0 picks an \
+                   ephemeral port, printed with the banner).  /readyz \
+                   answers 503 from the moment a drain starts, and the \
+                   endpoint stays up through the drain so load balancers \
+                   see the flip.")
+  in
+  let access_log_arg =
+    Arg.(value & opt (some string) None
+         & info [ "access-log" ] ~docv:"FILE"
+             ~doc:"Write one JSON line per completed check request to \
+                   $(docv): id, verdict or error kind, wall/queue/solve \
+                   microseconds, per-request pivots and cache tier, and \
+                   deadline slack.  Implies tracing (span capture) for \
+                   the daemon's lifetime.")
+  in
+  let log_sample_arg =
+    Arg.(value & opt int 1 & info [ "log-sample" ] ~docv:"N"
+           ~doc:"With $(b,--access-log), keep every $(docv)th request \
+                 line; slow and errored requests always log.")
+  in
+  let slow_ms_arg =
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~docv:"MS"
+           ~doc:"With $(b,--access-log), a request whose wall time \
+                 exceeds $(docv) gets its span subtree attached to its \
+                 log line — a p99 outlier arrives with its own trace.")
+  in
   let selftest_arg =
     Arg.(value & flag & info [ "selftest" ]
            ~doc:"Do not serve: boot an in-process daemon on a throwaway \
@@ -561,9 +602,13 @@ let serve_cmd =
              with typed errors, per-request deadlines, bounded admission \
              and graceful drain on SIGTERM or a 'shutdown' request.  With \
              $(b,--store), solved LPs persist across restarts (entries are \
-             re-verified with exact arithmetic on load).")
+             re-verified with exact arithmetic on load).  With \
+             $(b,--metrics-port), exposes Prometheus metrics and health \
+             endpoints; with $(b,--access-log), structured request logging \
+             with slow-request span capture.")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ max_queue_arg
-          $ deadline_arg $ store_arg $ selftest_arg $ jobs_arg $ lp_engine_arg
+          $ deadline_arg $ metrics_port_arg $ access_log_arg $ log_sample_arg
+          $ slow_ms_arg $ store_arg $ selftest_arg $ jobs_arg $ lp_engine_arg
           $ stats_arg $ trace_arg)
 
 let client_cmd =
@@ -623,13 +668,70 @@ let client_cmd =
              per request.")
     Term.(const run $ socket_arg $ port_arg $ host_arg $ retry_arg $ send_arg)
 
+let top_cmd =
+  let run socket port host interval once =
+    match addr_of socket port host with
+    | Error msg ->
+      Format.eprintf "top: %s@." msg;
+      Cmd.Exit.cli_error
+    | Ok addr -> Bagcqc_serve.Top.run ~addr ~interval ~once
+  in
+  let interval_arg =
+    Arg.(value & opt float 2.0 & info [ "interval" ] ~docv:"SECONDS"
+           ~doc:"Refresh period between stats polls (default 2s).")
+  in
+  let once_arg =
+    Arg.(value & flag & info [ "once" ]
+           ~doc:"Print a single frame and exit instead of refreshing — \
+                 for scripts and tests.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live monitor for a running serve daemon: polls the stats \
+             verb and redraws queue depth, in-flight work, rolling 1m/5m \
+             request and hit rates, and latency-histogram percentiles \
+             (p50/p90/p99).  Exits when the daemon drains.")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ interval_arg
+          $ once_arg)
+
+let promlint_cmd =
+  let run path =
+    match
+      if path = "-" then In_channel.input_all stdin
+      else In_channel.with_open_text path In_channel.input_all
+    with
+    | exception Sys_error msg ->
+      Format.eprintf "promlint: %s@." msg;
+      2
+    | text -> (
+      match Obs.Prom.lint text with
+      | Ok families ->
+        Format.printf "promlint: OK (%d metric families)@." families;
+        0
+      | Error msg ->
+        Format.eprintf "promlint: %s@." msg;
+        1)
+  in
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE"
+           ~doc:"Prometheus text exposition to validate ('-' for stdin).")
+  in
+  Cmd.v
+    (Cmd.info "promlint"
+       ~doc:"Validate a Prometheus text-exposition document (e.g. a curl \
+             of the daemon's /metrics) against the format invariants the \
+             encoder promises: declared families, strictly increasing \
+             cumulative histogram buckets, +Inf equal to _count, \
+             _sum/_count present.  Exits 0 when clean.")
+    Term.(const run $ path_arg)
+
 let main_cmd =
   Cmd.group
     (Cmd.info "bagcqc" ~version:"1.0.0"
        ~doc:"Bag query containment via information inequalities \
              (Abo Khamis–Kolaitis–Ngo–Suciu, PODS 2020).")
     [ check_cmd; classify_cmd; eq8_cmd; iip_cmd; reduce_cmd; homcount_cmd;
-      report_cmd; serve_cmd; client_cmd ]
+      report_cmd; serve_cmd; client_cmd; top_cmd; promlint_cmd ]
 
 let () =
   (* Typed internal-invariant errors (Bagcqc_error) escape as a dedicated

@@ -76,6 +76,12 @@ let cache_size () =
       acc + n)
     0 shards
 
+(* Pull-published: walking 16 shard mutexes per memoized solve would be
+   silly, so the serving layer refreshes this gauge on its ticker/scrape
+   path instead. *)
+let g_cache_size = Obs.Metrics.gauge "solver.cache.size"
+let publish_gauges () = Obs.Metrics.set_gauge g_cache_size (cache_size ())
+
 (* The memo table owns its outcome values; hand callers copies so a
    caller mutating a solution array cannot poison later hits. *)
 let copy_outcome = function

@@ -51,3 +51,7 @@ val clear : unit -> unit
 
 val cache_size : unit -> int
 (** Number of distinct problems currently memoized. *)
+
+val publish_gauges : unit -> unit
+(** Refresh the [solver.cache.size] gauge from {!cache_size} — called by
+    the serving layer's ticker and metrics scrape, not per solve. *)

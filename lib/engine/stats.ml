@@ -31,6 +31,7 @@ type snapshot = {
   store_loaded : int;
   store_rejected : int;
   stages : (string * float) list;
+  hists : (string * Obs.Metrics.hist_snapshot) list;
 }
 
 let c_lp_solves = Obs.Metrics.counter "lp.solves"
@@ -119,7 +120,11 @@ let snapshot () =
       (Mutex.lock stage_mutex;
        let rows = List.rev_map (fun name -> (name, stage_total name)) !stage_order in
        Mutex.unlock stage_mutex;
-       rows) }
+       rows);
+    hists =
+      List.filter
+        (fun (_, h) -> h.Obs.Metrics.count > 0)
+        (Obs.Metrics.snapshot ()).Obs.Metrics.histograms }
 
 let note_solve ~pivots =
   Obs.Metrics.bump c_lp_solves;
@@ -195,4 +200,17 @@ let pp fmt s =
       s.store_rejected;
   List.iter
     (fun (name, t) -> Format.fprintf fmt "  stage %-12s  %.6fs@." name t)
-    s.stages
+    s.stages;
+  if s.hists <> [] then begin
+    Format.fprintf fmt "  %-24s %9s %9s %7s %7s %7s %7s@." "histogram" "count"
+      "mean" "p50" "p90" "p99" "max";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf fmt "  %-24s %9d %9.1f %7d %7d %7d %7d@." name
+          h.Obs.Metrics.count (Obs.Metrics.mean h)
+          (Obs.Metrics.percentile h 0.50)
+          (Obs.Metrics.percentile h 0.90)
+          (Obs.Metrics.percentile h 0.99)
+          h.Obs.Metrics.max_value)
+      s.hists
+  end

@@ -31,6 +31,10 @@ type snapshot = {
           exact re-verification — never served *)
   stages : (string * float) list;
       (** cumulative wall-clock seconds per named stage, insertion order *)
+  hists : (string * Bagcqc_obs.Metrics.hist_snapshot) list;
+      (** every non-empty obs histogram ([lp.*], [serve.*], …), sorted by
+          name — the percentile source for [--stats] and the [stats]
+          serve verb *)
 }
 
 val reset : unit -> unit
@@ -58,4 +62,5 @@ val fallback_rate : snapshot -> float
     engine never ran. *)
 
 val pp : Format.formatter -> snapshot -> unit
-(** Multi-line human-readable rendering (the [--stats] output). *)
+(** Multi-line human-readable rendering (the [--stats] output),
+    including a p50/p90/p99 table for every non-empty histogram. *)

@@ -18,6 +18,10 @@ let c_appends = Obs.Metrics.counter "solver.store.appends"
 let c_loaded = Obs.Metrics.counter "solver.store.loaded"
 let c_rejected = Obs.Metrics.counter "solver.store.rejected"
 
+(* Entry count of the attached store, maintained at attach/append/detach
+   so a metrics scrape never has to take the store mutex. *)
+let g_size = Obs.Metrics.gauge "solver.store.size"
+
 type t = {
   path : string;
   m : Mutex.t;
@@ -304,6 +308,7 @@ let record t problem outcome =
      | Some oc ->
        if not (Table.mem t.index problem) then begin
          Table.replace t.index problem (Simplex.Optimal (v, Array.copy x));
+         Obs.Metrics.set_gauge g_size (Table.length t.index);
          if t.needs_newline then begin
            output_char oc '\n';
            t.needs_newline <- false
@@ -326,11 +331,13 @@ let guard_lifecycle what =
 
 let attach t =
   guard_lifecycle "attach";
-  current := Some t
+  current := Some t;
+  Obs.Metrics.set_gauge g_size (size t)
 
 let detach () =
   guard_lifecycle "detach";
-  current := None
+  current := None;
+  Obs.Metrics.set_gauge g_size 0
 
 let attached () = !current
 

@@ -6,6 +6,8 @@
 module Runtime = Runtime
 module Span = Span
 module Metrics = Metrics
+module Window = Window
+module Prom = Prom
 module Json = Json
 module Export = Export
 module Report = Report
@@ -40,4 +42,5 @@ let disable () =
 let reset () =
   guard_quiescent "reset";
   Span.reset ();
-  Metrics.reset ()
+  Metrics.reset ();
+  Window.reset ()

@@ -4,8 +4,12 @@
 
     - {!Span}: nested timed regions with attributes, recorded into a
       bounded ring buffer — the trace tree;
-    - {!Metrics}: named counters and log-bucketed histograms, handle-based
-      so a counter event is one integer store;
+    - {!Metrics}: named counters, log-bucketed histograms and
+      last-writer-wins gauges, handle-based so a counter event is one
+      integer store;
+    - {!Window}: rolling deltas/rates over counters (decisions/sec over
+      the last 1m/5m for a long-running daemon);
+    - {!Prom}: Prometheus text exposition encoder + in-tree parser;
     - {!Export}/{!Report}: Chrome-trace / JSONL serialization and the
       reader behind the [report] CLI subcommand.
 
@@ -29,6 +33,8 @@
 module Runtime = Runtime
 module Span = Span
 module Metrics = Metrics
+module Window = Window
+module Prom = Prom
 module Json = Json
 module Export = Export
 module Report = Report
@@ -45,5 +51,5 @@ val disable : unit -> unit
 (** Stop recording; already collected data stays readable/exportable. *)
 
 val reset : unit -> unit
-(** Fresh trace: clear spans (ring, ids, epoch) and zero all metrics.
-    Idempotent. *)
+(** Fresh trace: clear spans (ring, ids, epoch), zero all metrics and
+    drop window samples.  Idempotent. *)

@@ -38,6 +38,12 @@ let span_args sp =
   :: (key_self, Json.Num (us (Span.self sp)))
   :: List.rev_map (fun (k, v) -> (k, json_of_attr v)) sp.Span.attrs
 
+let span_event sp =
+  Json.Obj
+    [ ("type", Json.Str "span"); ("name", Json.Str sp.Span.name);
+      ("ts", Json.Num (us (Float.max 0.0 (sp.Span.start -. !Runtime.epoch))));
+      ("dur", Json.Num (us sp.Span.dur)); ("args", Json.Obj (span_args sp)) ]
+
 let chrome_event sp =
   Json.Obj
     [ ("name", Json.Str sp.Span.name); ("cat", Json.Str "bagcqc");
@@ -69,7 +75,10 @@ let metrics_json (s : Metrics.snapshot) =
          (List.filter_map
             (fun (n, h) ->
               if h.Metrics.count = 0 then None else Some (n, json_of_hist h))
-            s.Metrics.histograms)) ]
+            s.Metrics.histograms));
+      ("gauges",
+       Json.Obj
+         (List.map (fun (n, v) -> (n, Json.Num (float_of_int v))) s.Metrics.gauges)) ]
 
 let chrome () =
   Json.Obj
@@ -89,16 +98,7 @@ let jsonl_lines () =
         ("dropped", Json.Num (float_of_int (Span.dropped ())));
         ("depth_dropped", Json.Num (float_of_int (Span.depth_dropped ()))) ]
   in
-  let spans =
-    List.map
-      (fun sp ->
-        Json.Obj
-          [ ("type", Json.Str "span"); ("name", Json.Str sp.Span.name);
-            ("ts", Json.Num (us (Float.max 0.0 (sp.Span.start -. !Runtime.epoch))));
-            ("dur", Json.Num (us sp.Span.dur));
-            ("args", Json.Obj (span_args sp)) ])
-      (Span.closed ())
-  in
+  let spans = List.map span_event (Span.closed ()) in
   let s = Metrics.snapshot () in
   let counters =
     List.map
@@ -119,7 +119,15 @@ let jsonl_lines () =
                  ("data", json_of_hist h) ]))
       s.Metrics.histograms
   in
-  (meta :: spans) @ counters @ hists
+  let gauges =
+    List.map
+      (fun (n, v) ->
+        Json.Obj
+          [ ("type", Json.Str "gauge"); ("name", Json.Str n);
+            ("value", Json.Num (float_of_int v)) ])
+      s.Metrics.gauges
+  in
+  (meta :: spans) @ counters @ gauges @ hists
 
 let write_file path contents =
   let oc = open_out path in

@@ -18,6 +18,14 @@ val key_self : string
 val chrome : unit -> Json.t
 (** The Chrome trace object for the current obs state. *)
 
+val span_event : Span.t -> Json.t
+(** The JSONL ["span"] record for one completed span — also the shape
+    embedded in access-log slow-request captures. *)
+
+val metrics_json : Metrics.snapshot -> Json.t
+(** The metrics object embedded in traces: ["counters"], ["histograms"]
+    (empty ones omitted) and ["gauges"]. *)
+
 val jsonl_lines : unit -> Json.t list
 (** The JSONL event stream for the current obs state, one value per line. *)
 

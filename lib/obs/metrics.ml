@@ -26,6 +26,7 @@
 
 type counter = { cid : int; cname : string }
 type histogram = { hid : int; hname : string }
+type gauge = { gid : int; gname : string }
 
 let nbuckets = 63 (* bucket 62 holds everything >= 2^61 *)
 
@@ -36,8 +37,10 @@ let nbuckets = 63 (* bucket 62 holds everything >= 2^61 *)
 let reg_mutex = Mutex.create ()
 let counters_by_name : (string, counter) Hashtbl.t = Hashtbl.create 16
 let histograms_by_name : (string, histogram) Hashtbl.t = Hashtbl.create 16
+let gauges_by_name : (string, gauge) Hashtbl.t = Hashtbl.create 16
 let n_counters = ref 0
 let n_histograms = ref 0
+let n_gauges = ref 0
 
 let counter name =
   Mutex.lock reg_mutex;
@@ -67,6 +70,20 @@ let histogram name =
   Mutex.unlock reg_mutex;
   h
 
+let gauge name =
+  Mutex.lock reg_mutex;
+  let g =
+    match Hashtbl.find_opt gauges_by_name name with
+    | Some g -> g
+    | None ->
+      let g = { gid = !n_gauges; gname = name } in
+      incr n_gauges;
+      Hashtbl.add gauges_by_name name g;
+      g
+  in
+  Mutex.unlock reg_mutex;
+  g
+
 (* ---------------- per-domain stores ---------------- *)
 
 type hstate = {
@@ -80,7 +97,16 @@ type hstate = {
 type store = {
   mutable cvals : int array; (* indexed by cid, grown on demand *)
   mutable hstates : hstate option array; (* indexed by hid *)
+  mutable gseqs : int array; (* indexed by gid; 0 = never set here *)
+  mutable gvals : int array; (* indexed by gid *)
 }
+
+(* A gauge is last-writer-wins across domains: every [set_gauge] draws a
+   ticket from one global sequence, and the reader picks the value with
+   the highest ticket.  Within a domain the (seq, value) pair is two
+   plain stores into domain-owned cells, so the staleness contract is
+   the same as for counters: reads ordered after the writers are exact. *)
+let gauge_seq = Atomic.make 1
 
 (* Every store ever created (worker domains are long-lived, so stores are
    never retired); [snapshot]/[reset] walk this list. *)
@@ -88,7 +114,7 @@ let stores : store list ref = ref []
 
 let store_key =
   Domain.DLS.new_key (fun () ->
-      let s = { cvals = [||]; hstates = [||] } in
+      let s = { cvals = [||]; hstates = [||]; gseqs = [||]; gvals = [||] } in
       Mutex.lock reg_mutex;
       stores := s :: !stores;
       Mutex.unlock reg_mutex;
@@ -100,6 +126,16 @@ let ensure_counter s id =
     let a = Array.make n 0 in
     Array.blit s.cvals 0 a 0 (Array.length s.cvals);
     s.cvals <- a
+  end
+
+let ensure_gauge s id =
+  if id >= Array.length s.gseqs then begin
+    let n = max 16 (max (id + 1) (2 * Array.length s.gseqs)) in
+    let sq = Array.make n 0 and vl = Array.make n 0 in
+    Array.blit s.gseqs 0 sq 0 (Array.length s.gseqs);
+    Array.blit s.gvals 0 vl 0 (Array.length s.gvals);
+    s.gseqs <- sq;
+    s.gvals <- vl
   end
 
 let fresh_hstate () =
@@ -141,6 +177,22 @@ let count c =
     (fun acc s -> if c.cid < Array.length s.cvals then acc + s.cvals.(c.cid) else acc)
     0 (all_stores ())
 
+let set_gauge g v =
+  let s = Domain.DLS.get store_key in
+  ensure_gauge s g.gid;
+  let seq = Atomic.fetch_and_add gauge_seq 1 in
+  s.gvals.(g.gid) <- v;
+  s.gseqs.(g.gid) <- seq
+
+let gauge_value g =
+  List.fold_left
+    (fun (best_seq, best_v) s ->
+      if g.gid < Array.length s.gseqs && s.gseqs.(g.gid) > best_seq then
+        (s.gseqs.(g.gid), s.gvals.(g.gid))
+      else (best_seq, best_v))
+    (0, 0) (all_stores ())
+  |> snd
+
 let bucket_of v =
   if v <= 0 then 0
   else begin
@@ -171,6 +223,8 @@ let reset () =
   List.iter
     (fun s ->
       Array.fill s.cvals 0 (Array.length s.cvals) 0;
+      Array.fill s.gseqs 0 (Array.length s.gseqs) 0;
+      Array.fill s.gvals 0 (Array.length s.gvals) 0;
       Array.iter
         (function
           | Some st ->
@@ -196,6 +250,7 @@ type hist_snapshot = {
 type snapshot = {
   counters : (string * int) list; (* name-sorted *)
   histograms : (string * hist_snapshot) list; (* name-sorted *)
+  gauges : (string * int) list; (* name-sorted *)
 }
 
 let empty_hist =
@@ -213,8 +268,10 @@ let by_name (a, _) (b, _) = compare (a : string) b
 
 (* Canonicalizing constructor for externally assembled snapshots (trace
    import, tests) and the per-domain merge below: sorts, merges duplicate
-   names, drops empty buckets. *)
-let snapshot_of ~counters:cs ~histograms:hs =
+   names, drops empty buckets.  Gauges are not additive: on a duplicate
+   name the entry later in the input list wins (the list-order analogue
+   of last-writer-wins). *)
+let snapshot_of ?(gauges = []) ~counters:cs ~histograms:hs () =
   let merge_counters cs =
     List.sort by_name cs
     |> List.fold_left
@@ -254,7 +311,14 @@ let snapshot_of ~counters:cs ~histograms:hs =
          []
     |> List.rev
   in
-  { counters = merge_counters cs; histograms = merge_hists hs }
+  let canon_gauges gs =
+    let tbl = Hashtbl.create 8 in
+    List.iter (fun (name, v) -> Hashtbl.replace tbl name v) gs;
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+    |> List.sort by_name
+  in
+  { counters = merge_counters cs; histograms = merge_hists hs;
+    gauges = canon_gauges gauges }
 
 (* The per-domain collection points straight at the canonical merge: each
    store contributes its (name, value) rows, and [snapshot_of] folds the
@@ -302,12 +366,24 @@ let snapshot () =
         | rows -> rows)
       names_h
   in
-  snapshot_of ~counters ~histograms
+  let names_g =
+    Mutex.lock reg_mutex;
+    let l = Hashtbl.fold (fun name g acc -> (name, g) :: acc) gauges_by_name [] in
+    Mutex.unlock reg_mutex;
+    l
+  in
+  let gauges = List.map (fun (name, g) -> (name, gauge_value g)) names_g in
+  snapshot_of ~gauges ~counters ~histograms ()
 
+(* Counters and histograms union pointwise (associative, commutative);
+   gauges are LWW, so [merge] is right-biased on them: [b]'s value wins
+   on a common name. *)
 let merge a b =
   snapshot_of
+    ~gauges:(a.gauges @ b.gauges)
     ~counters:(a.counters @ b.counters)
     ~histograms:(a.histograms @ b.histograms)
+    ()
 
 (* ---------------- percentiles ---------------- *)
 

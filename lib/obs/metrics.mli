@@ -30,6 +30,21 @@ val histogram : string -> histogram
 
 val observe : histogram -> int -> unit
 
+type gauge
+
+val gauge : string -> gauge
+(** Find-or-create the gauge with this name.  A gauge is a point-in-time
+    level (queue depth, store size), not an accumulator: across domains
+    the most recent {!set_gauge} wins (one global write sequence decides
+    "most recent"), so concurrent writers from different domains merge
+    last-writer-wins rather than summing. *)
+
+val set_gauge : gauge -> int -> unit
+
+val gauge_value : gauge -> int
+(** Current value under last-writer-wins; 0 if never set (or since
+    {!reset}). *)
+
 val nbuckets : int
 val bucket_of : int -> int
 (** Bucket index of a value (see the bucketing rule above). *)
@@ -57,24 +72,31 @@ type hist_snapshot = {
 type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
   histograms : (string * hist_snapshot) list;  (** sorted by name *)
+  gauges : (string * int) list;  (** sorted by name *)
 }
 
 val empty_hist : hist_snapshot
 
 val snapshot : unit -> snapshot
-(** Canonical snapshot of every registered counter and histogram. *)
+(** Canonical snapshot of every registered counter, histogram and
+    gauge. *)
 
 val snapshot_of :
+  ?gauges:(string * int) list ->
   counters:(string * int) list ->
   histograms:(string * hist_snapshot) list ->
+  unit ->
   snapshot
 (** Canonicalize an externally assembled snapshot (sorts names, merges
-    duplicates, drops empty buckets) — the constructor used by trace
-    import and by tests. *)
+    duplicate counters/histograms, drops empty buckets) — the
+    constructor used by trace import and by tests.  On a duplicate gauge
+    name the entry later in the list wins ([gauges] defaults to []). *)
 
 val merge : snapshot -> snapshot -> snapshot
-(** Pointwise union: counters add, histogram buckets add, min/max fold.
-    Associative and commutative on canonical snapshots. *)
+(** Pointwise union: counters add, histogram buckets add, min/max fold —
+    associative and commutative on canonical snapshots.  Gauges are
+    last-writer-wins, so [merge] is right-biased on them ([b] wins on a
+    common name). *)
 
 val percentile : hist_snapshot -> float -> int
 (** [percentile h p] for [p ∈ \[0,1\]]: lower bound of the bucket holding

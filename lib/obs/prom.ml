@@ -1,0 +1,323 @@
+(* Prometheus text exposition (version 0.0.4): encoder and parser.
+
+   The encoder maps the obs registry onto the three family kinds a
+   scraper understands:
+
+   - counters  -> "# TYPE bagcqc_<name>_total counter" with one sample;
+   - gauges    -> "# TYPE bagcqc_<name> gauge" with one sample;
+   - histograms-> cumulative [le] buckets derived from the log₂ bucket
+     upper bounds ({!Metrics.bucket_hi}), a "+Inf" bucket, and the exact
+     [_sum]/[_count] the snapshot carries;
+   - rolling rates ({!Window}) -> one "bagcqc_rate_per_sec" gauge family
+     labelled by source counter and window.
+
+   The parser is the other half of the contract: an in-tree reader of
+   the same format, used by the golden/property tests and by the
+   [promlint] CLI verb so CI can validate a live daemon's /metrics
+   output without any external tooling.  It is deliberately strict
+   about what the encoder promises (name syntax, one TYPE per family,
+   numeric sample values) and [lint] layers the histogram invariants on
+   top: [le] strictly increasing, cumulative counts monotone, "+Inf"
+   present and equal to [_count]. *)
+
+let prefix = "bagcqc_"
+
+(* Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*; obs names use
+   dots ("serve.queue_us"), which map to underscores. *)
+let metric_name name =
+  let b = Buffer.create (String.length name + String.length prefix) in
+  Buffer.add_string b prefix;
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+(* ---------------- encoder ---------------- *)
+
+let add_family b ~name ~mtype = Printf.bprintf b "# TYPE %s %s\n" name mtype
+
+let encode_histogram b name (h : Metrics.hist_snapshot) =
+  add_family b ~name ~mtype:"histogram";
+  let cum = ref 0 in
+  List.iter
+    (fun (i, c) ->
+      cum := !cum + c;
+      Printf.bprintf b "%s_bucket{le=\"%d\"} %d\n" name (Metrics.bucket_hi i)
+        !cum)
+    h.Metrics.buckets;
+  Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" name h.Metrics.count;
+  Printf.bprintf b "%s_sum %d\n" name h.Metrics.sum;
+  Printf.bprintf b "%s_count %d\n" name h.Metrics.count
+
+let encode ?(rates = []) (s : Metrics.snapshot) =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (n, v) ->
+      let name = metric_name n ^ "_total" in
+      add_family b ~name ~mtype:"counter";
+      Printf.bprintf b "%s %d\n" name v)
+    s.Metrics.counters;
+  List.iter
+    (fun (n, v) ->
+      let name = metric_name n in
+      add_family b ~name ~mtype:"gauge";
+      Printf.bprintf b "%s %d\n" name v)
+    s.Metrics.gauges;
+  List.iter
+    (fun (n, h) -> encode_histogram b (metric_name n) h)
+    s.Metrics.histograms;
+  (match rates with
+   | [] -> ()
+   | _ ->
+     let name = prefix ^ "rate_per_sec" in
+     add_family b ~name ~mtype:"gauge";
+     List.iter
+       (fun (counter, window, r) ->
+         Printf.bprintf b "%s{counter=\"%s\",window=\"%s\"} %s\n" name
+           (escape_label_value counter) (escape_label_value window)
+           (float_str r))
+       rates);
+  Buffer.contents b
+
+(* ---------------- parser ---------------- *)
+
+type mtype = Counter | Gauge | Histogram
+
+type sample = {
+  sname : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+type exposition = {
+  types : (string * mtype) list; (* declaration order *)
+  samples : sample list; (* line order *)
+}
+
+exception Bad of string
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let parse_name line i =
+  let n = String.length line in
+  if i >= n || not (is_name_start line.[i]) then
+    raise (Bad "expected a metric name");
+  let j = ref (i + 1) in
+  while !j < n && is_name_char line.[!j] do incr j done;
+  (String.sub line i (!j - i), !j)
+
+let skip_ws line i =
+  let n = String.length line in
+  let j = ref i in
+  while !j < n && (line.[!j] = ' ' || line.[!j] = '\t') do incr j done;
+  !j
+
+let parse_label_value line i =
+  let n = String.length line in
+  if i >= n || line.[i] <> '"' then raise (Bad "expected '\"'");
+  let b = Buffer.create 16 in
+  let j = ref (i + 1) in
+  let fin = ref (-1) in
+  while !fin < 0 do
+    if !j >= n then raise (Bad "unterminated label value");
+    (match line.[!j] with
+     | '\\' ->
+       if !j + 1 >= n then raise (Bad "dangling escape");
+       (match line.[!j + 1] with
+        | '\\' -> Buffer.add_char b '\\'
+        | '"' -> Buffer.add_char b '"'
+        | 'n' -> Buffer.add_char b '\n'
+        | c -> raise (Bad (Printf.sprintf "bad escape '\\%c'" c)));
+       j := !j + 2
+     | '"' ->
+       fin := !j;
+       incr j
+     | c ->
+       Buffer.add_char b c;
+       incr j);
+  done;
+  (Buffer.contents b, !j)
+
+let parse_labels line i =
+  (* caller consumed '{' *)
+  let n = String.length line in
+  let labels = ref [] in
+  let j = ref (skip_ws line i) in
+  if !j < n && line.[!j] = '}' then (List.rev !labels, !j + 1)
+  else begin
+    let fin = ref (-1) in
+    while !fin < 0 do
+      let k, j1 = parse_name line (skip_ws line !j) in
+      let j2 = skip_ws line j1 in
+      if j2 >= n || line.[j2] <> '=' then raise (Bad "expected '='");
+      let v, j3 = parse_label_value line (skip_ws line (j2 + 1)) in
+      labels := (k, v) :: !labels;
+      let j4 = skip_ws line j3 in
+      if j4 < n && line.[j4] = ',' then j := j4 + 1
+      else if j4 < n && line.[j4] = '}' then fin := j4 + 1
+      else raise (Bad "expected ',' or '}'")
+    done;
+    (List.rev !labels, !fin)
+  end
+
+let parse_sample line =
+  let sname, i = parse_name line 0 in
+  let labels, i =
+    if i < String.length line && line.[i] = '{' then parse_labels line (i + 1)
+    else ([], i)
+  in
+  let rest = String.trim (String.sub line i (String.length line - i)) in
+  (* value [timestamp]; we only emit values, but tolerate a timestamp *)
+  let value_str =
+    match String.index_opt rest ' ' with
+    | Some k -> String.sub rest 0 k
+    | None -> rest
+  in
+  if value_str = "" then raise (Bad "missing sample value");
+  let value =
+    match float_of_string_opt value_str with
+    | Some f -> f
+    | None -> raise (Bad (Printf.sprintf "bad sample value %S" value_str))
+  in
+  { sname; labels; value }
+
+let parse text =
+  let types = ref [] in
+  let samples = ref [] in
+  let lineno = ref 0 in
+  try
+    String.split_on_char '\n' text
+    |> List.iter (fun line ->
+           incr lineno;
+           let line = String.trim line in
+           if line = "" then ()
+           else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+             let rest = String.sub line 7 (String.length line - 7) in
+             let name, i = parse_name rest 0 in
+             let mtype =
+               match String.trim (String.sub rest i (String.length rest - i)) with
+               | "counter" -> Counter
+               | "gauge" -> Gauge
+               | "histogram" -> Histogram
+               | t -> raise (Bad (Printf.sprintf "unsupported type %S" t))
+             in
+             if List.mem_assoc name !types then
+               raise (Bad (Printf.sprintf "duplicate TYPE for %s" name));
+             types := (name, mtype) :: !types
+           end
+           else if line.[0] = '#' then () (* HELP / comment *)
+           else samples := parse_sample line :: !samples);
+    Ok { types = List.rev !types; samples = List.rev !samples }
+  with Bad msg -> Error (Printf.sprintf "line %d: %s" !lineno msg)
+
+let find_sample e name labels =
+  List.find_map
+    (fun s ->
+      if s.sname = name
+         && List.length s.labels = List.length labels
+         && List.for_all
+              (fun (k, v) -> List.assoc_opt k s.labels = Some v)
+              labels
+      then Some s.value
+      else None)
+    e.samples
+
+(* ---------------- lint ---------------- *)
+
+let hist_suffixes = [ "_bucket"; "_sum"; "_count" ]
+
+let base_of name =
+  List.find_map
+    (fun suf ->
+      if Filename.check_suffix name suf then
+        Some (Filename.chop_suffix name suf)
+      else None)
+    hist_suffixes
+
+let lint_histogram e name =
+  let buckets =
+    List.filter_map
+      (fun s ->
+        if s.sname = name ^ "_bucket" then
+          match List.assoc_opt "le" s.labels with
+          | None -> raise (Bad (name ^ ": bucket without le label"))
+          | Some le -> Some (le, s.value)
+        else None)
+      e.samples
+  in
+  if buckets = [] then raise (Bad (name ^ ": histogram with no buckets"));
+  let le_val le =
+    match float_of_string_opt le with
+    | Some f -> f
+    | None -> raise (Bad (Printf.sprintf "%s: bad le %S" name le))
+  in
+  let rec check_mono = function
+    | (le1, c1) :: ((le2, c2) :: _ as rest) ->
+      if le_val le1 >= le_val le2 then
+        raise (Bad (Printf.sprintf "%s: le not increasing (%s >= %s)" name le1 le2));
+      if c1 > c2 then
+        raise
+          (Bad
+             (Printf.sprintf "%s: bucket counts not cumulative (%g > %g at le=%s)"
+                name c1 c2 le2));
+      check_mono rest
+    | _ -> ()
+  in
+  check_mono buckets;
+  let inf_le, inf_count = List.nth buckets (List.length buckets - 1) in
+  if le_val inf_le <> Float.infinity then
+    raise (Bad (name ^ ": last bucket is not +Inf"));
+  (match find_sample e (name ^ "_count") [] with
+   | None -> raise (Bad (name ^ ": missing _count"))
+   | Some c ->
+     if c <> inf_count then
+       raise
+         (Bad (Printf.sprintf "%s: +Inf bucket %g <> _count %g" name inf_count c)));
+  if find_sample e (name ^ "_sum") [] = None then
+    raise (Bad (name ^ ": missing _sum"))
+
+let lint text =
+  match parse text with
+  | Error _ as e -> e
+  | Ok e ->
+    (try
+       (* Every sample must belong to a declared family. *)
+       List.iter
+         (fun s ->
+           let declared name = List.mem_assoc name e.types in
+           let ok =
+             declared s.sname
+             || match base_of s.sname with
+                | Some base -> List.assoc_opt base e.types = Some Histogram
+                | None -> false
+           in
+           if not ok then raise (Bad (s.sname ^ ": sample without a TYPE")))
+         e.samples;
+       List.iter
+         (fun (name, t) -> if t = Histogram then lint_histogram e name)
+         e.types;
+       Ok (List.length e.types)
+     with Bad msg -> Error msg)

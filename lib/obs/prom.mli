@@ -1,0 +1,46 @@
+(** Prometheus text exposition (version 0.0.4): encoder, parser, linter.
+
+    {!encode} renders a {!Metrics.snapshot} for [GET /metrics]: counters
+    as [bagcqc_<name>_total] counter families, gauges as gauge families,
+    histograms as cumulative [le] buckets derived from the log₂ bucket
+    upper bounds plus exact [_sum]/[_count], and optional {!Window}
+    rates as one labelled [bagcqc_rate_per_sec] gauge family.
+
+    {!parse}/{!lint} read the same format back — the in-tree validator
+    used by the encoder's tests and the [promlint] CLI verb, so CI can
+    check a live daemon's scrape without external tooling. *)
+
+val metric_name : string -> string
+(** Sanitized, ["bagcqc_"]-prefixed family name: characters outside
+    [\[a-zA-Z0-9_:\]] become ['_']. *)
+
+val encode : ?rates:(string * string * float) list -> Metrics.snapshot -> string
+(** The exposition document.  [rates] rows are (source counter, window
+    label, per-second rate), e.g. [("serve.replies", "1m", 12.5)]. *)
+
+(** {2 Parser} *)
+
+type mtype = Counter | Gauge | Histogram
+
+type sample = {
+  sname : string;
+  labels : (string * string) list;
+  value : float;
+}
+
+type exposition = {
+  types : (string * mtype) list;  (** family types, declaration order *)
+  samples : sample list;  (** line order *)
+}
+
+val parse : string -> (exposition, string) result
+
+val find_sample : exposition -> string -> (string * string) list -> float option
+(** Value of the sample with this name whose labels are exactly the
+    given set (order-insensitive). *)
+
+val lint : string -> (int, string) result
+(** Parse plus the format invariants the encoder promises: every sample
+    belongs to a declared family, histogram [le] strictly increasing
+    with cumulative-monotone counts, ["+Inf"] bucket present and equal
+    to [_count], [_sum]/[_count] present.  Returns the family count. *)

@@ -63,6 +63,10 @@ let hist_of_json j =
 
 let metrics_of_json j =
   Metrics.snapshot_of
+    ~gauges:
+      (match Json.find_opt "gauges" j with
+       | None -> []
+       | Some g -> List.map (fun (n, v) -> (n, Json.as_int v)) (Json.as_obj g))
     ~counters:
       (List.map
          (fun (n, v) -> (n, Json.as_int v))
@@ -71,6 +75,7 @@ let metrics_of_json j =
       (List.map
          (fun (n, h) -> (n, hist_of_json h))
          (Json.as_obj (Json.member "histograms" j)))
+    ()
 
 let of_chrome root =
   (match Json.find_opt "traceEvents" root with
@@ -102,8 +107,8 @@ let of_chrome root =
     | Some m ->
       (match Json.find_opt "metrics" m with
        | Some j -> metrics_of_json j
-       | None -> Metrics.snapshot_of ~counters:[] ~histograms:[])
-    | None -> Metrics.snapshot_of ~counters:[] ~histograms:[]
+       | None -> Metrics.snapshot_of ~counters:[] ~histograms:[] ())
+    | None -> Metrics.snapshot_of ~counters:[] ~histograms:[] ()
   in
   (nodes, meta_int "dropped", meta_int "depth_dropped", metrics)
 
@@ -111,6 +116,7 @@ let of_jsonl lines =
   let nodes = ref [] in
   let counters = ref [] in
   let hists = ref [] in
+  let gauges = ref [] in
   let dropped = ref 0 in
   let depth_dropped = ref 0 in
   List.iter
@@ -134,6 +140,11 @@ let of_jsonl lines =
           (Json.as_str (Json.member "name" line),
            hist_of_json (Json.member "data" line))
           :: !hists
+      | Some (Json.Str "gauge") ->
+        gauges :=
+          (Json.as_str (Json.member "name" line),
+           Json.as_int (Json.member "value" line))
+          :: !gauges
       | Some (Json.Str "meta") ->
         (match Json.find_opt "dropped" line with
          | Some v -> dropped := Json.as_int v
@@ -144,7 +155,8 @@ let of_jsonl lines =
       | _ -> ())
     lines;
   ( List.rev !nodes, !dropped, !depth_dropped,
-    Metrics.snapshot_of ~counters:!counters ~histograms:!hists )
+    Metrics.snapshot_of ~gauges:(List.rev !gauges) ~counters:!counters
+      ~histograms:!hists () )
 
 let link nodes dropped depth_dropped metrics =
   let by_id = Hashtbl.create (2 * List.length nodes + 1) in
@@ -306,13 +318,20 @@ let pp fmt t =
     Format.fprintf fmt "  %-44s %10s %10s@." "" "incl ms" "self ms";
     pp_tree fmt t.roots
   end;
-  let { Metrics.counters; histograms } = t.metrics in
+  let { Metrics.counters; histograms; gauges } = t.metrics in
   let nonzero = List.filter (fun (_, v) -> v <> 0) counters in
   if nonzero <> [] then begin
     Format.fprintf fmt "@.counters:@.";
     List.iter
       (fun (n, v) -> Format.fprintf fmt "  %-36s %12d@." n v)
       nonzero
+  end;
+  let live_gauges = List.filter (fun (_, v) -> v <> 0) gauges in
+  if live_gauges <> [] then begin
+    Format.fprintf fmt "@.gauges:@.";
+    List.iter
+      (fun (n, v) -> Format.fprintf fmt "  %-36s %12d@." n v)
+      live_gauges
   end;
   let live = List.filter (fun (_, h) -> h.Metrics.count > 0) histograms in
   if live <> [] then begin

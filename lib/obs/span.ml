@@ -105,6 +105,13 @@ let depth_dropped () =
 
 let open_depth () = List.length (Domain.DLS.get dstore_key).stack
 
+let current_id () =
+  if not !Runtime.enabled then -1
+  else
+    match (Domain.DLS.get dstore_key).stack with
+    | [] -> -1
+    | sp :: _ -> sp.id
+
 (* Completed spans in one ring, oldest first (eviction order). *)
 let ring_closed d =
   let cap = Array.length d.ring in

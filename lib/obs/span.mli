@@ -57,6 +57,12 @@ val depth_dropped : unit -> int
 val open_depth : unit -> int
 (** Number of currently open spans (0 between top-level operations). *)
 
+val current_id : unit -> int
+(** Id of this domain's innermost open span, [-1] when none is open or
+    tracing is disabled.  Lets a caller remember which span covered a
+    piece of work and later collect that span's subtree from {!closed}
+    (slow-request capture). *)
+
 val reset : unit -> unit
 (** Clear the ring, the open stack, and ids; re-arm the trace epoch.
     Idempotent.  Does not clear subscribers. *)

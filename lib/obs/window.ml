@@ -1,0 +1,123 @@
+(* Rolling counter windows.
+
+   A window tracks one counter by sampling its cumulative value into a
+   bounded ring of (time, value) pairs; [delta]/[rate] then answer "how
+   much did this counter move over the last N seconds" by diffing the
+   live value against the newest sample at least that old.  This is how
+   a long-running daemon reports decisions/sec and hit rates over the
+   last 1m/5m instead of since-boot totals.
+
+   Sampling is pull-based: someone (the serve ticker thread, or a
+   metrics scrape) calls [tick_all] about once a second.  Samples closer
+   together than [min_gap] are coalesced, so opportunistic ticks from
+   request handlers cannot flood the ring.  The ring holds [capacity]
+   samples — at one per second that covers ~8.5 minutes, comfortably
+   past the 5m window.
+
+   Honesty rule: a freshly booted daemon has no sample 5 minutes old, so
+   [rate] divides by the time actually covered (now minus the baseline
+   sample's time) and reports that coverage, rather than amortizing a
+   10-second burst over a fictional 5 minutes. *)
+
+type t = {
+  wname : string;
+  counter : Metrics.counter;
+  times : float array;
+  values : int array;
+  mutable widx : int; (* next write slot *)
+  mutable filled : int; (* valid samples in the ring *)
+}
+
+let capacity = 512
+let min_gap = 0.5
+
+let reg_mutex = Mutex.create ()
+let windows : t list ref = ref []
+
+let track name =
+  Mutex.lock reg_mutex;
+  let w =
+    match List.find_opt (fun w -> w.wname = name) !windows with
+    | Some w -> w
+    | None ->
+      let w =
+        { wname = name; counter = Metrics.counter name;
+          times = Array.make capacity 0.0; values = Array.make capacity 0;
+          widx = 0; filled = 0 }
+      in
+      windows := w :: !windows;
+      w
+  in
+  Mutex.unlock reg_mutex;
+  w
+
+let name w = w.wname
+
+let tracked () =
+  Mutex.lock reg_mutex;
+  let ws = List.rev !windows in
+  Mutex.unlock reg_mutex;
+  ws
+
+(* Newest sample, if any.  Caller holds reg_mutex. *)
+let newest w =
+  if w.filled = 0 then None
+  else begin
+    let i = (w.widx + capacity - 1) mod capacity in
+    Some (w.times.(i), w.values.(i))
+  end
+
+let tick w =
+  let now = Runtime.now () in
+  let v = Metrics.count w.counter in
+  Mutex.lock reg_mutex;
+  (match newest w with
+   | Some (t, _) when now -. t < min_gap -> ()
+   | _ ->
+     w.times.(w.widx) <- now;
+     w.values.(w.widx) <- v;
+     w.widx <- (w.widx + 1) mod capacity;
+     if w.filled < capacity then w.filled <- w.filled + 1);
+  Mutex.unlock reg_mutex
+
+let tick_all () = List.iter tick (tracked ())
+
+(* Baseline for a window of [seconds]: the newest sample at least that
+   old, else the oldest sample we have.  Caller holds reg_mutex. *)
+let baseline w ~seconds ~now =
+  if w.filled = 0 then None
+  else begin
+    let cutoff = now -. seconds in
+    let best = ref None in
+    let oldest = ref None in
+    for k = 0 to w.filled - 1 do
+      let i = (w.widx + capacity - w.filled + k) mod capacity in
+      let t = w.times.(i) and v = w.values.(i) in
+      if !oldest = None then oldest := Some (t, v);
+      if t <= cutoff then best := Some (t, v)
+    done;
+    match !best with Some _ as b -> b | None -> !oldest
+  end
+
+let delta w ~seconds =
+  let now = Runtime.now () in
+  let live = Metrics.count w.counter in
+  Mutex.lock reg_mutex;
+  let b = baseline w ~seconds ~now in
+  Mutex.unlock reg_mutex;
+  match b with
+  | None -> (0, 0.0)
+  | Some (t, v) -> (live - v, Float.max 0.0 (now -. t))
+
+let rate w ~seconds =
+  let d, covered = delta w ~seconds in
+  if covered < min_gap then 0.0 else float_of_int d /. covered
+
+let reset () =
+  Mutex.lock reg_mutex;
+  List.iter
+    (fun w ->
+      w.widx <- 0;
+      w.filled <- 0)
+    !windows;
+  Mutex.unlock reg_mutex

@@ -1,0 +1,38 @@
+(** Rolling windows over counters: recent deltas and rates.
+
+    A window samples one counter's cumulative value into a bounded ring
+    (one sample per {!tick_all}, coalesced below 0.5s apart, 512 slots —
+    at 1 Hz that covers well past 5 minutes).  {!delta} and {!rate}
+    answer "how much did this counter move over the last N seconds" by
+    diffing the live count against the newest sample at least that old.
+
+    Rates are honest about coverage: when the ring does not yet reach N
+    seconds back (fresh boot), the divisor is the time actually covered,
+    which {!delta} also returns. *)
+
+type t
+
+val track : string -> t
+(** Find-or-create the window over the counter with this name. *)
+
+val name : t -> string
+
+val tracked : unit -> t list
+(** Every window, in creation order. *)
+
+val tick_all : unit -> unit
+(** Sample every tracked counter now.  Call ~1/s (ticker thread); extra
+    calls within 0.5s of the last sample are dropped. *)
+
+val delta : t -> seconds:float -> int * float
+(** [(d, covered)]: the counter moved by [d] over the last [covered]
+    seconds, where [covered <= seconds] (shorter when the ring is young,
+    slightly longer when the baseline sample predates the cutoff).
+    [(0, 0.)] before the first tick. *)
+
+val rate : t -> seconds:float -> float
+(** Per-second rate over the covered period; 0 when coverage is under
+    the sampling gap. *)
+
+val reset : unit -> unit
+(** Drop every ring's samples (window handles stay valid). *)

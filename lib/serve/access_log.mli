@@ -1,0 +1,34 @@
+(** Structured JSONL access log with slow-request capture.
+
+    One {"type":"access"} line per completed check request: echoed id,
+    verdict or error kind, wall/queue/solve µs, per-request pivots and
+    cache tier (from the request's span subtree, when tracing is on),
+    and remaining deadline slack.  Sampling keeps every Nth request;
+    slow requests and errors always log.  A request whose wall time
+    exceeds [slow_ms] additionally carries its span subtree in a
+    ["spans"] array (the {!Bagcqc_obs.Export} JSONL span shape), so tail
+    outliers arrive with their own trace attached. *)
+
+module Json := Bagcqc_obs.Json
+
+type t
+
+val open_ : path:string -> sample:int -> slow_ms:float option -> t
+(** Truncate-open [path].  [sample <= 1] logs every request. *)
+
+val close : t -> unit
+
+type entry = {
+  id : Json.t;  (** echoed request id *)
+  verdict : string option;  (** [None] on error *)
+  wall_us : int;  (** queue + solve *)
+  queue_us : int;
+  solve_us : int;
+  deadline_slack_ms : float option;
+      (** deadline minus completion time; [None] without a deadline *)
+  error : string option;  (** protocol error kind *)
+  span_id : int;  (** the request's root span id, [-1] when tracing is off *)
+}
+
+val log_check : t -> entry -> unit
+(** Log (or sample away) one completed check. *)

@@ -1,0 +1,133 @@
+(* Minimal HTTP/1.x GET responder for the telemetry surface.
+
+   This is deliberately not a web server: it exists so a Prometheus
+   scraper, a load balancer health check, or `curl` can read /metrics,
+   /healthz and /readyz off a running daemon without any dependency
+   beyond the Unix module.  One thread accepts on 127.0.0.1:<port> (or a
+   caller-chosen bind host) and answers each connection inline —
+   scrapes are rare, tiny, and serialized by design — with
+   [Connection: close] semantics.  Everything protocol-shaped beyond
+   "parse the request line of a GET, answer, close" is out of scope.
+
+   The lifecycle mirrors the main server's accept loop: a self-pipe
+   wakes the select so [stop] can join the thread deterministically.
+   The listener stays up through the main socket's drain on purpose —
+   /readyz must be observable *while* the daemon drains. *)
+
+type response = { status : int; content_type : string; body : string }
+
+type t = {
+  fd : Unix.file_descr;
+  port : int; (* actual port (resolves port 0) *)
+  pipe_r : Unix.file_descr;
+  pipe_w : Unix.file_descr;
+  thread : Thread.t;
+}
+
+let text status body = { status; content_type = "text/plain; charset=utf-8"; body }
+
+let reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 503 -> "Service Unavailable"
+  | _ -> "Internal Server Error"
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    match Unix.write fd b !off (n - !off) with
+    | 0 -> off := n
+    | k -> off := !off + k
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      off := n
+  done
+
+let respond fd (r : response) =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+        Connection: close\r\n\r\n%s"
+       r.status (reason r.status) r.content_type (String.length r.body) r.body)
+
+(* Request line of a GET, e.g. "GET /metrics?x=1 HTTP/1.1" -> "/metrics".
+   Headers are read to be polite (and to keep clients that send them
+   happy) but ignored. *)
+let handle_conn handler fd =
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0
+   with Unix.Unix_error _ -> ());
+  let ic = Unix.in_channel_of_descr fd in
+  match input_line ic with
+  | exception (End_of_file | Sys_error _ | Unix.Unix_error _) -> ()
+  | request_line ->
+    (* Drain headers up to the blank line; tolerate EOF mid-headers. *)
+    (try
+       let fin = ref false in
+       while not !fin do
+         let l = input_line ic in
+         if l = "" || l = "\r" then fin := true
+       done
+     with End_of_file | Sys_error _ | Unix.Unix_error _ -> ());
+    let resp =
+      match String.split_on_char ' ' (String.trim request_line) with
+      | "GET" :: target :: _ ->
+        let path =
+          match String.index_opt target '?' with
+          | Some i -> String.sub target 0 i
+          | None -> target
+        in
+        (try handler path
+         with e -> text 500 ("internal error: " ^ Printexc.to_string e ^ "\n"))
+      | _ :: _ :: _ -> text 405 "only GET is supported\n"
+      | _ -> text 400 "malformed request line\n"
+    in
+    respond fd resp
+
+let accept_loop ~listen_fd ~pipe_r handler =
+  let continue = ref true in
+  while !continue do
+    match Unix.select [ listen_fd; pipe_r ] [] [] (-1.0) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | ready, _, _ ->
+      if List.mem pipe_r ready then continue := false
+      else if List.mem listen_fd ready then (
+        match Unix.accept ~cloexec:true listen_fd with
+        | fd, _ -> handle_conn handler fd
+        | exception Unix.Unix_error _ -> ())
+  done
+
+let start ?(host = "127.0.0.1") ~port handler =
+  let inet = Unix.inet_addr_of_string host in
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try
+     Unix.setsockopt fd Unix.SO_REUSEADDR true;
+     Unix.bind fd (Unix.ADDR_INET (inet, port));
+     Unix.listen fd 16
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  let port =
+    match Unix.getsockname fd with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> port
+  in
+  let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+  let thread =
+    Thread.create (fun () -> accept_loop ~listen_fd:fd ~pipe_r handler) ()
+  in
+  { fd; port; pipe_r; pipe_w; thread }
+
+let port t = t.port
+
+let stop t =
+  (try ignore (Unix.write t.pipe_w (Bytes.make 1 'x') 0 1)
+   with Unix.Unix_error _ -> ());
+  Thread.join t.thread;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    [ t.fd; t.pipe_r; t.pipe_w ]

@@ -1,0 +1,28 @@
+(** Minimal HTTP/1.x GET responder — the daemon's telemetry surface.
+
+    Serves [/metrics], [/healthz] and [/readyz] to scrapers, load
+    balancers and [curl]: one accept thread on a loopback TCP port,
+    each connection answered inline and closed ([Connection: close]).
+    Anything that is not a well-formed GET gets 405/400; a handler
+    exception becomes a 500.  Not a general web server and not meant to
+    face untrusted traffic. *)
+
+type response = { status : int; content_type : string; body : string }
+
+type t
+
+val text : int -> string -> response
+(** [text status body] with content type [text/plain; charset=utf-8]. *)
+
+val start : ?host:string -> port:int -> (string -> response) -> t
+(** Bind [host:port] (default host 127.0.0.1; port 0 picks an ephemeral
+    port — see {!port}) and serve [handler path] on a dedicated thread.
+    The [path] argument has any query string stripped.
+    @raise Unix.Unix_error when the bind fails (port in use, bad host). *)
+
+val port : t -> int
+(** The actually bound port. *)
+
+val stop : t -> unit
+(** Wake the accept thread, join it, close the socket.  Idempotence is
+    not required of callers: call exactly once. *)

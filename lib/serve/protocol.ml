@@ -153,6 +153,11 @@ let internal_error ~id e =
     { id; kind = Internal;
       message = Format.asprintf "%a" Bagcqc_num.Bagcqc_error.pp e }
 
+let verdict_name = function
+  | Containment.Contained _ -> "contained"
+  | Containment.Not_contained _ -> "not_contained"
+  | Containment.Unknown _ -> "unknown"
+
 let verdict_fields ~want_certificate = function
   | Containment.Contained cert ->
     ("verdict", Json.Str "contained")

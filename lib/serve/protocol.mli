@@ -91,6 +91,10 @@ val error_reply : error -> Json.t
 val internal_error : id:Json.t -> Bagcqc_num.Bagcqc_error.t -> Json.t
 (** Map a typed pipeline error onto an ["internal"] protocol error. *)
 
+val verdict_name : Containment.verdict -> string
+(** ["contained"], ["not_contained"] or ["unknown"] — the same string
+    the ["verdict"] field of a reply carries. *)
+
 val verdict_fields :
   want_certificate:bool -> Containment.verdict -> (string * Json.t) list
 (** The verb-specific fields of a [check] reply: ["verdict"] of

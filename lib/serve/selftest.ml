@@ -57,8 +57,8 @@ let run ?(verbose = false) () =
   let sock = Filename.temp_file "bagcqc_selftest" ".sock" in
   Sys.remove sock;
   let cfg =
-    { Server.addr = Protocol.Unix_path sock; max_queue = 64;
-      default_deadline_ms = None; banner = false }
+    { (Server.default_config (Protocol.Unix_path sock)) with
+      max_queue = 64; banner = false }
   in
   let server = Thread.create Server.run cfg in
   let steps = ref [] in
@@ -132,6 +132,29 @@ let run ?(verbose = false) () =
     if get_num s "deadline_expired" < 1.0 then
       failf "stats did not count the expired deadline: %s" (Json.to_string s);
     pass "deadline exceeded";
+    (* the extended stats surface: gauges, histograms and rolling rates
+       (what `bagcqc top` and /metrics are built from) *)
+    let s = stats c in
+    ignore (get_num s "queue_depth");
+    ignore (get_num s "in_flight");
+    ignore (get_num s "cache_size");
+    (match get s "histograms" with
+     | Json.Obj hists ->
+       (match List.assoc_opt "serve.request_us" hists with
+        | Some h ->
+          if get_num h "count" < 1.0 then
+            failf "serve.request_us histogram is empty after checks";
+          if get_num h "p99" < get_num h "p50" then
+            failf "histogram percentiles not monotone: %s" (Json.to_string h)
+        | None -> failf "stats histograms lack serve.request_us")
+     | _ -> failf "stats \"histograms\" is not an object");
+    (match get s "rates_per_sec" with
+     | Json.Obj rates ->
+       (match List.assoc_opt "serve.requests" rates with
+        | Some r -> ignore (get_num r "1m"); ignore (get_num r "5m")
+        | None -> failf "rates_per_sec lacks serve.requests")
+     | _ -> failf "stats \"rates_per_sec\" is not an object");
+    pass "extended stats";
     (* graceful drain: shutdown is acknowledged, then the socket EOFs
        and the server thread joins *)
     let r = roundtrip c (Json.Obj [ ("id", Json.Str "s"); ("op", Json.Str "shutdown") ]) in

@@ -14,16 +14,37 @@ let c_deadline = Obs.Metrics.counter "serve.deadline_expired"
 let c_connections = Obs.Metrics.counter "serve.connections"
 let h_queue_us = Obs.Metrics.histogram "serve.queue_us"
 let h_solve_us = Obs.Metrics.histogram "serve.solve_us"
+let h_request_us = Obs.Metrics.histogram "serve.request_us"
+
+(* Live levels for scrapers: queue depth and in-flight refresh at batch
+   boundaries and on the telemetry ticker, open connections at
+   accept/close.  All of these are levels, not totals — gauges. *)
+let g_queue_depth = Obs.Metrics.gauge "serve.queue_depth"
+let g_in_flight = Obs.Metrics.gauge "serve.in_flight"
+let g_open_conns = Obs.Metrics.gauge "serve.open_connections"
+
+(* Counters whose recent movement the daemon reports as rolling 1m/5m
+   rates (decisions/sec, fallback and hit rates) via `stats`//metrics. *)
+let windowed_counters =
+  [ "serve.requests"; "serve.replies"; "serve.errors";
+    "solver.cache.hits"; "solver.cache.misses"; "solver.store.hits";
+    "solver.store.misses"; "lp.solves"; "lp.hybrid.float_solves";
+    "lp.hybrid.fallbacks" ]
 
 type config = {
   addr : Protocol.addr;
   max_queue : int;
   default_deadline_ms : float option;
   banner : bool;
+  metrics_port : int option;
+  access_log : string option;
+  log_sample : int;
+  slow_ms : float option;
 }
 
 let default_config addr =
-  { addr; max_queue = 256; default_deadline_ms = None; banner = true }
+  { addr; max_queue = 256; default_deadline_ms = None; banner = true;
+    metrics_port = None; access_log = None; log_sample = 1; slow_ms = None }
 
 type conn = {
   fd : Unix.file_descr;
@@ -55,6 +76,8 @@ type t = {
   mutable readers : Thread.t list;
   pipe_r : Unix.file_descr; (* self-pipe: wakes the accept loop *)
   pipe_w : Unix.file_descr;
+  access : Access_log.t option;
+  ticker_stop : bool Atomic.t;
 }
 
 (* ---------------- replies ---------------- *)
@@ -111,6 +134,7 @@ let enqueue t (p : pending) =
       else if Queue.length t.queue >= t.cfg.max_queue then `Full
       else begin
         Queue.add p t.queue;
+        Obs.Metrics.set_gauge g_queue_depth (Queue.length t.queue);
         Condition.broadcast t.qc;
         `Queued
       end
@@ -130,18 +154,96 @@ let enqueue t (p : pending) =
             Printf.sprintf "admission queue full (max %d)" t.cfg.max_queue }
   end
 
+(* ---------------- telemetry ---------------- *)
+
+(* Pull-published gauges: refreshed by the ticker thread and on every
+   stats/metrics read, never on the per-request hot path. *)
+let publish_gauges t =
+  Mutex.lock t.qm;
+  let depth = Queue.length t.queue in
+  Mutex.unlock t.qm;
+  Obs.Metrics.set_gauge g_queue_depth depth;
+  Mutex.lock t.cm;
+  let open_conns = List.length t.conns in
+  Mutex.unlock t.cm;
+  Obs.Metrics.set_gauge g_open_conns open_conns;
+  Solver.publish_gauges ()
+
+(* ~1 Hz window sampling + gauge refresh; wakes at 4 Hz so drain never
+   waits long on the ticker (Window coalesces samples under 0.5s). *)
+let ticker_body t =
+  while not (Atomic.get t.ticker_stop) do
+    Thread.delay 0.25;
+    publish_gauges t;
+    Obs.Window.tick_all ()
+  done
+
+let window_rates () =
+  List.concat_map
+    (fun w ->
+      [ (Obs.Window.name w, "1m", Obs.Window.rate w ~seconds:60.0);
+        (Obs.Window.name w, "5m", Obs.Window.rate w ~seconds:300.0) ])
+    (Obs.Window.tracked ())
+
+let metrics_body t =
+  publish_gauges t;
+  Obs.Window.tick_all ();
+  Obs.Prom.encode ~rates:(window_rates ()) (Obs.Metrics.snapshot ())
+
+let http_handler t path =
+  match path with
+  | "/metrics" ->
+    { Http.status = 200;
+      content_type = "text/plain; version=0.0.4; charset=utf-8";
+      body = metrics_body t }
+  | "/healthz" -> Http.text 200 "ok\n"
+  | "/readyz" ->
+    Mutex.lock t.qm;
+    let draining = t.draining in
+    Mutex.unlock t.qm;
+    if draining then Http.text 503 "draining\n" else Http.text 200 "ready\n"
+  | _ -> Http.text 404 "not found\n"
+
 (* ---------------- stats verb ---------------- *)
 
 let stats_fields t =
+  publish_gauges t;
+  Obs.Window.tick_all ();
   let s = Stats.snapshot () in
   Mutex.lock t.qm;
   let queue_depth = Queue.length t.queue in
   let draining = t.draining in
   Mutex.unlock t.qm;
   let num n = Json.Num (float_of_int n) in
+  let latency =
+    List.map
+      (fun (name, h) ->
+        ( name,
+          Json.Obj
+            [ ("count", num h.Obs.Metrics.count);
+              ("mean", Json.Num (Obs.Metrics.mean h));
+              ("p50", num (Obs.Metrics.percentile h 0.50));
+              ("p90", num (Obs.Metrics.percentile h 0.90));
+              ("p99", num (Obs.Metrics.percentile h 0.99));
+              ("max", num h.Obs.Metrics.max_value) ] ))
+      s.Stats.hists
+  in
+  let rates =
+    List.map
+      (fun w ->
+        ( Obs.Window.name w,
+          Json.Obj
+            [ ("1m", Json.Num (Obs.Window.rate w ~seconds:60.0));
+              ("5m", Json.Num (Obs.Window.rate w ~seconds:300.0)) ] ))
+      (Obs.Window.tracked ())
+  in
   [ ("jobs", num (Bagcqc_par.Pool.jobs ()));
     ("queue_depth", num queue_depth);
+    ("in_flight", num (Obs.Metrics.gauge_value g_in_flight));
+    ("cache_size", num (Solver.cache_size ()));
     ("draining", Json.Bool draining);
+    ("histograms", Json.Obj latency);
+    ("rates_per_sec", Json.Obj rates);
     ("requests", num (Obs.Metrics.count c_requests));
     ("replies", num (Obs.Metrics.count c_replies));
     ("errors", num (Obs.Metrics.count c_errors));
@@ -170,7 +272,18 @@ let process_batch t batch =
       Obs.Metrics.bump c_deadline;
       send_error t p.conn
         { Protocol.id = p.id; kind = Protocol.Deadline_exceeded;
-          message = "deadline expired while queued" })
+          message = "deadline expired while queued" };
+      match t.access with
+      | None -> ()
+      | Some log ->
+        let queue_us = int_of_float ((now -. p.enqueued_at) *. 1e6) in
+        Access_log.log_check log
+          { Access_log.id = p.id; verdict = None; wall_us = queue_us;
+            queue_us; solve_us = 0;
+            deadline_slack_ms =
+              Option.map (fun d -> (d -. now) *. 1e3) p.deadline;
+            error = Some (Protocol.kind_name Protocol.Deadline_exceeded);
+            span_id = -1 })
     dead;
   (* Booleanization can refuse a pair (head lengths differ); that is the
      client's mistake, not the batch's — answer it typed and keep going. *)
@@ -190,6 +303,7 @@ let process_batch t batch =
       live
   in
   if jobs <> [] then begin
+    Obs.Metrics.set_gauge g_in_flight (List.length jobs);
     let results =
       Obs.Span.with_span ~name:"serve.batch"
         ~attrs:[ ("requests", Obs.Span.Int (List.length jobs)) ]
@@ -197,31 +311,57 @@ let process_batch t batch =
       Bagcqc_par.Pool.parallel_map_list
         (fun (p, q1, q2) ->
           let t0 = Unix.gettimeofday () in
-          let r =
+          let r, span_id =
             Obs.Span.with_span ~name:"serve.request" @@ fun () ->
-            Containment.decide_result ~max_factors:p.max_factors q1 q2
+            (* Remembered so a slow request's access-log line can carry
+               this span's subtree once it has closed. *)
+            let sid = Obs.Span.current_id () in
+            (Containment.decide_result ~max_factors:p.max_factors q1 q2, sid)
           in
-          (p, r, Unix.gettimeofday () -. t0))
+          (p, r, Unix.gettimeofday () -. t0, span_id))
         jobs
     in
+    Obs.Metrics.set_gauge g_in_flight 0;
     List.iter
-      (fun ((p : pending), r, solve_s) ->
+      (fun ((p : pending), r, solve_s, span_id) ->
         let queue_s = now -. p.enqueued_at in
-        if !Obs.Runtime.enabled then begin
-          Obs.Metrics.observe h_queue_us (int_of_float (queue_s *. 1e6));
-          Obs.Metrics.observe h_solve_us (int_of_float (solve_s *. 1e6))
-        end;
-        match r with
-        | Ok verdict ->
-          send t p.conn
-            (Protocol.ok p.id
-               (Protocol.verdict_fields
-                  ~want_certificate:p.want_certificate verdict
-                @ [ ("queue_ms", Json.Num (queue_s *. 1e3));
-                    ("solve_ms", Json.Num (solve_s *. 1e3)) ]))
-        | Error e ->
-          Obs.Metrics.bump c_errors;
-          send t p.conn (Protocol.internal_error ~id:p.id e))
+        (* Latency histograms are always on: one log₂ bucket bump per
+           request against timestamps already taken, and they are what
+           makes /metrics useful without tracing enabled. *)
+        let queue_us = int_of_float (queue_s *. 1e6) in
+        let solve_us = int_of_float (solve_s *. 1e6) in
+        Obs.Metrics.observe h_queue_us queue_us;
+        Obs.Metrics.observe h_solve_us solve_us;
+        Obs.Metrics.observe h_request_us (queue_us + solve_us);
+        (match r with
+         | Ok verdict ->
+           send t p.conn
+             (Protocol.ok p.id
+                (Protocol.verdict_fields
+                   ~want_certificate:p.want_certificate verdict
+                 @ [ ("queue_ms", Json.Num (queue_s *. 1e3));
+                     ("solve_ms", Json.Num (solve_s *. 1e3)) ]))
+         | Error e ->
+           Obs.Metrics.bump c_errors;
+           send t p.conn (Protocol.internal_error ~id:p.id e));
+        match t.access with
+        | None -> ()
+        | Some log ->
+          let done_at = now +. solve_s in
+          Access_log.log_check log
+            { Access_log.id = p.id;
+              verdict =
+                (match r with
+                 | Ok v -> Some (Protocol.verdict_name v)
+                 | Error _ -> None);
+              wall_us = queue_us + solve_us; queue_us; solve_us;
+              deadline_slack_ms =
+                Option.map (fun d -> (d -. done_at) *. 1e3) p.deadline;
+              error =
+                (match r with
+                 | Ok _ -> None
+                 | Error _ -> Some (Protocol.kind_name Protocol.Internal));
+              span_id })
       results
   end
 
@@ -236,6 +376,7 @@ let dispatcher_body t =
     while not (Queue.is_empty t.queue) do
       batch := Queue.pop t.queue :: !batch
     done;
+    Obs.Metrics.set_gauge g_queue_depth 0;
     if !batch = [] && t.draining then continue := false;
     Mutex.unlock t.qm;
     match List.rev !batch with
@@ -369,20 +510,39 @@ let accept_loop t listen_fd =
 (* ---------------- lifecycle ---------------- *)
 
 let run cfg =
+  List.iter (fun n -> ignore (Obs.Window.track n)) windowed_counters;
+  (* Baseline sample at boot: movement from the very first request is
+     visible to delta/rate even before the ticker's first pass. *)
+  Obs.Window.tick_all ();
   let listen_fd = listen_socket cfg.addr in
   let pipe_r, pipe_w = Unix.pipe ~cloexec:true () in
+  let access =
+    Option.map
+      (fun path ->
+        Access_log.open_ ~path ~sample:cfg.log_sample ~slow_ms:cfg.slow_ms)
+      cfg.access_log
+  in
   let t =
     { cfg; qm = Mutex.create (); qc = Condition.create ();
       queue = Queue.create (); draining = false; cm = Mutex.create ();
-      conns = []; readers = []; pipe_r; pipe_w }
+      conns = []; readers = []; pipe_r; pipe_w; access;
+      ticker_stop = Atomic.make false }
   in
+  let http =
+    Option.map (fun port -> Http.start ~port (http_handler t)) cfg.metrics_port
+  in
+  let ticker = Thread.create ticker_body t in
   let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   let on_signal = Sys.Signal_handle (fun _ -> wake t) in
   let old_term = Sys.signal Sys.sigterm on_signal in
   let old_int = Sys.signal Sys.sigint on_signal in
   let dispatcher = Thread.create dispatcher_body t in
-  if cfg.banner then
+  if cfg.banner then begin
     Format.printf "bagcqc serve: listening on %a@." Protocol.pp_addr cfg.addr;
+    Option.iter
+      (fun h -> Format.printf "bagcqc serve: metrics on 127.0.0.1:%d@." (Http.port h))
+      http
+  end;
   Fun.protect
     ~finally:(fun () ->
       Sys.set_signal Sys.sigterm old_term;
@@ -391,7 +551,9 @@ let run cfg =
     (fun () ->
       accept_loop t listen_fd;
       (* Drain: no new connections or work; every queued request is still
-         answered before any socket closes. *)
+         answered before any socket closes.  The telemetry listener stays
+         up through the whole drain — that is what lets a load balancer
+         watch /readyz flip to 503 while in-flight work completes. *)
       initiate_drain t;
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       (match cfg.addr with
@@ -411,5 +573,9 @@ let run cfg =
           with Unix.Unix_error _ -> ())
         conns;
       List.iter Thread.join readers;
+      Atomic.set t.ticker_stop true;
+      Thread.join ticker;
+      Option.iter Http.stop http;
+      Option.iter Access_log.close t.access;
       (try Unix.close t.pipe_r with Unix.Unix_error _ -> ());
       (try Unix.close t.pipe_w with Unix.Unix_error _ -> ()))

@@ -44,10 +44,26 @@ type config = {
   banner : bool;
       (** print a one-line "listening on …" banner on stdout once the
           socket is ready (scripts wait on it) *)
+  metrics_port : int option;
+      (** when set, serve Prometheus [GET /metrics] plus [/healthz] and
+          [/readyz] on [127.0.0.1:port] ([0] picks an ephemeral port,
+          printed with the banner).  [/readyz] answers 503 from the
+          moment a drain starts until the process exits, and the
+          listener outlives the drain so that flip is observable. *)
+  access_log : string option;
+      (** when set, write one JSONL access line per completed [check]
+          to this path (see {!Access_log}) *)
+  log_sample : int;
+      (** keep every [N]th access line ([<= 1] keeps all); slow and
+          errored requests always log *)
+  slow_ms : float option;
+      (** requests whose wall time exceeds this get their span subtree
+          attached to their access-log line (needs tracing enabled) *)
 }
 
 val default_config : Protocol.addr -> config
-(** [max_queue = 256], no default deadline, banner on. *)
+(** [max_queue = 256], no default deadline, banner on, no metrics port,
+    no access log ([log_sample = 1], no slow threshold). *)
 
 val run : config -> unit
 (** Bind, serve until drained, release the socket.  Returns only after

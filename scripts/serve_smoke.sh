@@ -14,6 +14,13 @@
 #   6. warm restart: verdict served from the store with zero simplex pivots
 #   7. corrupted store entry: rejected (counted) on load, never served,
 #      and the re-check still answers correctly by re-solving
+#   8. telemetry surface: /metrics is valid Prometheus exposition
+#      (validated by `bagcqc promlint`) with serve latency histograms,
+#      queue/in-flight gauges and rolling 1m rates; /healthz answers ok;
+#      the slow request's access-log line carries its span subtree
+#   9. /readyz flips to 503 during a SIGTERM drain (observed while a
+#      burst of cold checks is still being answered) and the drain
+#      still answers every admitted request
 #
 # Run from the repo root (CI's serve-smoke job, or `make serve-smoke`).
 set -euo pipefail
@@ -26,6 +33,7 @@ DIR=$(mktemp -d)
 SOCK="$DIR/serve.sock"
 STORE="$DIR/store.log"
 TRACE="${TRACE_OUT:-$DIR/serve-trace.json}"
+ACCESS="${ACCESS_OUT:-$DIR/serve-access.jsonl}"
 LOG="$DIR/serve.log"
 SERVER_PID=""
 
@@ -130,4 +138,77 @@ echo "$out" | grep -q '"store_rejected":1' || fail "expected the corrupt entry r
 echo "$out" | grep -q '"store_loaded":0' || fail "corrupt entry must not load: $out"
 stop_daemon
 
-echo "serve_smoke: OK (7 steps)"
+# Wait for the daemon's banner to announce the (ephemeral) metrics port.
+metrics_port() {
+  local i port
+  for i in $(seq 1 100); do
+    port=$(grep -o 'metrics on 127.0.0.1:[0-9]*' "$LOG" | tail -1 | grep -o '[0-9]*$') || true
+    [ -n "${port:-}" ] && { echo "$port"; return 0; }
+    sleep 0.05
+  done
+  return 1
+}
+
+step "8: telemetry surface (/metrics, /healthz, access log with spans)"
+: >"$LOG"
+start_daemon --metrics-port 0 --access-log "$ACCESS" --slow-ms 0.001
+PORT=$(metrics_port) || fail "daemon never announced a metrics port"
+out=$(client "$CHECK_CONTAINED") || fail "client exited nonzero"
+echo "$out" | grep -q '"verdict":"contained"' || fail "telemetry check wrong: $out"
+curl -sf "http://127.0.0.1:$PORT/healthz" | grep -q ok || fail "/healthz not ok"
+curl -sf "http://127.0.0.1:$PORT/readyz" | grep -q ready || fail "/readyz not ready"
+# Let the rolling windows take a sample past the coalescing gap so the
+# 1m rate has real coverage, then scrape.
+sleep 0.7
+METRICS="$DIR/metrics.txt"
+curl -sf "http://127.0.0.1:$PORT/metrics" >"$METRICS" || fail "/metrics scrape failed"
+"$BIN" promlint "$METRICS" || fail "/metrics is not valid Prometheus exposition"
+grep -q '^bagcqc_serve_request_us_bucket{le="+Inf"}' "$METRICS" \
+  || fail "serve.request_us histogram missing from /metrics"
+grep -q '^bagcqc_serve_queue_depth ' "$METRICS" || fail "queue-depth gauge missing"
+grep -q '^bagcqc_serve_in_flight ' "$METRICS" || fail "in-flight gauge missing"
+rate=$(grep '^bagcqc_rate_per_sec{counter="serve.requests",window="1m"}' "$METRICS" \
+  | awk '{print $2}')
+[ -n "$rate" ] || fail "rolling 1m request rate missing from /metrics"
+awk -v r="$rate" 'BEGIN { exit (r > 0 ? 0 : 1) }' \
+  || fail "rolling 1m request rate is not positive: $rate"
+grep -q '"type":"access"' "$ACCESS" || fail "access log has no access lines"
+grep -q '"verdict":"contained"' "$ACCESS" || fail "access line lacks the verdict"
+grep '"slow":true' "$ACCESS" | grep -q '"spans":' \
+  || fail "slow request's access line lacks its span subtree"
+grep '"slow":true' "$ACCESS" | grep -q '"pivots":' \
+  || fail "slow request's access line lacks its pivot count"
+stop_daemon
+
+step "9: /readyz flips to 503 during the SIGTERM drain"
+: >"$LOG"
+start_daemon --metrics-port 0 --access-log "$DIR/access-drain.jsonl"
+PORT=$(metrics_port) || fail "daemon never announced a metrics port"
+# A burst of cold, moderately expensive checks (distinct relation
+# symbols defeat every cache tier) keeps the dispatcher busy while we
+# deliver SIGTERM mid-batch and watch /readyz through the drain.
+BURST=32
+for i in $(seq 1 "$BURST"); do
+  q=$(python3 -c "import sys; i=int(sys.argv[1]); print(', '.join(f'S{i}(x{j},x{j+1})' for j in range(6)))" "$i")
+  client "{\"id\":$i,\"op\":\"check\",\"q1\":\"$q\",\"q2\":\"$q\"}" \
+    >>"$DIR/burst-replies.txt" &
+done
+sleep 0.2
+kill -TERM "$SERVER_PID"
+saw_draining=0
+for _ in $(seq 1 500); do
+  body=$(curl -s "http://127.0.0.1:$PORT/readyz" || true)
+  if echo "$body" | grep -q draining; then saw_draining=1; break; fi
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.01
+done
+[ "$saw_draining" -eq 1 ] || fail "/readyz never answered 503 draining during the drain"
+code=0
+wait "$SERVER_PID" || code=$?
+SERVER_PID=""
+[ "$code" -eq 0 ] || fail "daemon exited $code on SIGTERM (want 0)"
+wait  # burst clients
+answered=$(grep -c '"ok":' "$DIR/burst-replies.txt" || true)
+[ "$answered" -eq "$BURST" ] || fail "drain answered $answered of $BURST burst requests"
+
+echo "serve_smoke: OK (9 steps)"

@@ -1,0 +1,216 @@
+(* The Prometheus surface: golden exposition output, the in-tree
+   parser/linter agreeing with the encoder (qcheck round-trip over
+   canonical snapshots), gauge last-writer-wins semantics, rolling
+   windows, and the empty-histogram percentile/mean edge cases. *)
+
+module Obs = Bagcqc_obs
+module M = Bagcqc_obs.Metrics
+module Prom = Bagcqc_obs.Prom
+
+let hist ~count ~sum ~mn ~mx buckets =
+  { M.count; sum; min_value = mn; max_value = mx; buckets }
+
+(* ---------------- golden exposition ---------------- *)
+
+let test_golden () =
+  let snap =
+    M.snapshot_of
+      ~gauges:[ ("serve.queue_depth", 2) ]
+      ~counters:[ ("serve.requests", 3) ]
+      ~histograms:
+        [ ("serve.request_us",
+           hist ~count:3 ~sum:74 ~mn:4 ~mx:40 [ (3, 2); (6, 1) ]) ]
+      ()
+  in
+  let expected =
+    String.concat "\n"
+      [ "# TYPE bagcqc_serve_requests_total counter";
+        "bagcqc_serve_requests_total 3";
+        "# TYPE bagcqc_serve_queue_depth gauge";
+        "bagcqc_serve_queue_depth 2";
+        "# TYPE bagcqc_serve_request_us histogram";
+        "bagcqc_serve_request_us_bucket{le=\"7\"} 2";
+        "bagcqc_serve_request_us_bucket{le=\"63\"} 3";
+        "bagcqc_serve_request_us_bucket{le=\"+Inf\"} 3";
+        "bagcqc_serve_request_us_sum 74";
+        "bagcqc_serve_request_us_count 3";
+        "# TYPE bagcqc_rate_per_sec gauge";
+        "bagcqc_rate_per_sec{counter=\"serve.requests\",window=\"1m\"} 1.5";
+        "" ]
+  in
+  Alcotest.(check string) "exact exposition"
+    expected
+    (Prom.encode ~rates:[ ("serve.requests", "1m", 1.5) ] snap)
+
+let test_golden_lints () =
+  let snap =
+    M.snapshot_of
+      ~gauges:[ ("g", 0) ]
+      ~counters:[ ("a", 0); ("b", 17) ]
+      ~histograms:[ ("h", hist ~count:1 ~sum:5 ~mn:5 ~mx:5 [ (3, 1) ]) ]
+      ()
+  in
+  match Prom.lint (Prom.encode snap) with
+  | Ok families -> Alcotest.(check int) "family count" 4 families
+  | Error msg -> Alcotest.failf "golden document does not lint: %s" msg
+
+let test_parse_labels () =
+  (* Escapes in label values and tolerated timestamps. *)
+  let doc =
+    "# TYPE x gauge\n\
+     x{a=\"q\\\"uo\\\\te\\nnl\",b=\"plain\"} 4 1700000000\n"
+  in
+  match Prom.parse doc with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok e ->
+    (match Prom.find_sample e "x" [ ("b", "plain"); ("a", "q\"uo\\te\nnl") ] with
+     | Some v -> Alcotest.(check (float 0.0)) "labelled sample value" 4.0 v
+     | None -> Alcotest.fail "labelled sample not found")
+
+let test_lint_rejects () =
+  let reject name doc =
+    match Prom.lint doc with
+    | Ok _ -> Alcotest.failf "lint accepted %s" name
+    | Error _ -> ()
+  in
+  reject "sample without TYPE" "no_type_metric 1\n";
+  reject "missing _count"
+    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 3\n";
+  reject "missing +Inf"
+    "# TYPE h histogram\nh_bucket{le=\"7\"} 1\nh_sum 3\nh_count 1\n";
+  reject "non-cumulative buckets"
+    "# TYPE h histogram\nh_bucket{le=\"7\"} 2\nh_bucket{le=\"63\"} 1\n\
+     h_bucket{le=\"+Inf\"} 2\nh_sum 3\nh_count 2\n";
+  reject "le not increasing"
+    "# TYPE h histogram\nh_bucket{le=\"63\"} 1\nh_bucket{le=\"7\"} 1\n\
+     h_bucket{le=\"+Inf\"} 1\nh_sum 3\nh_count 1\n";
+  reject "+Inf disagrees with _count"
+    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 1\nh_sum 3\nh_count 2\n";
+  reject "duplicate TYPE" "# TYPE x gauge\n# TYPE x counter\nx 1\n"
+
+(* ---------------- qcheck: encoder against the parser ---------------- *)
+
+(* Canonical snapshots with gauges; histogram count always equals the
+   bucket total, as live collection guarantees.  Name pools are disjoint
+   per kind — in the registry, one obs name never denotes two metric
+   kinds (a gauge "x" and a histogram "x" would collide on the same
+   exposition family, which the linter rightly rejects). *)
+let arb_prom_snapshot =
+  let open QCheck.Gen in
+  let cname = oneofl [ "ca"; "cb.cc"; "cd_us"; "c:e" ] in
+  let hname = oneofl [ "ha"; "hb.cc"; "hd_us" ] in
+  let gname = oneofl [ "ga"; "gb.cc"; "gd_us" ] in
+  let hist =
+    let* pairs = list_size (int_range 1 4) (pair (int_range 0 10) (int_range 1 5)) in
+    let total = List.fold_left (fun acc (_, c) -> acc + c) 0 pairs in
+    let* sum = int_range 0 500 in
+    return (hist ~count:total ~sum ~mn:0 ~mx:1024 pairs)
+  in
+  let snap =
+    let* cs = list_size (int_range 0 3) (pair cname (int_range 0 1000)) in
+    let* hs = list_size (int_range 0 3) (pair hname hist) in
+    let* gs = list_size (int_range 0 3) (pair gname (int_range (-50) 50)) in
+    return (M.snapshot_of ~gauges:gs ~counters:cs ~histograms:hs ())
+  in
+  QCheck.make ~print:(fun s -> Prom.encode s) snap
+
+let prop_encode_lints =
+  QCheck.Test.make ~name:"encoded snapshots always lint" ~count:300
+    arb_prom_snapshot (fun s ->
+      match Prom.lint (Prom.encode s) with Ok _ -> true | Error _ -> false)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"parse recovers every encoded series" ~count:300
+    arb_prom_snapshot (fun s ->
+      match Prom.parse (Prom.encode s) with
+      | Error _ -> false
+      | Ok e ->
+        List.for_all
+          (fun (n, v) ->
+            Prom.find_sample e (Prom.metric_name n ^ "_total") []
+            = Some (float_of_int v))
+          s.M.counters
+        && List.for_all
+             (fun (n, v) ->
+               Prom.find_sample e (Prom.metric_name n) []
+               = Some (float_of_int v))
+             s.M.gauges
+        && List.for_all
+             (fun (n, h) ->
+               let base = Prom.metric_name n in
+               Prom.find_sample e (base ^ "_count") []
+               = Some (float_of_int h.M.count)
+               && Prom.find_sample e (base ^ "_sum") []
+                  = Some (float_of_int h.M.sum)
+               && Prom.find_sample e (base ^ "_bucket") [ ("le", "+Inf") ]
+                  = Some (float_of_int h.M.count))
+             s.M.histograms)
+
+(* ---------------- gauges: last writer wins ---------------- *)
+
+let test_gauge_lww () =
+  let g = M.gauge "test.prom.lww" in
+  M.set_gauge g 5;
+  M.set_gauge g 3;
+  Alcotest.(check int) "last write wins" 3 (M.gauge_value g);
+  let snap = M.snapshot () in
+  Alcotest.(check (option int)) "snapshot carries the last value" (Some 3)
+    (List.assoc_opt "test.prom.lww" snap.M.gauges)
+
+let test_gauge_merge_right_bias () =
+  let a = M.snapshot_of ~gauges:[ ("g", 1); ("only_a", 7) ] ~counters:[] ~histograms:[] () in
+  let b = M.snapshot_of ~gauges:[ ("g", 2) ] ~counters:[] ~histograms:[] () in
+  let m = M.merge a b in
+  Alcotest.(check (option int)) "shared gauge takes b (newer) side" (Some 2)
+    (List.assoc_opt "g" m.M.gauges);
+  Alcotest.(check (option int)) "a-only gauge survives" (Some 7)
+    (List.assoc_opt "only_a" m.M.gauges)
+
+(* ---------------- histograms: empty-distribution edges ---------------- *)
+
+let test_empty_histogram_edges () =
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Printf.sprintf "empty percentile p=%.2f" p)
+        0
+        (M.percentile M.empty_hist p))
+    [ 0.0; 0.5; 0.99; 1.0 ];
+  Alcotest.(check (float 0.0)) "empty mean" 0.0 (M.mean M.empty_hist);
+  (* One observation: every percentile and the mean collapse onto it. *)
+  let one = hist ~count:1 ~sum:42 ~mn:42 ~mx:42 [ (M.bucket_of 42, 1) ] in
+  Alcotest.(check int) "single-sample p50" 42 (M.percentile one 0.5);
+  Alcotest.(check int) "single-sample p99" 42 (M.percentile one 0.99);
+  Alcotest.(check (float 0.0)) "single-sample mean" 42.0 (M.mean one)
+
+(* ---------------- rolling windows ---------------- *)
+
+let test_window_delta () =
+  Obs.Window.reset ();
+  let c = M.counter "test.prom.window" in
+  let w = Obs.Window.track "test.prom.window" in
+  Alcotest.(check string) "window name" "test.prom.window" (Obs.Window.name w);
+  Obs.Window.tick_all ();
+  M.add c 7;
+  let d, _covered = Obs.Window.delta w ~seconds:60.0 in
+  Alcotest.(check int) "delta sees movement since the tick" 7 d;
+  (* A window with no samples yet reports zero coverage, not garbage. *)
+  let fresh = Obs.Window.track "test.prom.window_fresh" in
+  Alcotest.(check (pair int (float 0.0))) "untouched window" (0, 0.0)
+    (Obs.Window.delta fresh ~seconds:60.0);
+  Alcotest.(check (float 0.0)) "rate under coverage gap is 0" 0.0
+    (Obs.Window.rate fresh ~seconds:60.0);
+  Alcotest.(check bool) "track is find-or-create" true
+    (Obs.Window.track "test.prom.window" == w)
+
+let suite =
+  [ Alcotest.test_case "golden exposition" `Quick test_golden;
+    Alcotest.test_case "golden document lints" `Quick test_golden_lints;
+    Alcotest.test_case "label escapes and timestamps" `Quick test_parse_labels;
+    Alcotest.test_case "lint rejects invalid documents" `Quick test_lint_rejects;
+    Alcotest.test_case "gauge last-writer-wins" `Quick test_gauge_lww;
+    Alcotest.test_case "gauge merge right bias" `Quick test_gauge_merge_right_bias;
+    Alcotest.test_case "empty-histogram percentiles" `Quick
+      test_empty_histogram_edges;
+    Alcotest.test_case "window delta" `Quick test_window_delta ]
+  @ List.map QCheck_alcotest.to_alcotest [ prop_encode_lints; prop_roundtrip ]

@@ -110,7 +110,7 @@ let test_selftest () =
     Alcotest.(check (list string)) "all steps ran"
       [ "ping"; "check contained"; "cached re-check"; "check not contained";
         "check with heads"; "malformed line"; "bad query"; "unknown op";
-        "deadline exceeded"; "graceful drain" ]
+        "deadline exceeded"; "extended stats"; "graceful drain" ]
       steps
 
 let suite =
