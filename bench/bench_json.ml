@@ -93,6 +93,15 @@ let with_mode mode f =
   Simplex.default_mode := mode;
   Fun.protect ~finally:(fun () -> Simplex.default_mode := saved) f
 
+(* The cone-engine analogue of [with_mode]: every Γn id that predates
+   the lazy separation driver pins [Cones.default_engine] to [Full] so
+   its baselines keep measuring the materialized elemental family; the
+   *_lazy ids opt into [Lazy] explicitly. *)
+let with_cone engine f =
+  let saved = !Cones.default_engine in
+  Cones.default_engine := engine;
+  Fun.protect ~finally:(fun () -> Cones.default_engine := saved) f
+
 (* LP timing must bypass the engine's solve cache: with it on, every rep
    after the first is a table lookup and the baselines stop measuring the
    simplex at all (and dense-vs-sparse points would alias to whichever
@@ -131,6 +140,7 @@ let lp_suite ~smoke =
   let raw_solver =
     without_cache @@ fun () ->
     with_mode Simplex.Exact @@ fun () ->
+    with_cone Cones.Full @@ fun () ->
     [ { id = "e11_gamma_sparse";
         points =
           run_points ~reps ns (fun n () ->
@@ -153,11 +163,40 @@ let lp_suite ~smoke =
   let hybrid =
     without_cache @@ fun () ->
     with_mode Simplex.Float_first @@ fun () ->
+    with_cone Cones.Full @@ fun () ->
     [ { id = "e11_gamma_hybrid";
         points =
           run_points ~reps hybrid_ns (fun n () ->
               with_engine Simplex.Sparse (fun () ->
                   Cones.valid_shannon ~n (shannon_target n))) } ]
+  in
+  (* Lazy cone-engine frontier: the e11 workload again under the lazy
+     separation driver (float-first LP underneath, like the hybrid id),
+     pushed to n=7 — a size the materialized family has never reached in
+     bench time.  [ingleton_gamma_lazy] times the refuted path, where
+     the loop must run the implicit separation oracle to a genuine Γn
+     refuter; [cert_gamma_lazy] times validity *with* certificate
+     assembly, i.e. including the terminal restricted-Farkas solve and
+     the exact check. *)
+  let lazy_ns = if smoke then [ 2; 3 ] else [ 2; 3; 4; 5; 6; 7 ] in
+  let lazy_engine =
+    without_cache @@ fun () ->
+    with_mode Simplex.Float_first @@ fun () ->
+    with_cone Cones.Lazy @@ fun () ->
+    [ { id = "e11_gamma_lazy";
+        points =
+          run_points ~reps lazy_ns (fun n () ->
+              with_engine Simplex.Sparse (fun () ->
+                  Cones.valid_shannon ~n (shannon_target n))) };
+      { id = "ingleton_gamma_lazy";
+        points =
+          run_points ~reps:(if smoke then 2 else 15) [ 4 ] (fun n () ->
+              Cones.valid Cones.Gamma ~n ingleton) };
+      { id = "cert_gamma_lazy";
+        points =
+          run_points ~reps (if smoke then [ 3 ] else [ 4; 5; 6; 7 ])
+            (fun n () ->
+              Cones.valid_max_cert Cones.Gamma ~n [ shannon_target n ]) } ]
   in
   (* Solver-only decide points: the Farkas LP is built once per size and
      the thunk times nothing but [Simplex.solve], so the exact/hybrid
@@ -184,6 +223,7 @@ let lp_suite ~smoke =
   let decide_sizes = if smoke then [ 3 ] else [ 3; 4; 5 ] in
   let cache_pair =
     with_mode Simplex.Exact @@ fun () ->
+    with_cone Cones.Full @@ fun () ->
     [ { id = "decide_path_repeat_uncached";
         points =
           run_points ~reps decide_sizes (fun n ->
@@ -197,7 +237,7 @@ let lp_suite ~smoke =
               Solver.clear ();
               fun () -> ignore (Containment.decide p p)) } ]
   in
-  raw_solver @ hybrid @ decide_points @ cache_pair
+  raw_solver @ hybrid @ lazy_engine @ decide_points @ cache_pair
 
 (* ---------------- hom suite ---------------- *)
 
@@ -275,8 +315,10 @@ let par_suite ~smoke =
   Fun.protect ~finally:(fun () -> Bagcqc_par.Pool.set_jobs saved_jobs)
   @@ fun () ->
   (* Frozen ids again: the jobs-scaling baselines predate the hybrid
-     engine, so they stay pinned to the exact simplex. *)
+     engine and the lazy cone driver, so they stay pinned to the exact
+     simplex over the materialized family. *)
   with_mode Simplex.Exact @@ fun () ->
+  with_cone Cones.Full @@ fun () ->
   [ { id = "par_e11_fanout";
       points =
         run_points ~reps jobs_sizes (fun jobs ->
@@ -401,6 +443,7 @@ let serve_suite ~smoke =
   Fun.protect ~finally:(fun () -> Bagcqc_par.Pool.set_jobs saved_jobs)
   @@ fun () ->
   with_mode Simplex.Exact @@ fun () ->
+  with_cone Cones.Full @@ fun () ->
   [ { id = "serve_burst_cold";
       points =
         List.map (fun jobs -> with_serve_server ~jobs time_bursts) jobs_sizes
@@ -458,12 +501,19 @@ let stats_workload () =
   Solver.clear ();
   let tri = Parser.parse "R(x,y), R(y,z), R(z,x)" in
   let vee = Parser.parse "R(x,y), R(x,z)" in
-  for _ = 1 to 3 do
-    ignore (Containment.decide tri vee)
-  done;
-  for _ = 1 to 2 do
-    ignore (Containment.decide (path 3) (path 3))
-  done;
+  with_cone Cones.Full (fun () ->
+      for _ = 1 to 3 do
+        ignore (Containment.decide tri vee)
+      done;
+      for _ = 1 to 2 do
+        ignore (Containment.decide (path 3) (path 3))
+      done);
+  (* One valid and one refuted Γn decision under the lazy driver, so the
+     cone.lazy.* / cone.orbit.* counters in the "stats" block are
+     nonzero on every emitted run. *)
+  with_cone Cones.Lazy (fun () ->
+      ignore (Cones.valid_max_cert Cones.Gamma ~n:4 [ shannon_target 4 ]);
+      ignore (Cones.valid Cones.Gamma ~n:4 ingleton));
   let engine = Stats.snapshot () in
   (* The engine counters above are frozen; the serve burst runs after
      that snapshot (so it cannot shift them) but inside the recording
@@ -482,7 +532,10 @@ let emit_stats buf (s : Stats.snapshot) =
      \"elemental_hits\": %d, \"elemental_misses\": %d, \
      \"hom_enumerations\": %d, \"hybrid_float_solves\": %d, \
      \"hybrid_repairs\": %d, \"hybrid_repair_failures\": %d, \
-     \"hybrid_fallbacks\": %d, \"hybrid_fallback_rate\": %.4f }"
+     \"hybrid_fallbacks\": %d, \"hybrid_fallback_rate\": %.4f, \
+     \"lazy_solves\": %d, \"lazy_rounds\": %d, \"lazy_cuts\": %d, \
+     \"lazy_fallback_rate\": %.4f, \"orbit_cuts\": %d, \
+     \"orbit_canonicalized\": %d }"
     s.Stats.lp_solves s.Stats.lp_pivots s.Stats.cache_hits
     s.Stats.cache_misses
     (Stats.cache_hit_rate s)
@@ -490,6 +543,9 @@ let emit_stats buf (s : Stats.snapshot) =
     s.Stats.hybrid_float_solves s.Stats.hybrid_repairs
     s.Stats.hybrid_repair_failures s.Stats.hybrid_fallbacks
     (Stats.fallback_rate s)
+    s.Stats.lazy_solves s.Stats.lazy_rounds s.Stats.lazy_cuts
+    (Stats.lazy_fallback_rate s)
+    s.Stats.orbit_cuts s.Stats.orbit_canonicalized
 
 let emit_histograms buf (m : Obs.Metrics.snapshot) =
   let pf fmt = Printf.bprintf buf fmt in
@@ -516,9 +572,10 @@ let emit buf suites stats =
   let pf fmt = Printf.bprintf buf fmt in
   pf
     "{\n  \"schema\": \"bagcqc-bench/1\",\n  \"jobs\": %d,\n  \
-     \"lp_engine\": %S,\n  \"suites\": ["
+     \"lp_engine\": %S,\n  \"cone_engine\": %S,\n  \"suites\": ["
     (Bagcqc_par.Pool.jobs ())
-    (Simplex.mode_name !Simplex.default_mode);
+    (Simplex.mode_name !Simplex.default_mode)
+    (Cones.engine_name !Cones.default_engine);
   List.iteri
     (fun i (name, experiments) ->
       pf "%s\n    { \"suite\": %S,\n      \"experiments\": ["

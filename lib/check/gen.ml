@@ -211,6 +211,30 @@ let show_hybrid = function
                    side))
             sides))
 
+(* ---------------- lazy vs full cone cases ---------------- *)
+
+(* Γn instances for the lazy-vs-full cone differential suite: the same
+   raw [(mask, coeff)] side encoding as [hybrid_case]'s cone population,
+   one size further out — the separation loop and the symmetry layer
+   only do interesting work from n = 3 up, and n = 4 reaches instances
+   (Ingleton-like) where the two engines walk genuinely different row
+   sets to the same verdict. *)
+type lazy_case = { n : int; sides : (int * Rat.t) list list }
+
+let lazy_case rng =
+  let n = Rng.range rng 2 4 in
+  let k = Rng.range rng 1 3 in
+  { n; sides = List.init k (fun _ -> cone_side rng ~n) }
+
+let shrink_lazy { n; sides } =
+  List.filter_map
+    (function
+      | Cone_gamma { n; sides } -> Some { n; sides }
+      | Raw_lp _ -> None)
+    (shrink_hybrid (Cone_gamma { n; sides }))
+
+let show_lazy { n; sides } = show_hybrid (Cone_gamma { n; sides })
+
 (* ---------------- Boolean query pairs ---------------- *)
 
 let vocabulary = [ ("R", 2); ("S", 2); ("T", 1) ]

@@ -48,6 +48,18 @@ val hybrid_case : Rng.t -> hybrid_case
 val shrink_hybrid : hybrid_case -> hybrid_case list
 val show_hybrid : hybrid_case -> string
 
+(** {2 Lazy vs full cone-engine cases} *)
+
+type lazy_case = { n : int; sides : (int * Rat.t) list list }
+(** A Γn max-inequality as raw [(mask, coeff)] sides, decided under both
+    cone engines by the [lazy_vs_full] suite.  Sized n = 2..4 — large
+    enough that the separation loop and the symmetry layer do real work,
+    small enough for tens of thousands of iterations. *)
+
+val lazy_case : Rng.t -> lazy_case
+val shrink_lazy : lazy_case -> lazy_case list
+val show_lazy : lazy_case -> string
+
 (** {2 Boolean query pairs} *)
 
 val query : Rng.t -> Query.t

@@ -250,6 +250,87 @@ let float_vs_exact_suite =
       shrink = Gen.shrink_hybrid;
       check = check_hybrid }
 
+(* ---------------- lazy_vs_full ---------------- *)
+
+(* Differential check for the lazy cone engine (DESIGN.md §4i): on every
+   Γn instance the lazy separation driver must return the same verdict
+   as the full materialization, its certificates must pass the exact,
+   LP-independent [Certificate.check] *and* prove exactly the generated
+   sides, and its refuters must be genuine polymatroids with every side
+   strictly negative (a real point of Γn beating the max).  The quick
+   (boolean) path is cross-checked against the certificate path too. *)
+
+let with_cone_engine engine f =
+  let saved = !Bagcqc_entropy.Cones.default_engine in
+  Bagcqc_entropy.Cones.default_engine := engine;
+  Fun.protect
+    ~finally:(fun () -> Bagcqc_entropy.Cones.default_engine := saved)
+    f
+
+let check_lazy_vs_full ({ n; sides } : Gen.lazy_case) =
+  let module Cones = Bagcqc_entropy.Cones in
+  let module Certificate = Bagcqc_entropy.Certificate in
+  let module Polymatroid = Bagcqc_entropy.Polymatroid in
+  let module Linexpr = Bagcqc_entropy.Linexpr in
+  let es = List.map build_side sides in
+  without_solver_cache @@ fun () ->
+  let run engine =
+    with_cone_engine engine (fun () -> Cones.valid_max_cert Cones.Gamma ~n es)
+  in
+  let vf = run Cones.Full in
+  let vl = run Cones.Lazy in
+  let quick engine =
+    with_cone_engine engine (fun () -> Cones.valid_max_quick Cones.Gamma ~n es)
+  in
+  let qf = quick Cones.Full and ql = quick Cones.Lazy in
+  let* () =
+    require (qf = ql) "quick verdicts differ: full %b, lazy %b" qf ql
+  in
+  match vf, vl with
+  | Ok (Some cf), Ok (Some cl) ->
+    let* () = require ql "certificates say valid, quick paths say invalid" in
+    let* () =
+      require (Certificate.check cf) "full certificate fails check"
+    in
+    let* () =
+      require (Certificate.check cl) "lazy certificate fails check"
+    in
+    require (Certificate.proves cl ~n es)
+      "lazy certificate proves a different inequality"
+  | Error hf, Error hl ->
+    (* The refuting vertices may differ between engines; each must
+       independently be a point of Γn with every side negative. *)
+    let* () = require (not ql) "refuted, but quick paths say valid" in
+    let refutes tag h =
+      let* () =
+        require (Polymatroid.is_polymatroid h) "%s refuter not in Γn" tag
+      in
+      require
+        (List.for_all
+           (fun e -> Rat.sign (Linexpr.eval (Polymatroid.value h) e) < 0)
+           es)
+        "%s refuter leaves some side non-negative" tag
+    in
+    let* () = refutes "full" hf in
+    refutes "lazy" hl
+  | Ok None, _ | _, Ok None ->
+    Error "gamma backend returned Ok without a certificate"
+  | Ok (Some _), Error _ ->
+    Error "verdict mismatch: full says valid, lazy refutes"
+  | Error _, Ok (Some _) ->
+    Error "verdict mismatch: full refutes, lazy says valid"
+
+let lazy_vs_full_suite =
+  Runner.Suite
+    { name = "lazy_vs_full";
+      doc =
+        "lazy (cutting-plane) vs full (materialized) cone engine: verdicts, \
+         certificate checks, refuter soundness";
+      gen = Gen.lazy_case;
+      show = Gen.show_lazy;
+      shrink = Gen.shrink_lazy;
+      check = check_lazy_vs_full }
+
 (* ---------------- decide ---------------- *)
 
 let verdict_name = function
@@ -326,7 +407,7 @@ let parser_suite =
       check = check_parser }
 
 let all =
-  [ logint_suite; simplex_suite; float_vs_exact_suite; decide_suite;
-    parser_suite ]
+  [ logint_suite; simplex_suite; float_vs_exact_suite; lazy_vs_full_suite;
+    decide_suite; parser_suite ]
 
 let find name = List.find_opt (fun s -> String.equal (Runner.name s) name) all

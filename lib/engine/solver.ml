@@ -88,9 +88,12 @@ let copy_outcome = function
   | Simplex.Optimal (v, x) -> Simplex.Optimal (v, Array.copy x)
   | (Simplex.Unbounded | Simplex.Infeasible) as o -> o
 
-let solve_uncached problem =
+(* Wrap any solving function with the pivot-delta accounting every
+   cache miss performs, so custom solvers (the lazy cone driver's
+   warm-started rounds) count in [Stats] exactly like the default. *)
+let instrument solver problem =
   let p0 = Simplex.pivot_count () in
-  let outcome = Simplex.solve (Problem.to_simplex problem) in
+  let outcome = solver problem in
   Stats.note_solve ~pivots:(Simplex.pivot_count () - p0);
   outcome
 
@@ -103,7 +106,7 @@ let note_store s problem =
     Hashtbl.replace s.hash_seen h (prior + 1)
   end
 
-let solve_cached problem =
+let solve_cached ~solver problem =
   let s = shard_of problem in
   Mutex.lock s.m;
   let rec resolve () =
@@ -141,7 +144,7 @@ let solve_cached problem =
              outcome
            | None ->
              Obs.Span.add_attr "cache" (Obs.Span.Str "miss");
-             let outcome = solve_uncached problem in
+             let outcome = instrument solver problem in
              Option.iter (fun st -> Store.record st problem outcome) store;
              outcome)
         with
@@ -165,7 +168,7 @@ let solve_cached problem =
   in
   resolve ()
 
-let solve problem =
+let solve_using problem ~solver =
   Obs.Span.with_span ~name:"solver.solve"
     ~attrs:
       [ ("tag", Obs.Span.Str (Problem.tag problem));
@@ -174,9 +177,12 @@ let solve problem =
   @@ fun () ->
   if not !caching then begin
     Obs.Span.add_attr "cache" (Obs.Span.Str "off");
-    solve_uncached problem
+    instrument solver problem
   end
-  else solve_cached problem
+  else solve_cached ~solver problem
+
+let solve problem =
+  solve_using problem ~solver:(fun p -> Simplex.solve (Problem.to_simplex p))
 
 let solve_result problem = Bagcqc_num.Bagcqc_error.protect (fun () -> solve problem)
 

@@ -36,6 +36,16 @@ val caching : bool ref
 val solve : Problem.t -> Simplex.outcome
 (** Cached {!Simplex.solve} on the lowered problem. *)
 
+val solve_using :
+  Problem.t -> solver:(Problem.t -> Simplex.outcome) -> Simplex.outcome
+(** {!solve} with a caller-supplied solving function, run only on a
+    genuine miss of both cache tiers — the lazy cone driver routes its
+    warm-started per-round LPs through this so they share the memo
+    table, the persistent store, in-flight dedup and the [Stats]
+    pivot accounting with every other solve.  The function must return
+    an outcome valid for the problem {e as given} (same variable
+    order); warm-start state may live in its closure. *)
+
 val solve_result : Problem.t -> (Simplex.outcome, Bagcqc_error.t) result
 (** {!solve} with internal invariant violations reified as a typed
     [Error] (see {!Simplex.solve_result}). *)

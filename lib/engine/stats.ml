@@ -30,6 +30,12 @@ type snapshot = {
   store_appends : int;
   store_loaded : int;
   store_rejected : int;
+  lazy_solves : int;
+  lazy_rounds : int;
+  lazy_cuts : int;
+  lazy_fallbacks : int;
+  orbit_cuts : int;
+  orbit_canonicalized : int;
   stages : (string * float) list;
   hists : (string * Obs.Metrics.hist_snapshot) list;
 }
@@ -48,6 +54,15 @@ let c_hybrid_float_solves = Obs.Metrics.counter "lp.hybrid.float_solves"
 let c_hybrid_repairs = Obs.Metrics.counter "lp.hybrid.repairs"
 let c_hybrid_repair_failures = Obs.Metrics.counter "lp.hybrid.repair_failures"
 let c_hybrid_fallbacks = Obs.Metrics.counter "lp.hybrid.fallbacks"
+
+(* Views over the lazy cone driver's counters, bumped inside
+   Bagcqc_entropy.Separation — same name-keyed registry cells. *)
+let c_lazy_solves = Obs.Metrics.counter "cone.lazy.solves"
+let c_lazy_rounds = Obs.Metrics.counter "cone.lazy.rounds"
+let c_lazy_cuts = Obs.Metrics.counter "cone.lazy.cuts"
+let c_lazy_fallbacks = Obs.Metrics.counter "cone.lazy.fallbacks"
+let c_orbit_cuts = Obs.Metrics.counter "cone.orbit.cuts"
+let c_orbit_canonicalized = Obs.Metrics.counter "cone.orbit.canonicalized"
 
 (* Views over the persistent-store counters bumped inside Store — same
    registry cells, by name, like the hybrid counters above. *)
@@ -116,6 +131,12 @@ let snapshot () =
     store_appends = Obs.Metrics.count c_store_appends;
     store_loaded = Obs.Metrics.count c_store_loaded;
     store_rejected = Obs.Metrics.count c_store_rejected;
+    lazy_solves = Obs.Metrics.count c_lazy_solves;
+    lazy_rounds = Obs.Metrics.count c_lazy_rounds;
+    lazy_cuts = Obs.Metrics.count c_lazy_cuts;
+    lazy_fallbacks = Obs.Metrics.count c_lazy_fallbacks;
+    orbit_cuts = Obs.Metrics.count c_orbit_cuts;
+    orbit_canonicalized = Obs.Metrics.count c_orbit_canonicalized;
     stages =
       (Mutex.lock stage_mutex;
        let rows = List.rev_map (fun name -> (name, stage_total name)) !stage_order in
@@ -171,6 +192,10 @@ let fallback_rate s =
   if s.hybrid_float_solves = 0 then 0.0
   else float_of_int s.hybrid_fallbacks /. float_of_int s.hybrid_float_solves
 
+let lazy_fallback_rate s =
+  if s.lazy_solves = 0 then 0.0
+  else float_of_int s.lazy_fallbacks /. float_of_int s.lazy_solves
+
 let pp fmt s =
   Format.fprintf fmt "engine stats:@.";
   Format.fprintf fmt "  LP solves:          %d (%d pivots)@." s.lp_solves
@@ -188,6 +213,14 @@ let pp fmt s =
        (%.1f%% fallback rate)@."
       s.hybrid_float_solves s.hybrid_repairs s.hybrid_fallbacks
       (100.0 *. fallback_rate s);
+  (* Only when the lazy cone driver ran: --cone-engine full keeps the
+     historical output byte-for-byte, like the hybrid section above. *)
+  if s.lazy_solves > 0 then
+    Format.fprintf fmt
+      "  lazy cone:          %d decisions, %d rounds, %d cuts (%d via \
+       orbits), %d canonicalized, %d fallbacks@."
+      s.lazy_solves s.lazy_rounds s.lazy_cuts s.orbit_cuts
+      s.orbit_canonicalized s.lazy_fallbacks;
   (* Only when a persistent store was in play: runs without --store /
      serve keep the historical output byte-for-byte. *)
   if s.store_hits + s.store_misses + s.store_appends + s.store_loaded

@@ -29,6 +29,19 @@ type snapshot = {
   store_rejected : int;
       (** store entries dropped at open: corrupt, forged, or failing
           exact re-verification — never served *)
+  lazy_solves : int;
+      (** lazy cone decisions started (0 under [--cone-engine full]) *)
+  lazy_rounds : int;   (** solve–separate rounds across those decisions *)
+  lazy_cuts : int;     (** elemental cuts added by the separation oracle *)
+  lazy_fallbacks : int;
+      (** lazy certificates rejected by the exact check and re-derived
+          (expected 0; any bump is a repaired solver bug) *)
+  orbit_cuts : int;
+      (** cuts added as symmetry-orbit images of a violated cut, beyond
+          the violated cut itself *)
+  orbit_canonicalized : int;
+      (** lazy decisions whose instance was renamed to a canonical
+          orbit representative before solving *)
   stages : (string * float) list;
       (** cumulative wall-clock seconds per named stage, insertion order *)
   hists : (string * Bagcqc_obs.Metrics.hist_snapshot) list;
@@ -60,6 +73,10 @@ val cache_hit_rate : snapshot -> float
 val fallback_rate : snapshot -> float
 (** [hybrid_fallbacks / hybrid_float_solves], or 0 when the float-first
     engine never ran. *)
+
+val lazy_fallback_rate : snapshot -> float
+(** [lazy_fallbacks / lazy_solves], or 0 when the lazy cone driver never
+    ran. *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** Multi-line human-readable rendering (the [--stats] output),

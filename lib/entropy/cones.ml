@@ -5,6 +5,35 @@ module Obs = Bagcqc_obs
 
 type cone = Gamma | Normal | Modular | Registered of string
 
+type engine = Full | Lazy
+
+let engine_name = function Full -> "full" | Lazy -> "lazy"
+
+let engine_of_string = function
+  | "full" -> Some Full
+  | "lazy" -> Some Lazy
+  | _ -> None
+
+(* Same discipline (and env-var pattern) as [Simplex.default_mode]:
+   initialized once from BAGCQC_CONE, set by CLI entry points or
+   test/bench harnesses under [Fun.protect], never written by library
+   code.  Lazy is the default: like the float-first LP default it only
+   changes how fast the answer arrives — every verdict is certified or
+   witnessed identically — and [--cone-engine full] restores the
+   previous behaviour byte-for-byte. *)
+let default_engine =
+  ref
+    (match Sys.getenv_opt "BAGCQC_CONE" with
+     | None | Some "" -> Lazy
+     | Some s ->
+       (match engine_of_string s with
+        | Some e -> e
+        | None ->
+          Printf.eprintf
+            "bagcqc: ignoring invalid BAGCQC_CONE=%s (expected full or lazy)\n%!"
+            s;
+          Lazy))
+
 let check_range ~n es =
   List.iter
     (fun e ->
@@ -336,10 +365,19 @@ let refute b ~n es =
   | Some x -> Some (b.refuter_of_point ~n x)
   | None -> None
 
+(* The lazy driver targets Γn — the only cone whose axiom family
+   explodes with n.  Nn/Mn LPs are small ([n] or [2^n − 1] variables,
+   one row per side) and stay on the direct path under either engine. *)
+let use_lazy b = b.name = "gamma" && !default_engine = Lazy
+
 let valid_max_cert cone ~n es =
   check_range ~n es;
   match es with
   | [] -> Error (Polymatroid.zero n)
+  | _ when use_lazy (backend_of_cone cone) ->
+    (match Separation.valid_max_cert ~n es with
+     | Ok cert -> Ok (Some cert)
+     | Error h -> Error h)
   | _ ->
     let b = backend_of_cone cone in
     (match b.farkas with
@@ -411,6 +449,7 @@ let valid_max_quick cone ~n es =
   check_range ~n es;
   match es with
   | [] -> false
+  | _ when use_lazy (backend_of_cone cone) -> Separation.valid_max_quick ~n es
   | _ ->
     let b = backend_of_cone cone in
     (match b.farkas with
@@ -425,11 +464,38 @@ let valid cone ~n e = valid_max cone ~n [ e ]
 
 let valid_shannon ~n e = valid_max_quick Gamma ~n [ e ]
 
+module Etbl = Hashtbl.Make (struct
+  type t = Linexpr.t
+
+  let equal = Linexpr.equal
+  let hash = Linexpr.hash
+end)
+
 let valid_shannon_many ~n es =
   (* Warm the elemental family once before fanning out, so the workers
      race on LP solving rather than on the elemental-table mutex. *)
   (match es with [] -> () | _ -> ignore (Elemental.list ~n));
-  Bagcqc_par.Pool.parallel_map_list (fun e -> valid_shannon ~n e) es
+  (* Dedup before fanning out: a batch with repeated inequalities (bulk
+     clients, generated batches) solves each distinct expression once
+     and fans the verdict back out — cheaper than relying on the solver
+     cache, which would still pay one canonical-LP build per repeat. *)
+  let index = Etbl.create (List.length es) in
+  let distinct = ref [] and n_distinct = ref 0 in
+  List.iter
+    (fun e ->
+      if not (Etbl.mem index e) then begin
+        Etbl.add index e !n_distinct;
+        distinct := e :: !distinct;
+        incr n_distinct
+      end)
+    es;
+  let verdicts =
+    Array.of_list
+      (Bagcqc_par.Pool.parallel_map_list
+         (fun e -> valid_shannon ~n e)
+         (List.rev !distinct))
+  in
+  List.map (fun e -> verdicts.(Etbl.find index e)) es
 
 (* [valid_max_cert] can only return [Ok None] for a backend without a
    Farkas builder; Γn registers one, so a certificate-less Ok from the

@@ -33,6 +33,35 @@ val elemental : n:int -> Linexpr.t list
 (** The elemental Shannon inequalities generating [Γn] (see
     {!Elemental.list}, which memoizes the family per [n]). *)
 
+(** {1 Cone engine}
+
+    Two interchangeable Γn drivers (DESIGN.md §4i).  [Full]
+    materializes the whole elemental family into each LP — the original
+    path, kept as the cross-checked oracle.  [Lazy] (default) decides
+    via {!Separation}: cutting-plane generation over the implicit
+    family plus symmetry canonicalization.  Both return identical
+    verdicts; validity always carries a certificate passing the same
+    exact {!Certificate.check}, so the choice affects speed, never
+    trust.  Nn/Mn solves are tiny and take the direct path under either
+    engine. *)
+
+type engine = Full | Lazy
+
+val engine_name : engine -> string
+(** ["full"] / ["lazy"] — the spellings accepted by {!engine_of_string},
+    [BAGCQC_CONE] and the [--cone-engine] CLI flag. *)
+
+val engine_of_string : string -> engine option
+
+val default_engine : engine ref
+(** Γn driver used by the decision procedures below.  Initialized from
+    the [BAGCQC_CONE] environment variable ([full] or [lazy]; an
+    invalid value is reported on stderr and ignored); defaults to
+    [Lazy].  Same mutation discipline as
+    {!Bagcqc_lp.Simplex.default_mode}: CLI entry points and test/bench
+    harnesses may set it (restoring under [Fun.protect]); library code
+    never writes here. *)
+
 (** {1 Backends} *)
 
 type backend = {
@@ -93,7 +122,9 @@ val valid_shannon : n:int -> Linexpr.t -> bool
 val valid_shannon_many : n:int -> Linexpr.t list -> bool list
 (** {!valid_shannon} on each expression, fanned out over the domain pool
     ({!Bagcqc_par.Pool}); results are in input order and identical to
-    [List.map (valid_shannon ~n) es]. *)
+    [List.map (valid_shannon ~n) es].  Structurally identical
+    expressions are deduplicated before the fan-out, so a batch with
+    repeats solves each distinct inequality once. *)
 
 val max_to_convex : n:int -> Linexpr.t list -> Bagcqc_num.Rat.t array option
 (** Theorem 6.1 of the paper, instantiated at the Shannon cone: a

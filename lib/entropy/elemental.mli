@@ -5,7 +5,16 @@
     combination of these (paper Sec. 3.2).  The family has
     [n + C(n,2)·2^(n−2)] members and used to be regenerated on every
     cone check; both the cone backends and the independent certificate
-    verifier now share this one lazy table. *)
+    verifier now share this one lazy table.
+
+    The family also exists in an {e implicit} form: a {!desc} names one
+    member without materializing its expression, and {!eval_desc}
+    evaluates it against a set function with at most 4 lookups.  The
+    lazy-separation cone driver ({!Separation}) scans the implicit
+    family to find violated cuts, so it never pays for the
+    [n²·2^(n−2)] expressions the full driver builds. *)
+
+open Bagcqc_num
 
 val list : n:int -> Linexpr.t list
 (** The elemental family for [n] variables, in a fixed deterministic
@@ -18,4 +27,33 @@ val count : n:int -> int
 
 val is_elemental : n:int -> Linexpr.t -> bool
 (** Structural membership in the family — the certificate checker's
-    ground truth that a claimed axiom really is one. *)
+    ground truth that a claimed axiom really is one.  Hashed-set lookup,
+    O(size of the expression). *)
+
+(** {1 Implicit family} *)
+
+type desc =
+  | Mono of int  (** [h(V) − h(V∖i) ≥ 0] *)
+  | Submod of int * int * Varset.t
+      (** [I(i;j|W) ≥ 0] with [i < j] and [W ⊆ V∖{i,j}]. *)
+
+val desc_compare : desc -> desc -> int
+(** Total order on descriptors (for deterministic worklists). *)
+
+val iter_descs : n:int -> (desc -> unit) -> unit
+(** Iterate the implicit family in a fixed deterministic order without
+    materializing any expression.
+    @raise Invalid_argument like {!list}. *)
+
+val desc_count : n:int -> int
+(** [n + C(n,2)·2^(n−2)] in O(1) — the number of descriptors
+    {!iter_descs} visits, equal to [count ~n] without forcing the
+    materialized table. *)
+
+val expr_of_desc : n:int -> desc -> Linexpr.t
+(** Materialize one member; structurally equal to the corresponding
+    entry of [list ~n]. *)
+
+val eval_desc : n:int -> (Varset.t -> Rat.t) -> desc -> Rat.t
+(** [eval_desc ~n h d = Linexpr.eval h (expr_of_desc ~n d)] without
+    allocating the expression — the separation oracle's inner loop. *)

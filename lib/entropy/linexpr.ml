@@ -44,6 +44,14 @@ let terms e = IMap.bindings e
 let is_zero e = IMap.is_empty e
 let equal a b = IMap.equal Rat.equal a b
 
+(* FNV-style mixing over the canonical bindings (ascending masks, no
+   zeros), consistent with [equal] because [Rat.hash] is structural. *)
+let hash e =
+  IMap.fold
+    (fun x c acc -> ((acc * 16777619) lxor x) * 16777619 lxor Rat.hash c)
+    e 0x811c9dc5
+  land max_int
+
 let eval h e =
   IMap.fold (fun x c acc -> Rat.add acc (Rat.mul c (h x))) e Rat.zero
 

@@ -38,6 +38,10 @@ val terms : t -> (Varset.t * Rat.t) list
 val is_zero : t -> bool
 val equal : t -> t -> bool
 
+val hash : t -> int
+(** Structural hash consistent with {!equal} (expressions are stored
+    canonically), suitable for [Hashtbl.Make]. *)
+
 val eval : (Varset.t -> Rat.t) -> t -> Rat.t
 (** [eval h e] is [e(h)] for a rational-valued set function. *)
 

@@ -1,0 +1,693 @@
+(* Lazy constraint generation for the Shannon cone (ISSUE 9, ROADMAP 3).
+
+   The full Γn drivers in [Cones] materialize all n + C(n,2)·2^(n−2)
+   elemental inequalities into every LP — which is exactly why exact
+   decisions stopped at n ≈ 5–6.  This driver solves the same two LPs
+   over a small *working set* W of elemental inequalities and grows W
+   on demand:
+
+     loop:
+       solve  R(W) = { elem_d(h) ≥ 0 ∀d ∈ W,  Eℓ(h) ≤ −1 ∀ℓ }
+       infeasible ⇒ the max-inequality is valid over the W-cone, a
+         superset of Γn, hence valid over Γn.  Certificate: the
+         restricted Farkas system F(W) (feasible by LP duality over the
+         W-cone) yields λ over W ⊆ elemental family, so the assembled
+         [Certificate.t] passes the unchanged exact [Certificate.check].
+
+   Intermediate rounds run in pure floats ([Simplex.solve_float]): the
+   per-round point only steers which cuts enter W, so it needs no exact
+   repair — which is where a naive lazy loop loses to the full driver,
+   paying one exact repair per round against the full driver's one per
+   decision.  Exact arithmetic appears only at terminal rounds, on the
+   small working set:
+     - float probe infeasible ⇒ certify: solve F(W) through the hybrid
+       engine and accept iff the assembled certificate passes the exact
+       [Certificate.check] — that check proves validity unconditionally,
+       so the float infeasibility claim is never trusted.  F(W)
+       infeasible means the probe lied: fall through to one exact R(W)
+       round and keep cutting.
+     - float probe optimal with no float-violated cut ⇒ one exact
+       hybrid R(W) round: its exact point either passes the exact
+       separation scan (genuine refuter) or yields exact cuts the float
+       scan missed.
+
+   One subtlety in F(W): the simplex keeps its variables implicitly
+   nonnegative, so R(W)'s feasible region is {h ≥ 0} ∩ W-cone ∩
+   {E ≤ −1} — still a superset of Γn (h(S) ≥ 0 is a Shannon
+   consequence), so verdicts are sound, but the h ≥ 0 facets can be
+   load-bearing for infeasibility while not lying in the cone spanned
+   by W.  The true Farkas dual therefore carries one extra multiplier
+   ν_S ≥ 0 per coordinate axiom h(S) ≥ 0:  Σλ·W + Σν_S·e_S = Σμ·E.
+   Certificates must cite only elemental inequalities, and h(S) ≥ 0 is
+   exactly the chain expansion  h(S) = Σ_t h(i_t | {i_1..i_{t−1}}),
+   h(i|B) = h(i|V∖i) + Σ_j I(i;j|·)  — a unit-coefficient sum of
+   elemental rows ([nonneg_decomp]).  So F(W) gets the ν columns and
+   certificate assembly expands each positive ν_S into those elemental
+   axioms, keeping the assembled certificate inside the contract of the
+   unchanged exact [Certificate.check].
+       feasible at x ⇒ scan the *implicit* elemental family for the
+         most-violated inequality (≤ 4 lookups per member, nothing
+         materialized; float evaluation on probe points, exact Rat
+         evaluation on exact points).  No violation on an *exact* point
+         ⇒ x lies in Γn itself and genuinely refutes — refuters are
+         only ever emitted from exact rounds.  Otherwise add a batch of
+         the most-violated cuts — each with its symmetry orbit when the
+         orbit is small — and re-solve, warm-starting the float simplex
+         from the previous round's basis.
+
+   Every exact round that continues adds a cut (its point satisfies W
+   exactly, so a violated member cannot already be in W), and a float
+   round that fails to add one escalates — possibly through one pruned
+   confirmation round — to an exact round, so at most three rounds are
+   spent per cut and the loop terminates within 3·|family| rounds; a
+   defensive invariant enforces the bound.
+
+   Symmetry: the instance is first canonicalized modulo variable
+   permutation ([Symmetry.analyze]), so every per-round LP — keyed on
+   the canonical [Engine.Problem] — hits the sharded solver cache and
+   the persistent store across all symmetric variants of a query.
+   Verdicts are mapped back through the permutation: refuters by
+   relabeling the point, certificates by renaming λ's axioms (the
+   elemental family is closed under permutation).
+
+   Trust model: unchanged.  Every LP a verdict rests on goes through
+   the hybrid engine whose answers are exact after repair (float probes
+   decide nothing — they only choose cuts and when to attempt the
+   terminal solves); validity carries a Farkas certificate judged by
+   the same LP-independent [Certificate.check] as the full driver, and
+   refuters satisfy every elemental inequality by exact evaluation (the
+   exact separation scan found no violation).  The full-materialization
+   driver remains available as the cross-checked oracle
+   (--cone-engine full, lazy_vs_full fuzz). *)
+
+open Bagcqc_num
+open Bagcqc_lp
+open Bagcqc_engine
+module Obs = Bagcqc_obs
+
+let where = "Separation"
+
+let c_solves = Obs.Metrics.counter "cone.lazy.solves"
+let c_rounds = Obs.Metrics.counter "cone.lazy.rounds"
+let c_cuts = Obs.Metrics.counter "cone.lazy.cuts"
+let c_fallbacks = Obs.Metrics.counter "cone.lazy.fallbacks"
+let c_orbit_cuts = Obs.Metrics.counter "cone.orbit.cuts"
+let c_canonicalized = Obs.Metrics.counter "cone.orbit.canonicalized"
+
+(* Same mask−1 variable indexing as the full gamma backend. *)
+let gamma_sparse e = List.map (fun (s, c) -> (s - 1, c)) (Linexpr.terms e)
+
+(* Cone rows enter R(W) as [−a·h ≤ 0] rather than [a·h ≥ 0].  The
+   polyhedron is identical, but the Le form with a zero right-hand side
+   starts slack-basic: only the k target rows carry phase-1 artificial
+   columns, so a probe's phase 1 walks a handful of pivots instead of
+   one per working-set row — the difference between the lazy driver
+   beating the full one and losing to it from n = 6 up. *)
+let cone_row_sparse e =
+  List.map (fun (s, c) -> (s - 1, Rat.neg c)) (Linexpr.terms e)
+
+(* Per-descriptor row constructions, memoized across decides: the same
+   Mono/Submod rows recur in every working set at a given n, and once
+   the solves are warm, rebuilding them (expr_of_desc, negation, sparse
+   normalization) is a visible slice of a decide.  Rows and constraints
+   are immutable once built, so sharing is safe; the keyspace is the
+   elemental family itself (≤ a few thousand entries across all n ≤ 8).
+   Same mutex discipline as the [Elemental] table. *)
+let row_memo_mutex = Mutex.create ()
+
+let memo_row (tbl : (int * Elemental.desc, 'a) Hashtbl.t) ~n d
+    (build : unit -> 'a) =
+  Mutex.lock row_memo_mutex;
+  let cached = Hashtbl.find_opt tbl (n, d) in
+  Mutex.unlock row_memo_mutex;
+  match cached with
+  | Some v -> v
+  | None ->
+    let v = build () in
+    Mutex.lock row_memo_mutex;
+    Hashtbl.replace tbl (n, d) v;
+    Mutex.unlock row_memo_mutex;
+    v
+
+let cone_prow_tbl : (int * Elemental.desc, Problem.row) Hashtbl.t =
+  Hashtbl.create 2048
+
+let cone_prow ~n d =
+  memo_row cone_prow_tbl ~n d (fun () ->
+      Problem.row
+        (cone_row_sparse (Elemental.expr_of_desc ~n d))
+        Simplex.Le Rat.zero)
+
+let cone_fconstr_tbl : (int * Elemental.desc, Simplex.constr) Hashtbl.t =
+  Hashtbl.create 2048
+
+let cone_fconstr ~n d =
+  memo_row cone_fconstr_tbl ~n d (fun () ->
+      Simplex.sparse_constr
+        (cone_row_sparse (Elemental.expr_of_desc ~n d))
+        Simplex.Le Rat.zero)
+
+(* ---------------- seed ----------------
+
+   All monotonicity rows plus two submodularity slices per pair:
+   unconditioned I(i;j) and fully-conditioned I(i;j | V∖{i,j}).  Small
+   (n + 2·C(n,2) rows), and in practice enough that many valid
+   inequalities finish in one round. *)
+let seed_descs ~n =
+  let acc = ref [] in
+  for i = n - 1 downto 0 do
+    acc := Elemental.Mono i :: !acc
+  done;
+  let full = Varset.full n in
+  for i = n - 1 downto 0 do
+    for j = n - 1 downto i + 1 do
+      let rest = Varset.diff full (Varset.of_list [ i; j ]) in
+      acc := Elemental.Submod (i, j, Varset.empty) :: !acc;
+      if not (Varset.is_empty rest) then
+        acc := Elemental.Submod (i, j, rest) :: !acc
+    done
+  done;
+  !acc
+
+(* ---------------- warm-start bookkeeping ----------------
+
+   Rows only ever get added between rounds, and [Problem] keeps its rows
+   in one canonical sorted order — so the previous round's rows appear
+   as a sorted subsequence of the new round's rows.  A single merge walk
+   recovers where each old row went; structural columns are shared,
+   every row here is an inequality (exactly one slack/surplus column,
+   assigned in row order by [Lp_layout]), so old slack column
+   [num_vars + i] becomes [num_vars + map(i)] and artificial columns
+   are dropped.  Any mismatch just forfeits the hint ([None]) — warmth
+   is an optimization, never a soundness input. *)
+
+let row_equal (p1, o1, r1) (p2, o2, r2) =
+  o1 = o2 && Rat.equal r1 r2
+  && List.equal (fun (j1, c1) (j2, c2) -> j1 = j2 && Rat.equal c1 c2) p1 p2
+
+let warm_hint ~num_vars prev prob =
+  match prev with
+  | None -> None
+  | Some (old_rows, basis) ->
+    let new_rows = Array.of_list (Problem.rows_list prob) in
+    let n_new = Array.length new_rows in
+    let map = Array.make (List.length old_rows) (-1) in
+    let exception Lost in
+    (try
+       let j = ref 0 in
+       List.iteri
+         (fun i r ->
+           while !j < n_new && not (row_equal r new_rows.(!j)) do
+             incr j
+           done;
+           if !j >= n_new then raise Lost;
+           map.(i) <- !j;
+           incr j)
+         old_rows;
+       let m_old = Array.length map in
+       Some
+         (Array.map
+            (fun c ->
+              if c < num_vars then c
+              else if c < num_vars + m_old then num_vars + map.(c - num_vars)
+              else -1 (* artificial: not reusable across rounds *))
+            basis)
+     with Lost -> None)
+
+(* ---------------- restricted Farkas ----------------
+
+   [Cones.gamma_farkas] with the axiom columns drawn from W instead of
+   the full family, under its own tag: entries persisted from this
+   problem shape are pure-feasibility (verified point-wise by the store
+   on load) and must not be offered to the full-family
+   "gamma/farkas" semantic verifier, whose column layout they do not
+   share.
+
+   Column layout: λ over the W axioms, then the k convex weights μ,
+   then one ν_S per coordinate mask S — the dual multipliers of the
+   simplex's implicit h(S) ≥ 0 (see the header):
+     Σλ·W + Σ ν_S·e_S = Σμ·E,  Σμ = 1,  everything ≥ 0. *)
+let farkas_of_axioms ~n axioms es =
+  let n_ax = List.length axioms in
+  let k = List.length es in
+  let nv = (1 lsl n) - 1 in
+  let num_vars = n_ax + k + nv in
+  let buckets = Array.make nv [] in
+  List.iteri
+    (fun i e ->
+      List.iter (fun (s, c) -> buckets.(s) <- (i, c) :: buckets.(s))
+        (gamma_sparse e))
+    axioms;
+  List.iteri
+    (fun l e ->
+      List.iter
+        (fun (s, c) -> buckets.(s) <- (n_ax + l, Rat.neg c) :: buckets.(s))
+        (gamma_sparse e))
+    es;
+  let rows =
+    List.init nv (fun s ->
+        Problem.row ((n_ax + k + s, Rat.one) :: buckets.(s)) Simplex.Eq
+          Rat.zero)
+    @ [ Problem.row
+          (List.init k (fun l -> (n_ax + l, Rat.one)))
+          Simplex.Eq Rat.one ]
+  in
+  Problem.make ~tag:"gamma/farkas_lazy" ~num_vars rows
+
+(* h(S) ≥ 0 as an exact unit-coefficient sum of elemental rows:
+     h(S) = Σ_{t} h(i_t | {i_1..i_{t−1}})       (ascending i_t ∈ S)
+     h(i | B) = h(i | V∖i) + Σ_j I(i; j | B_j)  (j over V∖B∖{i},
+                                                 ascending, B_j growing)
+   — Mono and Submod descriptors throughout, possibly with repeats
+   (the assembler accumulates coefficients per descriptor). *)
+let nonneg_decomp ~n s =
+  let acc = ref [] in
+  let prefix = ref Varset.empty in
+  for i = 0 to n - 1 do
+    if Varset.mem i s then begin
+      let b = ref !prefix in
+      for j = 0 to n - 1 do
+        if j <> i && not (Varset.mem j !b) then begin
+          acc := Elemental.Submod (min i j, max i j, !b) :: !acc;
+          b := Varset.add j !b
+        end
+      done;
+      acc := Elemental.Mono i :: !acc;
+      prefix := Varset.add i !prefix
+    end
+  done;
+  !acc
+
+(* ---------------- the separation loop ---------------- *)
+
+type 'a verdict =
+  | Valid of Elemental.desc list  (* W at termination, reverse add order *)
+  | Certified of 'a  (* [certify] accepted W after a float-infeasible probe *)
+  | Refuted_at of Rat.t array
+
+(* A float probe must clear this to count as a violation.  Pure
+   heuristic: too tight admits noise cuts (W grows a little), too loose
+   defers real cuts to the exact round — never a soundness input. *)
+let float_eps = 1e-7
+
+(* Flattened per-n scan table: descriptor idx scores
+   h(s1) + h(s2) − h(s3) − h(s4) with the four masks at [masks.(4·idx)..],
+   mask 0 standing for the empty set (h = 0).  Mono i is
+   (full, ∅, full∖i, ∅); Submod (i,j,b) is (b∪i, b∪j, b∪i∪j, b).  Built
+   once per n: the float scan runs on every optimal probe and must not
+   re-allocate the descriptor stream each round. *)
+let scan_tbl_mutex = Mutex.create ()
+
+let scan_tbls : (int, Elemental.desc array * int array) Hashtbl.t =
+  Hashtbl.create 8
+
+let scan_table ~n =
+  Mutex.lock scan_tbl_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock scan_tbl_mutex) @@ fun () ->
+  match Hashtbl.find_opt scan_tbls n with
+  | Some t -> t
+  | None ->
+    let ds = ref [] in
+    Elemental.iter_descs ~n (fun d -> ds := d :: !ds);
+    let descs = Array.of_list (List.rev !ds) in
+    let masks = Array.make (4 * Array.length descs) 0 in
+    Array.iteri
+      (fun idx d ->
+        let o = 4 * idx in
+        match d with
+        | Elemental.Mono i ->
+          let full = Varset.full n in
+          masks.(o) <- full;
+          masks.(o + 2) <- Varset.remove i full
+        | Elemental.Submod (i, j, b) ->
+          masks.(o) <- Varset.add i b;
+          masks.(o + 1) <- Varset.add j b;
+          masks.(o + 2) <- Varset.add j (Varset.add i b);
+          masks.(o + 3) <- b)
+      descs;
+    let t = (descs, masks) in
+    Hashtbl.add scan_tbls n t;
+    t
+
+(* Run the loop on the *canonical* instance.  Returns the witness point
+   (refutation), the final working set (validity, confirmed by an exact
+   R(W) solve), or — when [certify] is provided — whatever it returned
+   for the final working set after a float-infeasible probe.  [certify]
+   receiving W in add order must prove validity on its own authority
+   (Farkas + exact certificate check); [None] sends the loop into an
+   exact round instead of trusting the probe. *)
+let run ~n ~stabilizer ~certify es =
+  let num_vars = (1 lsl n) - 1 in
+  let target_rows =
+    List.map
+      (fun e -> Problem.row (gamma_sparse e) Simplex.Le Rat.minus_one)
+      es
+  in
+  let seen : (Elemental.desc, unit) Hashtbl.t = Hashtbl.create 64 in
+  let w = ref [] in
+  (* The float probe's rows, newest first: cuts over the reversed target
+     rows.  Targets sit at fixed row positions and cuts are only ever
+     appended, so structural and slack columns keep their meaning across
+     rounds and the previous basis works as a warm hint verbatim (no
+     merge walk; artificial columns are masked out below). *)
+  let frows_rev = ref (List.rev_map
+      (fun e -> Simplex.sparse_constr (gamma_sparse e) Simplex.Le Rat.minus_one)
+      es)
+  in
+  let nrows = ref (List.length es) in
+  let add_desc d =
+    if Hashtbl.mem seen d then false
+    else begin
+      Hashtbl.add seen d ();
+      w := d :: !w;
+      frows_rev := cone_fconstr ~n d :: !frows_rev;
+      incr nrows;
+      true
+    end
+  in
+  List.iter (fun d -> ignore (add_desc d)) (seed_descs ~n);
+  let zero_obj = Array.make num_vars Rat.zero in
+  (* Warm hints, two chains: [fwarm] feeds the next float probe (kept to
+     structural + slack columns, which appending rows cannot renumber);
+     [prev] feeds the next exact round through the canonical-order merge
+     walk.  Cache hits yield no basis and break the exact chain — they
+     also cost nothing to re-solve. *)
+  let fwarm = ref None in
+  let prev = ref None in
+  (* Add the [cut_batch] most-violated of [ranked] (pre-sorted by
+     violation, ties broken by descriptor order, so the cut sequence —
+     and with it every per-round system, cache key and store line — is
+     deterministic per build), plus small symmetry orbits.  Unbounded
+     orbit expansion is a trap: a highly symmetric target has stabilizer
+     orbits of size up to (n−1)!, and materializing one recreates the
+     full-family row count the lazy driver exists to avoid. *)
+  let cut_batch = 2 * n in
+  let orbit_cap = 2 * n in
+  let add_ranked ranked =
+    let added = ref 0 and orbit_added = ref 0 and taken = ref 0 in
+    (try
+       List.iter
+         (fun (d, _) ->
+           if !taken >= cut_batch then raise Exit;
+           if add_desc d then begin
+             incr added;
+             incr taken;
+             let orbit = Symmetry.orbit_desc stabilizer d in
+             if List.compare_length_with orbit orbit_cap <= 0 then
+               List.iter
+                 (fun d' ->
+                   if add_desc d' then begin
+                     incr added;
+                     incr orbit_added
+                   end)
+                 orbit
+           end)
+         ranked
+     with Exit -> ());
+    Obs.Metrics.add c_cuts !added;
+    Obs.Metrics.add c_orbit_cuts !orbit_added;
+    !added
+  in
+  (* Each exact round that continues adds a cut; a float round either
+     adds one or escalates, possibly through one pruned confirm round —
+     at most three rounds per cut, so 3·|family| bounds the loop. *)
+  let limit = (3 * Elemental.desc_count ~n) + 6 in
+  let check_limit round =
+    if round > limit then
+      Bagcqc_error.invariant ~where
+        (Printf.sprintf
+           "separation failed to terminate within %d rounds at n=%d" limit n)
+  in
+  let k_targets = List.length es in
+  (* Support of a float infeasibility claim: rows whose slack column is
+     nonbasic in the phase-1 terminal basis.  A Farkas proof over
+     [num_vars] unknowns needs at most [num_vars + 1] rows, so this is
+     usually a small fraction of W — the exact confirmation (or Farkas
+     assembly) then runs on the pruned system.  Purely a size heuristic:
+     if pruning dropped a needed row, the exact solve comes back
+     feasible and the loop falls back to the full working set. *)
+  let tight_working_set basis =
+    let bound = num_vars + !nrows in
+    let basic = Array.make bound false in
+    Array.iter
+      (fun c -> if c >= 0 && c < bound then basic.(c) <- true)
+      basis;
+    let j = ref 0 in
+    let keep =
+      List.filter
+        (fun _ ->
+          let slack = num_vars + k_targets + !j in
+          incr j;
+          not basic.(slack))
+        (List.rev !w)
+    in
+    if keep = [] then List.rev !w else keep
+  in
+  let rec loop round =
+    check_limit round;
+    Obs.Metrics.bump c_rounds;
+    let fprob =
+      { Simplex.num_vars;
+        objective = zero_obj;
+        constraints = List.rev !frows_rev }
+    in
+    (* Keep only columns whose meaning survives appended rows: artificial
+       columns start at [num_vars + m] (every row is an inequality, one
+       slack each) and shift as rows arrive. *)
+    let keep_structural_and_slack basis =
+      let bound = num_vars + !nrows in
+      Some (Array.map (fun c -> if c < bound then c else -1) basis)
+    in
+    match Simplex.solve_float ?warm:!fwarm fprob with
+    | Simplex.Float_unknown ->
+      fwarm := None;
+      exact_round round
+    | Simplex.Float_infeasible basis ->
+      fwarm := keep_structural_and_slack basis;
+      let pruned = tight_working_set basis in
+      (match certify with
+       | Some f ->
+         (match f pruned with
+          | Some c -> Certified c
+          | None ->
+            (* The probe's infeasibility claim did not certify — an
+               exact round settles what is actually true of R(W). *)
+            exact_round round)
+       | None -> confirm_round pruned round)
+    | Simplex.Float_optimal (xf, basis) ->
+      fwarm := keep_structural_and_slack basis;
+      let violated = ref [] in
+      let descs, masks = scan_table ~n in
+      let g m = if m = 0 then 0.0 else Array.unsafe_get xf (m - 1) in
+      for idx = 0 to Array.length descs - 1 do
+        let o = 4 * idx in
+        let v =
+          g (Array.unsafe_get masks o)
+          +. g (Array.unsafe_get masks (o + 1))
+          -. g (Array.unsafe_get masks (o + 2))
+          -. g (Array.unsafe_get masks (o + 3))
+        in
+        if v < -.float_eps then violated := (descs.(idx), v) :: !violated
+      done;
+      let ranked =
+        List.sort
+          (fun (d1, v1) (d2, v2) ->
+            let c = Float.compare v1 v2 in
+            if c <> 0 then c else Elemental.desc_compare d1 d2)
+          !violated
+      in
+      if ranked <> [] && add_ranked ranked > 0 then loop (round + 1)
+      else
+        (* No float-violated cut (or only noise already in W): the probe
+           cannot distinguish a genuine Γn refuter from tolerance slack —
+           only an exact point can. *)
+        exact_round round
+  and solve_exact descs =
+    let cone_rows = List.rev_map (fun d -> cone_prow ~n d) descs in
+    let prob =
+      Problem.make ~tag:"gamma/refute_lazy" ~num_vars
+        (List.rev_append cone_rows target_rows)
+    in
+    let solver p =
+      let warm = warm_hint ~num_vars !prev p in
+      let outcome, basis = Simplex.solve_warm ?warm (Problem.to_simplex p) in
+      prev :=
+        (match basis with
+         | Some b -> Some (Problem.rows_list p, b)
+         | None -> None);
+      outcome
+    in
+    Solver.solve_using prob ~solver
+  and confirm_round pruned round =
+    check_limit round;
+    Obs.Metrics.bump c_rounds;
+    match solve_exact pruned with
+    | Simplex.Infeasible ->
+      (* R(W') ⊇ R(W) is already empty: the pruned subset alone proves
+         validity, and a downstream certificate only needs its rows. *)
+      Valid (List.rev pruned)
+    | Simplex.Unbounded ->
+      Bagcqc_error.invariant ~where
+        "pure feasibility system reported unbounded"
+    | Simplex.Optimal _ ->
+      (* Pruning lost a needed row, or the probe's claim was wrong
+         outright — settle on the full working set. *)
+      exact_round (round + 1)
+  and exact_round round =
+    check_limit round;
+    Obs.Metrics.bump c_rounds;
+    match solve_exact (List.rev !w) with
+    | Simplex.Infeasible -> Valid !w
+    | Simplex.Unbounded ->
+      Bagcqc_error.invariant ~where
+        "pure feasibility system reported unbounded"
+    | Simplex.Optimal (_, x) ->
+      let h m = if m = 0 then Rat.zero else x.(m - 1) in
+      let violated = ref [] in
+      Elemental.iter_descs ~n (fun d ->
+          let v = Elemental.eval_desc ~n h d in
+          if Rat.sign v < 0 then violated := (d, v) :: !violated);
+      (match !violated with
+       | [] ->
+         (* x satisfies every elemental inequality: a genuine point of
+            Γn refuting the max-inequality. *)
+         Refuted_at x
+       | vs ->
+         let ranked =
+           List.sort
+             (fun (d1, v1) (d2, v2) ->
+               let c = Rat.compare v1 v2 in
+               if c <> 0 then c else Elemental.desc_compare d1 d2)
+             vs
+         in
+         if add_ranked ranked = 0 then
+           (* The exact LP point satisfies W exactly, so a violated
+              inequality cannot already be in W. *)
+           Bagcqc_error.invariant ~where "separation cut made no progress";
+         loop (round + 1))
+  in
+  loop 1
+
+let with_span ~n ~kind es f =
+  Obs.Span.with_span ~name:"cone.lazy"
+    ~attrs:
+      [ ("kind", Obs.Span.Str kind);
+        ("n", Obs.Span.Int n);
+        ("sides", Obs.Span.Int (List.length es)) ]
+    f
+
+let analyze ~n es =
+  let sym = Symmetry.analyze ~n es in
+  if not (Symmetry.is_identity sym.Symmetry.to_canon) then
+    Obs.Metrics.bump c_canonicalized;
+  sym
+
+(* Map a refuting point of the canonical instance back to the original
+   variables: h_orig(S) = h_canon(π S). *)
+let refuter_of_point ~n ~(sym : Symmetry.analysis) x =
+  Polymatroid.make n (fun s ->
+      let m = Symmetry.apply_mask sym.Symmetry.to_canon s in
+      if Varset.is_empty m then Rat.zero else x.(m - 1))
+
+let valid_max_quick ~n es =
+  with_span ~n ~kind:"quick" es @@ fun () ->
+  Obs.Metrics.bump c_solves;
+  let sym = analyze ~n es in
+  match
+    run ~n ~stabilizer:sym.Symmetry.stabilizer ~certify:None
+      sym.Symmetry.canonical
+  with
+  | Valid _ -> true
+  | Certified () -> true
+  | Refuted_at _ -> false
+
+(* Prove validity of the canonical instance over the working set
+   [w_descs] (add order): solve the restricted Farkas system and accept
+   only a certificate the exact [Certificate.check] passes.  [None]
+   means F(W) is infeasible — the caller's infeasibility claim for R(W)
+   was wrong (or, from an exact round, genuinely contradictory). *)
+let certify_working_set ~n ~sym ~es w_descs =
+  let es_c = sym.Symmetry.canonical in
+  let inv = Symmetry.inverse sym.Symmetry.to_canon in
+  let axioms = List.map (Elemental.expr_of_desc ~n) w_descs in
+  let n_ax = List.length axioms in
+  let k = List.length es in
+  let nv = (1 lsl n) - 1 in
+  let fprob = farkas_of_axioms ~n axioms es_c in
+  let assemble x =
+    (* λ accumulates per elemental *descriptor*: the W columns
+       directly, and each positive ν_S expanded through the chain
+       decomposition of h(S) ≥ 0.  Sorted for a deterministic
+       certificate rendering. *)
+    let tbl : (Elemental.desc, Rat.t ref) Hashtbl.t = Hashtbl.create 64 in
+    let bump d c =
+      match Hashtbl.find_opt tbl d with
+      | Some r -> r := Rat.add !r c
+      | None -> Hashtbl.add tbl d (ref c)
+    in
+    List.iteri (fun i d -> if Rat.sign x.(i) > 0 then bump d x.(i)) w_descs;
+    for s = 1 to nv do
+      let nu = x.(n_ax + k + s - 1) in
+      if Rat.sign nu > 0 then
+        List.iter (fun d -> bump d nu) (nonneg_decomp ~n s)
+    done;
+    let lambda =
+      Hashtbl.fold (fun d r acc -> (d, !r) :: acc) tbl []
+      |> List.filter (fun (_, c) -> Rat.sign c > 0)
+      |> List.sort (fun (d1, _) (d2, _) -> Elemental.desc_compare d1 d2)
+      |> List.map (fun (d, c) ->
+             (Symmetry.apply_expr inv (Elemental.expr_of_desc ~n d), c))
+    in
+    let mu = List.init k (fun l -> x.(n_ax + l)) in
+    (* Sides are the caller's original expressions: renaming the
+       canonical identity Σλ·a = Σμ·Eᶜ through π⁻¹ lands exactly on
+       them, and the renamed axioms stay elemental (the family is
+       closed under permutation), so [Certificate.check] applies
+       unchanged. *)
+    Certificate.make ~n ~cone:"gamma" ~sides:es ~lambda ~mu
+  in
+  match Solver.feasible fprob with
+  | None -> None
+  | Some x ->
+    let cert = assemble x in
+    (* Same defense-in-depth as the full driver (DESIGN.md §4f/§4i):
+       under float-first, accept only certificates that pass the
+       exact check; a rejection is a solver bug repaired by an exact
+       re-solve, never an uncertified answer.  Under the exact LP mode
+       the Farkas point is already exact-verified by construction. *)
+    if !Simplex.default_mode = Simplex.Exact || Certificate.check cert
+    then Some cert
+    else begin
+      Obs.Metrics.bump c_fallbacks;
+      match
+        Simplex.solve ~mode:Simplex.Exact (Problem.to_simplex fprob)
+      with
+      | Simplex.Optimal (_, x) -> Some (assemble x)
+      | Simplex.Infeasible | Simplex.Unbounded ->
+        Bagcqc_error.invariant ~where
+          "float-first lazy Farkas point rejected by Certificate.check \
+           and the exact re-solve found no feasible point"
+    end
+
+let valid_max_cert ~n es =
+  with_span ~n ~kind:"cert" es @@ fun () ->
+  Obs.Metrics.bump c_solves;
+  let sym = analyze ~n es in
+  let certify = certify_working_set ~n ~sym ~es in
+  match
+    run ~n ~stabilizer:sym.Symmetry.stabilizer ~certify:(Some certify)
+      sym.Symmetry.canonical
+  with
+  | Refuted_at x -> Error (refuter_of_point ~n ~sym x)
+  | Certified cert -> Ok cert
+  | Valid w_rev ->
+    (* Reached only through an exact round's infeasibility (a probe that
+       went Float_unknown / cut-less optimal, or whose certify attempt
+       failed).  F(W) is then feasible by duality over the W-cone; both
+       empty means the two independently-built LPs disagree. *)
+    (match certify (List.rev w_rev) with
+     | Some cert -> Ok cert
+     | None ->
+       Bagcqc_error.invariant ~where
+         "restricted Farkas LP infeasible though the restricted \
+          refutation LP was infeasible too (duality violated)")

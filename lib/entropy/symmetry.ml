@@ -1,0 +1,181 @@
+(* Variable-permutation symmetry of a cone query (ISSUE 9 / ROADMAP 3).
+
+   A max-inequality over Γn is invariant under any permutation π of the
+   n variables applied to every side: the elemental family is closed
+   under renaming, so [valid ~n es] iff [valid ~n (π·es)].  We exploit
+   that twice:
+
+   - {e canonicalization}: before solving, rename the instance to the
+     lexicographically least member of its orbit.  Every LP the lazy
+     driver builds is then keyed on the canonical instance, so the
+     sharded solver cache and the persistent store hit across all n!
+     symmetric variants of a query.
+
+   - {e orbit cuts}: the stabilizer of the canonical instance maps
+     violated elemental inequalities to violated (or about-to-be
+     violated) ones, so the separation loop adds a whole orbit of cuts
+     per round instead of rediscovering each image one re-solve at a
+     time.
+
+   The group is found by brute force over all n! permutations — fine
+   for the n ≤ 8 this engine targets (8! = 40320 cheap renamings, done
+   once per decide); beyond {!max_vars} we fall back to the trivial
+   group, which costs only the missed sharing. *)
+
+open Bagcqc_num
+
+type perm = int array
+
+let max_vars = 8
+
+let identity n = Array.init n (fun i -> i)
+let is_identity p = Array.for_all (fun x -> p.(x) = x) (identity (Array.length p))
+
+let inverse p =
+  let q = Array.make (Array.length p) 0 in
+  Array.iteri (fun i x -> q.(x) <- i) p;
+  q
+
+let apply_mask p m =
+  Varset.fold_elements
+    (fun i acc -> Varset.add p.(i) acc)
+    m Varset.empty
+
+let apply_expr p e = Linexpr.rename (fun i -> p.(i)) e
+
+let apply_desc p = function
+  | Elemental.Mono i -> Elemental.Mono p.(i)
+  | Elemental.Submod (i, j, w) ->
+    let i' = p.(i) and j' = p.(j) in
+    Elemental.Submod (min i' j', max i' j', apply_mask p w)
+
+(* Orbit of a descriptor under a set of permutations, deduplicated and
+   in a deterministic order. *)
+let orbit_desc perms d =
+  List.sort_uniq Elemental.desc_compare (List.map (fun p -> apply_desc p d) perms)
+
+(* ---------------- canonicalization ---------------- *)
+
+(* Comparison key of an instance: the multiset of per-side term lists,
+   each term list ordered by mask (as [Linexpr.terms] already is) and
+   the k keys sorted.  Compared with [Rat.compare] on coefficients —
+   never a stringification. *)
+let compare_terms a b =
+  List.compare
+    (fun (m1, c1) (m2, c2) ->
+      let c = compare (m1 : int) m2 in
+      if c <> 0 then c else Rat.compare c1 c2)
+    a b
+
+let key_of es = List.sort compare_terms (List.map Linexpr.terms es)
+
+let compare_key = List.compare compare_terms
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | xs ->
+    List.concat_map
+      (fun x ->
+        List.map (fun rest -> x :: rest)
+          (permutations (List.filter (fun y -> y <> x) xs)))
+      xs
+
+(* n! permutation arrays, memoized per n (n ≤ {!max_vars}, so at most a
+   few tables of ≤ 40320 arrays live at once): [analyze] runs once per
+   cone decide, and rebuilding 5040 arrays per decide at n = 7 costs
+   more than the sweep that uses them.  Same mutex discipline as the
+   [Elemental] table — the lazy driver is called from pool workers. *)
+let perms_mutex = Mutex.create ()
+let perms_table : (int, perm list) Hashtbl.t = Hashtbl.create 8
+
+let all_perms n =
+  Mutex.lock perms_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock perms_mutex) @@ fun () ->
+  match Hashtbl.find_opt perms_table n with
+  | Some ps -> ps
+  | None ->
+    let ps =
+      List.map Array.of_list (permutations (List.init n (fun i -> i)))
+    in
+    Hashtbl.add perms_table n ps;
+    ps
+
+type analysis = {
+  n : int;
+  to_canon : perm;          (* π : original vars → canonical vars *)
+  canonical : Linexpr.t list;  (* π·es, in input side order *)
+  stabilizer : perm list;   (* group fixing the canonical multiset *)
+}
+
+let trivial ~n es =
+  { n; to_canon = identity n; canonical = es; stabilizer = [ identity n ] }
+
+(* Analyses are pure in (n, es) and a serving process decides the same
+   handful of instances over and over (repeated queries, bench reps,
+   every round of a fuzz shrink), so the sweep is memoized.  Bounded:
+   the table is dropped wholesale when it outgrows [memo_cap] — fuzzing
+   streams millions of distinct instances through here and must not
+   turn the memo into a leak.  The record is immutable and shared. *)
+module Akey = struct
+  type t = int * Linexpr.t list
+
+  let equal (n1, es1) (n2, es2) =
+    n1 = n2 && List.equal Linexpr.equal es1 es2
+
+  let hash (n, es) = Hashtbl.hash (n, List.map Linexpr.hash es)
+end
+
+module Atbl = Hashtbl.Make (Akey)
+
+let memo_cap = 4096
+let memo_mutex = Mutex.create ()
+let memo : analysis Atbl.t = Atbl.create 256
+
+let analyze_uncached ~n es =
+  if n < 2 || n > max_vars then trivial ~n es
+  else begin
+    (* One sweep finds both the minimal image and every permutation
+       attaining it; σ·π_min⁻¹ for each minimizer σ fixes the canonical
+       multiset, and every stabilizer element arises this way. *)
+    let best_key = ref (key_of es) in
+    let minimizers = ref [] in
+    List.iter
+      (fun p ->
+        let k = key_of (List.map (apply_expr p) es) in
+        let c = compare_key k !best_key in
+        if c < 0 then begin
+          best_key := k;
+          minimizers := [ p ]
+        end
+        else if c = 0 then minimizers := p :: !minimizers)
+      (all_perms n);
+    let minimizers = List.rev !minimizers in
+    let to_canon =
+      match minimizers with
+      | p :: _ -> p
+      | [] -> identity n (* unreachable: the sweep includes the identity *)
+    in
+    let inv = inverse to_canon in
+    let stabilizer =
+      List.map (fun s -> Array.map (fun i -> s.(inv.(i))) (identity n))
+        minimizers
+    in
+    { n; to_canon;
+      canonical = List.map (apply_expr to_canon) es;
+      stabilizer }
+  end
+
+let analyze ~n es =
+  let key = (n, es) in
+  Mutex.lock memo_mutex;
+  let cached = Atbl.find_opt memo key in
+  Mutex.unlock memo_mutex;
+  match cached with
+  | Some a -> a
+  | None ->
+    let a = analyze_uncached ~n es in
+    Mutex.lock memo_mutex;
+    if Atbl.length memo >= memo_cap then Atbl.reset memo;
+    Atbl.replace memo key a;
+    Mutex.unlock memo_mutex;
+    a

@@ -1,0 +1,50 @@
+(** Variable-permutation symmetry of cone queries.
+
+    A max-inequality over [Γn] (or [Nn]/[Mn]) is invariant under
+    renaming the [n] variables: the elemental family is closed under
+    permutation.  {!analyze} finds, by brute force over the [n!]
+    permutations ([n ≤ 8]), the canonical representative of an
+    instance's orbit together with the stabilizer of that
+    representative.  The lazy cone driver ({!Separation}) solves the
+    canonical instance — so the solver cache and the persistent store
+    hit across symmetric variants — and uses the stabilizer to add
+    separation cuts orbit-at-a-time. *)
+
+type perm = int array
+(** [p.(i)] is the image of variable [i]; a bijection on [0..n-1]. *)
+
+val max_vars : int
+(** Largest [n] the brute-force sweep runs at (8; [8! = 40320]).  Above
+    it {!analyze} returns the trivial analysis — only sharing is lost. *)
+
+val identity : int -> perm
+val is_identity : perm -> bool
+val inverse : perm -> perm
+
+val apply_mask : perm -> Varset.t -> Varset.t
+val apply_expr : perm -> Linexpr.t -> Linexpr.t
+val apply_desc : perm -> Elemental.desc -> Elemental.desc
+(** Image of an elemental descriptor; the family is closed under
+    permutation, so the result names an elemental inequality (with the
+    [Submod] endpoints re-normalized to [i < j]). *)
+
+val orbit_desc : perm list -> Elemental.desc -> Elemental.desc list
+(** Deduplicated orbit of a descriptor, in {!Elemental.desc_compare}
+    order. *)
+
+type analysis = {
+  n : int;
+  to_canon : perm;  (** [π]: original variables → canonical variables *)
+  canonical : Linexpr.t list;
+      (** [π·es], side order preserved — the instance actually solved *)
+  stabilizer : perm list;
+      (** permutations fixing the canonical side multiset (≥ the
+          identity); used for orbit cuts *)
+}
+
+val analyze : n:int -> Linexpr.t list -> analysis
+(** Canonicalize an instance.  Deterministic: the canonical image is
+    the least side-multiset under an exact term-list order
+    ({!Bagcqc_num.Rat.compare} on coefficients), and ties pick the
+    first minimizing permutation in a fixed enumeration.  Validity is
+    preserved: [valid ~n es ⇔ valid ~n (analyze ~n es).canonical]. *)

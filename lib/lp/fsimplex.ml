@@ -149,7 +149,49 @@ let run_phase rows obj basis ~ncols ~allowed ~budget =
   in
   iterate ()
 
-let propose p (lay : Lp_layout.layout) =
+(* Warm-start crash: before phase 1, try to pivot each remembered basis
+   column into the basis with a {e guided} primal pivot — entering
+   column fixed, leaving row by the usual minimum-ratio rule.  Min-ratio
+   preserves the phase-1 invariant (all right-hand sides ≥ 0), so this
+   only relocates the starting vertex closer to the previous optimum;
+   arbitrary crash pivoting would break phase-1 feasibility.  Columns
+   with no usable pivot element are skipped, and every crash pivot draws
+   on the same budget as the solve proper, so a useless hint degrades
+   into at worst a slightly shorter search, never a hang. *)
+let crash_warm rows basis ~ncols ~art_start ~budget warm =
+  let m = Array.length rows in
+  let scratch_obj = Array.make (ncols + 1) 0.0 in
+  let in_basis = Array.make (ncols + 1) false in
+  Array.iter (fun c -> if c >= 0 && c <= ncols then in_basis.(c) <- true) basis;
+  Array.iter
+    (fun c ->
+      if c >= 0 && c < art_start && not in_basis.(c) && !budget > 1 then begin
+        let best_row = ref (-1) and best_ratio = ref 0.0 in
+        for i = 0 to m - 1 do
+          let a = rows.(i).(c) in
+          if a > eps_pivot then begin
+            let ratio = rows.(i).(ncols) /. a in
+            if !best_row < 0 || ratio < !best_ratio
+               || (ratio = !best_ratio
+                   (* Prefer evicting an artificial over a structural/
+                      slack column the hint may still want basic. *)
+                   && basis.(i) >= art_start && basis.(!best_row) < art_start)
+            then begin
+              best_row := i;
+              best_ratio := ratio
+            end
+          end
+        done;
+        if !best_row >= 0 then begin
+          decr budget;
+          in_basis.(basis.(!best_row)) <- false;
+          in_basis.(c) <- true;
+          pivot rows scratch_obj basis ~ncols !best_row c
+        end
+      end)
+    warm
+
+let propose_point ?warm p (lay : Lp_layout.layout) =
   Bagcqc_error.protect @@ fun () ->
   let { Lp_layout.m; ncols; art_start; num_art; rows_data } = lay in
   try
@@ -183,6 +225,7 @@ let propose p (lay : Lp_layout.layout) =
        engines finish these in far fewer), tight enough that tolerance-
        blinded cycling degrades into a fallback instead of a hang. *)
     let budget = ref (200 + (50 * (m + ncols))) in
+    Option.iter (crash_warm rows basis ~ncols ~art_start ~budget) warm;
     (* Phase 1: minimize the sum of artificials. *)
     if num_art > 0 then begin
       let obj = Array.make (ncols + 1) 0.0 in
@@ -241,8 +284,20 @@ let propose p (lay : Lp_layout.layout) =
     check_finite_row ~what:"objective" obj;
     let allowed j = j < art_start in
     match run_phase rows obj basis ~ncols ~allowed ~budget with
-    | `Unbounded -> Unbounded_direction
-    | `Optimal -> Optimal_basis (Array.copy basis)
+    | `Unbounded -> (Unbounded_direction, None)
+    | `Optimal ->
+      (* The float primal point of the final basis: each basic structural
+         column reads its row's right-hand side, every nonbasic variable
+         is 0.  Heuristic data for cutting-plane separation — verdicts
+         still come only from exact repair of the proposed basis. *)
+      let point = Array.make p.Lp_layout.num_vars 0.0 in
+      Array.iteri
+        (fun i c ->
+          if c >= 0 && c < p.Lp_layout.num_vars then point.(c) <- rows.(i).(ncols))
+        basis;
+      (Optimal_basis (Array.copy basis), Some point)
   with
   | Numerical msg -> Bagcqc_error.overflow ~where msg
-  | Infeasible_at basis -> Infeasible_basis basis
+  | Infeasible_at basis -> (Infeasible_basis basis, None)
+
+let propose ?warm p lay = Result.map fst (propose_point ?warm p lay)

@@ -601,7 +601,11 @@ let c_repairs = Obs.Metrics.counter "lp.hybrid.repairs"
 let c_repair_failures = Obs.Metrics.counter "lp.hybrid.repair_failures"
 let c_fallbacks = Obs.Metrics.counter "lp.hybrid.fallbacks"
 
-let solve_hybrid engine p =
+(* The generalized hybrid: optionally warm-started, and reporting the
+   accepted basis back to the caller so a cutting-plane loop can feed it
+   into the next round.  [solve_hybrid] below is this with no warm hint
+   and the basis dropped — same spans, counters and fallbacks as ever. *)
+let solve_hybrid_basis ?warm engine p =
   validate p;
   Obs.Span.with_span ~name:"simplex.solve"
     ~attrs:
@@ -620,8 +624,8 @@ let solve_hybrid engine p =
   Obs.Metrics.bump c_float_solves;
   let p0 = pivot_count () in
   let lay = layout_of p in
-  let outcome, fell_back =
-    match Fsimplex.propose p lay with
+  let outcome, basis =
+    match Fsimplex.propose ?warm p lay with
     | Error e ->
       (* Typed numerical failure (NaN/inf/pivot budget): never a verdict,
          always a fallback. *)
@@ -630,40 +634,77 @@ let solve_hybrid engine p =
            | Bagcqc_error.Overflow msg -> "float_error:" ^ msg
            | Bagcqc_error.Invariant msg -> "float_invariant:" ^ msg
            | Bagcqc_error.Unsupported msg -> "float_unsupported:" ^ msg),
-        true )
+        None )
     | Ok Fsimplex.Unbounded_direction ->
       (* No finite basis to certify; let the exact engine decide. *)
-      (fallback "unbounded", true)
+      (fallback "unbounded", None)
     | Ok proposal ->
+      let proposed_basis =
+        match proposal with
+        | Fsimplex.Optimal_basis b | Fsimplex.Infeasible_basis b -> b
+        | Fsimplex.Unbounded_direction -> assert false
+      in
       (match Repair.repair p lay proposal with
        | Repair.Repaired_optimal (v, x) ->
          Obs.Metrics.bump c_repairs;
-         (Optimal (v, x), false)
+         (Optimal (v, x), Some proposed_basis)
        | Repair.Repaired_infeasible ->
          Obs.Metrics.bump c_repairs;
-         (Infeasible, false)
+         (Infeasible, Some proposed_basis)
        | Repair.Rejected reason ->
          Obs.Metrics.bump c_repair_failures;
-         (fallback ("repair:" ^ reason), true))
+         (fallback ("repair:" ^ reason), None))
   in
   if !Obs.Runtime.enabled then begin
     (* On a fallback the nested exact solve_with already observed its own
        pivots-per-solve; observing the combined delta again would double-
        count, so the hybrid span only reports the accepted-repair case. *)
-    if not fell_back then begin
+    if basis <> None then begin
       let dp = pivot_count () - p0 in
       Obs.Metrics.observe h_pivots_per_solve dp;
       Obs.Span.add_attr "pivots" (Obs.Span.Int dp)
     end;
     Obs.Span.add_attr "outcome" (Obs.Span.Str (outcome_name outcome))
   end;
-  outcome
+  (outcome, basis)
+
+let solve_hybrid engine p = fst (solve_hybrid_basis engine p)
 
 let solve ?engine ?mode p =
   let engine = match engine with Some e -> e | None -> !default_engine in
   match (match mode with Some m -> m | None -> !default_mode) with
   | Exact -> solve_with engine p
   | Float_first -> solve_hybrid engine p
+
+let solve_warm ?engine ?mode ?warm p =
+  let engine = match engine with Some e -> e | None -> !default_engine in
+  match (match mode with Some m -> m | None -> !default_mode) with
+  | Exact ->
+    (* The exact engines expose no basis, so there is nothing to warm
+       or to return; warm hints are float-pipeline-only by design. *)
+    (solve_with engine p, None)
+  | Float_first -> solve_hybrid_basis ?warm engine p
+
+(* ---- pure-float probe ----
+   The float half of the pipeline alone, with its primal point, and no
+   exact repair: a cutting-plane loop runs its intermediate rounds on
+   this (the point only steers which cuts get added next) and pays for
+   exact solves only at terminal rounds.  Never a verdict. *)
+
+type float_outcome =
+  | Float_optimal of float array * int array
+  | Float_infeasible of int array
+  | Float_unknown
+
+let c_float_probes = Obs.Metrics.counter "lp.float.probes"
+
+let solve_float ?warm p =
+  validate p;
+  Obs.Metrics.bump c_float_probes;
+  match Fsimplex.propose_point ?warm p (layout_of p) with
+  | Ok (Fsimplex.Optimal_basis b, Some x) -> Float_optimal (x, b)
+  | Ok (Fsimplex.Infeasible_basis b, _) -> Float_infeasible b
+  | Ok _ | Error _ -> Float_unknown
 
 let solve_result ?engine ?mode p =
   Bagcqc_error.protect (fun () -> solve ?engine ?mode p)

@@ -97,6 +97,37 @@ val solve : ?engine:engine -> ?mode:mode -> problem -> outcome
     @raise Invalid_argument if a dense row length differs from [num_vars]
     or a sparse row mentions a column [>= num_vars]. *)
 
+val solve_warm :
+  ?engine:engine -> ?mode:mode -> ?warm:int array -> problem ->
+  outcome * int array option
+(** {!solve} extended for cutting-plane loops: [?warm] is the basis
+    returned by a previous [solve_warm] on a related problem sharing
+    the column layout of its common rows (see {!Fsimplex.propose}), and
+    the returned basis is the one the hybrid pipeline accepted after
+    exact repair ([None] on an exact-engine fallback).  Under [Exact]
+    mode the hint is ignored and no basis is returned — the exact
+    engines expose none; verdicts are identical to {!solve} in both
+    modes. *)
+
+type float_outcome =
+  | Float_optimal of float array * int array
+      (** Float primal values of the structural variables at the proposed
+          vertex, and the basis (feed it back as [?warm]). *)
+  | Float_infeasible of int array
+      (** Phase 1 saw a clearly positive artificial sum; the basis is
+          returned for warm reuse. *)
+  | Float_unknown  (** Unbounded direction or numerical failure. *)
+
+val solve_float : ?warm:int array -> problem -> float_outcome
+(** The floating-point half of the hybrid pipeline alone — no exact
+    repair, no fallback, {e never a verdict}.  A cutting-plane loop runs
+    its intermediate rounds on this: the returned point only steers
+    which cuts are added next, so tolerance noise costs extra rounds,
+    never soundness; the loop's terminal rounds must re-derive their
+    verdicts exactly ({!solve} / a Farkas certificate).  Ignores
+    [!default_mode] by design — callers opt into float arithmetic
+    explicitly and locally. *)
+
 val solve_with : engine -> problem -> outcome
 (** [solve_with e p = solve ~engine:e ~mode:Exact p]: always the exact
     engine, bypassing [!default_mode] — kept for the cross-check tests,

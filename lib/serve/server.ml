@@ -29,7 +29,7 @@ let windowed_counters =
   [ "serve.requests"; "serve.replies"; "serve.errors";
     "solver.cache.hits"; "solver.cache.misses"; "solver.store.hits";
     "solver.store.misses"; "lp.solves"; "lp.hybrid.float_solves";
-    "lp.hybrid.fallbacks" ]
+    "lp.hybrid.fallbacks"; "cone.lazy.solves"; "cone.lazy.cuts" ]
 
 type config = {
   addr : Protocol.addr;
@@ -258,7 +258,13 @@ let stats_fields t =
     ("store_misses", num s.Stats.store_misses);
     ("store_appends", num s.Stats.store_appends);
     ("store_loaded", num s.Stats.store_loaded);
-    ("store_rejected", num s.Stats.store_rejected) ]
+    ("store_rejected", num s.Stats.store_rejected);
+    ("lazy_solves", num s.Stats.lazy_solves);
+    ("lazy_rounds", num s.Stats.lazy_rounds);
+    ("lazy_cuts", num s.Stats.lazy_cuts);
+    ("lazy_fallbacks", num s.Stats.lazy_fallbacks);
+    ("orbit_cuts", num s.Stats.orbit_cuts);
+    ("orbit_canonicalized", num s.Stats.orbit_canonicalized) ]
 
 (* ---------------- dispatcher ---------------- *)
 

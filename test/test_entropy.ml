@@ -457,6 +457,128 @@ let prop_modularize_lemma_3_7 =
       && Polymatroid.dominates h h'
       && Rat.equal (Polymatroid.value h (Varset.full n)) (Polymatroid.value h' (Varset.full n)))
 
+(* ------------------------------------------------------------------ *)
+(* Lazy Shannon engine: membership, symmetry, lazy-vs-full (ISSUE 9)   *)
+(* ------------------------------------------------------------------ *)
+
+let with_engine eng f =
+  let old = !Cones.default_engine in
+  Cones.default_engine := eng;
+  Fun.protect ~finally:(fun () -> Cones.default_engine := old) f
+
+let test_is_elemental_membership () =
+  let n = 4 in
+  let fam = Elemental.list ~n in
+  Alcotest.(check int) "family size n=4" (Elemental.desc_count ~n)
+    (List.length fam);
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) "every family member is elemental" true
+        (Elemental.is_elemental ~n e))
+    fam;
+  Alcotest.(check bool) "plain term is not elemental" false
+    (Elemental.is_elemental ~n (Linexpr.term (vs [ 0 ])));
+  Alcotest.(check bool) "scaled elemental is not elemental" false
+    (Elemental.is_elemental ~n (Linexpr.scale (q 2) (List.hd fam)));
+  Alcotest.(check bool) "I(01;2) is valid but not elemental" false
+    (Elemental.is_elemental ~n
+       (Linexpr.mutual (vs [ 0; 1 ]) (vs [ 2 ]) Varset.empty));
+  Alcotest.(check bool) "I(0;1) is elemental" true
+    (Elemental.is_elemental ~n (i_pair 0 1 []))
+
+let test_symmetry_canonicalization () =
+  let n = 3 in
+  (* I(0;1) and I(1;2) are renamings of each other: same canonical form. *)
+  let e1 = i_pair 0 1 [] and e2 = i_pair 1 2 [] in
+  let a1 = Symmetry.analyze ~n [ e1 ] and a2 = Symmetry.analyze ~n [ e2 ] in
+  Alcotest.(check bool) "orbit members share a canonical instance" true
+    (List.equal Linexpr.equal a1.Symmetry.canonical a2.Symmetry.canonical);
+  Alcotest.(check bool) "to_canon maps the instance to its canonical form"
+    true
+    (List.equal Linexpr.equal
+       (List.map (Symmetry.apply_expr a1.Symmetry.to_canon) [ e1 ])
+       a1.Symmetry.canonical);
+  (* The stabilizer fixes the canonical multiset and contains id. *)
+  Alcotest.(check bool) "stabilizer contains the identity" true
+    (List.exists Symmetry.is_identity a1.Symmetry.stabilizer);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "stabilizer element fixes the canonical form"
+        true
+        (List.equal Linexpr.equal
+           (List.map (Symmetry.apply_expr s) a1.Symmetry.canonical)
+           a1.Symmetry.canonical))
+    a1.Symmetry.stabilizer;
+  (* I(i;j) fixes the pair {i,j} setwise: stabilizer has order 2 here. *)
+  Alcotest.(check int) "stabilizer order of I(i;j) at n=3" 2
+    (List.length a1.Symmetry.stabilizer)
+
+(* The decisions the two engines must agree on: a valid submodularity,
+   a valid monotonicity, Zhang-Yeung (refuted over Γ4) and Ingleton
+   (refuted over Γ4). *)
+let lazy_vs_full_instances () =
+  let submod =
+    Linexpr.sub
+      (Linexpr.add (Linexpr.term (vs [ 0 ])) (Linexpr.term (vs [ 1 ])))
+      (Linexpr.term (vs [ 0; 1 ]))
+  in
+  let mono =
+    Linexpr.sub (Linexpr.term (vs [ 0; 1; 2; 3 ])) (Linexpr.term (vs [ 0; 2 ]))
+  in
+  let zy =
+    Linexpr.sub
+      (Linexpr.sum
+         [ i_pair 0 1 [];
+           Linexpr.mutual (vs [ 0 ]) (vs [ 2; 3 ]) Varset.empty;
+           Linexpr.scale (q 3) (i_pair 2 3 [ 0 ]);
+           i_pair 2 3 [ 1 ] ])
+      (Linexpr.scale (q 2) (i_pair 2 3 []))
+  in
+  let ingleton =
+    Linexpr.sub
+      (Linexpr.sum [ i_pair 0 1 [ 2 ]; i_pair 0 1 [ 3 ]; i_pair 2 3 [] ])
+      (i_pair 0 1 [])
+  in
+  [ (submod, true); (mono, true); (zy, false); (ingleton, false) ]
+
+let test_lazy_engine_agrees_with_full () =
+  List.iter
+    (fun (e, expected) ->
+      let lz = with_engine Cones.Lazy (fun () -> Cones.valid_shannon ~n:4 e) in
+      let fl = with_engine Cones.Full (fun () -> Cones.valid_shannon ~n:4 e) in
+      Alcotest.(check bool) "lazy verdict" expected lz;
+      Alcotest.(check bool) "full verdict" expected fl)
+    (lazy_vs_full_instances ())
+
+let test_lazy_certificates_check () =
+  List.iter
+    (fun (e, expected) ->
+      match
+        with_engine Cones.Lazy (fun () ->
+            Cones.valid_max_cert Cones.Gamma ~n:4 [ e ])
+      with
+      | Ok (Some cert) ->
+        Alcotest.(check bool) "instance expected valid" true expected;
+        Alcotest.(check bool) "lazy certificate passes Certificate.check"
+          true (Certificate.check cert)
+      | Ok None -> Alcotest.fail "Gamma must produce certificates"
+      | Error h ->
+        Alcotest.(check bool) "instance expected refuted" false expected;
+        Alcotest.(check bool) "refuter is a polymatroid" true
+          (Polymatroid.is_polymatroid h);
+        Alcotest.(check bool) "refuter violates the inequality" true
+          (Rat.sign (Polymatroid.eval h e) < 0))
+    (lazy_vs_full_instances ())
+
+let test_valid_shannon_many_dedup () =
+  let instances = List.map fst (lazy_vs_full_instances ()) in
+  (* A batch with heavy repetition must equal the per-element map. *)
+  let batch = instances @ List.rev instances @ instances in
+  with_engine Cones.Lazy (fun () ->
+      Alcotest.(check (list bool)) "batched = mapped"
+        (List.map (Cones.valid_shannon ~n:4) batch)
+        (Cones.valid_shannon_many ~n:4 batch))
+
 let qtests =
   List.map QCheck_alcotest.to_alcotest
     [ prop_subset_enum_complete; prop_truncated_modular_is_polymatroid;
@@ -482,5 +604,10 @@ let suite =
     ("Example 3.8", `Quick, test_example_3_8);
     ("max needs all sides", `Quick, test_max_needs_all_sides);
     ("Figure 1 (Ex C.4)", `Quick, test_figure_1);
-    ("modularize basic", `Quick, test_modularize_basic) ]
+    ("modularize basic", `Quick, test_modularize_basic);
+    ("elemental membership", `Quick, test_is_elemental_membership);
+    ("symmetry canonicalization", `Quick, test_symmetry_canonicalization);
+    ("lazy engine agrees with full", `Quick, test_lazy_engine_agrees_with_full);
+    ("lazy certificates check", `Quick, test_lazy_certificates_check);
+    ("valid_shannon_many dedup", `Quick, test_valid_shannon_many_dedup) ]
   @ qtests

@@ -236,7 +236,16 @@ let test_solver_warm_start () =
   Solver.clear ();
   Stats.reset ()
 
+(* Pin the Γn driver for a test: the two Farkas roundtrip tests below
+   exercise the full-family "gamma/farkas" store verifier, which only
+   the Full engine emits; the lazy engine gets its own roundtrip test. *)
+let with_cone engine f =
+  let saved = !Cones.default_engine in
+  Cones.default_engine := engine;
+  Fun.protect ~finally:(fun () -> Cones.default_engine := saved) f
+
 let test_farkas_certificate_verified_roundtrip () =
+  with_cone Cones.Full @@ fun () ->
   with_temp_store @@ fun path ->
   (* End-to-end over the real decision pipeline: a Contained-style
      Farkas solve lands in the store, survives a restart only because
@@ -271,6 +280,7 @@ let test_farkas_certificate_verified_roundtrip () =
   Stats.reset ()
 
 let test_farkas_tampered_entry_dropped () =
+  with_cone Cones.Full @@ fun () ->
   with_temp_store @@ fun path ->
   let n = 2 in
   let es = [ Linexpr.mutual (Varset.singleton 0) (Varset.singleton 1) Varset.empty ] in
@@ -311,6 +321,51 @@ let test_farkas_tampered_entry_dropped () =
   Solver.clear ();
   Stats.reset ()
 
+let test_lazy_store_roundtrip () =
+  with_cone Cones.Lazy @@ fun () ->
+  with_temp_store @@ fun path ->
+  (* The lazy driver persists its Optimal per-round solves (the final
+     restricted Farkas, any feasible refutation rounds) under its own
+     pure-feasibility tags; a warm restart must re-verify them, serve
+     the Farkas from disk, and reach the same certified verdict.  The
+     valid side's terminal refutation LP is Infeasible, which the store
+     never persists (no proof object), so the warm run still pays that
+     one small re-solve — but not the Farkas. *)
+  let n = 3 in
+  let es =
+    [ Linexpr.mutual (Varset.singleton 0) (Varset.singleton 1)
+        (Varset.singleton 2) ]
+  in
+  Solver.clear ();
+  Stats.reset ();
+  let cold_solves =
+    with_attached path (fun _ ->
+        (match Cones.valid_max_cert Cones.Gamma ~n es with
+         | Ok (Some cert) ->
+           Alcotest.(check bool) "certificate checks" true
+             (Certificate.check cert)
+         | Ok None | Error _ -> Alcotest.fail "I(0;1|2) >= 0 must be valid");
+        (Stats.snapshot ()).Stats.lp_solves)
+  in
+  Solver.clear ();
+  Stats.reset ();
+  with_attached path (fun st ->
+      Alcotest.(check int) "lazy entries re-verified on load" 0
+        (Store.rejected st);
+      Alcotest.(check bool) "something persisted" true (Store.loaded st >= 1);
+      (match Cones.valid_max_cert Cones.Gamma ~n es with
+       | Ok (Some cert) ->
+         Alcotest.(check bool) "warm certificate checks" true
+           (Certificate.check cert)
+       | Ok None | Error _ -> Alcotest.fail "warm verdict flipped");
+      let s = Stats.snapshot () in
+      Alcotest.(check bool) "warm run solves less than cold" true
+        (s.Stats.lp_solves < cold_solves);
+      Alcotest.(check bool) "served from the store" true
+        (s.Stats.store_hits >= 1));
+  Solver.clear ();
+  Stats.reset ()
+
 let suite =
   [ Alcotest.test_case "store: record/reopen round-trip" `Quick test_roundtrip;
     Alcotest.test_case "store: infeasible outcomes stay tier-0 only" `Quick
@@ -328,4 +383,6 @@ let suite =
     Alcotest.test_case "farkas: store entry verified via Certificate.check"
       `Quick test_farkas_certificate_verified_roundtrip;
     Alcotest.test_case "farkas: tampered store entry dropped, verdict intact"
-      `Quick test_farkas_tampered_entry_dropped ]
+      `Quick test_farkas_tampered_entry_dropped;
+    Alcotest.test_case "lazy: per-round entries persist and re-verify"
+      `Quick test_lazy_store_roundtrip ]
