@@ -1,5 +1,5 @@
 .PHONY: all build test check fuzz bench bench-json compare trace-demo \
-	serve-smoke clean
+	serve-smoke corpus sweep corpus-smoke clean
 
 all: build
 
@@ -57,6 +57,62 @@ bench-json: build
 # verify-on-load.  See scripts/serve_smoke.sh.
 serve-smoke: build
 	scripts/serve_smoke.sh
+
+# Regenerate the checked-in evaluation corpora (DESIGN.md §4j).  The
+# generator is deterministic in CORPUS_SEED, so this is reproducible:
+# same seed, byte-identical files.
+CORPUS_SEED ?= 42
+
+corpus: build
+	dune exec bench/sweep.exe -- gen --kind check --seed $(CORPUS_SEED) \
+	  --total 10000 -o corpus/check-10k.jsonl
+	dune exec bench/sweep.exe -- gen --kind iip --seed $(CORPUS_SEED) \
+	  --total 2000 -o corpus/iip-2k.jsonl
+
+# Full fleet sweep over the checked-in corpora: throughput + tail
+# latency at jobs 1 and 4, then the 8-configuration engine-matrix
+# differential audit (cone lazy/full x LP float_first/exact x jobs 1/4)
+# with every certificate re-checked exactly.  Tables via
+# scripts/sweep_tables.py; see EXPERIMENTS.md for a recorded run.
+SWEEP_OUT ?= /tmp/bagcqc-sweep.jsonl
+
+sweep: build
+	dune exec bench/sweep.exe -- run corpus/check-10k.jsonl --jobs 1 \
+	  --label check-10k-j1 -o $(SWEEP_OUT)
+	dune exec bench/sweep.exe -- run corpus/check-10k.jsonl --jobs 4 \
+	  --label check-10k-j4 -o $(SWEEP_OUT) --append
+	dune exec bench/sweep.exe -- run corpus/iip-2k.jsonl --jobs 1 \
+	  --label iip-2k-j1 -o $(SWEEP_OUT) --append
+	dune exec bench/sweep.exe -- run corpus/iip-2k.jsonl --jobs 4 \
+	  --label iip-2k-j4 -o $(SWEEP_OUT) --append
+	dune exec bench/sweep.exe -- audit corpus/check-10k.jsonl \
+	  -o $(SWEEP_OUT) --append
+	dune exec bench/sweep.exe -- audit corpus/iip-2k.jsonl \
+	  -o $(SWEEP_OUT) --append
+	python3 scripts/sweep_tables.py $(SWEEP_OUT)
+
+# CI-sized version: a small freshly generated corpus, sweeps at jobs 1
+# and 4, the engine-matrix audit, and the analysis script (which exits
+# nonzero on any verdict mismatch or certificate failure).
+SMOKE_OUT ?= /tmp/bagcqc-sweep-smoke
+
+corpus-smoke: build
+	mkdir -p $(SMOKE_OUT)
+	dune exec bench/sweep.exe -- gen --kind check --seed $(CORPUS_SEED) \
+	  --total 400 -o $(SMOKE_OUT)/check-smoke.jsonl
+	dune exec bench/sweep.exe -- gen --kind iip --seed $(CORPUS_SEED) \
+	  --total 120 -o $(SMOKE_OUT)/iip-smoke.jsonl
+	dune exec bench/sweep.exe -- run $(SMOKE_OUT)/check-smoke.jsonl \
+	  --jobs 1 --label smoke-check-j1 -o $(SMOKE_OUT)/sweep.jsonl
+	dune exec bench/sweep.exe -- run $(SMOKE_OUT)/check-smoke.jsonl \
+	  --jobs 4 --label smoke-check-j4 -o $(SMOKE_OUT)/sweep.jsonl --append
+	dune exec bench/sweep.exe -- run $(SMOKE_OUT)/iip-smoke.jsonl \
+	  --jobs 1 --label smoke-iip-j1 -o $(SMOKE_OUT)/sweep.jsonl --append
+	dune exec bench/sweep.exe -- run $(SMOKE_OUT)/iip-smoke.jsonl \
+	  --jobs 4 --label smoke-iip-j4 -o $(SMOKE_OUT)/sweep.jsonl --append
+	dune exec bench/sweep.exe -- audit $(SMOKE_OUT)/check-smoke.jsonl \
+	  -o $(SMOKE_OUT)/sweep.jsonl --append
+	python3 scripts/sweep_tables.py $(SMOKE_OUT)/sweep.jsonl
 
 # Observability demo: run a traced containment check and print the span
 # tree, cache traffic, and histogram percentiles back out of the file.

@@ -86,7 +86,16 @@ let run suite iters seed stats trace =
             (float_of_int r.Runner.iters /. Float.max 1e-9 r.Runner.elapsed)
             (match r.Runner.failure with None -> "ok" | Some _ -> "FAILED");
           match r.Runner.failure with
-          | None -> ()
+          | None ->
+            (* A clean suite retires its reproducer: the file records a
+               bug that no longer reproduces, and leaving it behind
+               misleads the next reader into chasing a fixed failure. *)
+            let path = repro_path r.Runner.suite in
+            if Sys.file_exists path then begin
+              (try Sys.remove path with Sys_error _ -> ());
+              Printf.eprintf "stale reproducer %s removed (suite is clean)\n%!"
+                path
+            end
           | Some f ->
             failed := true;
             let text =

@@ -743,13 +743,71 @@ let promlint_cmd =
              _sum/_count present.  Exits 0 when clean.")
     Term.(const run $ path_arg)
 
+let store_cmd =
+  let path_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"PATH"
+           ~doc:"Store file (the argument of --store / BAGCQC_STORE).")
+  in
+  let compact_cmd =
+    let run path =
+      match Store.compact path with
+      | exception Sys_error msg ->
+        Format.eprintf "store compact: %s@." msg;
+        2
+      | c ->
+        Format.printf
+          "store compact: %s: kept %d, dropped %d duplicate%s and %d \
+           unverified%s@."
+          path c.Store.kept c.Store.duplicates
+          (if c.Store.duplicates = 1 then "" else "s")
+          c.Store.dropped
+          (if c.Store.had_truncated_tail then " (plus a truncated tail)"
+           else "");
+        0
+    in
+    Cmd.v
+      (Cmd.info "compact"
+         ~doc:"Rewrite an append-only store log keeping the last verified \
+               entry per canonical problem, dropping rejected records, \
+               duplicates and crash tails, and atomically rename the \
+               rewrite over the original.  Run it offline — not while a \
+               daemon is appending to the same file.")
+      Term.(const run $ path_arg)
+  in
+  let stats_cmd =
+    let run path =
+      let t = Store.open_ path in
+      Fun.protect
+        ~finally:(fun () -> Store.close t)
+        (fun () ->
+          Format.printf
+            "store stats: %s: %d verified entr%s (%d rejected, %s tail)@."
+            path (Store.size t)
+            (if Store.size t = 1 then "y" else "ies")
+            (Store.rejected t)
+            (if Store.truncated t > 0 then "truncated" else "clean");
+          if Store.rejected t > 0 then 1 else 0)
+    in
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:"Load a store file through the verify-on-load pipeline and \
+               report how many entries survive; exits 1 when any entry \
+               was rejected (a signal the file is worth compacting).")
+      Term.(const run $ path_arg)
+  in
+  Cmd.group
+    (Cmd.info "store"
+       ~doc:"Maintenance for the persistent solve store: compaction and \
+             verification statistics.")
+    [ compact_cmd; stats_cmd ]
+
 let main_cmd =
   Cmd.group
     (Cmd.info "bagcqc" ~version:"1.0.0"
        ~doc:"Bag query containment via information inequalities \
              (Abo Khamis–Kolaitis–Ngo–Suciu, PODS 2020).")
     [ check_cmd; classify_cmd; eq8_cmd; iip_cmd; reduce_cmd; homcount_cmd;
-      report_cmd; serve_cmd; client_cmd; top_cmd; promlint_cmd ]
+      report_cmd; serve_cmd; client_cmd; top_cmd; promlint_cmd; store_cmd ]
 
 let () =
   (* Typed internal-invariant errors (Bagcqc_error) escape as a dedicated

@@ -1,0 +1,448 @@
+open Bagcqc_num
+open Bagcqc_entropy
+open Bagcqc_cq
+open Bagcqc_core
+module Json = Bagcqc_obs.Json
+
+type kind = Check | Iip
+
+let kind_name = function Check -> "check" | Iip -> "iip"
+
+let kind_of_name = function
+  | "check" -> Some Check
+  | "iip" -> Some Iip
+  | _ -> None
+
+type payload =
+  | Check_pair of { q1 : Query.t; q2 : Query.t }
+  | Iip_sides of { n : int; sides : (Varset.t * Rat.t) list list }
+
+type instance = {
+  id : int;
+  stratum : string;
+  n : int;
+  arity : int;
+  acyclic : bool;
+  verdict : string;
+  payload : payload;
+}
+
+(* ---------------- strata ---------------- *)
+
+(* Each stratum pins a target region (verdict × structure × size) and a
+   full-profile weight; the check profile sums to 10_000 and the IIP
+   profile to 2_000, so the checked-in corpora use the weights as-is.
+   The shape axes for containment: acyclicity of the *containing* query
+   Q2 (the axis Theorem 2.7 cares about), Q1's variable count n (the LP
+   dimension), and max relation arity (binary base vocabulary vs a
+   ternary one). *)
+
+type size = Small | Large | Any_size
+
+type spec =
+  | Chk of { verdict : string; cyclic : bool option; size : size; ternary : bool }
+      (** [cyclic = None] leaves the acyclicity axis free (ternary strata) *)
+  | Ii of { verdict : string; n : int }
+
+let check_specs =
+  [
+    ("chk/contained/acyclic/small", 1100,
+     Chk { verdict = "contained"; cyclic = Some false; size = Small; ternary = false });
+    ("chk/contained/acyclic/large", 1100,
+     Chk { verdict = "contained"; cyclic = Some false; size = Large; ternary = false });
+    ("chk/contained/cyclic/small", 1100,
+     Chk { verdict = "contained"; cyclic = Some true; size = Small; ternary = false });
+    ("chk/contained/cyclic/large", 1100,
+     Chk { verdict = "contained"; cyclic = Some true; size = Large; ternary = false });
+    ("chk/not_contained/acyclic/small", 1100,
+     Chk { verdict = "not_contained"; cyclic = Some false; size = Small; ternary = false });
+    ("chk/not_contained/acyclic/large", 1100,
+     Chk { verdict = "not_contained"; cyclic = Some false; size = Large; ternary = false });
+    ("chk/not_contained/cyclic/small", 1100,
+     Chk { verdict = "not_contained"; cyclic = Some true; size = Small; ternary = false });
+    ("chk/not_contained/cyclic/large", 1100,
+     Chk { verdict = "not_contained"; cyclic = Some true; size = Large; ternary = false });
+    ("chk/contained/ternary", 600,
+     Chk { verdict = "contained"; cyclic = None; size = Any_size; ternary = true });
+    ("chk/not_contained/ternary", 600,
+     Chk { verdict = "not_contained"; cyclic = None; size = Any_size; ternary = true });
+  ]
+
+let iip_specs =
+  [
+    ("iip/valid/n2", 300, Ii { verdict = "valid"; n = 2 });
+    ("iip/invalid/n2", 300, Ii { verdict = "invalid"; n = 2 });
+    ("iip/valid/n3", 300, Ii { verdict = "valid"; n = 3 });
+    ("iip/invalid/n3", 300, Ii { verdict = "invalid"; n = 3 });
+    ("iip/valid/n4", 300, Ii { verdict = "valid"; n = 4 });
+    ("iip/invalid/n4", 300, Ii { verdict = "invalid"; n = 4 });
+    ("iip/valid/n5", 100, Ii { verdict = "valid"; n = 5 });
+    ("iip/invalid/n5", 100, Ii { verdict = "invalid"; n = 5 });
+  ]
+
+let specs = function Check -> check_specs | Iip -> iip_specs
+let strata kind = List.map (fun (name, w, _) -> (name, w)) (specs kind)
+
+let quotas kind ~total =
+  if total < 1 then invalid_arg "Corpus.quotas: total < 1";
+  let weights = strata kind in
+  let k = List.length weights in
+  if total <= k then
+    (* degenerate profile: one instance each to a prefix of the strata *)
+    List.mapi (fun i (name, _) -> (name, if i < total then 1 else 0)) weights
+  else begin
+    let wsum = List.fold_left (fun a (_, w) -> a + w) 0 weights in
+    (* largest-remainder apportionment with a floor of 1 per stratum *)
+    let floors = List.map (fun (name, w) -> (name, max 1 (w * total / wsum))) weights in
+    let assigned = List.fold_left (fun a (_, q) -> a + q) 0 floors in
+    let rem = total - assigned in
+    let by_frac =
+      List.mapi (fun i (_, w) -> (i, w * total mod wsum)) weights
+      |> List.stable_sort (fun (_, a) (_, b) -> compare b a)
+      |> List.map fst
+    in
+    let bump = Array.make k 0 in
+    let rec spread rem idxs =
+      if rem = 0 then ()
+      else
+        match idxs with
+        | [] -> spread rem by_frac (* rem > k only for tiny weight sums *)
+        | i :: tl ->
+          if rem > 0 then begin
+            bump.(i) <- bump.(i) + 1;
+            spread (rem - 1) tl
+          end
+          else begin
+            (* floors overshot (rounding + min-1): trim largest quotas *)
+            let j, _ =
+              List.fold_left
+                (fun (bj, bq) (idx, (_, q)) ->
+                  let q = q + bump.(idx) in
+                  if q > bq then (idx, q) else (bj, bq))
+                (-1, 1)
+                (List.mapi (fun idx f -> (idx, f)) floors)
+            in
+            bump.(j) <- bump.(j) - 1;
+            spread (rem + 1) []
+          end
+    in
+    spread rem by_frac;
+    List.mapi (fun i (name, q) -> (name, q + bump.(i))) floors
+  end
+
+(* ---------------- oracle ---------------- *)
+
+let build_side terms =
+  List.fold_left
+    (fun acc (mask, c) -> Linexpr.add acc (Linexpr.term ~coeff:c mask))
+    Linexpr.zero terms
+
+let oracle = function
+  | Check_pair { q1; q2 } -> begin
+    match Containment.decide q1 q2 with
+    | Containment.Contained _ -> "contained"
+    | Containment.Not_contained _ -> "not_contained"
+    | Containment.Unknown _ -> "unknown"
+  end
+  | Iip_sides { n; sides } -> begin
+    match Maxii.decide (Maxii.general ~n (List.map build_side sides)) with
+    | Maxii.Valid _ -> "valid"
+    | Maxii.Invalid _ -> "invalid"
+    | Maxii.Unknown _ -> "unknown"
+  end
+
+(* ---------------- candidate generators ---------------- *)
+
+let base_vocab = [ ("R", 2); ("S", 2); ("T", 1) ]
+let ternary_vocab = [ ("R", 2); ("S", 2); ("T", 1); ("U", 3) ]
+
+let gen_atoms rng ~vocab ~nv ~natoms =
+  List.init natoms (fun _ ->
+      let rel, arity = Rng.choose rng vocab in
+      (rel, List.init arity (fun _ -> Rng.int rng nv)))
+
+let gen_query rng ~vocab ~nv ~natoms =
+  Gen.compact_atoms (gen_atoms rng ~vocab ~nv ~natoms)
+
+(* A containing query biased cyclic: an R-triangle (the smallest
+   non-α-acyclic hypergraph over a binary vocabulary) plus a few noise
+   atoms over the same three variables. *)
+let cyclic_query rng ~vocab =
+  let tri = [ ("R", [ 0; 1 ]); ("R", [ 1; 2 ]); ("R", [ 2; 0 ]) ] in
+  let extra = gen_atoms rng ~vocab ~nv:3 ~natoms:(Rng.int rng 2) in
+  Gen.compact_atoms (tri @ extra)
+
+(* A candidate Q1 biased toward [Q1 ⊑ Q2]: collapse Q2's variables onto
+   at most [target_nv] names (so the collapse map is a homomorphism
+   Q2 → Q1 by construction) and optionally conjoin one extra atom —
+   extra atoms only shrink Q1's bag, preserving the homomorphism. *)
+let collapse rng ~vocab ~target_nv q2 =
+  let map = Array.init (Query.nvars q2) (fun _ -> Rng.int rng target_nv) in
+  let collapsed =
+    List.map
+      (fun a ->
+        (a.Query.rel, List.map (fun v -> map.(v)) (Array.to_list a.Query.args)))
+      (Query.atoms q2)
+  in
+  let extra =
+    if Rng.bool rng then gen_atoms rng ~vocab ~nv:target_nv ~natoms:1 else []
+  in
+  Gen.compact_atoms (collapsed @ extra)
+
+let max_arity q1 q2 =
+  List.fold_left
+    (fun a (_, ar) -> max a ar)
+    0
+    (Query.vocabulary q1 @ Query.vocabulary q2)
+
+let size_bounds = function Small -> (1, 2) | Large -> (3, 4) | Any_size -> (1, 3)
+
+(* One structural candidate for a containment stratum, before the oracle
+   is consulted; [None] when a structural constraint (acyclicity class,
+   Q1 size, arity) missed. *)
+let chk_candidate rng ~cyclic ~size ~ternary ~verdict =
+  let vocab = if ternary then ternary_vocab else base_vocab in
+  let q2 =
+    match cyclic with
+    | Some true -> cyclic_query rng ~vocab
+    | Some false | None ->
+      if ternary then
+        (* force one ternary atom so the stratum actually covers arity 3 *)
+        let nv = Rng.range rng 2 3 in
+        let u = ("U", List.init 3 (fun _ -> Rng.int rng nv)) in
+        Gen.compact_atoms (u :: gen_atoms rng ~vocab ~nv ~natoms:(Rng.range rng 0 2))
+      else gen_query rng ~vocab ~nv:(Rng.range rng 1 3) ~natoms:(Rng.range rng 1 3)
+  in
+  let acyclic = Treedec.is_acyclic q2 in
+  match cyclic with
+  | Some want when want = acyclic -> None
+  | _ ->
+    let nv_lo, nv_hi = size_bounds size in
+    let target_nv = Rng.range rng nv_lo nv_hi in
+    let q1 =
+      if verdict = "contained" then collapse rng ~vocab ~target_nv q2
+      else gen_query rng ~vocab ~nv:target_nv ~natoms:(Rng.range rng 1 3)
+    in
+    let n = Query.nvars q1 in
+    if n < nv_lo || n > nv_hi then None
+    else
+      let arity = max_arity q1 q2 in
+      if ternary && arity < 3 then None
+      else Some { id = 0; stratum = ""; n; arity; acyclic; verdict; payload = Check_pair { q1; q2 } }
+
+let random_side rng ~n =
+  let nterms = Rng.range rng 1 3 in
+  List.init nterms (fun _ ->
+      let mask = Rng.range rng 1 ((1 lsl n) - 1) in
+      let c = Rat.of_ints (Rng.range rng (-3) 3) (Rng.range rng 1 3) in
+      (mask, if Rat.is_zero c then Rat.one else c))
+
+(* Valid bias: one side that is a non-negative combination of elemental
+   Shannon inequalities is ≥ 0 on all of Γn, and max only grows with
+   extra sides — so the instance is Γn-valid by construction and the
+   oracle call merely produces the certificate. *)
+let iip_candidate rng ~n ~verdict =
+  let sides =
+    if verdict = "valid" then begin
+      let elems = Cones.elemental ~n in
+      let combo =
+        List.fold_left
+          (fun acc _ ->
+            let c = Rat.of_ints (Rng.range rng 1 3) (Rng.range rng 1 2) in
+            Linexpr.add acc (Linexpr.scale c (Rng.choose rng elems)))
+          Linexpr.zero
+          (List.init (Rng.range rng 1 3) Fun.id)
+      in
+      Linexpr.terms combo
+      :: List.init (Rng.int rng 2) (fun _ -> random_side rng ~n)
+    end
+    else List.init (Rng.range rng 1 3) (fun _ -> random_side rng ~n)
+  in
+  let sides = List.filter (fun s -> s <> []) sides in
+  if sides = [] then None
+  else
+    let arity = List.fold_left (fun a s -> max a (List.length s)) 0 sides in
+    Some
+      { id = 0; stratum = ""; n; arity; acyclic = false; verdict;
+        payload = Iip_sides { n; sides } }
+
+(* ---------------- generation ---------------- *)
+
+let attempt_budget = 500
+
+let fill_stratum ~seed ~index ~name ~spec ~quota =
+  let rng = Rng.derive seed index in
+  let out = ref [] and got = ref 0 and attempts = ref 0 in
+  while !got < quota do
+    incr attempts;
+    if !attempts > attempt_budget * quota then
+      failwith
+        (Printf.sprintf
+           "Corpus: stratum %s exhausted its budget (%d attempts for quota %d, seed %d)"
+           name !attempts quota seed);
+    let cand =
+      match spec with
+      | Chk { verdict; cyclic; size; ternary } ->
+        chk_candidate rng ~cyclic ~size ~ternary ~verdict
+      | Ii { verdict; n } -> iip_candidate rng ~n ~verdict
+    in
+    match cand with
+    | None -> ()
+    | Some inst ->
+      if oracle inst.payload = inst.verdict then begin
+        out := { inst with stratum = name } :: !out;
+        incr got
+      end
+  done;
+  List.rev !out
+
+let generate kind ~seed ~total =
+  if total < 1 then invalid_arg "Corpus.generate: total < 1";
+  let qs = quotas kind ~total in
+  let insts =
+    List.concat
+      (List.mapi
+         (fun index ((name, quota), (_, _, spec)) ->
+           if quota = 0 then []
+           else fill_stratum ~seed ~index ~name ~spec ~quota)
+         (List.combine qs (specs kind)))
+  in
+  List.mapi (fun id inst -> { inst with id }) insts
+
+(* ---------------- serialization ---------------- *)
+
+type header = { h_kind : kind; h_seed : int; h_count : int }
+
+let num i = Json.Num (float_of_int i)
+
+let header_line kind ~seed ~count =
+  Json.to_string
+    (Obj
+       [
+         ("v", num 1);
+         ("type", Str "corpus");
+         ("kind", Str (kind_name kind));
+         ("seed", num seed);
+         ("count", num count);
+         ("strata", Arr (List.map (fun (s, w) -> Json.Arr [ Str s; num w ]) (strata kind)));
+       ])
+
+let json_of_sides sides =
+  Json.Arr
+    (List.map
+       (fun side ->
+         Json.Arr
+           (List.map
+              (fun (mask, c) -> Json.Arr [ num mask; Json.Str (Rat.to_string c) ])
+              side))
+       sides)
+
+let instance_line inst =
+  let payload_fields =
+    match inst.payload with
+    | Check_pair { q1; q2 } ->
+      [ ("q1", Json.Str (Query.to_string q1)); ("q2", Json.Str (Query.to_string q2)) ]
+    | Iip_sides { n = _; sides } -> [ ("sides", json_of_sides sides) ]
+  in
+  Json.to_string
+    (Obj
+       ([
+          ("id", num inst.id);
+          ("stratum", Json.Str inst.stratum);
+          ("n", num inst.n);
+          ("arity", num inst.arity);
+          ("acyclic", Json.Bool inst.acyclic);
+          ("verdict", Json.Str inst.verdict);
+        ]
+       @ payload_fields))
+
+let write oc kind ~seed insts =
+  output_string oc (header_line kind ~seed ~count:(List.length insts));
+  output_char oc '\n';
+  List.iter
+    (fun inst ->
+      output_string oc (instance_line inst);
+      output_char oc '\n')
+    insts
+
+let parse_header line =
+  let j = Json.parse line in
+  if Json.as_int (Json.member "v" j) <> 1 then failwith "unsupported corpus version";
+  let kind =
+    match kind_of_name (Json.as_str (Json.member "kind" j)) with
+    | Some k -> k
+    | None -> failwith "unknown corpus kind"
+  in
+  { h_kind = kind;
+    h_seed = Json.as_int (Json.member "seed" j);
+    h_count = Json.as_int (Json.member "count" j) }
+
+let parse_instance kind line =
+  let j = Json.parse line in
+  let n = Json.as_int (Json.member "n" j) in
+  let payload =
+    match kind with
+    | Check ->
+      let parse_q field =
+        match Parser.parse_result (Json.as_str (Json.member field j)) with
+        | Ok q -> q
+        | Error msg -> failwith (field ^ ": " ^ msg)
+      in
+      Check_pair { q1 = parse_q "q1"; q2 = parse_q "q2" }
+    | Iip ->
+      let sides =
+        List.map
+          (fun side ->
+            List.map
+              (fun term ->
+                match Json.as_arr term with
+                | [ mask; c ] -> (Json.as_int mask, Rat.of_string (Json.as_str c))
+                | _ -> failwith "malformed side term")
+              (Json.as_arr side))
+          (Json.as_arr (Json.member "sides" j))
+      in
+      Iip_sides { n; sides }
+  in
+  {
+    id = Json.as_int (Json.member "id" j);
+    stratum = Json.as_str (Json.member "stratum" j);
+    n;
+    arity = Json.as_int (Json.member "arity" j);
+    acyclic = (match Json.member "acyclic" j with Bool b -> b | _ -> failwith "acyclic: expected bool");
+    verdict = Json.as_str (Json.member "verdict" j);
+    payload;
+  }
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lineno = ref 0 in
+      let next () =
+        match input_line ic with
+        | line ->
+          incr lineno;
+          Some line
+        | exception End_of_file -> None
+      in
+      match next () with
+      | None -> Error (path ^ ": empty corpus file")
+      | Some first -> (
+        match parse_header first with
+        | exception (Json.Parse_error msg | Failure msg) ->
+          Error (Printf.sprintf "%s:%d: %s" path !lineno msg)
+        | header ->
+          let rec go acc =
+            match next () with
+            | None -> Ok (header, List.rev acc)
+            | Some "" -> go acc
+            | Some line -> (
+              match parse_instance header.h_kind line with
+              | inst -> go (inst :: acc)
+              | exception (Json.Parse_error msg | Failure msg) ->
+                Error (Printf.sprintf "%s:%d: %s" path !lineno msg)
+              | exception Invalid_argument msg ->
+                Error (Printf.sprintf "%s:%d: %s" path !lineno msg))
+          in
+          go []))

@@ -62,6 +62,12 @@ val show_lazy : lazy_case -> string
 
 (** {2 Boolean query pairs} *)
 
+val compact_atoms : (string * int list) list -> Query.t
+(** Build a Boolean query from raw [(rel, args)] atoms, remapping the
+    variables actually used onto [0 .. n-1] so [Query.make]'s
+    every-variable-occurs rule holds by construction.  Shared with the
+    stratified corpus generator ({!Corpus}). *)
+
 val query : Rng.t -> Query.t
 (** Small random Boolean query over the vocabulary
     [R/2, S/2, T/1] — sized for full [Containment.decide] pipelines. *)

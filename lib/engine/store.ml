@@ -319,6 +319,71 @@ let record t problem outcome =
          Obs.Metrics.bump c_appends
        end)
 
+(* ---------------- compaction ---------------- *)
+
+type compaction = {
+  kept : int;
+  duplicates : int;
+  dropped : int;
+  had_truncated_tail : bool;
+}
+
+let compact path =
+  let text =
+    if Sys.file_exists path then begin
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    end
+    else ""
+  in
+  let n = String.length text in
+  let had_truncated_tail = n > 0 && text.[n - 1] <> '\n' in
+  let lines = String.split_on_char '\n' text in
+  let complete =
+    if had_truncated_tail then
+      match List.rev lines with _ :: rest -> List.rev rest | [] -> []
+    else lines
+  in
+  (* Last verified entry per canonical key wins — the same rule [load]'s
+     Table.replace applies — while the rewrite keeps keys in first-seen
+     order so repeated compactions are stable. *)
+  let index : (Rat.t * Rat.t array) Table.t = Table.create 64 in
+  let order = ref [] in
+  let duplicates = ref 0 and dropped = ref 0 in
+  List.iter
+    (fun line ->
+      if String.trim line <> "" then
+        match entry_of_line line with
+        | Some (p, v, x) when verify_entry p v x ->
+          if Table.mem index p then incr duplicates else order := p :: !order;
+          Table.replace index p (v, x)
+        | Some _ | None -> incr dropped)
+    complete;
+  let order = List.rev !order in
+  let tmp = path ^ ".compact.tmp" in
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc; Open_binary ] 0o644 tmp in
+  (match
+     List.iter
+       (fun p ->
+         let v, x = Table.find index p in
+         output_string oc (Json.to_string (json_of_entry p v x));
+         output_char oc '\n')
+       order;
+     flush oc
+   with
+  | () -> close_out oc
+  | exception e ->
+    close_out_noerr oc;
+    (try Sys.remove tmp with Sys_error _ -> ());
+    raise e);
+  Sys.rename tmp path;
+  { kept = List.length order;
+    duplicates = !duplicates;
+    dropped = !dropped;
+    had_truncated_tail }
+
 (* ---------------- the attached store ---------------- *)
 
 let current : t option ref = ref None

@@ -81,6 +81,34 @@ val record : t -> Problem.t -> Simplex.outcome -> unit
     store, not already indexed) and index it; otherwise do nothing.
     Bumps [solver.store.appends] on a real append. *)
 
+(** {2 Compaction}
+
+    An append-only log only grows: bulk sweeps with [--store] leave
+    behind rejected lines, crash tails and (across processes) duplicate
+    records for the same problem.  Compaction rewrites the file keeping
+    exactly one verified entry — the {e last} one, matching the
+    last-wins index {!load} builds — per canonical problem key, then
+    atomically renames the rewrite over the original, so a reader or a
+    crash at any moment sees either the old file or the new one, never a
+    half-written hybrid. *)
+
+type compaction = {
+  kept : int;        (** verified entries surviving into the new file *)
+  duplicates : int;  (** verified entries superseded by a later record
+                         for the same canonical problem *)
+  dropped : int;     (** unparseable / unverified entries discarded *)
+  had_truncated_tail : bool;
+      (** the input ended in a crash-truncated line (also discarded) *)
+}
+
+val compact : string -> compaction
+(** Compact the store file at this path in place (creating an empty,
+    valid store if the file is missing).  Must not run concurrently with
+    a process appending to the same path — the writer's channel would
+    keep appending to the unlinked old file.
+    @raise Sys_error if the path cannot be read or the rewrite cannot be
+    created/renamed. *)
+
 val register_verifier : tag:string -> (Problem.t -> Rat.t array -> bool) -> unit
 (** Install the semantic load-time verifier for problems with this tag
     (see the trust model above).  One verifier per tag.

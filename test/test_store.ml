@@ -366,6 +366,79 @@ let test_lazy_store_roundtrip () =
   Solver.clear ();
   Stats.reset ()
 
+(* ---------------- compaction ---------------- *)
+
+let test_compact_dedups_and_drops () =
+  with_temp_store @@ fun path ->
+  let p = feas_problem () in
+  let p2 =
+    Problem.make ~tag:"test/store2" ~num_vars:1
+      [ Problem.row [ (0, q 1) ] Simplex.Ge (q 1) ]
+  in
+  let st = Store.open_ path in
+  Store.record st p (Solver.solve p);
+  Store.record st p2 (Solver.solve p2);
+  Store.close st;
+  (* Cross-process duplication plus on-disk rot: double the log, add an
+     unparseable line and a crash-truncated tail. *)
+  let text = read_file path in
+  write_file path (text ^ text ^ "garbage\n{\"v\":1,\"probl");
+  let c = Store.compact path in
+  Alcotest.(check int) "kept one entry per key" 2 c.Store.kept;
+  Alcotest.(check int) "duplicates counted" 2 c.Store.duplicates;
+  Alcotest.(check int) "garbage dropped" 1 c.Store.dropped;
+  Alcotest.(check bool) "truncated tail seen" true c.Store.had_truncated_tail;
+  (* The compacted file is pristine: everything loads, nothing rejected,
+     and lookups still serve. *)
+  let st2 = Store.open_ path in
+  Alcotest.(check int) "compacted file loads clean" 2 (Store.loaded st2);
+  Alcotest.(check int) "nothing rejected after compaction" 0
+    (Store.rejected st2);
+  Alcotest.(check int) "no tail after compaction" 0 (Store.truncated st2);
+  Alcotest.(check bool) "entry still served" true (Store.lookup st2 p <> None);
+  Store.close st2
+
+let test_compact_last_wins () =
+  with_temp_store @@ fun path ->
+  (* Two verified records for the same canonical problem with different
+     (equally feasible) points: compaction must keep the later one —
+     the same last-wins rule the loader's Table.replace applies. *)
+  let entry point =
+    "{\"v\":1,\"problem\":{\"tag\":\"test/store\",\"vars\":2,\"obj\":[],"
+    ^ "\"rows\":[[[[0,\"1\"],[1,\"1\"]],\"ge\",\"2\"],[[[0,\"1\"]],\"le\",\"1\"]]},"
+    ^ "\"outcome\":{\"value\":\"0\",\"point\":[" ^ point ^ "]}}\n"
+  in
+  write_file path (entry "\"1\",\"1\"" ^ entry "\"0\",\"2\"");
+  let c = Store.compact path in
+  Alcotest.(check int) "one survivor" 1 c.Store.kept;
+  Alcotest.(check int) "one superseded" 1 c.Store.duplicates;
+  let st = Store.open_ path in
+  (match Store.lookup st (feas_problem ()) with
+   | Some (Simplex.Optimal (_, x)) ->
+     Alcotest.(check bool) "the later point won" true
+       (Rat.equal x.(0) (q 0) && Rat.equal x.(1) (q 2))
+   | _ -> Alcotest.fail "expected the compacted entry");
+  Store.close st
+
+let test_compact_idempotent_and_missing () =
+  with_temp_store @@ fun path ->
+  Sys.remove path;
+  (* Compacting a missing store creates an empty, valid one. *)
+  let c0 = Store.compact path in
+  Alcotest.(check int) "nothing kept from nothing" 0 c0.Store.kept;
+  Alcotest.(check bool) "file exists afterwards" true (Sys.file_exists path);
+  let st = Store.open_ path in
+  Store.record st (feas_problem ()) (Solver.solve (feas_problem ()));
+  Store.close st;
+  let c1 = Store.compact path in
+  let once = read_file path in
+  let c2 = Store.compact path in
+  Alcotest.(check int) "stable entry count" c1.Store.kept c2.Store.kept;
+  Alcotest.(check int) "second pass finds no duplicates" 0 c2.Store.duplicates;
+  Alcotest.(check int) "second pass drops nothing" 0 c2.Store.dropped;
+  Alcotest.(check string) "compaction is idempotent byte-for-byte" once
+    (read_file path)
+
 let suite =
   [ Alcotest.test_case "store: record/reopen round-trip" `Quick test_roundtrip;
     Alcotest.test_case "store: infeasible outcomes stay tier-0 only" `Quick
@@ -385,4 +458,10 @@ let suite =
     Alcotest.test_case "farkas: tampered store entry dropped, verdict intact"
       `Quick test_farkas_tampered_entry_dropped;
     Alcotest.test_case "lazy: per-round entries persist and re-verify"
-      `Quick test_lazy_store_roundtrip ]
+      `Quick test_lazy_store_roundtrip;
+    Alcotest.test_case "compact: dedups, drops rot, survives reopen" `Quick
+      test_compact_dedups_and_drops;
+    Alcotest.test_case "compact: last verified entry per key wins" `Quick
+      test_compact_last_wins;
+    Alcotest.test_case "compact: idempotent; missing file becomes empty store"
+      `Quick test_compact_idempotent_and_missing ]
